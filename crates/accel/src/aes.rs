@@ -1,0 +1,141 @@
+//! AES encryption accelerator model (benchmark `aes`, after the OpenCores
+//! Rijndael core).
+//!
+//! One job encrypts one piece of data (a DRM-protected frame's payload, in
+//! the paper's motivating scenario); one token is one 512-byte DMA burst
+//! of up to 32 blocks. The job starts with a key-expansion stage, then
+//! per burst: a short serial packet-header scan, a DMA load, the 11-round
+//! pipelined encryption, and the write-back. Execution time is almost
+//! perfectly linear in the payload size, so the predictor is essentially
+//! exact (Fig. 10's near-zero error for aes).
+
+use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::{JobInput, Module};
+
+use crate::common::{self, WorkloadSize};
+use rand::Rng;
+use crate::Workloads;
+
+/// Blocks (16 B) per full burst token.
+pub const BLOCKS_PER_BURST: u64 = 32;
+/// Nominal synthesis frequency (Table 4).
+pub const F_NOMINAL_MHZ: f64 = 500.0;
+
+/// Builds the AES module.
+pub fn build() -> Module {
+    let mut b = ModuleBuilder::new("aes");
+    let n_blocks = b.input("n_blocks", 6);
+
+    let fsm = b.fsm(
+        "ctrl",
+        &["START", "KEYX_W", "FETCH", "HDR_W", "LOAD_W", "ENC_W", "STORE_W", "EMIT"],
+    );
+    let keyx = b.wait_state(&fsm, "KEYX_W", "FETCH", "key.expand");
+    b.enter_wait(&fsm, "START", "KEYX_W", keyx, E::k(220), E::stream_empty().is_zero());
+    let hdr = b.wait_state(&fsm, "HDR_W", "LOAD_W", "pkt.hdr");
+    b.enter_wait(&fsm, "FETCH", "HDR_W", hdr, E::k(2), E::stream_empty().is_zero());
+    let load = b.wait_state(&fsm, "LOAD_W", "ENC_W", "dma.load");
+    b.set(load, fsm.in_state("HDR_W") & hdr.e().eq_(E::zero()), E::k(128));
+    let enc = b.wait_state(&fsm, "ENC_W", "STORE_W", "enc.rounds");
+    b.set(
+        enc,
+        fsm.in_state("LOAD_W") & load.e().eq_(E::zero()),
+        n_blocks * E::k(11),
+    );
+    let store = b.wait_state(&fsm, "STORE_W", "EMIT", "dma.store");
+    b.set(store, fsm.in_state("ENC_W") & enc.e().eq_(E::zero()), E::k(32));
+    b.trans(&fsm, "EMIT", "FETCH", E::one());
+    b.advance_when(fsm.in_state("EMIT"));
+    b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+
+    // Areas calibrated to Table 4 (56,121 µm²).
+    b.datapath_compute("key.schedule", fsm.in_state("KEYX_W"), 5_000.0, 1.0, 500, 0);
+    b.datapath_serial("pkt.parser", fsm.in_state("HDR_W"), 800.0, 0.4, 250, 0);
+    b.datapath_compute("dma.in", fsm.in_state("LOAD_W"), 6_000.0, 0.7, 500, 0);
+    b.datapath_compute("enc.core", fsm.in_state("ENC_W"), 30_000.0, 1.2, 2_600, 0);
+    b.datapath_compute("dma.out", fsm.in_state("STORE_W"), 4_000.0, 0.7, 350, 0);
+    b.memory("block_buf", 4 * 1024, false);
+
+    b.build().expect("aes module is well-formed")
+}
+
+/// Generates one job encrypting `bytes` of payload.
+pub fn piece(bytes: u64) -> JobInput {
+    let mut job = JobInput::new(1);
+    let blocks = bytes.div_ceil(16).max(1);
+    let full = blocks / BLOCKS_PER_BURST;
+    for _ in 0..full {
+        job.push(&[BLOCKS_PER_BURST]);
+    }
+    let rem = blocks % BLOCKS_PER_BURST;
+    if rem > 0 {
+        job.push(&[rem]);
+    }
+    job
+}
+
+fn pieces(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
+    let mut r = common::rng(seed);
+    // Streaming sessions: payload sizes cluster per content, with switches.
+    let mut kb_walk = common::SkewedWalk::new(&mut r, 950.0, 7_750.0, 4.2, 0.06, 0.20);
+    (0..count)
+        .map(|_| {
+            let exc: f64 = if r.gen_bool(0.07) { r.gen_range(1.4..1.9) } else { 1.0 };
+            let jit: f64 = r.gen_range(0.85..1.15);
+            let kb = (kb_walk.next(&mut r) * jit * exc).min(7_700.0);
+            piece(size.tokens(kb as usize) as u64 * 1024)
+        })
+        .collect()
+}
+
+/// Table 3 workloads: 100 training pieces, 100 test pieces, various sizes.
+pub fn workloads(seed: u64, size: WorkloadSize) -> Workloads {
+    let n = size.jobs(100);
+    Workloads {
+        train: pieces(seed ^ 0xAE51, n, size),
+        test: pieces(seed ^ 0xAE52, n, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_rtl::{Analysis, ExecMode, Simulator};
+
+    #[test]
+    fn cycles_linear_in_bytes() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let t1 = sim.run(&piece(64 * 1024), ExecMode::FastForward, None).unwrap();
+        let t2 = sim.run(&piece(128 * 1024), ExecMode::FastForward, None).unwrap();
+        let ratio = t2.cycles as f64 / (t1.cycles as f64);
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn key_expansion_charged_once() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let a = sim.run(&piece(512), ExecMode::FastForward, None).unwrap();
+        let b2 = sim.run(&piece(1024), ExecMode::FastForward, None).unwrap();
+        // One extra burst costs ~ 2+128+352+32 plus transitions; key
+        // expansion (220) must not repeat.
+        let delta = b2.cycles - a.cycles;
+        assert!(delta >= 510 && delta <= 540, "delta {delta}");
+    }
+
+    #[test]
+    fn partial_final_burst() {
+        let j = piece(512 * 10 + 16);
+        assert_eq!(j.len(), 11);
+        assert_eq!(j.get(10, 0), 1);
+    }
+
+    #[test]
+    fn analysis_finds_five_pipeline_counters() {
+        let m = build();
+        let a = Analysis::run(&m);
+        assert_eq!(a.counters.len(), 5);
+        assert_eq!(a.waits.len(), 5);
+    }
+}

@@ -1,0 +1,153 @@
+//! JPEG encoder model (benchmark `cjpeg`, after the OpenCores video
+//! compression systems encoder).
+//!
+//! One job encodes one image; one token is one 16×16 MCU. The DCT and
+//! quantization stages have fixed per-MCU latency, while Huffman coding is
+//! serial and scales with the number of non-zero quantized coefficients —
+//! the content-dependent term. Execution time varies mostly with image
+//! *size* (Table 3 uses "100 images, various sizes"), which is why
+//! reactive controllers do poorly: consecutive photos are uncorrelated.
+
+use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::{JobInput, Module};
+
+use crate::common::{self, JumpyWalk, WorkloadSize};
+use rand::Rng;
+
+use crate::Workloads;
+
+/// Nominal synthesis frequency (Table 4).
+pub const F_NOMINAL_MHZ: f64 = 250.0;
+
+/// Builds the encoder module.
+pub fn build() -> Module {
+    let mut b = ModuleBuilder::new("cjpeg");
+    let nzc = b.input("nzc", 9);
+
+    let fsm = b.fsm(
+        "ctrl",
+        &["FETCH", "LOAD_W", "DCT_W", "QUANT_W", "HSCAN_W", "HUFF_W", "EMIT"],
+    );
+    let load = b.wait_state(&fsm, "LOAD_W", "DCT_W", "dma.load");
+    b.enter_wait(&fsm, "FETCH", "LOAD_W", load, E::k(64), E::stream_empty().is_zero());
+    let dct = b.wait_state(&fsm, "DCT_W", "QUANT_W", "dct.cnt");
+    b.set(dct, fsm.in_state("LOAD_W") & load.e().eq_(E::zero()), E::k(384));
+    let quant = b.wait_state(&fsm, "QUANT_W", "HSCAN_W", "quant.cnt");
+    b.set(quant, fsm.in_state("DCT_W") & dct.e().eq_(E::zero()), E::k(128));
+    // Serial coefficient scan: the only part the slice must truly re-run.
+    let hscan = b.wait_state(&fsm, "HSCAN_W", "HUFF_W", "huff.scan");
+    b.set(
+        hscan,
+        fsm.in_state("QUANT_W") & quant.e().eq_(E::zero()),
+        (nzc.clone() >> E::k(2)) + E::k(4),
+    );
+    let huff = b.wait_state(&fsm, "HUFF_W", "EMIT", "huff.cnt");
+    b.set(
+        huff,
+        fsm.in_state("HSCAN_W") & hscan.e().eq_(E::zero()),
+        nzc * E::k(2) + E::k(20),
+    );
+    b.trans(&fsm, "EMIT", "FETCH", E::one());
+    b.advance_when(fsm.in_state("EMIT"));
+    b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+
+    // Areas calibrated to Table 4 (175,225 µm²).
+    b.datapath_compute("dma.engine", fsm.in_state("LOAD_W"), 8_000.0, 0.7, 600, 0);
+    b.datapath_compute("dct.pipeline", fsm.in_state("DCT_W"), 72_000.0, 1.1, 2_800, 40);
+    b.datapath_compute("quant.unit", fsm.in_state("QUANT_W"), 18_000.0, 1.0, 900, 16);
+    b.datapath_serial("huff.scanner", fsm.in_state("HSCAN_W"), 2_500.0, 0.4, 700, 0);
+    b.datapath_compute("huff.encoder", fsm.in_state("HUFF_W"), 22_000.0, 0.9, 1_500, 0);
+    b.memory("mcu_buf", 16 * 1024, false);
+    b.memory("bitstream_out", 4 * 1024, false);
+
+    b.build().expect("cjpeg module is well-formed")
+}
+
+/// Generates one image of `mcus` MCUs with mean coefficient density
+/// `nzc_mean`.
+pub fn image(r: &mut rand::rngs::StdRng, mcus: usize, nzc_mean: f64) -> JobInput {
+    let mut job = JobInput::new(1);
+    for _ in 0..mcus {
+        job.push(&[common::jitter(r, nzc_mean, 0.45, 2, 500)]);
+    }
+    job
+}
+
+fn image_set(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
+    let mut r = common::rng(seed);
+    // Photo sessions: bursts of similar sizes with occasional switches
+    // (new scene or camera setting).
+    let mut mcus_walk = common::SkewedWalk::new(&mut r, 270.0, 4750.0, 1.8, 0.07, 0.26);
+    let mut nzc_walk = JumpyWalk::new(&mut r, 30.0, 110.0, 0.08, 0.10);
+    (0..count)
+        .map(|_| {
+            // Occasional single outlier photo (panorama, burst shot):
+            // reactive control pays twice per excursion (Fig. 3).
+            let exc: f64 = if r.gen_bool(0.07) { r.gen_range(1.4..1.9) } else { 1.0 };
+            let jit: f64 = r.gen_range(0.85..1.15);
+            let raw = (mcus_walk.next(&mut r) * jit * exc).min(4750.0);
+            let mcus = size.tokens(raw as usize);
+            let nzc = nzc_walk.next(&mut r);
+            image(&mut r, mcus, nzc)
+        })
+        .collect()
+}
+
+/// Table 3 workloads: 100 training images, 100 test images, various sizes.
+pub fn workloads(seed: u64, size: WorkloadSize) -> Workloads {
+    let n = size.jobs(100);
+    Workloads {
+        train: image_set(seed ^ 0xCEC1, n, size),
+        test: image_set(seed ^ 0x7E57, n, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_rtl::{Analysis, ExecMode, Simulator};
+
+    #[test]
+    fn analyses_find_pipeline_counters() {
+        let m = build();
+        let a = Analysis::run(&m);
+        assert_eq!(a.fsms.len(), 1);
+        assert_eq!(a.counters.len(), 5);
+        assert_eq!(a.waits.len(), 5);
+        assert_eq!(a.waits.iter().filter(|w| w.serial).count(), 1);
+    }
+
+    #[test]
+    fn cycles_scale_with_mcu_count() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let mut r = common::rng(5);
+        let small = image(&mut r, 50, 60.0);
+        let large = image(&mut r, 500, 60.0);
+        let ts = sim.run(&small, ExecMode::FastForward, None).unwrap();
+        let tl = sim.run(&large, ExecMode::FastForward, None).unwrap();
+        let ratio = tl.cycles as f64 / ts.cycles as f64;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_mcu_cost_matches_stage_budget() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let mut job = JobInput::new(1);
+        job.push(&[100]);
+        let t = sim.run(&job, ExecMode::FastForward, None).unwrap();
+        // load 64 + dct 384 + quant 128 + scan 29 + huff 220 + transitions.
+        let expected = 64 + 384 + 128 + 29 + 220;
+        assert!(t.cycles >= expected && t.cycles <= expected + 16, "{}", t.cycles);
+    }
+
+    #[test]
+    fn workloads_have_varied_sizes() {
+        let w = workloads(3, WorkloadSize::Full);
+        let sizes: Vec<usize> = w.test.iter().map(|j| j.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max > &(min * 2), "sizes {min}..{max} should vary widely");
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared workload-generation helpers.
+//!
+//! The paper drives each accelerator with real inputs (video clips, photo
+//! collections, particle traces, data streams). The synthetic generators
+//! here reproduce the *statistical structure* that matters to a DVFS
+//! controller: smooth drift punctuated by jumps (scene changes, page
+//! loads, collision events) that defeat reactive prediction, and broad
+//! size distributions that create the execution-time spreads of Table 4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a workload seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A bounded random walk with occasional jumps.
+///
+/// Values drift by at most `persistence` of the range per step; with
+/// probability `jump_prob` a step instead re-draws uniformly — the "scene
+/// change" events that make reactive controllers lag (Fig. 3).
+#[derive(Debug, Clone)]
+pub struct JumpyWalk {
+    lo: f64,
+    hi: f64,
+    step: f64,
+    jump_prob: f64,
+    value: f64,
+}
+
+impl JumpyWalk {
+    /// Creates a walk over `[lo, hi]` starting at a uniform draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or probabilities are out of range.
+    pub fn new(r: &mut StdRng, lo: f64, hi: f64, persistence: f64, jump_prob: f64) -> JumpyWalk {
+        assert!(lo < hi, "walk bounds inverted");
+        assert!((0.0..=1.0).contains(&persistence));
+        assert!((0.0..=1.0).contains(&jump_prob));
+        JumpyWalk {
+            lo,
+            hi,
+            step: (hi - lo) * persistence,
+            jump_prob,
+            value: r.gen_range(lo..hi),
+        }
+    }
+
+    /// Advances one step and returns the new value.
+    pub fn next(&mut self, r: &mut StdRng) -> f64 {
+        if r.gen_bool(self.jump_prob) {
+            self.value = r.gen_range(self.lo..self.hi);
+        } else {
+            let d = r.gen_range(-self.step..self.step);
+            self.value = (self.value + d).clamp(self.lo, self.hi);
+        }
+        self.value
+    }
+
+    /// Current value without advancing.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A [`JumpyWalk`] in unit space mapped through a power law.
+///
+/// Real job-size distributions (image dimensions, payload bytes) are
+/// heavily skewed toward small values; `value = lo + (hi-lo)·u^k` with a
+/// walking `u ∈ [0,1]` reproduces Table 4's avg ≪ (min+max)/2 pattern
+/// while keeping the burst autocorrelation.
+#[derive(Debug, Clone)]
+pub struct SkewedWalk {
+    walk: JumpyWalk,
+    lo: f64,
+    hi: f64,
+    k: f64,
+}
+
+impl SkewedWalk {
+    /// Creates a skewed walk over `[lo, hi]` with skew exponent `k ≥ 1`.
+    pub fn new(
+        r: &mut StdRng,
+        lo: f64,
+        hi: f64,
+        k: f64,
+        persistence: f64,
+        jump_prob: f64,
+    ) -> SkewedWalk {
+        assert!(k >= 1.0, "skew exponent must be >= 1");
+        SkewedWalk {
+            walk: JumpyWalk::new(r, 0.0, 1.0, persistence, jump_prob),
+            lo,
+            hi,
+            k,
+        }
+    }
+
+    /// Advances one step and returns the new value.
+    pub fn next(&mut self, r: &mut StdRng) -> f64 {
+        let u = self.walk.next(r);
+        self.lo + (self.hi - self.lo) * u.powf(self.k)
+    }
+}
+
+/// Draws an integer uniformly around `mean` with the given relative
+/// half-spread, clamped to `[lo, hi]`.
+pub fn jitter(r: &mut StdRng, mean: f64, rel_spread: f64, lo: u64, hi: u64) -> u64 {
+    let spread = (mean * rel_spread).max(0.5);
+    let v = r.gen_range((mean - spread)..(mean + spread));
+    (v.round().max(lo as f64) as u64).min(hi)
+}
+
+/// Splits `n` into per-video/job counts for quick test runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSize {
+    /// Paper-scale workloads (Table 3).
+    Full,
+    /// ~10× smaller, for unit/integration tests.
+    Quick,
+}
+
+impl WorkloadSize {
+    /// Scales a job count.
+    pub fn jobs(self, full: usize) -> usize {
+        match self {
+            WorkloadSize::Full => full,
+            WorkloadSize::Quick => (full / 10).max(3),
+        }
+    }
+
+    /// Scales a per-job token count.
+    pub fn tokens(self, full: usize) -> usize {
+        match self {
+            WorkloadSize::Full => full,
+            WorkloadSize::Quick => (full / 8).max(8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_stays_in_bounds() {
+        let mut r = rng(1);
+        let mut w = JumpyWalk::new(&mut r, 10.0, 20.0, 0.05, 0.02);
+        for _ in 0..1000 {
+            let v = w.next(&mut r);
+            assert!((10.0..=20.0).contains(&v));
+        }
+        assert_eq!(w.value(), w.value());
+    }
+
+    #[test]
+    fn walk_is_autocorrelated_but_jumps() {
+        let mut r = rng(2);
+        let mut w = JumpyWalk::new(&mut r, 0.0, 100.0, 0.02, 0.05);
+        let mut big_moves = 0;
+        let mut prev = w.value();
+        for _ in 0..2000 {
+            let v = w.next(&mut r);
+            if (v - prev).abs() > 10.0 {
+                big_moves += 1;
+            }
+            prev = v;
+        }
+        // Jumps happen, but most steps are small.
+        assert!(big_moves > 20, "expected occasional jumps, saw {big_moves}");
+        assert!(big_moves < 400, "too many jumps: {big_moves}");
+    }
+
+    #[test]
+    fn jitter_clamps() {
+        let mut r = rng(3);
+        for _ in 0..100 {
+            let v = jitter(&mut r, 50.0, 0.5, 40, 60);
+            assert!((40..=60).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sizes_scale() {
+        assert_eq!(WorkloadSize::Full.jobs(100), 100);
+        assert_eq!(WorkloadSize::Quick.jobs(100), 10);
+        assert_eq!(WorkloadSize::Quick.jobs(5), 3);
+        assert_eq!(WorkloadSize::Quick.tokens(400), 50);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: u64 = rng(7).gen();
+        let b: u64 = rng(7).gen();
+        assert_eq!(a, b);
+    }
+}

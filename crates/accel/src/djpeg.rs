@@ -1,0 +1,196 @@
+//! JPEG decoder model (benchmark `djpeg`, after the OpenCores `djpeg`
+//! core).
+//!
+//! One job decodes one image; one token is one MCU. Besides the
+//! counter-timed dequantization/IDCT/color-conversion stages, the Huffman
+//! decoder contains a *variable-latency state with no associated counter*:
+//! a shift-register drain loop whose duration depends on the entropy of
+//! the coded bits. This is exactly the structure the paper reports for
+//! djpeg (§4.3) — the mined features cannot see that latency, so djpeg
+//! shows visibly higher prediction error than the other benchmarks while
+//! the slice still captures the bulk of the variation.
+
+use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::{JobInput, Module};
+use rand::Rng;
+
+use crate::common::{self, JumpyWalk, WorkloadSize};
+use crate::Workloads;
+
+/// Nominal synthesis frequency (Table 4).
+pub const F_NOMINAL_MHZ: f64 = 250.0;
+
+/// Builds the decoder module.
+pub fn build() -> Module {
+    let mut b = ModuleBuilder::new("djpeg");
+    let nzc = b.input("nzc", 9);
+    let hbits = b.input("hbits", 16);
+
+    let fsm = b.fsm(
+        "ctrl",
+        &["FETCH", "HSCAN_W", "HUFF_W", "HUFFX", "DEQ_W", "IDCT_W", "COLOR_W", "EMIT"],
+    );
+    // Serial symbol scan (the part the slice must genuinely re-run)...
+    let hscan = b.wait_state(&fsm, "HSCAN_W", "HUFF_W", "huff.scan");
+    b.enter_wait(
+        &fsm,
+        "FETCH",
+        "HSCAN_W",
+        hscan,
+        (nzc.clone() >> E::k(2)) + E::k(6),
+        E::stream_empty().is_zero(),
+    );
+    // ...then the counter-timed coefficient expansion...
+    let huff = b.wait_state(&fsm, "HUFF_W", "HUFFX", "huff.cnt");
+    b.set(
+        huff,
+        fsm.in_state("HSCAN_W") & hscan.e().eq_(E::zero()),
+        nzc * E::k(2) + E::k(14),
+    );
+    // ...followed by the hidden drain loop: a shift-register feedback the
+    // counter analysis rightly refuses to classify.
+    let sh = b.reg("huff.shift", 16, 0);
+    b.set(sh, fsm.in_state("HUFF_W") & huff.e().eq_(E::zero()), hbits);
+    b.set(
+        sh,
+        fsm.in_state("HUFFX") & sh.e().ne_(E::zero()),
+        sh.e() - (sh.e() >> E::k(5)) - E::one(),
+    );
+    let deq = b.wait_state(&fsm, "DEQ_W", "IDCT_W", "deq.cnt");
+    b.set(deq, fsm.in_state("HUFFX") & sh.e().eq_(E::zero()), E::k(128));
+    b.trans(&fsm, "HUFFX", "DEQ_W", sh.e().eq_(E::zero()));
+    let idct = b.wait_state(&fsm, "IDCT_W", "COLOR_W", "idct.cnt");
+    b.set(idct, fsm.in_state("DEQ_W") & deq.e().eq_(E::zero()), E::k(384));
+    let color = b.wait_state(&fsm, "COLOR_W", "EMIT", "color.cnt");
+    b.set(
+        color,
+        fsm.in_state("IDCT_W") & idct.e().eq_(E::zero()),
+        E::k(96),
+    );
+    b.trans(&fsm, "EMIT", "FETCH", E::one());
+    b.advance_when(fsm.in_state("EMIT"));
+    b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+
+    // Areas calibrated to Table 4 (394,635 µm²).
+    b.datapath_serial("huff.decoder", fsm.in_state("HSCAN_W"), 7_000.0, 0.4, 1_200, 0);
+    b.datapath_compute("huff.expand", fsm.in_state("HUFF_W"), 10_000.0, 0.9, 800, 0);
+    b.datapath_serial("huff.drain", fsm.in_state("HUFFX"), 5_000.0, 0.4, 800, 0);
+    b.datapath_compute("deq.unit", fsm.in_state("DEQ_W"), 40_000.0, 1.0, 1_800, 16);
+    b.datapath_compute("idct.pipeline", fsm.in_state("IDCT_W"), 150_000.0, 1.1, 5_200, 56);
+    b.datapath_compute("color.convert", fsm.in_state("COLOR_W"), 80_000.0, 1.0, 3_000, 24);
+    b.memory("mcu_buf", 32 * 1024, false);
+    b.memory("bitstream_in", 4 * 1024, true);
+
+    b.build().expect("djpeg module is well-formed")
+}
+
+/// Generates one image; `quality` in `[0, 1]` drives the *hidden* Huffman
+/// drain durations (unobservable by the extracted features).
+pub fn image(r: &mut rand::rngs::StdRng, mcus: usize, nzc_mean: f64, quality: f64) -> JobInput {
+    let mut job = JobInput::new(2);
+    for _ in 0..mcus {
+        let nzc = common::jitter(r, nzc_mean, 0.45, 2, 500);
+        // Most symbols drain the shift register in a few cycles, but
+        // escape-coded blocks take hundreds; `quality` shifts the escape
+        // rate, so the per-image hidden time varies in a way no mined
+        // feature can see.
+        let escape = r.gen_bool(0.02 + 0.18 * quality);
+        let hbits = if escape {
+            r.gen_range(20_000..60_000u64)
+        } else {
+            r.gen_range(4..24u64)
+        };
+        job.push(&[nzc, hbits]);
+    }
+    job
+}
+
+fn image_set(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
+    let mut r = common::rng(seed);
+    let mut mcus_walk = common::SkewedWalk::new(&mut r, 540.0, 4450.0, 5.2, 0.07, 0.26);
+    let mut nzc_walk = JumpyWalk::new(&mut r, 25.0, 100.0, 0.08, 0.10);
+    let mut q_walk = JumpyWalk::new(&mut r, 0.05, 1.0, 0.05, 0.15);
+    (0..count)
+        .map(|_| {
+            let exc: f64 = if r.gen_bool(0.07) { r.gen_range(1.4..1.9) } else { 1.0 };
+            let jit: f64 = r.gen_range(0.85..1.15);
+            let raw = (mcus_walk.next(&mut r) * jit * exc).min(4450.0);
+            let mcus = size.tokens(raw as usize);
+            let nzc = nzc_walk.next(&mut r);
+            let q = q_walk.next(&mut r);
+            image(&mut r, mcus, nzc, q)
+        })
+        .collect()
+}
+
+/// Table 3 workloads: 100 training images, 100 test images, various sizes.
+pub fn workloads(seed: u64, size: WorkloadSize) -> Workloads {
+    let n = size.jobs(100);
+    Workloads {
+        train: image_set(seed ^ 0xDEC0, n, size),
+        test: image_set(seed ^ 0x1A6E, n, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_rtl::{Analysis, ExecMode, Simulator};
+
+    #[test]
+    fn hidden_drain_is_not_a_counter() {
+        let m = build();
+        let a = Analysis::run(&m);
+        let sh = m.reg_by_name("huff.shift").unwrap();
+        assert!(
+            a.counters.iter().all(|c| c.reg != sh),
+            "shift register must evade counter detection"
+        );
+        // HUFFX is not a wait state either: its latency is invisible.
+        let f = m.reg_by_name("ctrl.state").unwrap();
+        let huffx = 3; // state encoding order
+        assert!(a.wait_for(f, huffx).is_none());
+    }
+
+    #[test]
+    fn hidden_bits_change_cycles_with_equal_features() {
+        let m = build();
+        let a = Analysis::run(&m);
+        let schema = predvfs_rtl::FeatureSchema::from_analysis(&m, &a);
+        let probes = schema.probe_program(&a);
+        let sim = Simulator::new(&m);
+        let mut lo = JobInput::new(2);
+        let mut hi = JobInput::new(2);
+        for _ in 0..32 {
+            lo.push(&[80, 16]);
+            hi.push(&[80, 60_000]);
+        }
+        let tl = sim.run(&lo, ExecMode::FastForward, Some(&probes)).unwrap();
+        let th = sim.run(&hi, ExecMode::FastForward, Some(&probes)).unwrap();
+        assert!(th.cycles > tl.cycles + 32 * 10, "{} vs {}", th.cycles, tl.cycles);
+        assert_eq!(tl.features, th.features, "features are blind to the drain");
+    }
+
+    #[test]
+    fn decode_consumes_stream() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let mut r = common::rng(11);
+        let img = image(&mut r, 100, 50.0, 0.5);
+        let t = sim.run(&img, ExecMode::FastForward, None).unwrap();
+        assert_eq!(t.tokens_consumed, 100);
+        assert!(t.cycles > 100 * 600);
+    }
+
+    #[test]
+    fn quality_varies_hidden_time() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let mut r = common::rng(13);
+        let a = image(&mut r, 200, 50.0, 0.0);
+        let b2 = image(&mut r, 200, 50.0, 1.0);
+        let ta = sim.run(&a, ExecMode::FastForward, None).unwrap();
+        let tb = sim.run(&b2, ExecMode::FastForward, None).unwrap();
+        assert!(tb.cycles > ta.cycles, "{} vs {}", tb.cycles, ta.cycles);
+    }
+}

@@ -1,0 +1,390 @@
+//! H.264 baseline video decoder model (after Xu & Choy, the paper's
+//! benchmark `h264`).
+//!
+//! One job decodes one CIF frame (396 macroblocks). Each macroblock token
+//! carries the content-dependent quantities that drive the decoder's
+//! control decisions: macroblock type (skip / intra / inter), transform
+//! coefficient counts, intra prediction mode, quarter-pel motion flag,
+//! reference preload lengths, and deblocking boundary strength. The FSM
+//! walks the paper's Fig. 9 pipeline: bitstream parsing (serial entropy
+//! decoding), residue decoding, intra or inter prediction, and the
+//! deblocking filter — every stage timed by a counter the analysis can
+//! mine.
+//!
+//! The quarter-pel interpolation path costs nearly twice the full-pel
+//! path; this is the "subtle effect" (§3.7) that manually chosen features
+//! missed but the automatically mined counters capture.
+
+use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::{JobInput, Module};
+use rand::Rng;
+
+use crate::common::{self, JumpyWalk, WorkloadSize};
+use crate::Workloads;
+
+/// Macroblocks per CIF frame (352 × 288).
+pub const MBS_PER_FRAME: usize = 396;
+/// Nominal synthesis frequency (Table 4).
+pub const F_NOMINAL_MHZ: f64 = 250.0;
+
+/// Token fields, in order.
+pub const FIELDS: [&str; 9] = [
+    "mb_type", "ncy", "ncc", "intra_mode", "qpel", "prel_y", "prel_cb", "prel_cr", "bs_sum",
+];
+
+/// Builds the decoder module.
+pub fn build() -> Module {
+    let mut b = ModuleBuilder::new("h264");
+    let mb_type = b.input("mb_type", 2);
+    let ncy = b.input("ncy", 10);
+    let ncc = b.input("ncc", 9);
+    let intra_mode = b.input("intra_mode", 2);
+    let qpel = b.input("qpel", 1);
+    let prel_y = b.input("prel_y", 10);
+    let prel_cb = b.input("prel_cb", 9);
+    let prel_cr = b.input("prel_cr", 9);
+    let bs_sum = b.input("bs_sum", 8);
+
+    let fsm = b.fsm(
+        "ctrl",
+        &[
+            "FETCH", "NAL_W", "HDR_W", "CAVY_W", "CAVC_W", "ROUTE_P", "RESY_W", "RESC_W",
+            "ROUTE_R", "INTRA0_W", "INTRA1_W", "INTRA2_W", "INTRA3_W", "ROUTE_I", "PRELY_W",
+            "PRELCB_W", "PRELCR_W", "ROUTE_M", "INTF_W", "INTQ_W", "ROUTE_I2", "BS_W",
+            "FILTV_W", "FILTH_W", "EMIT",
+        ],
+    );
+
+    // --- Bitstream parser: serial entropy decoding, chained waits -------
+    let nal = b.wait_state(&fsm, "NAL_W", "HDR_W", "parse.nal");
+    b.enter_wait(&fsm, "FETCH", "NAL_W", nal, E::k(8), E::stream_empty().is_zero());
+    let hdr = b.wait_state(&fsm, "HDR_W", "CAVY_W", "parse.hdr");
+    b.set(hdr, fsm.in_state("NAL_W") & nal.e().eq_(E::zero()), E::k(16));
+    let cavy = b.wait_state(&fsm, "CAVY_W", "CAVC_W", "parse.cavlc_y");
+    b.set(
+        cavy,
+        fsm.in_state("HDR_W") & hdr.e().eq_(E::zero()),
+        ncy.clone() * E::k(2),
+    );
+    let cavc = b.wait_state(&fsm, "CAVC_W", "ROUTE_P", "parse.cavlc_c");
+    b.set(
+        cavc,
+        fsm.in_state("CAVY_W") & cavy.e().eq_(E::zero()),
+        ncc.clone() * E::k(2),
+    );
+
+    // --- Residue decoding ------------------------------------------------
+    let resy = b.wait_state(&fsm, "RESY_W", "RESC_W", "res.y");
+    b.enter_wait(
+        &fsm,
+        "ROUTE_P",
+        "RESY_W",
+        resy,
+        ncy.clone() * E::k(6) + E::k(40),
+        mb_type.clone().ne_(E::zero()),
+    );
+    let resc = b.wait_state(&fsm, "RESC_W", "ROUTE_R", "res.c");
+    b.set(
+        resc,
+        fsm.in_state("RESY_W") & resy.e().eq_(E::zero()),
+        ncc * E::k(6) + E::k(24),
+    );
+
+    // --- Intra prediction: one timed unit per prediction mode -----------
+    for m in 0..4u64 {
+        let wait = format!("INTRA{m}_W");
+        let ctr = b.wait_state(&fsm, &wait, "ROUTE_I", &format!("intra.m{m}"));
+        b.enter_wait(
+            &fsm,
+            "ROUTE_R",
+            &wait,
+            ctr,
+            ncy.clone() * E::k(2) + E::k(1500 + 60 * m),
+            mb_type.clone().eq_(E::one()) & intra_mode.clone().eq_(E::k(m)),
+        );
+    }
+
+    // --- Inter prediction: reference preload then interpolation ---------
+    let prely = b.wait_state(&fsm, "PRELY_W", "PRELCB_W", "inter.prel_y");
+    b.enter_wait(
+        &fsm,
+        "ROUTE_R",
+        "PRELY_W",
+        prely,
+        prel_y,
+        mb_type.clone().eq_(E::k(2)),
+    );
+    let prelcb = b.wait_state(&fsm, "PRELCB_W", "PRELCR_W", "inter.prel_cb");
+    b.set(
+        prelcb,
+        fsm.in_state("PRELY_W") & prely.e().eq_(E::zero()),
+        prel_cb,
+    );
+    let prelcr = b.wait_state(&fsm, "PRELCR_W", "ROUTE_M", "inter.prel_cr");
+    b.set(
+        prelcr,
+        fsm.in_state("PRELCB_W") & prelcb.e().eq_(E::zero()),
+        prel_cr,
+    );
+    let intf = b.wait_state(&fsm, "INTF_W", "ROUTE_I2", "inter.interp_full");
+    b.enter_wait(&fsm, "ROUTE_M", "INTF_W", intf, E::k(1500), qpel.clone().is_zero());
+    let intq = b.wait_state(&fsm, "INTQ_W", "ROUTE_I2", "inter.interp_qpel");
+    b.enter_wait(&fsm, "ROUTE_M", "INTQ_W", intq, E::k(2700), qpel.nonzero());
+
+    // --- Deblocking filter ----------------------------------------------
+    let bs = b.wait_state(&fsm, "BS_W", "FILTV_W", "dblk.bs");
+    b.enter_wait(
+        &fsm,
+        "ROUTE_P",
+        "BS_W",
+        bs,
+        bs_sum.clone() + E::k(40),
+        mb_type.eq_(E::zero()),
+    );
+    b.enter_wait(&fsm, "ROUTE_I", "BS_W", bs, bs_sum.clone() + E::k(60), E::one());
+    b.enter_wait(&fsm, "ROUTE_I2", "BS_W", bs, bs_sum.clone() + E::k(60), E::one());
+    let filtv = b.wait_state(&fsm, "FILTV_W", "FILTH_W", "dblk.filt_v");
+    b.set(
+        filtv,
+        fsm.in_state("BS_W") & bs.e().eq_(E::zero()),
+        bs_sum.clone() + E::k(220),
+    );
+    let filth = b.wait_state(&fsm, "FILTH_W", "EMIT", "dblk.filt_h");
+    b.set(
+        filth,
+        fsm.in_state("FILTV_W") & filtv.e().eq_(E::zero()),
+        bs_sum + E::k(220),
+    );
+
+    b.trans(&fsm, "EMIT", "FETCH", E::one());
+    b.advance_when(fsm.in_state("EMIT"));
+    b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+
+    // --- Datapath blocks: areas calibrated to Table 4 (659,506 µm²) -----
+    b.datapath_serial("parse.nal_unit", fsm.in_state("NAL_W"), 1_200.0, 0.5, 300, 0);
+    b.datapath_serial("parse.header", fsm.in_state("HDR_W"), 1_800.0, 0.5, 450, 0);
+    b.datapath_serial("parse.cavlc_y", fsm.in_state("CAVY_W"), 3_200.0, 0.5, 800, 0);
+    b.datapath_serial("parse.cavlc_c", fsm.in_state("CAVC_W"), 1_800.0, 0.5, 500, 0);
+    b.datapath_compute("res.itrans_y", fsm.in_state("RESY_W"), 55_000.0, 1.0, 3_200, 24);
+    b.datapath_compute("res.itrans_c", fsm.in_state("RESC_W"), 25_000.0, 1.0, 1_500, 12);
+    for m in 0..4u64 {
+        b.datapath_compute(
+            &format!("intra.pred{m}"),
+            fsm.in_state(&format!("INTRA{m}_W")),
+            22_000.0,
+            1.0,
+            1_400,
+            8,
+        );
+    }
+    b.datapath_compute("inter.dma_y", fsm.in_state("PRELY_W"), 8_000.0, 0.7, 600, 0);
+    b.datapath_compute("inter.dma_cb", fsm.in_state("PRELCB_W"), 8_000.0, 0.7, 600, 0);
+    b.datapath_compute("inter.dma_cr", fsm.in_state("PRELCR_W"), 8_000.0, 0.7, 600, 0);
+    b.datapath_compute("inter.interp_full", fsm.in_state("INTF_W"), 95_000.0, 1.1, 5_600, 48);
+    b.datapath_compute("inter.interp_qpel", fsm.in_state("INTQ_W"), 55_000.0, 1.1, 3_200, 32);
+    b.datapath_compute("dblk.bs_calc", fsm.in_state("BS_W"), 25_000.0, 0.9, 1_500, 4);
+    b.datapath_compute("dblk.filter_v", fsm.in_state("FILTV_W"), 55_000.0, 1.0, 3_000, 16);
+    b.datapath_compute("dblk.filter_h", fsm.in_state("FILTH_W"), 55_000.0, 1.0, 3_000, 16);
+    b.memory("bitstream_buf", 8 * 1024, true);
+    b.memory("ref_frame_spm", 64 * 1024, false);
+
+    b.build().expect("h264 module is well-formed")
+}
+
+/// Per-frame content profile used by the generator.
+#[derive(Debug, Clone, Copy)]
+struct FrameProfile {
+    skip_frac: f64,
+    intra_frac: f64,
+    ncy_mean: f64,
+    qpel_frac: f64,
+    prel_mean: f64,
+    bs_mean: f64,
+}
+
+impl FrameProfile {
+    /// Maps a scalar activity level in `[0, 1]` to macroblock statistics.
+    fn from_activity(a: f64) -> FrameProfile {
+        FrameProfile {
+            skip_frac: 0.10 - 0.06 * a,
+            intra_frac: 0.06 + 0.04 * a,
+            ncy_mean: 105.0 + 140.0 * a,
+            qpel_frac: 0.30 + 0.55 * a,
+            prel_mean: 300.0 + 200.0 * a,
+            bs_mean: 24.0 + 44.0 * a,
+        }
+    }
+
+    /// An I-frame: every macroblock intra-coded with rich residue.
+    fn intra_frame(a: f64) -> FrameProfile {
+        FrameProfile {
+            skip_frac: 0.0,
+            intra_frac: 1.0,
+            ncy_mean: (105.0 + 140.0 * a) * 1.9,
+            qpel_frac: 0.0,
+            prel_mean: 0.0,
+            bs_mean: 30.0 + 40.0 * a,
+        }
+    }
+}
+
+fn gen_frame(r: &mut rand::rngs::StdRng, p: FrameProfile, mbs: usize) -> JobInput {
+    let mut job = JobInput::new(FIELDS.len());
+    for _ in 0..mbs {
+        let u: f64 = r.gen();
+        let mb_type = if u < p.skip_frac {
+            0
+        } else if u < p.skip_frac + p.intra_frac {
+            1
+        } else {
+            2
+        };
+        let (ncy, ncc) = if mb_type == 0 {
+            (0, 0)
+        } else {
+            let y = common::jitter(r, p.ncy_mean, 0.35, 4, 620);
+            (y, common::jitter(r, y as f64 * 0.35, 0.3, 2, 380))
+        };
+        let intra_mode = r.gen_range(0..4u64);
+        let qpel = u64::from(mb_type == 2 && r.gen_bool(p.qpel_frac));
+        let (py, pcb, pcr) = if mb_type == 2 {
+            let y = common::jitter(r, p.prel_mean, 0.3, 64, 1000);
+            (y, y / 3, y / 3)
+        } else {
+            (0, 0, 0)
+        };
+        let bs = common::jitter(r, p.bs_mean, 0.5, 0, 255);
+        job.push(&[mb_type, ncy, ncc, intra_mode, qpel, py, pcb, pcr, bs]);
+    }
+    job
+}
+
+/// Generates one synthetic video: `frames` jobs with activity following a
+/// jumpy walk in `[act_lo, act_hi]` (scene changes) and an I-frame roughly
+/// every 45 frames.
+pub fn clip(seed: u64, frames: usize, act_lo: f64, act_hi: f64, mbs: usize) -> Vec<JobInput> {
+    let mut r = common::rng(seed);
+    let mut act = JumpyWalk::new(&mut r, act_lo, act_hi, 0.05, 0.07);
+    let mut next_iframe = 0usize;
+    let mut out = Vec::with_capacity(frames);
+    for f in 0..frames {
+        let a = act.next(&mut r);
+        let profile = if f == next_iframe {
+            next_iframe += r.gen_range(35..55);
+            FrameProfile::intra_frame(a)
+        } else {
+            FrameProfile::from_activity(a)
+        };
+        out.push(gen_frame(&mut r, profile, mbs));
+    }
+    out
+}
+
+/// The three fixed-character clips of Fig. 2.
+pub fn figure2_clips(seed: u64, frames: usize) -> Vec<(&'static str, Vec<JobInput>)> {
+    vec![
+        ("coastguard", clip(seed ^ 0xC0A5, frames, 0.62, 0.92, MBS_PER_FRAME)),
+        ("foreman", clip(seed ^ 0xF03E, frames, 0.32, 0.65, MBS_PER_FRAME)),
+        ("news", clip(seed ^ 0x4E35, frames, 0.04, 0.30, MBS_PER_FRAME)),
+    ]
+}
+
+/// Table 3 workloads: 2 training videos (600 frames), 5 test videos
+/// (1500 frames), all the same resolution.
+pub fn workloads(seed: u64, size: WorkloadSize) -> Workloads {
+    let frames = size.jobs(300);
+    let mbs = size.tokens(MBS_PER_FRAME);
+    let mut train = Vec::new();
+    for (i, band) in [(0.1, 0.9), (0.2, 0.75)].iter().enumerate() {
+        train.extend(clip(seed ^ (i as u64), frames, band.0, band.1, mbs));
+    }
+    let mut test = Vec::new();
+    for (i, band) in [
+        (0.05, 0.45),
+        (0.25, 0.7),
+        (0.5, 0.95),
+        (0.1, 0.85),
+        (0.35, 0.6),
+    ]
+    .iter()
+    .enumerate()
+    {
+        test.extend(clip(seed ^ (0x100 + i as u64), frames, band.0, band.1, mbs));
+    }
+    Workloads { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_rtl::{Analysis, ExecMode, Simulator};
+
+    #[test]
+    fn module_analyses_cleanly() {
+        let m = build();
+        let a = Analysis::run(&m);
+        assert_eq!(a.fsms.len(), 1, "single unified control FSM");
+        assert!(a.counters.len() >= 17, "got {} counters", a.counters.len());
+        assert!(a.waits.len() >= 17, "got {} wait states", a.waits.len());
+        let serial_waits = a.waits.iter().filter(|w| w.serial).count();
+        assert_eq!(serial_waits, 4, "four parser stages are serial");
+    }
+
+    #[test]
+    fn frame_decodes_and_consumes_all_macroblocks() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let jobs = clip(1, 2, 0.4, 0.6, 64);
+        for j in &jobs {
+            let t = sim.run(j, ExecMode::FastForward, None).unwrap();
+            assert_eq!(t.tokens_consumed, 64);
+            assert!(t.cycles > 64 * 500, "cycles {}", t.cycles);
+        }
+    }
+
+    #[test]
+    fn activity_increases_cycles() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let lo = &clip(7, 1, 0.05, 0.06, 128)[0];
+        let hi = &clip(7, 1, 0.93, 0.94, 128)[0];
+        let tl = sim.run(lo, ExecMode::FastForward, None).unwrap();
+        let th = sim.run(hi, ExecMode::FastForward, None).unwrap();
+        assert!(
+            th.cycles as f64 > tl.cycles as f64 * 1.3,
+            "hi {} vs lo {}",
+            th.cycles,
+            tl.cycles
+        );
+    }
+
+    #[test]
+    fn qpel_macroblocks_cost_more() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let mut full = JobInput::new(FIELDS.len());
+        let mut qp = JobInput::new(FIELDS.len());
+        for _ in 0..16 {
+            full.push(&[2, 100, 35, 0, 0, 300, 100, 100, 30]);
+            qp.push(&[2, 100, 35, 0, 1, 300, 100, 100, 30]);
+        }
+        let tf = sim.run(&full, ExecMode::FastForward, None).unwrap();
+        let tq = sim.run(&qp, ExecMode::FastForward, None).unwrap();
+        assert_eq!(tq.cycles - tf.cycles, 16 * 1200, "qpel adds 1200/MB");
+    }
+
+    #[test]
+    fn workload_sizes_match_table3() {
+        let w = workloads(42, WorkloadSize::Quick);
+        assert_eq!(w.train.len(), 2 * WorkloadSize::Quick.jobs(300));
+        assert_eq!(w.test.len(), 5 * WorkloadSize::Quick.jobs(300));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = workloads(9, WorkloadSize::Quick);
+        let b = workloads(9, WorkloadSize::Quick);
+        assert_eq!(a.train[0], b.train[0]);
+        assert_eq!(a.test.last(), b.test.last());
+    }
+}

@@ -1,0 +1,148 @@
+//! Molecular dynamics accelerator model (benchmark `md`, after the
+//! MachSuite `md/knn` kernel).
+//!
+//! One job simulates one timestep over 2048 particles; one token is one
+//! particle. Per particle the engine (1) runs a serial neighbor-list
+//! build pass over the cell bins — work even a slice must redo, so it is
+//! marked serial — and (2) evaluates pairwise forces, with latency
+//! proportional to the particle's neighbor count. Particle positions
+//! change every step, so neighbor counts drift smoothly with occasional
+//! collision-cluster spikes; jobs near the deadline are exactly the ones
+//! whose slice + DVFS-switch overhead can push past it (§4.3's analysis of
+//! the residual misses).
+
+use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::{JobInput, Module};
+use rand::Rng;
+
+use crate::common::{self, JumpyWalk, WorkloadSize};
+use crate::Workloads;
+
+/// Particles per timestep.
+pub const PARTICLES: usize = 2048;
+/// Nominal synthesis frequency (Table 4).
+pub const F_NOMINAL_MHZ: f64 = 455.0;
+
+/// Builds the MD module.
+pub fn build() -> Module {
+    let mut b = ModuleBuilder::new("md");
+    let n_nb = b.input("n_nb", 9);
+
+    let fsm = b.fsm("ctrl", &["FETCH", "BIN_W", "FORCE_W", "UPD_W", "EMIT"]);
+    let bin = b.wait_state(&fsm, "BIN_W", "FORCE_W", "nlist.scan");
+    b.enter_wait(&fsm, "FETCH", "BIN_W", bin, E::k(136), E::stream_empty().is_zero());
+    let force = b.wait_state(&fsm, "FORCE_W", "UPD_W", "force.cnt");
+    b.set(
+        force,
+        fsm.in_state("BIN_W") & bin.e().eq_(E::zero()),
+        n_nb * E::k(12) + E::k(24),
+    );
+    let upd = b.wait_state(&fsm, "UPD_W", "EMIT", "update.cnt");
+    b.set(upd, fsm.in_state("FORCE_W") & force.e().eq_(E::zero()), E::k(16));
+    b.trans(&fsm, "EMIT", "FETCH", E::one());
+    b.advance_when(fsm.in_state("EMIT"));
+    b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+
+    // Areas calibrated to Table 4 (31,791 µm²).
+    b.datapath_serial("nlist.builder", fsm.in_state("BIN_W"), 2_500.0, 0.3, 400, 0);
+    b.datapath_compute("force.pipeline", fsm.in_state("FORCE_W"), 14_000.0, 1.1, 700, 40);
+    b.datapath_compute("pos.update", fsm.in_state("UPD_W"), 4_000.0, 1.0, 300, 8);
+    b.memory("particle_spm", 4 * 1024, false);
+
+    b.build().expect("md module is well-formed")
+}
+
+/// Generates one timestep with mean neighbor density `density` (0..=270).
+pub fn timestep(r: &mut rand::rngs::StdRng, particles: usize, density: f64) -> JobInput {
+    let mut job = JobInput::new(1);
+    for _ in 0..particles {
+        job.push(&[common::jitter(r, density, 0.10, 0, 300)]);
+    }
+    job
+}
+
+fn steps(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
+    let mut r = common::rng(seed);
+    // Particle positions change smoothly step to step, so neighbor
+    // densities stay in a narrow band — punctuated by rare collision
+    // clusters (near-deadline spikes, §4.3) and rare evaporation steps.
+    let mut density = JumpyWalk::new(&mut r, 88.0, 152.0, 0.06, 0.04);
+    let particles = size.tokens(PARTICLES);
+    (0..count)
+        .map(|_| {
+            let d = if r.gen_bool(0.04) {
+                r.gen_range(274.0..293.0)
+            } else if r.gen_bool(0.02) {
+                r.gen_range(2.0..12.0)
+            } else {
+                density.next(&mut r) * r.gen_range(0.92..1.08)
+            };
+            timestep(&mut r, particles, d)
+        })
+        .collect()
+}
+
+/// Table 3 workloads: 200 training steps, 200 test steps.
+pub fn workloads(seed: u64, size: WorkloadSize) -> Workloads {
+    let n = size.jobs(200);
+    Workloads {
+        train: steps(seed ^ 0x3D01, n, size),
+        test: steps(seed ^ 0x3D02, n, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_rtl::{Analysis, ExecMode, Simulator};
+
+    #[test]
+    fn analyses_see_serial_bin_pass() {
+        let m = build();
+        let a = Analysis::run(&m);
+        assert_eq!(a.counters.len(), 3);
+        assert_eq!(a.waits.len(), 3);
+        let serial: Vec<bool> = a.waits.iter().map(|w| w.serial).collect();
+        assert_eq!(serial.iter().filter(|s| **s).count(), 1);
+    }
+
+    #[test]
+    fn cycles_scale_with_neighbor_count() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let mut r = common::rng(1);
+        let sparse = timestep(&mut r, 64, 5.0);
+        let dense = timestep(&mut r, 64, 250.0);
+        let ts = sim.run(&sparse, ExecMode::FastForward, None).unwrap();
+        let td = sim.run(&dense, ExecMode::FastForward, None).unwrap();
+        assert!(td.cycles > ts.cycles * 4, "{} vs {}", td.cycles, ts.cycles);
+    }
+
+    #[test]
+    fn per_particle_cost_matches_budget() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let mut job = JobInput::new(1);
+        job.push(&[100]);
+        let t = sim.run(&job, ExecMode::FastForward, None).unwrap();
+        let expected = 136 + 100 * 12 + 24 + 16;
+        assert!(
+            t.cycles >= expected && t.cycles <= expected + 12,
+            "cycles {}",
+            t.cycles
+        );
+    }
+
+    #[test]
+    fn slice_time_dominated_by_serial_pass() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let mut r = common::rng(2);
+        let job = timestep(&mut r, 128, 150.0);
+        let full = sim.run(&job, ExecMode::FastForward, None).unwrap();
+        let slice = sim.run(&job, ExecMode::Compressed, None).unwrap();
+        // Serial bin pass (136/particle) survives compression.
+        assert!(slice.cycles > 128 * 136);
+        assert!(slice.cycles < full.cycles / 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! SHA hashing accelerator model (benchmark `sha`, after the OpenCores
+//! SHA cores).
+//!
+//! One job hashes one piece of data; one token is one 4 KB chunk of up to
+//! 64 message blocks. Per chunk: a short serial descriptor scan, a DMA
+//! load, and the 68-cycle-per-block compression rounds. Like `aes`, the
+//! latency is essentially linear in input size.
+
+use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::{JobInput, Module};
+
+use crate::common::{self, WorkloadSize};
+use rand::Rng;
+use crate::Workloads;
+
+/// Message blocks (64 B) per full chunk token.
+pub const BLOCKS_PER_CHUNK: u64 = 64;
+/// Nominal synthesis frequency (Table 4).
+pub const F_NOMINAL_MHZ: f64 = 500.0;
+
+/// Builds the SHA module.
+pub fn build() -> Module {
+    let mut b = ModuleBuilder::new("sha");
+    let n_blocks = b.input("n_blocks", 7);
+
+    let fsm = b.fsm("ctrl", &["FETCH", "HDR_W", "LOAD_W", "HASH_W", "EMIT"]);
+    let hdr = b.wait_state(&fsm, "HDR_W", "LOAD_W", "desc.scan");
+    b.enter_wait(&fsm, "FETCH", "HDR_W", hdr, E::k(4), E::stream_empty().is_zero());
+    let load = b.wait_state(&fsm, "LOAD_W", "HASH_W", "dma.load");
+    b.set(load, fsm.in_state("HDR_W") & hdr.e().eq_(E::zero()), E::k(96));
+    let hash = b.wait_state(&fsm, "HASH_W", "EMIT", "hash.rounds");
+    b.set(
+        hash,
+        fsm.in_state("LOAD_W") & load.e().eq_(E::zero()),
+        n_blocks * E::k(68),
+    );
+    b.trans(&fsm, "EMIT", "FETCH", E::one());
+    b.advance_when(fsm.in_state("EMIT"));
+    b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+
+    // Areas calibrated to Table 4 (19,740 µm²).
+    b.datapath_serial("desc.parser", fsm.in_state("HDR_W"), 600.0, 0.4, 180, 0);
+    b.datapath_compute("dma.in", fsm.in_state("LOAD_W"), 3_000.0, 0.7, 300, 0);
+    b.datapath_compute("hash.core", fsm.in_state("HASH_W"), 10_000.0, 1.2, 1_400, 0);
+    b.memory("msg_buf", 1024, false);
+
+    b.build().expect("sha module is well-formed")
+}
+
+/// Generates one job hashing `bytes` of data.
+pub fn piece(bytes: u64) -> JobInput {
+    let mut job = JobInput::new(1);
+    let blocks = bytes.div_ceil(64).max(1);
+    let full = blocks / BLOCKS_PER_CHUNK;
+    for _ in 0..full {
+        job.push(&[BLOCKS_PER_CHUNK]);
+    }
+    let rem = blocks % BLOCKS_PER_CHUNK;
+    if rem > 0 {
+        job.push(&[rem]);
+    }
+    job
+}
+
+fn pieces(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
+    let mut r = common::rng(seed);
+    let mut kb_walk = common::SkewedWalk::new(&mut r, 480.0, 5_900.0, 2.7, 0.06, 0.20);
+    (0..count)
+        .map(|_| {
+            let exc: f64 = if r.gen_bool(0.07) { r.gen_range(1.4..1.9) } else { 1.0 };
+            let jit: f64 = r.gen_range(0.85..1.15);
+            let kb = (kb_walk.next(&mut r) * jit * exc).min(5_900.0);
+            piece(size.tokens(kb as usize) as u64 * 1024)
+        })
+        .collect()
+}
+
+/// Table 3 workloads: 100 training pieces, 100 test pieces, various sizes.
+pub fn workloads(seed: u64, size: WorkloadSize) -> Workloads {
+    let n = size.jobs(100);
+    Workloads {
+        train: pieces(seed ^ 0x5AA1, n, size),
+        test: pieces(seed ^ 0x5AA2, n, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_rtl::{Analysis, ExecMode, Simulator};
+
+    #[test]
+    fn cycles_linear_in_bytes() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let t1 = sim.run(&piece(256 * 1024), ExecMode::FastForward, None).unwrap();
+        let t2 = sim.run(&piece(512 * 1024), ExecMode::FastForward, None).unwrap();
+        let ratio = t2.cycles as f64 / t1.cycles as f64;
+        assert!((1.95..2.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_chunk_cost_matches_budget() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let t = sim.run(&piece(4096), ExecMode::FastForward, None).unwrap();
+        let expected = 4 + 96 + 64 * 68;
+        assert!(
+            t.cycles >= expected && t.cycles <= expected + 12,
+            "cycles {}",
+            t.cycles
+        );
+    }
+
+    #[test]
+    fn analysis_finds_three_counters() {
+        let m = build();
+        let a = Analysis::run(&m);
+        assert_eq!(a.counters.len(), 3);
+        assert_eq!(a.waits.len(), 3);
+        assert_eq!(a.waits.iter().filter(|w| w.serial).count(), 1);
+    }
+
+    #[test]
+    fn workloads_are_table3_sized() {
+        let w = workloads(0, WorkloadSize::Full);
+        assert_eq!(w.train.len(), 100);
+        assert_eq!(w.test.len(), 100);
+    }
+}

@@ -1,0 +1,128 @@
+//! Stencil image-filtering accelerator model (benchmark `stencil`, after
+//! the MachSuite `stencil2d` kernel).
+//!
+//! One job filters one image; one token is one row. Each row is first
+//! received over the DMA descriptor interface — a serial handshake
+//! proportional to row width — then filtered by the deeply pipelined
+//! compute array at one pixel per cycle. The compute array lives almost
+//! entirely in DSP blocks on FPGAs while the control is a handful of LUTs,
+//! which is why the paper's Fig. 17 shows an outsized *relative* resource
+//! overhead for the stencil slice.
+
+use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::{JobInput, Module};
+
+use crate::common::{self, WorkloadSize};
+use rand::Rng;
+use crate::Workloads;
+
+/// Nominal synthesis frequency (Table 4).
+pub const F_NOMINAL_MHZ: f64 = 602.0;
+
+/// Builds the stencil module.
+pub fn build() -> Module {
+    let mut b = ModuleBuilder::new("stencil");
+    let width = b.input("width", 12);
+
+    let fsm = b.fsm("ctrl", &["FETCH", "RECV_W", "FILT_W", "EMIT"]);
+    let recv = b.wait_state(&fsm, "RECV_W", "FILT_W", "dma.recv");
+    b.enter_wait(
+        &fsm,
+        "FETCH",
+        "RECV_W",
+        recv,
+        (width.clone() >> E::k(4)) + E::k(8),
+        E::stream_empty().is_zero(),
+    );
+    let filt = b.wait_state(&fsm, "FILT_W", "EMIT", "filt.cnt");
+    b.set(
+        filt,
+        fsm.in_state("RECV_W") & recv.e().eq_(E::zero()),
+        width + E::k(8),
+    );
+    b.trans(&fsm, "EMIT", "FETCH", E::one());
+    b.advance_when(fsm.in_state("EMIT"));
+    b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+
+    // Areas calibrated to Table 4 (10,140 µm²); compute is DSP-heavy with
+    // very few LUTs, control is LUT-only.
+    b.datapath_serial("dma.descriptor", fsm.in_state("RECV_W"), 900.0, 0.4, 120, 0);
+    b.datapath_compute("filt.array", fsm.in_state("FILT_W"), 5_200.0, 1.2, 60, 36);
+    b.memory("row_buf", 1024, false);
+
+    b.build().expect("stencil module is well-formed")
+}
+
+/// Generates one square image job of `dim` × `dim` pixels.
+pub fn image(dim: usize) -> JobInput {
+    let mut job = JobInput::new(1);
+    for _ in 0..dim {
+        job.push(&[dim as u64]);
+    }
+    job
+}
+
+fn image_set(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
+    let mut r = common::rng(seed);
+    let mut dim_walk = common::SkewedWalk::new(&mut r, 895.0, 3000.0, 1.4, 0.06, 0.22);
+    (0..count)
+        .map(|_| {
+            let exc: f64 = if r.gen_bool(0.06) { r.gen_range(1.3..1.7) } else { 1.0 };
+            let jit: f64 = r.gen_range(0.90..1.10);
+            image(size.tokens((dim_walk.next(&mut r) * jit * exc).min(2990.0) as usize))
+        })
+        .collect()
+}
+
+/// Table 3 workloads: 100 training images, 100 test images, various sizes.
+pub fn workloads(seed: u64, size: WorkloadSize) -> Workloads {
+    let n = size.jobs(100);
+    Workloads {
+        train: image_set(seed ^ 0x57E4, n, size),
+        test: image_set(seed ^ 0xC112, n, size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_rtl::{Analysis, ExecMode, Simulator};
+
+    #[test]
+    fn cycles_scale_quadratically_with_dimension() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let t1 = sim.run(&image(64), ExecMode::FastForward, None).unwrap();
+        let t2 = sim.run(&image(128), ExecMode::FastForward, None).unwrap();
+        let ratio = t2.cycles as f64 / t1.cycles as f64;
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn serial_receive_survives_compression() {
+        let m = build();
+        let sim = Simulator::new(&m);
+        let job = image(256);
+        let slice = sim.run(&job, ExecMode::Compressed, None).unwrap();
+        // recv ≈ (256/16 + 8) per row = 24·256, plus a few control cycles.
+        assert!(slice.cycles as usize > 24 * 256);
+        let full = sim.run(&job, ExecMode::FastForward, None).unwrap();
+        assert!(slice.cycles < full.cycles / 5);
+    }
+
+    #[test]
+    fn control_is_tiny_compared_to_dsp_compute() {
+        let m = build();
+        let a = Analysis::run(&m);
+        assert_eq!(a.waits.len(), 2);
+        let res = predvfs_rtl::FpgaResourceModel::default().resources(&m);
+        assert!(res.dsps >= 36);
+    }
+
+    #[test]
+    fn workload_dims_span_range() {
+        let w = workloads(1, WorkloadSize::Full);
+        let dims: Vec<usize> = w.train.iter().map(|j| j.len()).collect();
+        assert!(dims.iter().max().unwrap() > &(dims.iter().min().unwrap() * 2));
+    }
+}

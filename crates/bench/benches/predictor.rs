@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the online prediction path: slice
+//! execution plus the linear-model dot product — what runs before every
+//! job at runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predvfs::{train, SliceFlavor, SlicePredictor, TrainerConfig};
+use predvfs_accel::{by_name, WorkloadSize};
+use predvfs_rtl::SliceOptions;
+
+fn per_job_prediction(c: &mut Criterion) {
+    for name in ["sha", "md"] {
+        let bench = by_name(name).expect("registered");
+        let module = (bench.build)();
+        let w = (bench.workloads)(21, WorkloadSize::Quick);
+        let model = train::train(&module, &w.train, &TrainerConfig::default())
+            .expect("training succeeds");
+        let predictor = SlicePredictor::generate(
+            &module,
+            &model,
+            SliceOptions::default(),
+            SliceFlavor::Rtl,
+        )
+        .expect("slicing succeeds");
+        let runner = predictor.runner();
+        let job = &w.test[0];
+        c.bench_function(&format!("predictor/{name}_slice_and_predict"), |b| {
+            b.iter(|| {
+                let run = runner.run(job).expect("slice completes");
+                model.predict_cycles(&run.features)
+            });
+        });
+    }
+}
+
+fn training_pipeline(c: &mut Criterion) {
+    let bench = by_name("sha").expect("registered");
+    let module = (bench.build)();
+    let w = (bench.workloads)(22, WorkloadSize::Quick);
+    let data = train::profile(&module, &w.train).expect("profiling succeeds");
+    c.bench_function("predictor/fit_sha_quick", |b| {
+        b.iter(|| train::fit(&data, &TrainerConfig::default()).expect("fit succeeds"));
+    });
+}
+
+criterion_group!(benches, per_job_prediction, training_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the RTL interpreter: reference stepping
+//! vs exact fast-forward vs slice compression, on a real benchmark module.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use predvfs_accel::sha;
+use predvfs_rtl::{ExecMode, Simulator};
+
+fn interpreter_modes(c: &mut Criterion) {
+    let module = sha::build();
+    let sim = Simulator::new(&module);
+    let job = sha::piece(64 * 1024);
+    let cycles = sim
+        .run(&job, ExecMode::FastForward, None)
+        .expect("job completes")
+        .cycles;
+
+    let mut group = c.benchmark_group("simulator/sha_64KiB");
+    group.throughput(Throughput::Elements(cycles));
+    for (name, mode) in [
+        ("step", ExecMode::Step),
+        ("fast_forward", ExecMode::FastForward),
+        ("compressed", ExecMode::Compressed),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| sim.run(&job, mode, None).expect("job completes"));
+        });
+    }
+    group.finish();
+}
+
+fn h264_frame(c: &mut Criterion) {
+    let module = predvfs_accel::h264::build();
+    let sim = Simulator::new(&module);
+    let frame = predvfs_accel::h264::clip(3, 1, 0.5, 0.6, 396).remove(0);
+    c.bench_function("simulator/h264_frame_fast_forward", |b| {
+        b.iter(|| sim.run(&frame, ExecMode::FastForward, None).expect("frame decodes"));
+    });
+}
+
+criterion_group!(benches, interpreter_modes, h264_frame);
+criterion_main!(benches);

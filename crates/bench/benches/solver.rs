@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the asymmetric-Lasso solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predvfs_opt::{AsymLasso, FitOptions, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_problem(rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
+    let mut r = StdRng::seed_from_u64(17);
+    let mut x = Matrix::zeros(rows, cols);
+    let beta: Vec<f64> = (0..cols)
+        .map(|j| if j % 7 == 0 { r.gen_range(0.5..2.0) } else { 0.0 })
+        .collect();
+    let mut y = vec![0.0; rows];
+    for i in 0..rows {
+        *x.get_mut(i, 0) = 1.0;
+        for j in 1..cols {
+            *x.get_mut(i, j) = r.gen_range(-1.0..1.0);
+        }
+        y[i] = (0..cols).map(|j| x.get(i, j) * beta[j]).sum::<f64>()
+            + r.gen_range(-0.05..0.05);
+    }
+    (x, y)
+}
+
+fn fit_asym_lasso(c: &mut Criterion) {
+    let (x, y) = synthetic_problem(600, 86);
+    c.bench_function("solver/fista_600x86", |b| {
+        b.iter(|| {
+            let prob = AsymLasso {
+                x: &x,
+                y: &y,
+                alpha: 8.0,
+                gamma: 0.1,
+                unpenalized: {
+                    let mut u = vec![false; x.cols()];
+                    u[0] = true;
+                    u
+                },
+            };
+            prob.fit(FitOptions {
+                max_iter: 500,
+                tol: 1e-7,
+            })
+        });
+    });
+}
+
+fn spectral_norm(c: &mut Criterion) {
+    let (x, _) = synthetic_problem(600, 86);
+    c.bench_function("solver/gram_spectral_norm", |b| {
+        b.iter(|| x.gram_spectral_norm(60));
+    });
+}
+
+criterion_group!(benches, fit_asym_lasso, spectral_norm);
+criterion_main!(benches);

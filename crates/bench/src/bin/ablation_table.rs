@@ -1,0 +1,54 @@
+//! §2.4 comparison: the coarse worst-case lookup table (Exynos MFC style)
+//! against fine-grained prediction. The table keys on a coarse input
+//! class, so it runs every job at that class's worst case — leaving most
+//! of the slack on the table.
+
+use predvfs_bench::{prepare_all, results_dir, standard_config};
+use predvfs_sim::{Platform, Scheme, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = standard_config(Platform::Asic);
+    let experiments = prepare_all(&cfg)?;
+
+    let mut t = Table::new(
+        "§2.4 — table-based vs predictive DVFS",
+        &["bench", "table_energy%", "pred_energy%", "table_miss%", "pred_miss%"],
+    );
+    let mut avg = [0.0f64; 4];
+    for e in &experiments {
+        let base = e.run(Scheme::Baseline)?;
+        let table = e.run(Scheme::Table)?;
+        let pred = e.run(Scheme::Prediction)?;
+        let row = [
+            table.normalized_energy_pct(&base),
+            pred.normalized_energy_pct(&base),
+            table.miss_pct(),
+            pred.miss_pct(),
+        ];
+        t.row(&[
+            e.bench.name.into(),
+            format!("{:.1}", row[0]),
+            format!("{:.1}", row[1]),
+            format!("{:.2}", row[2]),
+            format!("{:.2}", row[3]),
+        ]);
+        for i in 0..4 {
+            avg[i] += row[i];
+        }
+    }
+    let n = experiments.len() as f64;
+    t.row(&[
+        "average".into(),
+        format!("{:.1}", avg[0] / n),
+        format!("{:.1}", avg[1] / n),
+        format!("{:.2}", avg[2] / n),
+        format!("{:.2}", avg[3] / n),
+    ]);
+    t.print();
+    println!(
+        "the coarse table misses the fine-grained job-to-job variation the \
+         paper's Fig. 2 shows, so its savings are a fraction of prediction's."
+    );
+    t.write_csv(&results_dir().join("ablation_table.csv"))?;
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! §3.7 case study: the H.264 decoder end to end — detected vs selected
+//! features, which features the framework picked, worst-case prediction
+//! error, and the slice's cost relative to the full decoder.
+
+use predvfs_bench::{paper, prepare_one, results_dir, standard_config};
+use predvfs_rtl::AsicAreaModel;
+use predvfs_sim::{Platform, Scheme, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = standard_config(Platform::Asic);
+    let exp = prepare_one("h264", &cfg)?;
+
+    let selected = exp.model.selected_nonbias().len();
+    println!(
+        "features: {} detected -> {} selected by Lasso (paper: {} -> {})",
+        exp.raw_feature_count,
+        selected,
+        paper::H264_FEATURES.0,
+        paper::H264_FEATURES.1
+    );
+
+    let mut t = Table::new("selected features and coefficients", &["feature", "coeff"]);
+    for (name, c) in exp.model.support_summary() {
+        t.row(&[name, format!("{c:.3}")]);
+    }
+    t.print();
+
+    let pred = exp.run(Scheme::Prediction)?;
+    let errs = pred.prediction_errors_pct();
+    let worst = errs.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+    println!("worst-case prediction error: {worst:.2}% (paper: ~3%)");
+
+    let area_model = AsicAreaModel::default();
+    let full = area_model.area(&exp.module);
+    let slice = area_model.area(exp.predictor.module());
+    println!(
+        "slice area: {:.0} um2 = {:.1}% of decoder (paper: 37,713 um2 = {:.1}%)",
+        slice.total_um2(),
+        100.0 * slice.total_um2() / full.total_um2(),
+        paper::H264_SLICE_AREA_PCT
+    );
+    let o = exp.slice_overheads()?;
+    println!(
+        "slice energy: {:.1}% of job energy (paper: {:.1}%); slice time: \
+         {:.1}% of deadline",
+        o.energy_pct,
+        paper::H264_SLICE_ENERGY_PCT,
+        o.time_pct
+    );
+    println!(
+        "slice kept: {} registers, {} serial blocks; dropped: {} registers, \
+         {} datapath blocks; {} wait states removed from the FSM",
+        exp.predictor.report().kept_regs.len(),
+        exp.predictor.report().kept_datapaths.len(),
+        exp.predictor.report().dropped_regs.len(),
+        exp.predictor.report().dropped_datapaths.len(),
+        exp.predictor.report().removed_wait_states,
+    );
+    t.write_csv(&results_dir().join("case_study_h264.csv"))?;
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Extension: multi-accelerator frame pipelines (in the direction of the
+//! paper's reference \[18\]). A DRM video frame is decrypted (AES) and
+//! integrity-checked (SHA) under one shared frame deadline; splitting the
+//! budget proportionally to each stage's *prediction* beats a static even
+//! split.
+
+use predvfs_bench::{prepare_one, results_dir, standard_config};
+use predvfs_rtl::{ExecMode, JobInput, JobTrace, Simulator};
+use predvfs_sim::{run_pipeline, Platform, PipelineStage, SplitPolicy, Table};
+use rand::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = standard_config(Platform::Asic);
+    let aes = prepare_one("aes", &cfg)?;
+    let sha = prepare_one("sha", &cfg)?;
+
+    // Frame payloads: mostly ~2 MB with occasional large frames.
+    let mut r = predvfs_accel::common::rng(77);
+    let frames = 60;
+    let kbs: Vec<u64> = (0..frames)
+        .map(|_| {
+            if r.gen_bool(0.15) {
+                r.gen_range(4_000..6_200)
+            } else {
+                r.gen_range(1_200..2_600)
+            }
+        })
+        .collect();
+    let aes_jobs: Vec<JobInput> = kbs.iter().map(|&kb| predvfs_accel::aes::piece(kb * 1024)).collect();
+    let sha_jobs: Vec<JobInput> = kbs.iter().map(|&kb| predvfs_accel::sha::piece(kb * 256)).collect();
+
+    let trace = |m: &predvfs_rtl::Module, jobs: &[JobInput]| -> Result<Vec<JobTrace>, predvfs_rtl::RtlError> {
+        let sim = Simulator::new(m);
+        jobs.iter().map(|j| sim.run(j, ExecMode::FastForward, None)).collect()
+    };
+    let traces = [trace(&aes.module, &aes_jobs)?, trace(&sha.module, &sha_jobs)?];
+    let jobs = [aes_jobs, sha_jobs];
+
+    let stages = [
+        PipelineStage {
+            name: "aes",
+            predictor: &aes.predictor,
+            model: &aes.model,
+            energy: &aes.energy,
+            dvfs: aes.dvfs.clone(),
+        },
+        PipelineStage {
+            name: "sha",
+            predictor: &sha.predictor,
+            model: &sha.model,
+            energy: &sha.energy,
+            dvfs: sha.dvfs.clone(),
+        },
+    ];
+
+    let mut t = Table::new(
+        "extension — pipeline budget splitting (AES -> SHA, shared 16.7 ms)",
+        &["policy", "energy_uJ", "frame_miss%"],
+    );
+    let mut energies = Vec::new();
+    for (name, policy) in [
+        ("static", SplitPolicy::Static),
+        ("proportional", SplitPolicy::Proportional),
+    ] {
+        let res = run_pipeline(&stages, &jobs, &traces, 16.7e-3, policy)?;
+        energies.push(res.total_energy_pj());
+        t.row(&[
+            name.into(),
+            format!("{:.1}", res.total_energy_pj() / 1e6),
+            format!("{:.2}", res.frame_miss_pct()),
+        ]);
+    }
+    t.print();
+    println!(
+        "proportional split saves {:.1}% over a static even split — the \
+         fast stage no longer idles at high voltage.",
+        100.0 * (1.0 - energies[1] / energies[0])
+    );
+    t.write_csv(&results_dir().join("ext_pipeline.csv"))?;
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Figure 11: normalized energy and deadline misses of baseline, PID, and
+//! prediction DVFS schemes across the seven ASIC accelerators.
+
+use predvfs_bench::{paper, prepare_all, results_dir, standard_config};
+use predvfs_sim::{Platform, Scheme, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = standard_config(Platform::Asic);
+    let experiments = prepare_all(&cfg)?;
+
+    let mut energy = Table::new(
+        "Fig. 11 — normalized energy (% of baseline)",
+        &["bench", "baseline", "pid", "prediction"],
+    );
+    let mut misses = Table::new(
+        "Fig. 11 — deadline misses (%)",
+        &["bench", "baseline", "pid", "prediction"],
+    );
+    let mut avg = [0.0f64; 3];
+    let mut avg_miss = [0.0f64; 3];
+    for e in &experiments {
+        let base = e.run(Scheme::Baseline)?;
+        let pid = e.run(Scheme::Pid)?;
+        let pred = e.run(Scheme::Prediction)?;
+        let en = [
+            100.0,
+            pid.normalized_energy_pct(&base),
+            pred.normalized_energy_pct(&base),
+        ];
+        let mi = [base.miss_pct(), pid.miss_pct(), pred.miss_pct()];
+        energy.row(&[
+            e.bench.name.into(),
+            format!("{:.1}", en[0]),
+            format!("{:.1}", en[1]),
+            format!("{:.1}", en[2]),
+        ]);
+        misses.row(&[
+            e.bench.name.into(),
+            format!("{:.1}", mi[0]),
+            format!("{:.1}", mi[1]),
+            format!("{:.1}", mi[2]),
+        ]);
+        for i in 0..3 {
+            avg[i] += en[i];
+            avg_miss[i] += mi[i];
+        }
+    }
+    let n = experiments.len() as f64;
+    energy.row(&[
+        "average".into(),
+        format!("{:.1}", avg[0] / n),
+        format!("{:.1}", avg[1] / n),
+        format!("{:.1}", avg[2] / n),
+    ]);
+    misses.row(&[
+        "average".into(),
+        format!("{:.1}", avg_miss[0] / n),
+        format!("{:.1}", avg_miss[1] / n),
+        format!("{:.1}", avg_miss[2] / n),
+    ]);
+    energy.print();
+    misses.print();
+    println!(
+        "paper: prediction saves {:.1}% (measured {:.1}%), misses {:.1}% (measured {:.2}%)",
+        paper::PREDICTION_SAVINGS_PCT,
+        100.0 - avg[2] / n,
+        paper::PREDICTION_MISS_PCT,
+        avg_miss[2] / n
+    );
+    println!(
+        "paper: pid misses {:.1}% (measured {:.1}%), pid energy penalty {:.1}% (measured {:.1}%)",
+        paper::PID_MISS_PCT,
+        avg_miss[1] / n,
+        paper::PID_ENERGY_PENALTY_PCT,
+        (avg[1] - avg[2]) / n
+    );
+    energy.write_csv(&results_dir().join("fig11_energy.csv"))?;
+    misses.write_csv(&results_dir().join("fig11_misses.csv"))?;
+    Ok(())
+}

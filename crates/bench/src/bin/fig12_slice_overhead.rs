@@ -1,0 +1,48 @@
+//! Figure 12: area, energy, and execution-time overhead of the prediction
+//! slice for ASIC accelerators.
+
+use predvfs_bench::{paper, prepare_all, results_dir, standard_config};
+use predvfs_sim::{Platform, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = standard_config(Platform::Asic);
+    let experiments = prepare_all(&cfg)?;
+
+    let mut t = Table::new(
+        "Fig. 12 — slice overheads (ASIC, %)",
+        &["bench", "area%", "energy%", "time%"],
+    );
+    let mut sums = [0.0f64; 3];
+    for e in &experiments {
+        let o = e.slice_overheads()?;
+        t.row(&[
+            e.bench.name.into(),
+            format!("{:.1}", o.area_pct),
+            format!("{:.1}", o.energy_pct),
+            format!("{:.1}", o.time_pct),
+        ]);
+        sums[0] += o.area_pct;
+        sums[1] += o.energy_pct;
+        sums[2] += o.time_pct;
+    }
+    let n = experiments.len() as f64;
+    t.row(&[
+        "average".into(),
+        format!("{:.1}", sums[0] / n),
+        format!("{:.1}", sums[1] / n),
+        format!("{:.1}", sums[2] / n),
+    ]);
+    t.print();
+    println!(
+        "paper averages: area {:.1}% (measured {:.1}%), energy {:.1}% \
+         (measured {:.1}%), time {:.1}% of budget (measured {:.1}%)",
+        paper::SLICE_AREA_PCT,
+        sums[0] / n,
+        paper::SLICE_ENERGY_PCT,
+        sums[1] / n,
+        paper::SLICE_TIME_PCT,
+        sums[2] / n
+    );
+    t.write_csv(&results_dir().join("fig12_slice_overhead.csv"))?;
+    Ok(())
+}

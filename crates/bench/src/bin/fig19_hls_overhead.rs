@@ -1,0 +1,31 @@
+//! Figure 19: slice area/energy/time overheads when slicing at RTL vs HLS
+//! level (md and stencil).
+
+use predvfs::SliceFlavor;
+use predvfs_bench::{prepare_one, results_dir, standard_config};
+use predvfs_sim::{Platform, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut t = Table::new(
+        "Fig. 19 — slice overheads, RTL vs HLS (%)",
+        &["config", "area%", "energy%", "time%"],
+    );
+    for name in ["md", "stencil"] {
+        for (label, flavor) in [("rtl", SliceFlavor::Rtl), ("hls", SliceFlavor::hls_default())] {
+            let mut cfg = standard_config(Platform::Asic);
+            cfg.flavor = flavor;
+            let exp = prepare_one(name, &cfg)?;
+            let o = exp.slice_overheads()?;
+            t.row(&[
+                format!("{name}-{label}"),
+                format!("{:.1}", o.area_pct),
+                format!("{:.1}", o.energy_pct),
+                format!("{:.1}", o.time_pct),
+            ]);
+        }
+    }
+    t.print();
+    println!("paper: the HLS slice runs several times faster at similar area.");
+    t.write_csv(&results_dir().join("fig19_hls_overhead.csv"))?;
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Table 4: ASIC implementation results — area, nominal frequency, and
+//! execution-time statistics per benchmark (measured vs. paper).
+
+use predvfs_bench::{paper, prepare_all, results_dir, standard_config};
+use predvfs_rtl::AsicAreaModel;
+use predvfs_sim::{Platform, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = standard_config(Platform::Asic);
+    let experiments = prepare_all(&cfg)?;
+
+    let mut t = Table::new(
+        "Table 4 — ASIC implementation results (measured | paper)",
+        &[
+            "bench", "area_um2", "paper_area", "MHz", "max_ms", "avg_ms", "min_ms",
+            "paper_max", "paper_avg", "paper_min",
+        ],
+    );
+    for e in &experiments {
+        let area = AsicAreaModel::default().area(&e.module).total_um2();
+        let (max, avg, min) = e.exec_time_stats_ms();
+        let (_, p_area, p_mhz, p_max, p_avg, p_min) = paper::TABLE4
+            .iter()
+            .copied()
+            .find(|(n, ..)| *n == e.bench.name)
+            .expect("paper row");
+        assert_eq!(p_mhz, e.bench.f_nominal_mhz);
+        t.row(&[
+            e.bench.name.into(),
+            format!("{area:.0}"),
+            format!("{p_area:.0}"),
+            format!("{:.0}", e.bench.f_nominal_mhz),
+            format!("{max:.2}"),
+            format!("{avg:.2}"),
+            format!("{min:.2}"),
+            format!("{p_max:.2}"),
+            format!("{p_avg:.2}"),
+            format!("{p_min:.2}"),
+        ]);
+    }
+    t.print();
+    t.write_csv(&results_dir().join("table4_asic_impl.csv"))?;
+    Ok(())
+}

@@ -1,0 +1,340 @@
+//! `predvfs` — command-line front end for the predictive-DVFS framework.
+//!
+//! ```text
+//! predvfs export <benchmark> [out.rtl]      write a built-in design as RTL text
+//! predvfs analyze <design.rtl>              FSMs, counters, waits, features, area, WCET
+//! predvfs simulate <design.rtl> <jobs.txt>  cycle counts per job
+//! predvfs train <design.rtl> <jobs.txt>     fit the execution-time model
+//! predvfs slice <design.rtl> <jobs.txt> [out.rtl]
+//!                                           train, slice, and write the predictor hardware
+//! predvfs wcet <design.rtl>                 static worst-case bound
+//! ```
+//!
+//! The jobs file holds one token per line (comma-separated field values in
+//! declaration order); a line containing only `---` ends a job. Lines
+//! starting with `#` are comments.
+
+use std::fs;
+use std::process::ExitCode;
+
+use predvfs::{train, SliceFlavor, SlicePredictor, TrainerConfig};
+use predvfs_rtl::{
+    from_text, to_text, wcet, Analysis, AsicAreaModel, ExecMode, FeatureSchema,
+    FpgaResourceModel, JobInput, Module, SliceOptions, Simulator,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "export" => export(args.get(1), args.get(2)),
+        "analyze" => analyze(required(args, 1, "design file")?),
+        "simulate" => simulate(required(args, 1, "design file")?, required(args, 2, "jobs file")?),
+        "train" => cmd_train(required(args, 1, "design file")?, required(args, 2, "jobs file")?),
+        "slice" => cmd_slice(
+            required(args, 1, "design file")?,
+            required(args, 2, "jobs file")?,
+            args.get(3),
+        ),
+        "wcet" => cmd_wcet(required(args, 1, "design file")?),
+        "dot" => cmd_dot(required(args, 1, "design file")?),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `predvfs help`").into()),
+    }
+}
+
+const HELP: &str = "\
+predvfs — execution-time prediction for energy-efficient accelerators
+
+USAGE:
+  predvfs export <benchmark> [out.rtl]
+  predvfs analyze <design.rtl>
+  predvfs simulate <design.rtl> <jobs.txt>
+  predvfs train <design.rtl> <jobs.txt>
+  predvfs slice <design.rtl> <jobs.txt> [out.rtl]
+  predvfs wcet <design.rtl>
+  predvfs dot <design.rtl>        (pipe into `dot -Tsvg`)
+
+Built-in benchmarks: h264 cjpeg djpeg md stencil aes sha
+";
+
+fn required<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing {what}; try `predvfs help`"))
+}
+
+fn load(path: &str) -> Result<Module, Box<dyn std::error::Error>> {
+    let src = fs::read_to_string(path)?;
+    Ok(from_text(&src)?)
+}
+
+/// Parses the jobs file format (see module docs).
+fn load_jobs(path: &str, fields: usize) -> Result<Vec<JobInput>, Box<dyn std::error::Error>> {
+    let src = fs::read_to_string(path)?;
+    let mut jobs = Vec::new();
+    let mut cur = JobInput::new(fields);
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "---" {
+            jobs.push(std::mem::replace(&mut cur, JobInput::new(fields)));
+            continue;
+        }
+        let token: Result<Vec<u64>, _> =
+            line.split(',').map(|v| v.trim().parse::<u64>()).collect();
+        let token = token.map_err(|e| format!("jobs line {}: {e}", ln + 1))?;
+        if token.len() != fields {
+            return Err(format!(
+                "jobs line {}: expected {fields} fields, found {}",
+                ln + 1,
+                token.len()
+            )
+            .into());
+        }
+        cur.push(&token);
+    }
+    if !cur.is_empty() {
+        jobs.push(cur);
+    }
+    if jobs.is_empty() {
+        return Err("jobs file contains no jobs".into());
+    }
+    Ok(jobs)
+}
+
+fn export(
+    bench: Option<&String>,
+    out: Option<&String>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let name = bench.ok_or("missing benchmark name")?;
+    let b = predvfs_accel::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `predvfs help`)"))?;
+    let text = to_text(&(b.build)());
+    match out {
+        Some(path) => {
+            fs::write(path, &text)?;
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn analyze(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let module = load(path)?;
+    let analysis = Analysis::run(&module);
+    println!("module `{}`:", module.name);
+    println!(
+        "  {} registers, {} datapath blocks, {} memories, {} input fields",
+        module.regs.len(),
+        module.datapaths.len(),
+        module.memories.len(),
+        module.inputs.len()
+    );
+    for f in &analysis.fsms {
+        println!(
+            "  fsm {} — {} states, {} transitions",
+            module.reg_name(f.reg),
+            f.states.len(),
+            f.transition_pairs().len()
+        );
+    }
+    println!("  counters:");
+    for c in &analysis.counters {
+        let dir = match (c.counts_down(), c.counts_up()) {
+            (true, false) => "down",
+            (false, true) => "up",
+            _ => "mixed",
+        };
+        println!("    {} ({dir})", module.reg_name(c.reg));
+    }
+    let serial = analysis.waits.iter().filter(|w| w.serial).count();
+    println!(
+        "  wait states: {} ({} serial)",
+        analysis.waits.len(),
+        serial
+    );
+    let schema = FeatureSchema::from_analysis(&module, &analysis);
+    println!("  feature schema: {} columns", schema.len());
+    let area = AsicAreaModel::default().area(&module);
+    println!(
+        "  asic area: {:.0} um2 (control {:.0}, datapath {:.0}, memory {:.0})",
+        area.total_um2(),
+        area.control_um2,
+        area.datapath_um2,
+        area.memory_um2
+    );
+    let res = FpgaResourceModel::default().resources(&module);
+    println!(
+        "  fpga: {} LUTs, {} DSPs, {} BRAMs",
+        res.luts, res.dsps, res.brams
+    );
+    if let Ok(bound) = wcet(&module) {
+        println!(
+            "  wcet: {} cycles/token + {} startup",
+            bound.cycles_per_token, bound.startup_cycles
+        );
+    }
+    Ok(())
+}
+
+fn simulate(path: &str, jobs_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let module = load(path)?;
+    let jobs = load_jobs(jobs_path, module.inputs.len())?;
+    let sim = Simulator::new(&module);
+    println!("{:>5} {:>10} {:>12} {:>10}", "job", "tokens", "cycles", "stepped");
+    for (i, job) in jobs.iter().enumerate() {
+        let t = sim.run(job, ExecMode::FastForward, None)?;
+        println!(
+            "{i:>5} {:>10} {:>12} {:>10}",
+            t.tokens_consumed, t.cycles, t.stepped_cycles
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(path: &str, jobs_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let module = load(path)?;
+    let jobs = load_jobs(jobs_path, module.inputs.len())?;
+    let model = train::train(&module, &jobs, &TrainerConfig::default())?;
+    println!(
+        "fitted {} of {} features:",
+        model.selected().len(),
+        model.schema().len()
+    );
+    for (name, coeff) in model.support_summary() {
+        println!("  {name:<32} {coeff:>14.4}");
+    }
+    Ok(())
+}
+
+fn cmd_slice(
+    path: &str,
+    jobs_path: &str,
+    out: Option<&String>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let module = load(path)?;
+    let jobs = load_jobs(jobs_path, module.inputs.len())?;
+    let model = train::train(&module, &jobs, &TrainerConfig::default())?;
+    let predictor =
+        SlicePredictor::generate(&module, &model, SliceOptions::default(), SliceFlavor::Rtl)?;
+    let report = predictor.report();
+    println!(
+        "slice: kept {} registers / {} serial blocks; dropped {} registers / \
+         {} datapath blocks; removed {} wait states",
+        report.kept_regs.len(),
+        report.kept_datapaths.len(),
+        report.dropped_regs.len(),
+        report.dropped_datapaths.len(),
+        report.removed_wait_states
+    );
+    let full = AsicAreaModel::default().area(&module).total_um2();
+    let slim = AsicAreaModel::default().area(predictor.module()).total_um2();
+    println!("area: {slim:.0} um2 ({:.1}% of {full:.0})", 100.0 * slim / full);
+    if let Some(out_path) = out {
+        fs::write(out_path, to_text(predictor.module()))?;
+        println!("wrote {out_path}");
+    }
+    Ok(())
+}
+
+/// Prints the control FSM as a Graphviz digraph, drawing wait states as
+/// boxes (labelled with their counter) and serial states bold.
+fn cmd_dot(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let module = load(path)?;
+    let analysis = Analysis::run(&module);
+    let fsm = analysis
+        .fsms
+        .first()
+        .ok_or("design has no control FSM to draw")?;
+    println!("digraph {} {{", module.name);
+    println!("  rankdir=LR;");
+    for &s in &fsm.states {
+        let wait = analysis.wait_for(fsm.reg, s);
+        let shape = if wait.is_some() { "box" } else { "ellipse" };
+        let style = match wait {
+            Some(w) if w.serial => ", style=bold",
+            _ => "",
+        };
+        let label = match wait {
+            Some(w) => format!("S{s}\\n[{}]", module.reg_name(w.counter)),
+            None => format!("S{s}"),
+        };
+        println!("  s{s} [shape={shape}{style}, label=\"{label}\"];");
+    }
+    for (src, dst) in fsm.transition_pairs() {
+        println!("  s{src} -> s{dst};");
+    }
+    println!("}}");
+    Ok(())
+}
+
+fn cmd_wcet(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let module = load(path)?;
+    let bound = wcet(&module)?;
+    println!(
+        "worst case: {} cycles per token, {} startup cycles",
+        bound.cycles_per_token, bound.startup_cycles
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_parser_splits_on_separator() {
+        let dir = std::env::temp_dir().join("predvfs_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("jobs.txt");
+        fs::write(&p, "# two jobs\n1,2\n3,4\n---\n5,6\n").unwrap();
+        let jobs = load_jobs(p.to_str().unwrap(), 2).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].len(), 2);
+        assert_eq!(jobs[1].get(0, 0), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jobs_parser_rejects_bad_arity() {
+        let dir = std::env::temp_dir().join("predvfs_cli_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("jobs.txt");
+        fs::write(&p, "1,2,3\n").unwrap();
+        assert!(load_jobs(p.to_str().unwrap(), 2).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_analyze_round_trip() {
+        // export a benchmark, re-load it, and analyze without error.
+        let b = predvfs_accel::by_name("sha").unwrap();
+        let text = to_text(&(b.build)());
+        let module = from_text(&text).unwrap();
+        assert!(Analysis::run(&module).fsms.len() == 1);
+        assert!(wcet(&module).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&["frobnicate".to_owned()]).is_err());
+        assert!(run(&[]).is_ok(), "bare invocation prints help");
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the predvfs core crate.
+
+use std::error::Error;
+use std::fmt;
+
+use predvfs_rtl::RtlError;
+
+/// Errors reported by the training pipeline and controllers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying RTL operation failed.
+    Rtl(RtlError),
+    /// Training was attempted with no jobs.
+    EmptyTrainingSet,
+    /// The fitted model selected no features at all (γ too large).
+    DegenerateModel,
+    /// A controller was given fewer oracle traces than jobs.
+    OracleExhausted {
+        /// Index of the job with no trace.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rtl(e) => write!(f, "rtl error: {e}"),
+            CoreError::EmptyTrainingSet => write!(f, "training set is empty"),
+            CoreError::DegenerateModel => {
+                write!(f, "model selected no features; lower gamma")
+            }
+            CoreError::OracleExhausted { index } => {
+                write!(f, "oracle has no trace for job {index}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Rtl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RtlError> for CoreError {
+    fn from(e: RtlError) -> Self {
+        CoreError::Rtl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(RtlError::EmptySlice);
+        assert!(e.to_string().contains("rtl error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::EmptyTrainingSet.to_string().contains("empty"));
+    }
+}

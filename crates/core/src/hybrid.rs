@@ -1,0 +1,192 @@
+//! Hybrid predictive + reactive control (an extension beyond the paper).
+//!
+//! The slice-based predictor is blind to state the feature mining cannot
+//! classify — djpeg's variable-latency Huffman drain is the shipped
+//! example. Whatever that hidden state contributes shows up as a slowly
+//! varying *residual* between predicted and actual time. The hybrid
+//! controller keeps the look-ahead prediction but multiplies it by an
+//! exponentially weighted estimate of that residual ratio, combining the
+//! paper's predictive scheme with exactly the kind of feedback reactive
+//! controllers use — but applied to the residual (slow, smooth) rather
+//! than the raw execution time (fast, spiky), so it does not inherit the
+//! PID's lag problem.
+
+use crate::controllers::{Decision, DvfsController, JobContext};
+use crate::dvfs::DvfsModel;
+use crate::error::CoreError;
+use crate::model::ExecTimeModel;
+use crate::slicer::{SlicePredictor, SliceRunner};
+
+/// Predictive controller with EWMA residual correction.
+#[derive(Debug)]
+pub struct HybridController<'p> {
+    dvfs: DvfsModel,
+    f_nominal_hz: f64,
+    runner: SliceRunner<'p>,
+    model: &'p ExecTimeModel,
+    /// EWMA smoothing factor for the residual ratio.
+    pub ewma_alpha: f64,
+    /// When true, the correction may also *lower* predictions (reclaiming
+    /// energy from a systematically over-predicting model); when false
+    /// (default), corrections only ever make decisions more conservative.
+    pub allow_downward: bool,
+    ratio: f64,
+    last_prediction: Option<f64>,
+}
+
+impl<'p> HybridController<'p> {
+    /// Creates the controller; `ewma_alpha` defaults to 0.2.
+    pub fn new(
+        dvfs: DvfsModel,
+        f_nominal_hz: f64,
+        predictor: &'p SlicePredictor,
+        model: &'p ExecTimeModel,
+    ) -> HybridController<'p> {
+        HybridController {
+            dvfs,
+            f_nominal_hz,
+            runner: predictor.runner(),
+            model,
+            ewma_alpha: 0.2,
+            allow_downward: false,
+            ratio: 1.0,
+            last_prediction: None,
+        }
+    }
+
+    /// The current residual-ratio estimate (actual / predicted).
+    pub fn residual_ratio(&self) -> f64 {
+        self.ratio
+    }
+}
+
+impl DvfsController for HybridController<'_> {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+
+    fn decide(&mut self, ctx: &JobContext<'_>) -> Result<Decision, CoreError> {
+        let run = self.runner.run(ctx.job)?;
+        let raw = self.model.predict_cycles(&run.features);
+        // Correct by the learned residual. By default never go *below*
+        // the raw model's own conservative fit; with `allow_downward` a
+        // persistent over-prediction bias is reclaimed as energy.
+        let factor = if self.allow_downward {
+            self.ratio
+        } else {
+            self.ratio.max(1.0)
+        };
+        let corrected = raw * factor;
+        self.last_prediction = Some(raw);
+        let slice_time_s = run.cycles / self.f_nominal_hz;
+        let choice = self
+            .dvfs
+            .choose(corrected, self.f_nominal_hz, ctx.deadline_s, slice_time_s);
+        Ok(Decision {
+            choice,
+            slice_cycles: run.cycles,
+            slice_dp_active: run.dp_active,
+            predicted_cycles: Some(corrected),
+        })
+    }
+
+    fn observe(&mut self, actual_cycles: u64) {
+        if let Some(raw) = self.last_prediction.take() {
+            if raw > 0.0 {
+                let observed = actual_cycles as f64 / raw;
+                self.ratio = (1.0 - self.ewma_alpha) * self.ratio + self.ewma_alpha * observed;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slicer::SliceFlavor;
+    use crate::train::{train, TrainerConfig};
+    use predvfs_accel::{djpeg, WorkloadSize};
+    use predvfs_power::{AlphaPowerCurve, Ladder, SwitchingModel};
+    use predvfs_rtl::{ExecMode, Simulator, SliceOptions};
+
+    fn dvfs() -> DvfsModel {
+        let curve = AlphaPowerCurve::default();
+        DvfsModel::new(Ladder::asic(&curve), SwitchingModel::off_chip())
+    }
+
+    #[test]
+    fn hybrid_tracks_the_hidden_residual() {
+        let m = djpeg::build();
+        let w = djpeg::workloads(31, WorkloadSize::Quick);
+        let model = train(&m, &w.train, &TrainerConfig::default()).unwrap();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
+        let mut hybrid = HybridController::new(dvfs(), 250e6, &sp, &model);
+        let sim = Simulator::new(&m);
+        let mut abs_err_hybrid = 0.0;
+        let mut abs_err_raw = 0.0;
+        let mut n = 0.0;
+        let runner = sp.runner();
+        for (i, job) in w.test.iter().enumerate() {
+            let actual = sim.run(job, ExecMode::FastForward, None).unwrap().cycles as f64;
+            let d = hybrid
+                .decide(&JobContext {
+                    job,
+                    deadline_s: 16.7e-3,
+                    index: i,
+                })
+                .unwrap();
+            let raw = model.predict_cycles(&runner.run(job).unwrap().features);
+            hybrid.observe(actual as u64);
+            // Skip the warm-up jobs while the EWMA settles.
+            if i >= 5 {
+                abs_err_hybrid += (d.predicted_cycles.unwrap() - actual).abs() / actual;
+                abs_err_raw += (raw - actual).abs() / actual;
+                n += 1.0;
+            }
+        }
+        let hybrid_mean = abs_err_hybrid / n;
+        let raw_mean = abs_err_raw / n;
+        assert!(
+            hybrid_mean <= raw_mean * 1.05,
+            "hybrid {hybrid_mean:.4} should not be worse than raw {raw_mean:.4}"
+        );
+        assert!(hybrid.residual_ratio() > 0.5 && hybrid.residual_ratio() < 2.0);
+    }
+
+    #[test]
+    fn correction_never_reduces_below_raw_prediction() {
+        let m = djpeg::build();
+        let w = djpeg::workloads(32, WorkloadSize::Quick);
+        let model = train(&m, &w.train, &TrainerConfig::default()).unwrap();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
+        let mut hybrid = HybridController::new(dvfs(), 250e6, &sp, &model);
+        // Force a low ratio by observing much-faster-than-predicted jobs.
+        for job in w.test.iter().take(5) {
+            let _ = hybrid
+                .decide(&JobContext {
+                    job,
+                    deadline_s: 16.7e-3,
+                    index: 0,
+                })
+                .unwrap();
+            hybrid.observe(1); // absurdly fast
+        }
+        assert!(hybrid.residual_ratio() < 1.0);
+        let runner = sp.runner();
+        let job = &w.test[6];
+        let raw = model.predict_cycles(&runner.run(job).unwrap().features);
+        let d = hybrid
+            .decide(&JobContext {
+                job,
+                deadline_s: 16.7e-3,
+                index: 6,
+            })
+            .unwrap();
+        assert!(
+            d.predicted_cycles.unwrap() >= raw * 0.999,
+            "correction must stay conservative"
+        );
+    }
+}

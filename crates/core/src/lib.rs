@@ -1,0 +1,78 @@
+//! # predvfs
+//!
+//! A reproduction of *"Execution Time Prediction for Energy-Efficient
+//! Hardware Accelerators"* (Chen, Rucker, Suh — MICRO-48, 2015): a
+//! framework that automatically generates execution-time predictors for
+//! hardware accelerators and uses them to set per-job DVFS levels that
+//! just meet real-time deadlines.
+//!
+//! The pipeline mirrors the paper's Fig. 6:
+//!
+//! 1. **Offline** — [`train::profile`] instruments the accelerator
+//!    (FSM/counter mining from [`predvfs_rtl`]) and collects feature/time
+//!    pairs; [`train::fit`] solves the asymmetric-Lasso program to get a
+//!    sparse [`ExecTimeModel`]; [`SlicePredictor::generate`] slices the
+//!    design down to the feature-computing hardware.
+//! 2. **Online** — a [`PredictiveController`] runs the slice per job,
+//!    predicts execution time, and a [`DvfsModel`] picks the lowest
+//!    operating point that meets the deadline (with optional boost).
+//!
+//! Baseline, table-based, PID, and oracle controllers are provided for
+//! the paper's comparisons, plus HLS-flavored slices (§4.5) and software
+//! predictors.
+//!
+//! # Examples
+//!
+//! ```
+//! use predvfs::{
+//!     train, DvfsController, DvfsModel, JobContext, PredictiveController,
+//!     SliceFlavor, SlicePredictor, TrainerConfig,
+//! };
+//! use predvfs_accel::{sha, WorkloadSize};
+//! use predvfs_power::{AlphaPowerCurve, Ladder, SwitchingModel};
+//! use predvfs_rtl::SliceOptions;
+//!
+//! // Offline: train a predictor for the SHA accelerator.
+//! let module = sha::build();
+//! let jobs = sha::workloads(1, WorkloadSize::Quick);
+//! let model = train::train(&module, &jobs.train, &TrainerConfig::default())?;
+//! let slice = SlicePredictor::generate(
+//!     &module, &model, SliceOptions::default(), SliceFlavor::Rtl)?;
+//!
+//! // Online: pick a DVFS level for an incoming job.
+//! let curve = AlphaPowerCurve::default();
+//! let dvfs = DvfsModel::new(Ladder::asic(&curve), SwitchingModel::off_chip());
+//! let mut ctrl = PredictiveController::new(dvfs, 500e6, &slice, &model);
+//! let decision = ctrl.decide(&JobContext {
+//!     job: &jobs.test[0],
+//!     deadline_s: 16.7e-3,
+//!     index: 0,
+//! })?;
+//! assert!(decision.predicted_cycles.unwrap() > 0.0);
+//! # Ok::<(), predvfs::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod controllers;
+pub mod dvfs;
+pub mod error;
+pub mod governors;
+pub mod hybrid;
+pub mod model;
+pub mod slicer;
+pub mod software;
+pub mod train;
+
+pub use controllers::{
+    BaselineController, Decision, DvfsController, JobContext, OracleController, PidController,
+    PredictiveController, TableController,
+};
+pub use dvfs::{DvfsModel, LevelChoice};
+pub use governors::{IntervalGovernor, WcetController};
+pub use hybrid::HybridController;
+pub use error::CoreError;
+pub use model::ExecTimeModel;
+pub use slicer::{SliceFlavor, SlicePredictor, SliceRun, SliceRunner};
+pub use software::{CpuModel, SoftwarePredictor, SoftwarePrediction};
+pub use train::{TrainerConfig, TrainingData};

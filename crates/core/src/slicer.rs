@@ -1,0 +1,237 @@
+//! The runtime predictor: a hardware slice plus the linear model.
+//!
+//! [`SlicePredictor`] packages the sliced module (§3.5), its probe
+//! program, and cost metadata. A [`SliceRunner`] executes the slice for
+//! each job to obtain feature values and the slice's own execution cycles,
+//! which the DVFS model must budget for.
+
+use predvfs_rtl::{
+    slice, Analysis, DatapathKind, ExecMode, JobInput, Module, ProbeProgram,
+    RtlError, SliceOptions, SliceReport, Simulator,
+};
+
+use crate::error::CoreError;
+use crate::model::ExecTimeModel;
+
+/// How the slice was generated (§4.5's HLS extension).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SliceFlavor {
+    /// Sliced at RTL level: serial states run at the original rate.
+    Rtl,
+    /// Sliced at C level and re-synthesized by HLS: the tool pipelines the
+    /// serial scans, dividing their cycles by `serial_speedup`, and
+    /// re-optimizes area by `area_factor`.
+    Hls {
+        /// Speedup applied to serial-state cycles.
+        serial_speedup: f64,
+        /// Area scale relative to the RTL slice.
+        area_factor: f64,
+    },
+}
+
+impl SliceFlavor {
+    /// The paper's HLS configuration for Fig. 18/19.
+    pub fn hls_default() -> SliceFlavor {
+        SliceFlavor::Hls {
+            serial_speedup: 4.0,
+            area_factor: 0.85,
+        }
+    }
+}
+
+/// A generated execution-time predictor: slice hardware + linear model.
+#[derive(Debug)]
+pub struct SlicePredictor {
+    module: Module,
+    analysis: Analysis,
+    probes: ProbeProgram,
+    report: SliceReport,
+    flavor: SliceFlavor,
+    serial_dp_indices: Vec<usize>,
+}
+
+impl SlicePredictor {
+    /// Slices `module` down to the features selected by `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slicing failures ([`RtlError`]).
+    pub fn generate(
+        module: &Module,
+        model: &ExecTimeModel,
+        options: SliceOptions,
+        flavor: SliceFlavor,
+    ) -> Result<SlicePredictor, CoreError> {
+        let schema = model.schema();
+        let selected = model.selected_nonbias();
+        let (sliced, report) = slice(module, schema, &selected, options)?;
+        let analysis = Analysis::run(&sliced);
+        let probes = schema.probe_program(&analysis);
+        let serial_dp_indices = sliced
+            .datapaths
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == DatapathKind::Serial)
+            .map(|(i, _)| i)
+            .collect();
+        Ok(SlicePredictor {
+            module: sliced,
+            analysis,
+            probes,
+            report,
+            flavor,
+            serial_dp_indices,
+        })
+    }
+
+    /// The sliced module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// What the slicer kept and removed.
+    pub fn report(&self) -> &SliceReport {
+        &self.report
+    }
+
+    /// The slice generation flavor.
+    pub fn flavor(&self) -> SliceFlavor {
+        self.flavor
+    }
+
+    /// Area scale factor implied by the flavor.
+    pub fn area_factor(&self) -> f64 {
+        match self.flavor {
+            SliceFlavor::Rtl => 1.0,
+            SliceFlavor::Hls { area_factor, .. } => area_factor,
+        }
+    }
+
+    /// Creates a reusable runner (one simulator, many jobs).
+    pub fn runner(&self) -> SliceRunner<'_> {
+        SliceRunner {
+            sim: Simulator::with_analysis(&self.module, &self.analysis),
+            predictor: self,
+        }
+    }
+}
+
+/// Result of executing the slice for one job.
+#[derive(Debug, Clone)]
+pub struct SliceRun {
+    /// The feature vector (full schema width).
+    pub features: Vec<f64>,
+    /// Cycles the slice occupied, after any HLS speedup.
+    pub cycles: f64,
+    /// Per-datapath activity (for slice energy accounting).
+    pub dp_active: Vec<u64>,
+}
+
+/// Executes the slice; create via [`SlicePredictor::runner`].
+#[derive(Debug)]
+pub struct SliceRunner<'p> {
+    sim: Simulator<'p>,
+    predictor: &'p SlicePredictor,
+}
+
+impl SliceRunner<'_> {
+    /// Runs the slice over one job's input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError`] if the slice hangs (which would indicate a
+    /// slicing bug).
+    pub fn run(&self, job: &JobInput) -> Result<SliceRun, RtlError> {
+        let t = self.sim.run(job, ExecMode::Compressed, Some(&self.predictor.probes))?;
+        let mut cycles = t.cycles as f64;
+        if let SliceFlavor::Hls { serial_speedup, .. } = self.predictor.flavor {
+            let serial: u64 = self
+                .predictor
+                .serial_dp_indices
+                .iter()
+                .map(|&i| t.dp_active[i])
+                .sum();
+            let serial = (serial as f64).min(cycles);
+            cycles = cycles - serial + serial / serial_speedup;
+        }
+        Ok(SliceRun {
+            features: t.features,
+            cycles,
+            dp_active: t.dp_active,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train, TrainerConfig};
+    use predvfs_accel::{md, WorkloadSize};
+
+    fn setup() -> (predvfs_rtl::Module, ExecTimeModel) {
+        let m = md::build();
+        let w = md::workloads(7, WorkloadSize::Quick);
+        let model = train(&m, &w.train, &TrainerConfig::default()).unwrap();
+        (m, model)
+    }
+
+    #[test]
+    fn slice_features_match_full_design() {
+        let (m, model) = setup();
+        let sp =
+            SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+                .unwrap();
+        let runner = sp.runner();
+        let data = crate::train::profile(&m, &md::workloads(8, WorkloadSize::Quick).test[..3].to_vec()).unwrap();
+        let jobs = md::workloads(8, WorkloadSize::Quick).test;
+        for (i, job) in jobs.iter().take(3).enumerate() {
+            let run = runner.run(job).unwrap();
+            for &c in model.selected() {
+                assert_eq!(
+                    run.features[c],
+                    data.x.get(i, c),
+                    "feature {c} of job {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hls_flavor_shrinks_serial_time() {
+        let (m, model) = setup();
+        let rtl =
+            SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+                .unwrap();
+        let hls = SlicePredictor::generate(
+            &m,
+            &model,
+            SliceOptions::default(),
+            SliceFlavor::hls_default(),
+        )
+        .unwrap();
+        let job = &md::workloads(9, WorkloadSize::Quick).test[0];
+        let tr = rtl.runner().run(job).unwrap();
+        let th = hls.runner().run(job).unwrap();
+        assert!(th.cycles < tr.cycles * 0.5, "{} vs {}", th.cycles, tr.cycles);
+        assert_eq!(tr.features, th.features);
+        assert!(hls.area_factor() < 1.0);
+        assert_eq!(rtl.area_factor(), 1.0);
+    }
+
+    #[test]
+    fn slice_is_small_and_fast() {
+        let (m, model) = setup();
+        let sp =
+            SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+                .unwrap();
+        let full_area = predvfs_rtl::AsicAreaModel::default().area(&m).total_um2();
+        let slice_area = predvfs_rtl::AsicAreaModel::default()
+            .area(sp.module())
+            .total_um2();
+        assert!(
+            slice_area < full_area * 0.5,
+            "slice {slice_area:.0} vs full {full_area:.0}"
+        );
+        assert!(!sp.report().dropped_datapaths.is_empty());
+    }
+}

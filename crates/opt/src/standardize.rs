@@ -1,0 +1,175 @@
+//! Column standardization for the design matrix.
+//!
+//! Lasso shrinkage is scale-sensitive: raw STC/AIV features span several
+//! orders of magnitude, so columns are centred and scaled to unit variance
+//! before fitting. The fitted coefficients are then folded back so the
+//! runtime predictor works on raw feature values — the hardware evaluates
+//! one dot product with no preprocessing, exactly as in the paper.
+
+use crate::matrix::Matrix;
+
+/// Column means/scales learned from a training matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+    /// Columns that were (nearly) constant and therefore left untouched;
+    /// the bias column always lands here.
+    passthrough: Vec<bool>,
+}
+
+impl Standardizer {
+    /// Learns per-column statistics from `x`.
+    pub fn fit(x: &Matrix) -> Standardizer {
+        let n = x.rows().max(1) as f64;
+        let cols = x.cols();
+        let mut mean = vec![0.0; cols];
+        for r in 0..x.rows() {
+            for (m, v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; cols];
+        for r in 0..x.rows() {
+            for c in 0..cols {
+                let d = x.get(r, c) - mean[c];
+                var[c] += d * d;
+            }
+        }
+        let mut scale = vec![1.0; cols];
+        let mut passthrough = vec![false; cols];
+        for c in 0..cols {
+            let sd = (var[c] / n).sqrt();
+            if sd < 1e-12 {
+                passthrough[c] = true;
+                mean[c] = 0.0;
+                scale[c] = 1.0;
+            } else {
+                scale[c] = sd;
+            }
+        }
+        Standardizer {
+            mean,
+            scale,
+            passthrough,
+        }
+    }
+
+    /// Number of columns this standardizer was fitted on.
+    pub fn cols(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// True when the column was constant in training and is passed through.
+    pub fn is_passthrough(&self, col: usize) -> bool {
+        self.passthrough[col]
+    }
+
+    /// Returns a standardized copy of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.cols(), "column count mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for c in 0..row.len() {
+                row[c] = (row[c] - self.mean[c]) / self.scale[c];
+            }
+        }
+        out
+    }
+
+    /// Folds standardized-space coefficients back to raw feature space.
+    ///
+    /// Given `ŷ = Σ βs_c · (x_c − μ_c)/σ_c`, returns raw coefficients
+    /// `β_c = βs_c/σ_c` and shifts the constant `−Σ βs_c μ_c/σ_c` into the
+    /// coefficient of `bias_col` (the constant-1 column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias_col` is out of range or not a passthrough column.
+    pub fn fold_back(&self, beta_std: &[f64], bias_col: usize) -> Vec<f64> {
+        assert_eq!(beta_std.len(), self.cols());
+        assert!(
+            self.passthrough[bias_col],
+            "bias column must be constant in training data"
+        );
+        let mut raw = vec![0.0; beta_std.len()];
+        let mut shift = 0.0;
+        for c in 0..beta_std.len() {
+            raw[c] = beta_std[c] / self.scale[c];
+            shift += beta_std[c] * self.mean[c] / self.scale[c];
+        }
+        raw[bias_col] -= shift;
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    fn sample() -> Matrix {
+        // bias, feature, constant-zero
+        Matrix::from_rows(
+            4,
+            3,
+            vec![
+                1.0, 10.0, 0.0, //
+                1.0, 20.0, 0.0, //
+                1.0, 30.0, 0.0, //
+                1.0, 40.0, 0.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn constant_columns_pass_through() {
+        let s = Standardizer::fit(&sample());
+        assert!(s.is_passthrough(0));
+        assert!(!s.is_passthrough(1));
+        assert!(s.is_passthrough(2));
+    }
+
+    #[test]
+    fn transform_zero_mean_unit_var() {
+        let x = sample();
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        let mean: f64 = (0..4).map(|r| t.get(r, 1)).sum::<f64>() / 4.0;
+        let var: f64 = (0..4).map(|r| t.get(r, 1).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+        // passthrough column unchanged
+        assert_eq!(t.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn fold_back_reproduces_predictions() {
+        let x = sample();
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        let beta_std = vec![3.0, 2.0, 0.0];
+        let raw = s.fold_back(&beta_std, 0);
+        for r in 0..x.rows() {
+            let p_std = dot(t.row(r), &beta_std);
+            let p_raw = dot(x.row(r), &raw);
+            assert!((p_std - p_raw).abs() < 1e-9, "row {r}: {p_std} vs {p_raw}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias column must be constant")]
+    fn fold_back_rejects_varying_bias() {
+        let x = sample();
+        let s = Standardizer::fit(&x);
+        s.fold_back(&[0.0, 0.0, 0.0], 1);
+    }
+}

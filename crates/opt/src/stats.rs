@@ -1,0 +1,101 @@
+//! Small statistics helpers shared by the evaluation harness: quantiles,
+//! means, and the five-number summaries behind the paper's box-and-whisker
+//! plots (Fig. 10/18).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Linear-interpolated quantile of unsorted data, `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile data"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The five-number summary a box-and-whisker plot renders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum (lower whisker end).
+    pub min: f64,
+    /// 25th percentile (box bottom).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile (box top).
+    pub q3: f64,
+    /// Maximum (upper whisker end).
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn of(xs: &[f64]) -> BoxStats {
+        BoxStats {
+            min: quantile(xs, 0.0),
+            q1: quantile(xs, 0.25),
+            median: quantile(xs, 0.5),
+            q3: quantile(xs, 0.75),
+            max: quantile(xs, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    fn box_stats_ordered() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let b = BoxStats::of(&xs);
+        assert_eq!(b.min, 0.0);
+        assert_eq!(b.q1, 25.0);
+        assert_eq!(b.median, 50.0);
+        assert_eq!(b.q3, 75.0);
+        assert_eq!(b.max, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty data")]
+    fn quantile_rejects_empty() {
+        quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the optimization crate: the proximal operator,
+//! solver convergence, and standardization round-trips on random problems.
+
+use proptest::prelude::*;
+
+use predvfs_opt::{dot, soft_threshold, AsymLasso, FitOptions, Matrix, Standardizer};
+
+fn random_problem() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (2usize..30, 2usize..8).prop_flat_map(|(rows, cols)| {
+        (
+            prop::collection::vec(-10.0f64..10.0, rows * cols),
+            prop::collection::vec(-100.0f64..100.0, rows),
+        )
+            .prop_map(move |(mut data, y)| {
+                // Force a bias column so `unpenalized` has a target.
+                for r in 0..rows {
+                    data[r * cols] = 1.0;
+                }
+                (Matrix::from_rows(rows, cols, data), y)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn soft_threshold_is_a_shrinkage(z in -1e6f64..1e6, t in 0.0f64..1e5) {
+        let s = soft_threshold(z, t);
+        prop_assert!(s.abs() <= z.abs() + 1e-12, "no expansion");
+        prop_assert!(s * z >= 0.0, "sign preserved or zero");
+        prop_assert!((z.abs() - s.abs() - t.min(z.abs())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soft_threshold_identity_at_zero(z in -1e6f64..1e6) {
+        prop_assert_eq!(soft_threshold(z, 0.0), z);
+    }
+
+    #[test]
+    fn fit_never_exceeds_zero_objective(
+        (x, y) in random_problem(),
+        alpha in 1.0f64..16.0,
+        gamma in 0.0f64..5.0,
+    ) {
+        let mut unpenalized = vec![false; x.cols()];
+        unpenalized[0] = true;
+        let prob = AsymLasso { x: &x, y: &y, alpha, gamma, unpenalized };
+        let at_zero = prob.objective(&vec![0.0; x.cols()]);
+        let fit = prob.fit(FitOptions { max_iter: 800, tol: 1e-9 });
+        let at_fit = prob.objective(&fit.beta);
+        prop_assert!(
+            at_fit <= at_zero * (1.0 + 1e-9) + 1e-9,
+            "objective {at_fit} should not exceed start {at_zero}"
+        );
+    }
+
+    #[test]
+    fn larger_gamma_never_grows_the_penalized_l1(
+        (x, y) in random_problem(),
+    ) {
+        let mut unpenalized = vec![false; x.cols()];
+        unpenalized[0] = true;
+        let l1_of = |gamma: f64| {
+            let prob = AsymLasso {
+                x: &x,
+                y: &y,
+                alpha: 2.0,
+                gamma,
+                unpenalized: unpenalized.clone(),
+            };
+            let fit = prob.fit(FitOptions { max_iter: 1500, tol: 1e-11 });
+            fit.beta[1..].iter().map(|b| b.abs()).sum::<f64>()
+        };
+        let small = l1_of(0.01);
+        let large = l1_of(10.0);
+        prop_assert!(
+            large <= small + 1e-3 + small * 0.05,
+            "l1 at gamma=10 ({large}) should not exceed l1 at gamma=0.01 ({small})"
+        );
+    }
+
+    #[test]
+    fn standardize_fold_back_roundtrip(
+        (x, _) in random_problem(),
+        beta in prop::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        let std = Standardizer::fit(&x);
+        let xs = std.transform(&x);
+        let beta_std: Vec<f64> = (0..x.cols()).map(|i| beta[i % beta.len()]).collect();
+        let raw = std.fold_back(&beta_std, 0);
+        for r in 0..x.rows() {
+            let p_std = dot(xs.row(r), &beta_std);
+            let p_raw = dot(x.row(r), &raw);
+            prop_assert!((p_std - p_raw).abs() < 1e-6 * (1.0 + p_std.abs()));
+        }
+    }
+}

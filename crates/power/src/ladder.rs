@@ -1,0 +1,175 @@
+//! Discrete DVFS operating points.
+//!
+//! Real hardware exposes a handful of voltage/frequency pairs. The paper
+//! evaluates six equally-spaced levels from 1.0 V down to 0.625 V for ASIC
+//! accelerators, seven from 1.0 V to 0.7 V for FPGAs, and a 1.08 V boost
+//! level for eliminating residual deadline misses (§4.2, Fig. 14).
+
+use crate::vf::VoltFreqCurve;
+
+/// One DVFS level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage in volts.
+    pub volts: f64,
+    /// Frequency as a fraction of nominal.
+    pub freq_ratio: f64,
+}
+
+/// An ordered set of operating points, optionally with a boost level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ladder {
+    points: Vec<OperatingPoint>,
+    boost: Option<OperatingPoint>,
+}
+
+impl Ladder {
+    /// Builds a ladder by sampling `curve` at the given voltages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volts` is empty.
+    pub fn from_voltages(curve: &dyn VoltFreqCurve, volts: &[f64]) -> Ladder {
+        assert!(!volts.is_empty(), "ladder needs at least one level");
+        let mut points: Vec<OperatingPoint> = volts
+            .iter()
+            .map(|&v| OperatingPoint {
+                volts: v,
+                freq_ratio: curve.freq_ratio(v),
+            })
+            .collect();
+        points.sort_by(|a, b| a.freq_ratio.partial_cmp(&b.freq_ratio).expect("NaN"));
+        Ladder {
+            points,
+            boost: None,
+        }
+    }
+
+    /// The paper's ASIC configuration: six equally-spaced levels from
+    /// 0.625 V to 1.0 V.
+    pub fn asic(curve: &dyn VoltFreqCurve) -> Ladder {
+        Ladder::from_voltages(curve, &[0.625, 0.7, 0.775, 0.85, 0.925, 1.0])
+    }
+
+    /// The paper's FPGA configuration: seven equally-spaced levels from
+    /// 0.7 V to 1.0 V.
+    pub fn fpga(curve: &dyn VoltFreqCurve) -> Ladder {
+        Ladder::from_voltages(curve, &[0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00])
+    }
+
+    /// Adds a boost level sampled from `curve` (the paper uses 1.08 V).
+    pub fn with_boost(mut self, curve: &dyn VoltFreqCurve, volts: f64) -> Ladder {
+        self.boost = Some(OperatingPoint {
+            volts,
+            freq_ratio: curve.freq_ratio(volts),
+        });
+        self
+    }
+
+    /// Number of regular (non-boost) levels.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the ladder has no levels (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The level at `index` (0 = slowest).
+    pub fn level(&self, index: usize) -> OperatingPoint {
+        self.points[index]
+    }
+
+    /// All regular levels, slowest first.
+    pub fn levels(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// The boost level, if configured.
+    pub fn boost(&self) -> Option<OperatingPoint> {
+        self.boost
+    }
+
+    /// Index of the nominal (fastest regular) level.
+    pub fn nominal_index(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// The lowest level whose frequency ratio is at least `required`, or
+    /// `None` when even the nominal level is too slow (the caller may then
+    /// fall back to nominal or boost).
+    pub fn lowest_meeting(&self, required: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .position(|p| p.freq_ratio + 1e-12 >= required)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vf::{AlphaPowerCurve, TableCurve};
+
+    #[test]
+    fn asic_ladder_has_six_ascending_levels() {
+        let curve = AlphaPowerCurve::default();
+        let l = Ladder::asic(&curve);
+        assert_eq!(l.len(), 6);
+        assert!(!l.is_empty());
+        for w in l.levels().windows(2) {
+            assert!(w[0].freq_ratio < w[1].freq_ratio);
+            assert!(w[0].volts < w[1].volts);
+        }
+        assert!((l.level(l.nominal_index()).freq_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fpga_ladder_has_seven_levels() {
+        let curve = TableCurve::kintex7();
+        assert_eq!(Ladder::fpga(&curve).len(), 7);
+    }
+
+    #[test]
+    fn lowest_meeting_picks_minimum_sufficient() {
+        let curve = AlphaPowerCurve::default();
+        let l = Ladder::asic(&curve);
+        // Slow requirement: slowest level suffices.
+        assert_eq!(l.lowest_meeting(0.1), Some(0));
+        // Exactly nominal.
+        assert_eq!(l.lowest_meeting(1.0), Some(l.nominal_index()));
+        // Impossible without boost.
+        assert_eq!(l.lowest_meeting(1.05), None);
+        // Mid requirement lands strictly between.
+        let idx = l.lowest_meeting(0.65).unwrap();
+        assert!(l.level(idx).freq_ratio >= 0.65);
+        if idx > 0 {
+            assert!(l.level(idx - 1).freq_ratio < 0.65);
+        }
+    }
+
+    #[test]
+    fn from_voltages_sorts_unordered_input() {
+        let curve = AlphaPowerCurve::default();
+        let l = Ladder::from_voltages(&curve, &[1.0, 0.625, 0.85]);
+        assert_eq!(l.len(), 3);
+        assert!(l.level(0).volts < l.level(1).volts);
+        assert!(l.level(1).volts < l.level(2).volts);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_ladder_rejected() {
+        let curve = AlphaPowerCurve::default();
+        Ladder::from_voltages(&curve, &[]);
+    }
+
+    #[test]
+    fn boost_level_attaches() {
+        let curve = AlphaPowerCurve::default();
+        let l = Ladder::asic(&curve).with_boost(&curve, 1.08);
+        let b = l.boost().unwrap();
+        assert!(b.freq_ratio > 1.0);
+        assert_eq!(b.volts, 1.08);
+    }
+}

@@ -1,0 +1,76 @@
+//! DVFS transition overheads.
+//!
+//! The paper assumes off-chip voltage regulators with switching times
+//! around 10 µs, conservatively budgeted at 100 µs to cover driver
+//! overhead (§4.2), and notes that on-chip regulation could cut this to
+//! tens of nanoseconds — a sweep the benchmarks reproduce.
+
+/// Cost model for changing operating points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchingModel {
+    /// Time for voltage/frequency to stabilize after a change, in seconds.
+    pub transition_s: f64,
+    /// Energy drawn by the transition itself (regulator losses), in pJ.
+    pub transition_pj: f64,
+}
+
+impl SwitchingModel {
+    /// The paper's conservative default: 100 µs, negligible energy.
+    pub fn off_chip() -> SwitchingModel {
+        SwitchingModel {
+            transition_s: 100e-6,
+            transition_pj: 0.0,
+        }
+    }
+
+    /// Fast on-chip regulation (tens of nanoseconds).
+    pub fn on_chip() -> SwitchingModel {
+        SwitchingModel {
+            transition_s: 50e-9,
+            transition_pj: 0.0,
+        }
+    }
+
+    /// A zero-cost model (the "overheads removed" configuration of
+    /// Fig. 13).
+    pub fn free() -> SwitchingModel {
+        SwitchingModel {
+            transition_s: 0.0,
+            transition_pj: 0.0,
+        }
+    }
+
+    /// Time charged for moving between two level indices (zero when the
+    /// level is unchanged).
+    pub fn time_s(&self, from_level: usize, to_level: usize) -> f64 {
+        if from_level == to_level {
+            0.0
+        } else {
+            self.transition_s
+        }
+    }
+}
+
+impl Default for SwitchingModel {
+    fn default() -> Self {
+        SwitchingModel::off_chip()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(SwitchingModel::off_chip().transition_s > SwitchingModel::on_chip().transition_s);
+        assert_eq!(SwitchingModel::free().transition_s, 0.0);
+    }
+
+    #[test]
+    fn no_charge_for_staying_put() {
+        let s = SwitchingModel::off_chip();
+        assert_eq!(s.time_s(2, 2), 0.0);
+        assert_eq!(s.time_s(2, 3), 100e-6);
+    }
+}

@@ -1,0 +1,170 @@
+//! Voltage–frequency characterization.
+//!
+//! Substitutes for the paper's SPICE FO4-chain methodology (§4.1): the
+//! classic alpha-power-law delay model gives the maximum frequency a design
+//! sustains at a given supply voltage. For FPGAs, a published-curve-shaped
+//! lookup table with linear interpolation mirrors the Kintex-7
+//! characterization the paper cites.
+
+/// Maps supply voltage to achievable frequency, relative to nominal.
+pub trait VoltFreqCurve {
+    /// Frequency at `volts` as a fraction of the nominal frequency.
+    /// `freq_ratio(nominal) == 1.0`.
+    fn freq_ratio(&self, volts: f64) -> f64;
+
+    /// The nominal supply voltage.
+    fn nominal_volts(&self) -> f64;
+}
+
+/// Alpha-power-law MOSFET delay model: `f(V) ∝ (V − Vt)^α / V`.
+///
+/// With the default `Vt = 0.35 V`, `α = 1.4` (65 nm-ish), the ratio at
+/// 0.625 V is ≈ 0.48 — the same ballpark as the paper's measured curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaPowerCurve {
+    /// Threshold voltage in volts.
+    pub vt: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+    /// Nominal supply in volts.
+    pub vnom: f64,
+}
+
+impl Default for AlphaPowerCurve {
+    fn default() -> Self {
+        AlphaPowerCurve {
+            vt: 0.35,
+            alpha: 1.4,
+            vnom: 1.0,
+        }
+    }
+}
+
+impl VoltFreqCurve for AlphaPowerCurve {
+    fn freq_ratio(&self, volts: f64) -> f64 {
+        assert!(
+            volts > self.vt,
+            "supply {volts} V at or below threshold {} V",
+            self.vt
+        );
+        let num = (volts - self.vt).powf(self.alpha) / volts;
+        let den = (self.vnom - self.vt).powf(self.alpha) / self.vnom;
+        num / den
+    }
+
+    fn nominal_volts(&self) -> f64 {
+        self.vnom
+    }
+}
+
+/// Piecewise-linear voltage–frequency table (FPGA characterization data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableCurve {
+    points: Vec<(f64, f64)>,
+    vnom: f64,
+}
+
+impl TableCurve {
+    /// Builds a curve from `(volts, freq_ratio)` samples; the highest
+    /// voltage is taken as nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or points are not
+    /// strictly increasing in voltage.
+    pub fn new(mut points: Vec<(f64, f64)>) -> TableCurve {
+        assert!(points.len() >= 2, "need at least two V-f samples");
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN voltage"));
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "duplicate voltage sample {}", w[0].0);
+        }
+        let vnom = points.last().expect("nonempty").0;
+        TableCurve { points, vnom }
+    }
+
+    /// The published Kintex-7 style run-time scaling curve used for the
+    /// FPGA experiments: 1.0 V nominal down to 0.7 V at ≈ 55 % frequency.
+    pub fn kintex7() -> TableCurve {
+        TableCurve::new(vec![
+            (0.70, 0.55),
+            (0.75, 0.63),
+            (0.80, 0.71),
+            (0.85, 0.79),
+            (0.90, 0.86),
+            (0.95, 0.93),
+            (1.00, 1.00),
+        ])
+    }
+}
+
+impl VoltFreqCurve for TableCurve {
+    fn freq_ratio(&self, volts: f64) -> f64 {
+        let pts = &self.points;
+        if volts <= pts[0].0 {
+            return pts[0].1;
+        }
+        if volts >= pts[pts.len() - 1].0 {
+            // Extrapolate linearly above nominal (boost levels).
+            let (v0, r0) = pts[pts.len() - 2];
+            let (v1, r1) = pts[pts.len() - 1];
+            return r1 + (volts - v1) * (r1 - r0) / (v1 - v0);
+        }
+        for w in pts.windows(2) {
+            let (v0, r0) = w[0];
+            let (v1, r1) = w[1];
+            if volts <= v1 {
+                let t = (volts - v0) / (v1 - v0);
+                return r0 + t * (r1 - r0);
+            }
+        }
+        unreachable!("interpolation ranges cover the input")
+    }
+
+    fn nominal_volts(&self) -> f64 {
+        self.vnom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_power_is_monotone_and_normalized() {
+        let c = AlphaPowerCurve::default();
+        assert!((c.freq_ratio(1.0) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for v in [0.625, 0.7, 0.775, 0.85, 0.925, 1.0, 1.08] {
+            let r = c.freq_ratio(v);
+            assert!(r > prev, "curve must be monotone at {v}");
+            prev = r;
+        }
+        let low = c.freq_ratio(0.625);
+        assert!((0.42..0.55).contains(&low), "0.625 V ratio {low}");
+        assert!(c.freq_ratio(1.08) > 1.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at or below threshold")]
+    fn alpha_power_rejects_subthreshold() {
+        AlphaPowerCurve::default().freq_ratio(0.3);
+    }
+
+    #[test]
+    fn table_curve_interpolates() {
+        let c = TableCurve::kintex7();
+        assert_eq!(c.nominal_volts(), 1.0);
+        assert!((c.freq_ratio(1.0) - 1.0).abs() < 1e-12);
+        assert!((c.freq_ratio(0.70) - 0.55).abs() < 1e-12);
+        let mid = c.freq_ratio(0.725);
+        assert!((mid - 0.59).abs() < 1e-9, "got {mid}");
+        // Boost extrapolation stays monotone.
+        assert!(c.freq_ratio(1.08) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn table_needs_two_points() {
+        TableCurve::new(vec![(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,643 @@
+//! Static analyses over [`Module`]s: FSM detection, counter detection, and
+//! wait-state analysis.
+//!
+//! These reproduce the paper's offline flow (§3.3): the accelerator's
+//! structural RTL is mined for finite state machines and counters — the two
+//! sources of execution-time features — without any design-specific
+//! knowledge. The analyses work purely from the shape of register update
+//! rules:
+//!
+//! * an **FSM** is a register whose every update assigns a constant and is
+//!   guarded by an equality test on the register itself (a one-hot/encoded
+//!   case statement);
+//! * a **counter** is a register with at least one `self ± const` step rule
+//!   and at least one re-initialization rule that does not read the
+//!   register;
+//! * a **wait state** is an FSM state whose only activity is a counter
+//!   draining toward an exit condition — the pattern hardware slicing
+//!   compresses (§3.5) and the simulator fast-forwards over.
+
+use std::collections::BTreeSet;
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::module::{Module, RegId};
+
+/// A detected finite state machine.
+#[derive(Debug, Clone)]
+pub struct FsmInfo {
+    /// The state register.
+    pub reg: RegId,
+    /// All state encodings mentioned by guards, targets, or reset.
+    pub states: BTreeSet<u64>,
+    /// Declared transitions `(src, dst, rule index)` with `src != dst`.
+    pub transitions: Vec<(u64, u64, usize)>,
+}
+
+impl FsmInfo {
+    /// Distinct `(src, dst)` transition pairs, sorted.
+    pub fn transition_pairs(&self) -> Vec<(u64, u64)> {
+        let mut pairs: Vec<(u64, u64)> = self
+            .transitions
+            .iter()
+            .map(|&(s, d, _)| (s, d))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+/// A detected counter.
+#[derive(Debug, Clone)]
+pub struct CounterInfo {
+    /// The counter register.
+    pub reg: RegId,
+    /// Indices of rules that re-initialize the counter (value does not read
+    /// the counter itself).
+    pub init_rules: Vec<usize>,
+    /// Indices of `self ± const` step rules, with their signed step.
+    pub step_rules: Vec<(usize, i64)>,
+}
+
+impl CounterInfo {
+    /// True if any step rule decrements.
+    pub fn counts_down(&self) -> bool {
+        self.step_rules.iter().any(|&(_, s)| s < 0)
+    }
+
+    /// True if any step rule increments.
+    pub fn counts_up(&self) -> bool {
+        self.step_rules.iter().any(|&(_, s)| s > 0)
+    }
+}
+
+/// Direction of a wait-state counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitDir {
+    /// Counter loads a latency and drains to zero.
+    Down,
+    /// Counter starts at zero and climbs to a bound.
+    Up,
+}
+
+/// A wait state: `(fsm, state)` whose only activity is one counter ticking.
+///
+/// While the FSM sits in `state` with the counter mid-range, no other
+/// register changes, the stream does not advance, and `done` stays low —
+/// all proven statically. The simulator may therefore skip the remaining
+/// ticks in one step, and the slicer may compress or remove the state.
+#[derive(Debug, Clone)]
+pub struct WaitState {
+    /// The FSM register.
+    pub fsm: RegId,
+    /// The waiting state's encoding.
+    pub state: u64,
+    /// The ticking counter.
+    pub counter: RegId,
+    /// Tick direction.
+    pub dir: WaitDir,
+    /// For [`WaitDir::Up`]: the exit bound expression (reads only held
+    /// state, never the counter).
+    pub bound: Option<Expr>,
+    /// The single exit target state.
+    pub exit_to: u64,
+    /// Datapath indices whose activity condition may hold in this state;
+    /// their activity is evaluated once per skip (it cannot change during
+    /// the wait).
+    pub maybe_active_dps: Vec<usize>,
+    /// True if any possibly-active datapath is serial: the state's cycles
+    /// are real work even for a slice, so compression must not shorten it.
+    pub serial: bool,
+}
+
+/// Results of running all analyses on a module.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Detected FSMs.
+    pub fsms: Vec<FsmInfo>,
+    /// Detected counters.
+    pub counters: Vec<CounterInfo>,
+    /// Detected wait states.
+    pub waits: Vec<WaitState>,
+}
+
+impl Analysis {
+    /// Runs FSM, counter, and wait-state detection on `module`.
+    pub fn run(module: &Module) -> Analysis {
+        let fsms = find_fsms(module);
+        let counters = find_counters(module, &fsms);
+        let waits = find_wait_states(module, &fsms, &counters);
+        Analysis {
+            fsms,
+            counters,
+            waits,
+        }
+    }
+
+    /// Looks up the wait state for `(fsm, state)`, if any.
+    pub fn wait_for(&self, fsm: RegId, state: u64) -> Option<&WaitState> {
+        self.waits
+            .iter()
+            .find(|w| w.fsm == fsm && w.state == state)
+    }
+}
+
+/// Returns the `reg == const` constraint on `reg` within a guard's
+/// conjuncts, if present.
+fn self_state_of(guard: &Expr, reg: RegId) -> Option<u64> {
+    guard
+        .conjuncts()
+        .iter()
+        .find_map(|c| match c.as_reg_eq_const() {
+            Some((r, k)) if r == reg => Some(k),
+            _ => None,
+        })
+}
+
+/// True if `guard` is provably false whenever `fsm == state`: it contains a
+/// conjunct pinning `fsm` to a different state.
+pub fn provably_inactive_in(guard: &Expr, fsm: RegId, state: u64) -> bool {
+    guard.conjuncts().iter().any(|c| {
+        matches!(c.as_reg_eq_const(), Some((r, k)) if r == fsm && k != state)
+    })
+}
+
+/// True if `e` is provably zero whenever `fsm == state` (constant zero, or
+/// guarded by a different state of `fsm`).
+pub fn provably_zero_in(e: &Expr, fsm: RegId, state: u64) -> bool {
+    match e {
+        Expr::Const(0) => true,
+        _ => provably_inactive_in(e, fsm, state),
+    }
+}
+
+/// Detects finite state machines (see module docs for the criterion).
+pub fn find_fsms(module: &Module) -> Vec<FsmInfo> {
+    let mut out = Vec::new();
+    for (i, r) in module.regs.iter().enumerate() {
+        let reg = RegId::new(i);
+        if r.rules.is_empty() || r.width > 16 {
+            continue;
+        }
+        let mut states = BTreeSet::new();
+        states.insert(r.init);
+        let mut transitions = Vec::new();
+        let mut is_fsm = true;
+        for (ri, rule) in r.rules.iter().enumerate() {
+            let dst = match rule.value {
+                Expr::Const(k) => k,
+                _ => {
+                    is_fsm = false;
+                    break;
+                }
+            };
+            let src = match self_state_of(&rule.guard, reg) {
+                Some(s) => s,
+                None => {
+                    is_fsm = false;
+                    break;
+                }
+            };
+            states.insert(src);
+            states.insert(dst);
+            if src != dst {
+                transitions.push((src, dst, ri));
+            }
+        }
+        if is_fsm && !transitions.is_empty() {
+            out.push(FsmInfo {
+                reg,
+                states,
+                transitions,
+            });
+        }
+    }
+    out
+}
+
+/// Detects counters. FSM registers are excluded.
+pub fn find_counters(module: &Module, fsms: &[FsmInfo]) -> Vec<CounterInfo> {
+    let fsm_regs: BTreeSet<RegId> = fsms.iter().map(|f| f.reg).collect();
+    let mut out = Vec::new();
+    for (i, r) in module.regs.iter().enumerate() {
+        let reg = RegId::new(i);
+        if fsm_regs.contains(&reg) {
+            continue;
+        }
+        let mut init_rules = Vec::new();
+        let mut step_rules = Vec::new();
+        let mut other = false;
+        for (ri, rule) in r.rules.iter().enumerate() {
+            if let Some(step) = rule.value.as_self_step(reg) {
+                step_rules.push((ri, step));
+            } else if !rule.value.reads_reg(reg) {
+                init_rules.push(ri);
+            } else {
+                // Self-referencing but not a fixed step (shifts, mux
+                // feedback): not a counter.
+                other = true;
+            }
+        }
+        if !other && !step_rules.is_empty() && !init_rules.is_empty() {
+            out.push(CounterInfo {
+                reg,
+                init_rules,
+                step_rules,
+            });
+        }
+    }
+    out
+}
+
+/// True if the expression is a positivity test on `c`: `c > 0`, `c != 0`,
+/// or `nonzero(c)`.
+fn is_positivity_test(e: &Expr, c: RegId) -> bool {
+    match e {
+        Expr::Un(UnOp::IsNonZero, a) => matches!(a.as_ref(), Expr::Reg(r) if *r == c),
+        Expr::Bin(BinOp::Lt, a, b) => {
+            matches!(a.as_ref(), Expr::Const(0)) && matches!(b.as_ref(), Expr::Reg(r) if *r == c)
+        }
+        Expr::Bin(BinOp::Ne, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Reg(r), Expr::Const(0)) | (Expr::Const(0), Expr::Reg(r)) => *r == c,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// True if the expression is a zero test on `c`: `c == 0` or `iszero(c)`.
+fn is_zero_test(e: &Expr, c: RegId) -> bool {
+    match e {
+        Expr::Un(UnOp::IsZero, a) => matches!(a.as_ref(), Expr::Reg(r) if *r == c),
+        Expr::Bin(BinOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Reg(r), Expr::Const(0)) | (Expr::Const(0), Expr::Reg(r)) => *r == c,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// If the expression is `c == bound` with `bound` not reading `c`, returns
+/// the bound expression (count-up exit test).
+fn as_bound_test<'e>(e: &'e Expr, c: RegId) -> Option<&'e Expr> {
+    if let Expr::Bin(BinOp::Eq, a, b) = e {
+        match (a.as_ref(), b.as_ref()) {
+            (Expr::Reg(r), bound) if *r == c && !bound.reads_reg(c) => return Some(bound),
+            (bound, Expr::Reg(r)) if *r == c && !bound.reads_reg(c) => return Some(bound),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Detects wait states (see [`WaitState`]).
+pub fn find_wait_states(
+    module: &Module,
+    fsms: &[FsmInfo],
+    counters: &[CounterInfo],
+) -> Vec<WaitState> {
+    let mut out = Vec::new();
+    for fsm in fsms {
+        for &state in &fsm.states {
+            if let Some(w) = try_wait_state(module, fsm, counters, state) {
+                out.push(w);
+            }
+        }
+    }
+    out
+}
+
+fn try_wait_state(
+    module: &Module,
+    fsm: &FsmInfo,
+    counters: &[CounterInfo],
+    state: u64,
+) -> Option<WaitState> {
+    let f = fsm.reg;
+    // 1. Find the unique counter ticking in this state.
+    let mut tick: Option<(RegId, WaitDir)> = None;
+    for c in counters {
+        let creg = c.reg;
+        for &(ri, step) in &c.step_rules {
+            let rule = &module.regs[creg.index()].rules[ri];
+            if self_state_of(&rule.guard, f) == Some(state) {
+                if step.abs() != 1 {
+                    return None; // non-unit steps are not fast-forwardable
+                }
+                let dir = if step < 0 { WaitDir::Down } else { WaitDir::Up };
+                // Remaining conjuncts must be harmless range tests on c.
+                for conj in rule.guard.conjuncts() {
+                    if conj.as_reg_eq_const() == Some((f, state)) {
+                        continue;
+                    }
+                    let ok = match dir {
+                        WaitDir::Down => is_positivity_test(conj, creg),
+                        WaitDir::Up => {
+                            // allow `c < bound` / `c != bound` style guards
+                            !conj.reads_reg(f)
+                                && {
+                                    let mut regs = Vec::new();
+                                    conj.collect_regs(&mut regs);
+                                    regs.iter().all(|r| *r == creg || !changes_in(module, *r, f, state))
+                                }
+                        }
+                    };
+                    if !ok {
+                        return None;
+                    }
+                }
+                if tick.is_some() {
+                    return None; // two counters ticking: not a simple wait
+                }
+                tick = Some((creg, dir));
+            }
+        }
+    }
+    let (counter, dir) = tick?;
+    // 2. The counter's init rules must be inactive here.
+    let cinfo = counters.iter().find(|c| c.reg == counter)?;
+    for &ri in &cinfo.init_rules {
+        let rule = &module.regs[counter.index()].rules[ri];
+        if !provably_inactive_in(&rule.guard, f, state) {
+            return None;
+        }
+    }
+    // 3. Every exit of the FSM from this state must test counter
+    //    exhaustion, and they must all agree on a single target.
+    let mut exit_to: Option<u64> = None;
+    let mut bound: Option<Expr> = None;
+    for &(src, dst, ri) in &fsm.transitions {
+        if src != state {
+            continue;
+        }
+        let rule = &module.regs[f.index()].rules[ri];
+        let mut exhaustion_seen = false;
+        for conj in rule.guard.conjuncts() {
+            if conj.as_reg_eq_const() == Some((f, state)) {
+                continue;
+            }
+            match dir {
+                WaitDir::Down if is_zero_test(conj, counter) => exhaustion_seen = true,
+                WaitDir::Up => {
+                    if let Some(b) = as_bound_test(conj, counter) {
+                        // Bound must be stable during the wait.
+                        let mut regs = Vec::new();
+                        b.collect_regs(&mut regs);
+                        if regs.iter().any(|r| changes_in(module, *r, f, state)) {
+                            return None;
+                        }
+                        if b.reads_stream() {
+                            // Token is frozen during the wait (advance is
+                            // inactive, checked below), so stream reads are
+                            // stable too.
+                        }
+                        bound = Some(b.clone());
+                        exhaustion_seen = true;
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        if !exhaustion_seen {
+            return None;
+        }
+        match exit_to {
+            None => exit_to = Some(dst),
+            Some(t) if t == dst => {}
+            Some(_) => return None,
+        }
+    }
+    let exit_to = exit_to?;
+    if dir == WaitDir::Up && bound.is_none() {
+        return None;
+    }
+    // 4. No other register may change *during* the wait. A rule is safe
+    //    if it is pinned to another state, or gated on this counter's
+    //    exhaustion (it then fires only on the exit cycle — the chained-
+    //    wait idiom), or, for count-up waits, gated on the bound being
+    //    reached.
+    let fires_only_on_exit = |guard: &Expr| -> bool {
+        guard.conjuncts().iter().any(|conj| match dir {
+            WaitDir::Down => is_zero_test(conj, counter),
+            WaitDir::Up => as_bound_test(conj, counter).is_some(),
+        })
+    };
+    for (i, r) in module.regs.iter().enumerate() {
+        let reg = RegId::new(i);
+        if reg == counter {
+            continue;
+        }
+        for rule in &r.rules {
+            if reg == f {
+                // FSM rules were vetted above; rules for other states must
+                // be pinned elsewhere.
+                if self_state_of(&rule.guard, f) == Some(state) {
+                    continue;
+                }
+            }
+            if !provably_inactive_in(&rule.guard, f, state) && !fires_only_on_exit(&rule.guard) {
+                return None;
+            }
+        }
+    }
+    // 5. Stream must not advance and the job must not finish mid-wait.
+    if !provably_zero_in(&module.advance, f, state) {
+        return None;
+    }
+    if !provably_zero_in(&module.done, f, state) {
+        return None;
+    }
+    // 6. Datapath activity must be stable (must not read the counter).
+    let mut maybe_active_dps = Vec::new();
+    let mut serial = false;
+    for (di, dp) in module.datapaths.iter().enumerate() {
+        if provably_zero_in(&dp.active, f, state) {
+            continue;
+        }
+        if dp.active.reads_reg(counter) {
+            return None;
+        }
+        maybe_active_dps.push(di);
+        if dp.kind == crate::module::DatapathKind::Serial {
+            serial = true;
+        }
+    }
+    Some(WaitState {
+        fsm: f,
+        state,
+        counter,
+        dir,
+        bound,
+        exit_to,
+        maybe_active_dps,
+        serial,
+    })
+}
+
+/// True if register `reg` can change while `fsm == state` (i.e. it has a
+/// rule not provably pinned to another state).
+fn changes_in(module: &Module, reg: RegId, fsm: RegId, state: u64) -> bool {
+    module.regs[reg.index()]
+        .rules
+        .iter()
+        .any(|rule| !provably_inactive_in(&rule.guard, fsm, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{E, ModuleBuilder};
+
+    fn timed_module() -> (Module, RegId, RegId) {
+        let mut b = ModuleBuilder::new("t");
+        let dur = b.input("dur", 16);
+        let fsm = b.fsm("ctrl", &["IDLE", "WAIT", "DONE"]);
+        let ctr = b.timed(&fsm, "IDLE", "WAIT", "DONE", dur, E::one(), "ctrl.cnt");
+        b.advance_when(fsm.in_state("IDLE"));
+        b.done_when(fsm.in_state("DONE"));
+        let m = b.build().unwrap();
+        let f = m.reg_by_name("ctrl.state").unwrap();
+        (m, f, ctr.id())
+    }
+
+    #[test]
+    fn detects_fsm_from_lowered_rules() {
+        let (m, f, _) = timed_module();
+        let fsms = find_fsms(&m);
+        assert_eq!(fsms.len(), 1);
+        assert_eq!(fsms[0].reg, f);
+        assert_eq!(fsms[0].states.len(), 3);
+        assert_eq!(fsms[0].transition_pairs(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn detects_counter_with_init_and_step() {
+        let (m, _, c) = timed_module();
+        let fsms = find_fsms(&m);
+        let ctrs = find_counters(&m, &fsms);
+        assert_eq!(ctrs.len(), 1);
+        assert_eq!(ctrs[0].reg, c);
+        assert!(ctrs[0].counts_down());
+        assert!(!ctrs[0].counts_up());
+    }
+
+    #[test]
+    fn detects_wait_state() {
+        let (m, f, c) = timed_module();
+        let a = Analysis::run(&m);
+        assert_eq!(a.waits.len(), 1);
+        let w = &a.waits[0];
+        assert_eq!(w.fsm, f);
+        assert_eq!(w.state, 1); // WAIT
+        assert_eq!(w.counter, c);
+        assert_eq!(w.dir, WaitDir::Down);
+        assert_eq!(w.exit_to, 2); // DONE
+        assert!(!w.serial);
+        assert!(a.wait_for(f, 1).is_some());
+        assert!(a.wait_for(f, 0).is_none());
+    }
+
+    #[test]
+    fn shift_register_is_not_a_counter() {
+        let mut b = ModuleBuilder::new("t");
+        let bits = b.input("bits", 16);
+        let fsm = b.fsm("ctrl", &["A", "B"]);
+        let sh = b.reg("sh", 16, 0);
+        b.set(sh, fsm.in_state("A"), bits);
+        b.set(sh, fsm.in_state("B") & sh.e().gt(E::zero()), sh.e() >> E::one());
+        b.trans(&fsm, "A", "B", E::one());
+        b.trans(&fsm, "B", "A", sh.e().eq_(E::zero()));
+        let m = b.build().unwrap();
+        let fsms = find_fsms(&m);
+        assert_eq!(fsms.len(), 1);
+        let ctrs = find_counters(&m, &fsms);
+        assert!(ctrs.is_empty(), "shift register must not look like a counter");
+        // And B must not be a wait state: nothing fast-forwardable ticks.
+        let a = Analysis::run(&m);
+        assert!(a.waits.is_empty());
+    }
+
+    #[test]
+    fn count_up_wait_detected_with_bound() {
+        let mut b = ModuleBuilder::new("t");
+        let n = b.input("n", 16);
+        let fsm = b.fsm("ctrl", &["A", "W", "D"]);
+        let c = b.reg("c", 32, 0);
+        b.set(c, fsm.in_state("A"), E::zero());
+        b.set(
+            c,
+            fsm.in_state("W") & c.e().lt(n.clone()),
+            c.e() + E::one(),
+        );
+        b.trans(&fsm, "A", "W", E::one());
+        b.trans(&fsm, "W", "D", c.e().eq_(n));
+        b.done_when(fsm.in_state("D"));
+        let m = b.build().unwrap();
+        let a = Analysis::run(&m);
+        assert_eq!(a.waits.len(), 1);
+        assert_eq!(a.waits[0].dir, WaitDir::Up);
+        assert!(a.waits[0].bound.is_some());
+    }
+
+    #[test]
+    fn state_with_other_register_activity_is_not_wait() {
+        let mut b = ModuleBuilder::new("t");
+        let dur = b.input("dur", 16);
+        let fsm = b.fsm("ctrl", &["IDLE", "WAIT", "DONE"]);
+        b.timed(&fsm, "IDLE", "WAIT", "DONE", dur, E::one(), "cnt");
+        // An accumulator that ticks during the wait invalidates it.
+        let acc = b.reg("acc", 32, 0);
+        b.set(acc, fsm.in_state("WAIT"), acc.e() + E::k(2));
+        b.done_when(fsm.in_state("DONE"));
+        let m = b.build().unwrap();
+        let a = Analysis::run(&m);
+        assert!(a.waits.is_empty());
+    }
+
+    #[test]
+    fn serial_datapath_marks_wait_serial() {
+        let mut b = ModuleBuilder::new("t");
+        let dur = b.input("dur", 16);
+        let fsm = b.fsm("ctrl", &["IDLE", "WAIT", "DONE"]);
+        b.timed(&fsm, "IDLE", "WAIT", "DONE", dur, E::one(), "cnt");
+        b.datapath_serial("scan", fsm.in_state("WAIT"), 10.0, 0.5, 20, 0);
+        b.done_when(fsm.in_state("DONE"));
+        let m = b.build().unwrap();
+        let a = Analysis::run(&m);
+        assert_eq!(a.waits.len(), 1);
+        assert!(a.waits[0].serial);
+        assert_eq!(a.waits[0].maybe_active_dps, vec![0]);
+    }
+
+    #[test]
+    fn datapath_reading_counter_blocks_wait() {
+        let mut b = ModuleBuilder::new("t");
+        let dur = b.input("dur", 16);
+        let fsm = b.fsm("ctrl", &["IDLE", "WAIT", "DONE"]);
+        let c = b.timed(&fsm, "IDLE", "WAIT", "DONE", dur, E::one(), "cnt");
+        b.datapath_compute("alu", fsm.in_state("WAIT") & c.e().gt(E::k(3)), 10.0, 0.5, 20, 0);
+        b.done_when(fsm.in_state("DONE"));
+        let m = b.build().unwrap();
+        let a = Analysis::run(&m);
+        assert!(a.waits.is_empty());
+    }
+
+    #[test]
+    fn provably_inactive_helper() {
+        let f = RegId::new(0);
+        let g = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Bin(
+                BinOp::Eq,
+                Box::new(Expr::Reg(f)),
+                Box::new(Expr::Const(3)),
+            )),
+            Box::new(Expr::Const(1)),
+        );
+        assert!(provably_inactive_in(&g, f, 2));
+        assert!(!provably_inactive_in(&g, f, 3));
+        assert!(provably_zero_in(&Expr::Const(0), f, 0));
+    }
+}

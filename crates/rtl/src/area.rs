@@ -1,0 +1,259 @@
+//! Gate-level cost models: ASIC area and FPGA resources.
+//!
+//! Substitutes for the paper's Synopsys (TSMC 65 nm) and Vivado (Kintex-7)
+//! flows. Structural elements of a [`Module`] are priced individually:
+//! register bits, combinational operator nodes, scratchpad memory bytes,
+//! and the explicitly annotated datapath blocks (which dominate, as in
+//! real accelerators). All downstream results are relative, so only the
+//! proportions matter; defaults are chosen to sit in the right range for a
+//! 65 nm standard-cell library.
+
+use crate::module::{Module, Register};
+
+/// Per-element ASIC area coefficients (square micrometres, 65 nm-ish).
+#[derive(Debug, Clone, Copy)]
+pub struct AsicAreaModel {
+    /// Area per register bit (flip-flop plus local mux).
+    pub um2_per_reg_bit: f64,
+    /// Area per combinational operator node (averaged over op mix).
+    pub um2_per_op: f64,
+    /// Area per scratchpad byte (SRAM macro density).
+    pub um2_per_mem_byte: f64,
+}
+
+impl Default for AsicAreaModel {
+    fn default() -> Self {
+        AsicAreaModel {
+            um2_per_reg_bit: 12.0,
+            um2_per_op: 22.0,
+            um2_per_mem_byte: 1.6,
+        }
+    }
+}
+
+/// Area decomposition of a module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Sequential + combinational control logic (registers and rule
+    /// expressions).
+    pub control_um2: f64,
+    /// Annotated datapath blocks.
+    pub datapath_um2: f64,
+    /// Scratchpad memories.
+    pub memory_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total_um2(&self) -> f64 {
+        self.control_um2 + self.datapath_um2 + self.memory_um2
+    }
+}
+
+/// True if the register still carries logic or is read by live logic; inert
+/// placeholders left by the slicer are free.
+fn reg_is_live(module: &Module, idx: usize, live: &[bool]) -> bool {
+    !module.regs[idx].rules.is_empty() || live[idx]
+}
+
+fn control_ops(r: &Register) -> usize {
+    r.rules
+        .iter()
+        .map(|rule| rule.guard.op_count() + rule.value.op_count())
+        .sum()
+}
+
+impl AsicAreaModel {
+    /// Computes the area of `module`.
+    pub fn area(&self, module: &Module) -> AreaBreakdown {
+        let live = module.live_regs();
+        let mut control = 0.0;
+        for (i, r) in module.regs.iter().enumerate() {
+            if !reg_is_live(module, i, &live) {
+                continue;
+            }
+            control += f64::from(r.width) * self.um2_per_reg_bit;
+            control += control_ops(r) as f64 * self.um2_per_op;
+        }
+        control += (module.advance.op_count() + module.done.op_count()) as f64
+            * self.um2_per_op;
+        for dp in &module.datapaths {
+            control += dp.active.op_count() as f64 * self.um2_per_op;
+        }
+        let datapath: f64 = module.datapaths.iter().map(|d| d.area_um2).sum();
+        let memory: f64 = module
+            .memories
+            .iter()
+            .map(|m| m.bytes as f64 * self.um2_per_mem_byte)
+            .sum();
+        AreaBreakdown {
+            control_um2: control,
+            datapath_um2: datapath,
+            memory_um2: memory,
+        }
+    }
+}
+
+/// FPGA resource usage (Kintex-7 style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FpgaResources {
+    /// Look-up tables.
+    pub luts: u64,
+    /// DSP48 blocks.
+    pub dsps: u64,
+    /// 36 Kb block RAMs.
+    pub brams: u64,
+}
+
+impl FpgaResources {
+    /// Mean of the three resource shares relative to `base`, as used by
+    /// the paper's Fig. 17 ("average of LUT/DSP/BRAM"). Shares with a zero
+    /// denominator are skipped.
+    pub fn mean_share_of(&self, base: &FpgaResources) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for (a, b) in [
+            (self.luts, base.luts),
+            (self.dsps, base.dsps),
+            (self.brams, base.brams),
+        ] {
+            if b > 0 {
+                acc += a as f64 / b as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+}
+
+/// Per-element FPGA cost coefficients.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaResourceModel {
+    /// LUTs per register bit (FF + routing LUT share).
+    pub luts_per_reg_bit: f64,
+    /// LUTs per combinational operator node.
+    pub luts_per_op: f64,
+    /// Bytes of scratchpad per BRAM (36 Kb = 4.5 KB).
+    pub bytes_per_bram: u64,
+}
+
+impl Default for FpgaResourceModel {
+    fn default() -> Self {
+        FpgaResourceModel {
+            luts_per_reg_bit: 1.0,
+            luts_per_op: 12.0,
+            bytes_per_bram: 4608,
+        }
+    }
+}
+
+impl FpgaResourceModel {
+    /// Computes FPGA resource usage of `module`.
+    pub fn resources(&self, module: &Module) -> FpgaResources {
+        let live = module.live_regs();
+        let mut luts = 0.0;
+        let mut dsps: u64 = 0;
+        for (i, r) in module.regs.iter().enumerate() {
+            if !reg_is_live(module, i, &live) {
+                continue;
+            }
+            luts += f64::from(r.width) * self.luts_per_reg_bit;
+            luts += control_ops(r) as f64 * self.luts_per_op;
+            dsps += r
+                .rules
+                .iter()
+                .map(|rule| (rule.guard.mul_count() + rule.value.mul_count()) as u64)
+                .sum::<u64>();
+        }
+        luts += (module.advance.op_count() + module.done.op_count()) as f64
+            * self.luts_per_op;
+        for dp in &module.datapaths {
+            luts += f64::from(dp.luts);
+            luts += dp.active.op_count() as f64 * self.luts_per_op;
+            dsps += u64::from(dp.dsps);
+        }
+        let brams: u64 = module
+            .memories
+            .iter()
+            .map(|m| m.bytes.div_ceil(self.bytes_per_bram))
+            .sum();
+        FpgaResources {
+            luts: luts.round() as u64,
+            dsps,
+            brams,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{E, ModuleBuilder};
+
+    fn sample() -> Module {
+        let mut b = ModuleBuilder::new("m");
+        let x = b.input("x", 16);
+        let fsm = b.fsm("ctrl", &["A", "W", "B"]);
+        b.timed(&fsm, "A", "W", "B", x.clone() * E::k(3), E::one(), "cnt");
+        b.datapath_compute("pipe", fsm.in_state("W"), 50_000.0, 2.0, 900, 12);
+        b.memory("spm", 9216, false);
+        b.done_when(fsm.in_state("B"));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn asic_area_is_dominated_by_datapath() {
+        let m = sample();
+        let a = AsicAreaModel::default().area(&m);
+        assert!(a.datapath_um2 > a.control_um2);
+        assert!((a.total_um2() - (a.control_um2 + a.datapath_um2 + a.memory_um2)).abs() < 1e-9);
+        assert!(a.memory_um2 > 0.0);
+    }
+
+    #[test]
+    fn inert_registers_cost_nothing() {
+        let mut m = sample();
+        let full = AsicAreaModel::default().area(&m);
+        // Kill the counter logic and every reader of it, making it inert.
+        let c = m.reg_by_name("cnt").unwrap();
+        m.regs[c.index()].rules.clear();
+        let f = m.reg_by_name("ctrl.state").unwrap();
+        m.regs[f.index()]
+            .rules
+            .retain(|r| !r.guard.reads_reg(c) && !r.value.reads_reg(c));
+        let reduced = AsicAreaModel::default().area(&m);
+        assert!(reduced.control_um2 < full.control_um2);
+    }
+
+    #[test]
+    fn fpga_resources_count_dsps_and_brams() {
+        let m = sample();
+        let r = FpgaResourceModel::default().resources(&m);
+        // 12 datapath DSPs; the constant multiply in the counter load is
+        // strength-reduced to LUTs.
+        assert_eq!(r.dsps, 12);
+        assert_eq!(r.brams, 2);
+        assert!(r.luts > 900);
+    }
+
+    #[test]
+    fn mean_share_averages_available_resources() {
+        let base = FpgaResources {
+            luts: 1000,
+            dsps: 10,
+            brams: 0,
+        };
+        let s = FpgaResources {
+            luts: 100,
+            dsps: 1,
+            brams: 0,
+        };
+        let share = s.mean_share_of(&base);
+        assert!((share - 0.1).abs() < 1e-9);
+        assert_eq!(s.mean_share_of(&FpgaResources::default()), 0.0);
+    }
+}

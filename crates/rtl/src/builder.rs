@@ -1,0 +1,568 @@
+//! Ergonomic construction of [`Module`]s.
+//!
+//! Accelerator models are written against this builder the way RTL is
+//! written against Verilog: declare input fields, registers, FSMs, counters,
+//! and datapath blocks, then wire up guarded updates. The builder lowers
+//! everything to the flat structural representation in [`crate::module`];
+//! FSMs become ordinary registers with case-structured update rules, so the
+//! downstream analyses genuinely *re-discover* them, as the paper's Yosys
+//! pass does on real netlists.
+//!
+//! # Examples
+//!
+//! ```
+//! use predvfs_rtl::builder::{ModuleBuilder, E};
+//!
+//! let mut b = ModuleBuilder::new("toy");
+//! let len = b.input("len", 16);
+//! let fsm = b.fsm("ctrl", &["IDLE", "RUN", "DONE"]);
+//! let busy = fsm.in_state("RUN");
+//! b.timed(&fsm, "IDLE", "RUN", "DONE", len, E::one(), "ctrl.cnt");
+//! b.datapath_compute("alu", busy, 100.0, 1.0, 50, 0);
+//! b.advance_when(fsm.in_state("IDLE"));
+//! b.done_when(fsm.in_state("DONE"));
+//! let module = b.build()?;
+//! assert_eq!(module.name, "toy");
+//! # Ok::<(), predvfs_rtl::RtlError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Mul, Shl, Shr, Sub};
+
+use crate::error::RtlError;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::module::{
+    Datapath, DatapathKind, InputField, InputId, Memory, Module, RegId, Register, UpdateRule,
+};
+
+/// A cheap-to-clone expression wrapper with operator overloading.
+///
+/// `E` exists so accelerator descriptions read like RTL (`(a + b).lt(c)`)
+/// instead of nested enum constructors. Convert with [`E::expr`] or
+/// `Expr::from(e)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E(Expr);
+
+impl E {
+    /// Constant literal.
+    pub fn k(v: u64) -> E {
+        E(Expr::Const(v))
+    }
+
+    /// The constant 0.
+    pub fn zero() -> E {
+        E::k(0)
+    }
+
+    /// The constant 1.
+    pub fn one() -> E {
+        E::k(1)
+    }
+
+    /// Reads a register.
+    pub fn reg(id: RegId) -> E {
+        E(Expr::Reg(id))
+    }
+
+    /// Reads an input field.
+    pub fn input(id: InputId) -> E {
+        E(Expr::Input(id))
+    }
+
+    /// 1 when the input stream is exhausted.
+    pub fn stream_empty() -> E {
+        E(Expr::StreamEmpty)
+    }
+
+    /// Returns the wrapped expression.
+    pub fn expr(&self) -> &Expr {
+        &self.0
+    }
+
+    /// Consumes the wrapper, yielding the expression.
+    pub fn into_expr(self) -> Expr {
+        self.0
+    }
+
+    fn bin(op: BinOp, a: E, b: E) -> E {
+        E(Expr::Bin(op, Box::new(a.0), Box::new(b.0)))
+    }
+
+    /// Unsigned `self < rhs` (yields 0/1).
+    pub fn lt(self, rhs: impl Into<E>) -> E {
+        E::bin(BinOp::Lt, self, rhs.into())
+    }
+
+    /// Unsigned `self <= rhs` (yields 0/1).
+    pub fn le(self, rhs: impl Into<E>) -> E {
+        E::bin(BinOp::Le, self, rhs.into())
+    }
+
+    /// Unsigned `self > rhs` (yields 0/1).
+    pub fn gt(self, rhs: impl Into<E>) -> E {
+        rhs.into().lt(self)
+    }
+
+    /// Unsigned `self >= rhs` (yields 0/1).
+    pub fn ge(self, rhs: impl Into<E>) -> E {
+        rhs.into().le(self)
+    }
+
+    /// `self == rhs` (yields 0/1). Named `eq_` to avoid clashing with
+    /// [`PartialEq::eq`].
+    pub fn eq_(self, rhs: impl Into<E>) -> E {
+        E::bin(BinOp::Eq, self, rhs.into())
+    }
+
+    /// `self != rhs` (yields 0/1).
+    pub fn ne_(self, rhs: impl Into<E>) -> E {
+        E::bin(BinOp::Ne, self, rhs.into())
+    }
+
+    /// Integer division (division by zero yields zero).
+    pub fn div(self, rhs: impl Into<E>) -> E {
+        E::bin(BinOp::Div, self, rhs.into())
+    }
+
+    /// Remainder (modulo zero yields zero).
+    pub fn rem(self, rhs: impl Into<E>) -> E {
+        E::bin(BinOp::Rem, self, rhs.into())
+    }
+
+    /// Minimum of the operands.
+    pub fn min(self, rhs: impl Into<E>) -> E {
+        E::bin(BinOp::Min, self, rhs.into())
+    }
+
+    /// Maximum of the operands.
+    pub fn max(self, rhs: impl Into<E>) -> E {
+        E::bin(BinOp::Max, self, rhs.into())
+    }
+
+    /// Two-way mux: `self != 0 ? then : otherwise`.
+    pub fn mux(self, then: impl Into<E>, otherwise: impl Into<E>) -> E {
+        E(Expr::Mux(
+            Box::new(self.0),
+            Box::new(then.into().0),
+            Box::new(otherwise.into().0),
+        ))
+    }
+
+    /// 1 when the operand is zero.
+    pub fn is_zero(self) -> E {
+        E(Expr::Un(UnOp::IsZero, Box::new(self.0)))
+    }
+
+    /// 1 when the operand is non-zero.
+    pub fn nonzero(self) -> E {
+        E(Expr::Un(UnOp::IsNonZero, Box::new(self.0)))
+    }
+
+    /// Bitwise NOT.
+    pub fn not(self) -> E {
+        E(Expr::Un(UnOp::Not, Box::new(self.0)))
+    }
+}
+
+impl From<u64> for E {
+    fn from(v: u64) -> E {
+        E::k(v)
+    }
+}
+
+impl From<E> for Expr {
+    fn from(e: E) -> Expr {
+        e.0
+    }
+}
+
+impl From<&E> for Expr {
+    fn from(e: &E) -> Expr {
+        e.0.clone()
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<T: Into<E>> $trait<T> for E {
+            type Output = E;
+            fn $method(self, rhs: T) -> E {
+                E::bin($op, self, rhs.into())
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, BinOp::Add);
+impl_binop!(Sub, sub, BinOp::Sub);
+impl_binop!(Mul, mul, BinOp::Mul);
+impl_binop!(BitAnd, bitand, BinOp::And);
+impl_binop!(BitOr, bitor, BinOp::Or);
+impl_binop!(BitXor, bitxor, BinOp::Xor);
+impl_binop!(Shl, shl, BinOp::Shl);
+impl_binop!(Shr, shr, BinOp::Shr);
+
+/// Handle to a register declared through the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reg {
+    id: RegId,
+}
+
+impl Reg {
+    /// The register's id in the finished module.
+    pub fn id(self) -> RegId {
+        self.id
+    }
+
+    /// Reads the register as an expression.
+    pub fn e(self) -> E {
+        E::reg(self.id)
+    }
+}
+
+impl From<Reg> for E {
+    fn from(r: Reg) -> E {
+        r.e()
+    }
+}
+
+/// Handle to an FSM declared through the builder.
+///
+/// The FSM is lowered to a plain state register plus transition rules; this
+/// handle just remembers the state-name encoding so transitions can be
+/// declared by name.
+#[derive(Debug, Clone)]
+pub struct Fsm {
+    reg: Reg,
+    name: String,
+    states: HashMap<String, u64>,
+}
+
+impl Fsm {
+    /// The backing state register.
+    pub fn reg(&self) -> Reg {
+        self.reg
+    }
+
+    /// The FSM's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The numeric encoding of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not declared, which is a bug in the design.
+    pub fn state(&self, state: &str) -> u64 {
+        *self
+            .states
+            .get(state)
+            .unwrap_or_else(|| panic!("fsm `{}` has no state `{state}`", self.name))
+    }
+
+    /// Expression that is 1 while the FSM is in `state`.
+    pub fn in_state(&self, state: &str) -> E {
+        self.reg.e().eq_(E::k(self.state(state)))
+    }
+}
+
+/// Incremental builder for a [`Module`]; see the module-level example.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    regs: Vec<Register>,
+    datapaths: Vec<Datapath>,
+    memories: Vec<Memory>,
+    inputs: Vec<InputField>,
+    advance: Expr,
+    done: Expr,
+}
+
+impl ModuleBuilder {
+    /// Starts a new design named `name`.
+    pub fn new(name: &str) -> ModuleBuilder {
+        ModuleBuilder {
+            name: name.to_owned(),
+            regs: Vec::new(),
+            datapaths: Vec::new(),
+            memories: Vec::new(),
+            inputs: Vec::new(),
+            advance: Expr::Const(0),
+            done: Expr::Const(0),
+        }
+    }
+
+    /// Declares an input-token field and returns an expression reading it.
+    pub fn input(&mut self, name: &str, width: u32) -> E {
+        let id = InputId::new(self.inputs.len());
+        self.inputs.push(InputField {
+            name: name.to_owned(),
+            width,
+        });
+        E::input(id)
+    }
+
+    /// Declares a register.
+    pub fn reg(&mut self, name: &str, width: u32, init: u64) -> Reg {
+        let id = RegId::new(self.regs.len());
+        self.regs.push(Register {
+            name: name.to_owned(),
+            width,
+            init,
+            rules: Vec::new(),
+        });
+        Reg { id }
+    }
+
+    /// Adds a guarded update `reg <= value when guard`. Rules are applied
+    /// in the order they are added; the first firing guard wins.
+    pub fn set(&mut self, reg: Reg, guard: impl Into<E>, value: impl Into<E>) {
+        self.regs[reg.id.index()].rules.push(UpdateRule {
+            guard: guard.into().into_expr(),
+            value: value.into().into_expr(),
+        });
+    }
+
+    /// Declares an FSM with the given state names (encoded 0..n in order).
+    /// The FSM resets into the first state.
+    pub fn fsm(&mut self, name: &str, states: &[&str]) -> Fsm {
+        assert!(!states.is_empty(), "fsm `{name}` needs at least one state");
+        let width = 64 - u64::leading_zeros((states.len() as u64).max(2) - 1);
+        let reg = self.reg(&format!("{name}.state"), width.max(1), 0);
+        let map = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((*s).to_owned(), i as u64))
+            .collect();
+        Fsm {
+            reg,
+            name: name.to_owned(),
+            states: map,
+        }
+    }
+
+    /// Declares a transition `from -> to` taken when `cond` holds.
+    pub fn trans(&mut self, fsm: &Fsm, from: &str, to: &str, cond: impl Into<E>) {
+        let guard = fsm.in_state(from) & cond.into();
+        let value = E::k(fsm.state(to));
+        self.set(fsm.reg(), guard, value);
+    }
+
+    /// Declares a counter-timed stay: when `cond` holds in `from`, load
+    /// `duration` into a fresh counter and move to `wait`; decrement there;
+    /// leave for `to` when the counter drains.
+    ///
+    /// This is the canonical RTL idiom the paper's counter features (IC /
+    /// AIV / APV) are mined from. Returns the counter register.
+    pub fn timed(
+        &mut self,
+        fsm: &Fsm,
+        from: &str,
+        wait: &str,
+        to: &str,
+        duration: impl Into<E>,
+        cond: impl Into<E>,
+        counter_name: &str,
+    ) -> Reg {
+        let ctr = self.wait_state(fsm, wait, to, counter_name);
+        self.enter_wait(fsm, from, wait, ctr, duration, cond);
+        ctr
+    }
+
+    /// Declares the body of a counter-timed wait state: a fresh counter
+    /// that drains one per cycle in `wait`, and the exit transition to `to`
+    /// taken when it reaches zero. Entry arms are added separately with
+    /// [`ModuleBuilder::enter_wait`], allowing a wait to be reachable from
+    /// several states.
+    pub fn wait_state(&mut self, fsm: &Fsm, wait: &str, to: &str, counter_name: &str) -> Reg {
+        let ctr = self.reg(counter_name, 32, 0);
+        self.set(
+            ctr,
+            fsm.in_state(wait) & ctr.e().gt(E::zero()),
+            ctr.e() - E::one(),
+        );
+        self.trans(fsm, wait, to, ctr.e().eq_(E::zero()));
+        ctr
+    }
+
+    /// Adds an entry arm into a wait created by
+    /// [`ModuleBuilder::wait_state`]: when `cond` holds in `from`, the
+    /// counter loads `duration` and the FSM moves to `wait`.
+    ///
+    /// To chain directly out of another wait `W0` with counter `c0`, pass
+    /// `cond = c0.e().eq_(E::zero())` — the load fires on `W0`'s exit
+    /// cycle, which the wait-state analysis recognises as quiescent.
+    pub fn enter_wait(
+        &mut self,
+        fsm: &Fsm,
+        from: &str,
+        wait: &str,
+        ctr: Reg,
+        duration: impl Into<E>,
+        cond: impl Into<E>,
+    ) {
+        let cond = cond.into();
+        self.set(ctr, fsm.in_state(from) & cond.clone(), duration);
+        self.trans(fsm, from, wait, cond);
+    }
+
+    /// Attaches a pure-compute datapath block (slicer removes it).
+    pub fn datapath_compute(
+        &mut self,
+        name: &str,
+        active: impl Into<E>,
+        area_um2: f64,
+        energy_per_cycle: f64,
+        luts: u32,
+        dsps: u32,
+    ) {
+        self.datapaths.push(Datapath {
+            name: name.to_owned(),
+            active: active.into().into_expr(),
+            kind: DatapathKind::Compute,
+            area_um2,
+            energy_per_cycle,
+            luts,
+            dsps,
+        });
+    }
+
+    /// Attaches a serial datapath block (cycle-by-cycle data dependence;
+    /// never compressed, kept by the slicer when its control lives on).
+    pub fn datapath_serial(
+        &mut self,
+        name: &str,
+        active: impl Into<E>,
+        area_um2: f64,
+        energy_per_cycle: f64,
+        luts: u32,
+        dsps: u32,
+    ) {
+        self.datapaths.push(Datapath {
+            name: name.to_owned(),
+            active: active.into().into_expr(),
+            kind: DatapathKind::Serial,
+            area_um2,
+            energy_per_cycle,
+            luts,
+            dsps,
+        });
+    }
+
+    /// Declares a scratchpad memory.
+    pub fn memory(&mut self, name: &str, bytes: u64, control: bool) {
+        self.memories.push(Memory {
+            name: name.to_owned(),
+            bytes,
+            control,
+        });
+    }
+
+    /// Sets the stream-advance condition (consume the head token).
+    pub fn advance_when(&mut self, cond: impl Into<E>) {
+        self.advance = cond.into().into_expr();
+    }
+
+    /// Sets the job-done condition.
+    pub fn done_when(&mut self, cond: impl Into<E>) {
+        self.done = cond.into().into_expr();
+    }
+
+    /// Finalizes and validates the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError`] when the assembled module violates a structural
+    /// invariant (see [`Module::validate`]).
+    pub fn build(self) -> Result<Module, RtlError> {
+        let m = Module {
+            name: self.name,
+            regs: self.regs,
+            datapaths: self.datapaths,
+            memories: self.memories,
+            inputs: self.inputs,
+            advance: self.advance,
+            done: self.done,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_operators_compose() {
+        let a = E::k(3) + E::k(4);
+        assert_eq!(
+            a.expr(),
+            &Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Const(3)),
+                Box::new(Expr::Const(4))
+            )
+        );
+        let b = E::k(1).lt(2u64) & E::k(1);
+        assert!(matches!(b.expr(), Expr::Bin(BinOp::And, _, _)));
+        let m = E::one().mux(E::k(5), 6u64);
+        assert!(matches!(m.expr(), Expr::Mux(_, _, _)));
+    }
+
+    #[test]
+    fn fsm_states_encode_in_order() {
+        let mut b = ModuleBuilder::new("t");
+        let fsm = b.fsm("f", &["A", "B", "C"]);
+        assert_eq!(fsm.state("A"), 0);
+        assert_eq!(fsm.state("B"), 1);
+        assert_eq!(fsm.state("C"), 2);
+        assert_eq!(fsm.name(), "f");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no state")]
+    fn unknown_state_panics() {
+        let mut b = ModuleBuilder::new("t");
+        let fsm = b.fsm("f", &["A"]);
+        fsm.state("Z");
+    }
+
+    #[test]
+    fn timed_creates_counter_with_init_and_step() {
+        let mut b = ModuleBuilder::new("t");
+        let dur = b.input("dur", 16);
+        let fsm = b.fsm("f", &["A", "W", "B"]);
+        let ctr = b.timed(&fsm, "A", "W", "B", dur, E::one(), "f.cnt");
+        b.done_when(fsm.in_state("B"));
+        let m = b.build().unwrap();
+        let c = &m.regs[ctr.id().index()];
+        assert_eq!(c.name, "f.cnt");
+        assert_eq!(c.rules.len(), 2);
+        // One load rule (no self-reference) and one decrement rule.
+        assert!(c.rules.iter().any(|r| !r.value.reads_reg(ctr.id())));
+        assert!(c
+            .rules
+            .iter()
+            .any(|r| r.value.as_self_step(ctr.id()) == Some(-1)));
+    }
+
+    #[test]
+    fn build_validates() {
+        let mut b = ModuleBuilder::new("t");
+        let r = b.reg("a", 4, 0);
+        b.set(r, E::one(), E::k(200)); // value masked at runtime, fine
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn fsm_width_fits_state_count() {
+        let mut b = ModuleBuilder::new("t");
+        let names: Vec<String> = (0..9).map(|i| format!("S{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let fsm = b.fsm("f", &refs);
+        let m = b.build().unwrap();
+        assert!(m.regs[fsm.reg().id().index()].width >= 4);
+    }
+}

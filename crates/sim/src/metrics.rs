@@ -1,0 +1,178 @@
+//! Per-scheme result accounting: energy, deadline misses, and the per-job
+//! records behind every figure.
+
+use predvfs::LevelChoice;
+
+/// Everything recorded about one job under one scheme.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Actual execution cycles of the job (frequency-independent).
+    pub cycles: u64,
+    /// The controller's execution-time prediction, if it made one.
+    pub predicted_cycles: Option<f64>,
+    /// Chosen operating point.
+    pub choice: LevelChoice,
+    /// Supply voltage of the chosen point.
+    pub volts: f64,
+    /// Frequency ratio of the chosen point.
+    pub freq_ratio: f64,
+    /// Time the accelerator spent executing, seconds.
+    pub exec_s: f64,
+    /// Time the predictor slice spent, seconds.
+    pub slice_s: f64,
+    /// DVFS transition time charged, seconds.
+    pub switch_s: f64,
+    /// Total energy charged to the job (accelerator + slice), pJ.
+    pub energy_pj: f64,
+    /// Slice share of `energy_pj`.
+    pub slice_energy_pj: f64,
+    /// True when the job finished after its deadline.
+    pub missed: bool,
+}
+
+impl JobRecord {
+    /// Wall-clock completion time, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.exec_s + self.slice_s + self.switch_s
+    }
+}
+
+/// Aggregated outcome of running one scheme over a job sequence.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Scheme name ("baseline", "pid", "prediction", ...).
+    pub scheme: String,
+    /// Per-job records, in execution order.
+    pub records: Vec<JobRecord>,
+}
+
+impl SchemeResult {
+    /// Number of jobs.
+    pub fn jobs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total energy over all jobs, pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.records.iter().map(|r| r.energy_pj).sum()
+    }
+
+    /// Number of deadline misses.
+    pub fn misses(&self) -> usize {
+        self.records.iter().filter(|r| r.missed).count()
+    }
+
+    /// Deadline miss rate in percent.
+    pub fn miss_pct(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            100.0 * self.misses() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Energy normalized to a baseline result, in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline consumed zero energy.
+    pub fn normalized_energy_pct(&self, baseline: &SchemeResult) -> f64 {
+        let base = baseline.total_energy_pj();
+        assert!(base > 0.0, "baseline energy must be positive");
+        100.0 * self.total_energy_pj() / base
+    }
+
+    /// Mean slice-time share of the deadline, in percent.
+    pub fn mean_slice_time_pct(&self, deadline_s: f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let s: f64 = self.records.iter().map(|r| r.slice_s).sum();
+        100.0 * s / (deadline_s * self.records.len() as f64)
+    }
+
+    /// Mean slice-energy share of total job energy, in percent.
+    pub fn mean_slice_energy_pct(&self) -> f64 {
+        let total = self.total_energy_pj();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let s: f64 = self.records.iter().map(|r| r.slice_energy_pj).sum();
+        100.0 * s / total
+    }
+
+    /// Relative prediction errors `(pred − actual)/actual` for jobs with
+    /// predictions, in percent.
+    pub fn prediction_errors_pct(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| {
+                r.predicted_cycles
+                    .map(|p| 100.0 * (p - r.cycles as f64) / r.cycles as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(energy: f64, missed: bool) -> JobRecord {
+        JobRecord {
+            cycles: 1000,
+            predicted_cycles: Some(1100.0),
+            choice: LevelChoice::Regular(0),
+            volts: 0.625,
+            freq_ratio: 0.48,
+            exec_s: 1e-3,
+            slice_s: 1e-4,
+            switch_s: 0.0,
+            energy_pj: energy,
+            slice_energy_pj: energy * 0.02,
+            missed,
+        }
+    }
+
+    fn result(name: &str, energies: &[f64], misses: &[bool]) -> SchemeResult {
+        SchemeResult {
+            scheme: name.into(),
+            records: energies
+                .iter()
+                .zip(misses)
+                .map(|(&e, &m)| record(e, m))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let base = result("baseline", &[100.0, 100.0], &[false, false]);
+        let pred = result("prediction", &[60.0, 70.0], &[false, true]);
+        assert_eq!(pred.jobs(), 2);
+        assert_eq!(pred.misses(), 1);
+        assert!((pred.miss_pct() - 50.0).abs() < 1e-12);
+        assert!((pred.normalized_energy_pct(&base) - 65.0).abs() < 1e-12);
+        assert_eq!(pred.prediction_errors_pct().len(), 2);
+        assert!((pred.records[0].total_s() - 1.1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_is_benign() {
+        let r = SchemeResult {
+            scheme: "x".into(),
+            records: vec![],
+        };
+        assert_eq!(r.miss_pct(), 0.0);
+        assert_eq!(r.mean_slice_time_pct(1.0), 0.0);
+        assert_eq!(r.mean_slice_energy_pct(), 0.0);
+        assert!(r.prediction_errors_pct().is_empty());
+    }
+
+    #[test]
+    fn slice_shares() {
+        let r = result("prediction", &[100.0], &[false]);
+        assert!((r.mean_slice_energy_pct() - 2.0).abs() < 1e-9);
+        assert!((r.mean_slice_time_pct(1e-3) - 10.0).abs() < 1e-9);
+    }
+}

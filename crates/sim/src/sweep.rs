@@ -1,0 +1,125 @@
+//! Parameter sweeps: the deadline sensitivity study (Fig. 15) and helper
+//! aggregation across benchmarks.
+
+use crate::experiment::{Experiment, Scheme};
+use crate::metrics::SchemeResult;
+
+/// One point of a deadline sweep, averaged across benchmarks.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Deadline as a multiple of the reference deadline.
+    pub deadline_factor: f64,
+    /// Per-scheme `(normalized energy %, miss %)`.
+    pub by_scheme: Vec<(Scheme, f64, f64)>,
+}
+
+/// Runs the Fig. 15 deadline sweep over prepared experiments.
+///
+/// For each factor, every scheme runs on every benchmark with the scaled
+/// deadline; energies are normalized to that benchmark's *baseline at the
+/// same deadline* and averaged across benchmarks, as in the paper.
+///
+/// # Errors
+///
+/// Propagates controller failures.
+pub fn deadline_sweep(
+    experiments: &[Experiment],
+    schemes: &[Scheme],
+    factors: &[f64],
+) -> Result<Vec<SweepPoint>, predvfs::CoreError> {
+    let mut out = Vec::with_capacity(factors.len());
+    for &factor in factors {
+        let mut by_scheme = Vec::with_capacity(schemes.len());
+        for &scheme in schemes {
+            let mut energy_acc = 0.0;
+            let mut miss_acc = 0.0;
+            for e in experiments {
+                let deadline = e.config().deadline_s * factor;
+                let base = e.run_with_deadline(Scheme::Baseline, deadline)?;
+                let res = e.run_with_deadline(scheme, deadline)?;
+                energy_acc += res.normalized_energy_pct(&base);
+                miss_acc += res.miss_pct();
+            }
+            let n = experiments.len().max(1) as f64;
+            by_scheme.push((scheme, energy_acc / n, miss_acc / n));
+        }
+        out.push(SweepPoint {
+            deadline_factor: factor,
+            by_scheme,
+        });
+    }
+    Ok(out)
+}
+
+/// Averages `(normalized energy %, miss %)` across a set of per-benchmark
+/// results (the "average" bars of Fig. 11/16).
+pub fn average(results: &[(SchemeResult, SchemeResult)]) -> (f64, f64) {
+    if results.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut energy = 0.0;
+    let mut miss = 0.0;
+    for (scheme, baseline) in results {
+        energy += scheme.normalized_energy_pct(baseline);
+        miss += scheme.miss_pct();
+    }
+    let n = results.len() as f64;
+    (energy / n, miss / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentConfig, Platform};
+    use predvfs_accel::by_name;
+
+    #[test]
+    fn sweep_energy_monotone_in_deadline_for_prediction() {
+        let e = Experiment::prepare(
+            by_name("sha").unwrap(),
+            ExperimentConfig::quick(Platform::Asic),
+        )
+        .unwrap();
+        let points = deadline_sweep(
+            std::slice::from_ref(&e),
+            &[Scheme::Prediction],
+            &[0.8, 1.0, 1.4],
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        let energies: Vec<f64> = points.iter().map(|p| p.by_scheme[0].1).collect();
+        assert!(
+            energies[0] >= energies[1] && energies[1] >= energies[2],
+            "energy must fall with longer deadlines: {energies:?}"
+        );
+    }
+
+    #[test]
+    fn average_combines_pairs() {
+        use crate::metrics::{JobRecord, SchemeResult};
+        use predvfs::LevelChoice;
+        let rec = |e: f64, m: bool| JobRecord {
+            cycles: 1,
+            predicted_cycles: None,
+            choice: LevelChoice::Regular(0),
+            volts: 1.0,
+            freq_ratio: 1.0,
+            exec_s: 0.0,
+            slice_s: 0.0,
+            switch_s: 0.0,
+            energy_pj: e,
+            slice_energy_pj: 0.0,
+            missed: m,
+        };
+        let mk = |e: f64, m: bool| SchemeResult {
+            scheme: "x".into(),
+            records: vec![rec(e, m)],
+        };
+        let (energy, miss) = average(&[
+            (mk(50.0, false), mk(100.0, false)),
+            (mk(80.0, true), mk(100.0, false)),
+        ]);
+        assert!((energy - 65.0).abs() < 1e-9);
+        assert!((miss - 50.0).abs() < 1e-9);
+    }
+}

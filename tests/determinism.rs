@@ -1,0 +1,42 @@
+//! Integration: the whole stack is deterministic for a fixed seed —
+//! workloads, training, slicing, and predictions.
+
+use predvfs::{train, TrainerConfig};
+use predvfs_accel::{by_name, WorkloadSize};
+
+#[test]
+fn training_is_reproducible() {
+    let bench = by_name("cjpeg").unwrap();
+    let run = || {
+        let module = (bench.build)();
+        let w = (bench.workloads)(77, WorkloadSize::Quick);
+        let model = train::train(&module, &w.train, &TrainerConfig::default()).unwrap();
+        model.coeffs().to_vec()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must give identical coefficients");
+}
+
+#[test]
+fn different_seeds_give_different_workloads() {
+    let bench = by_name("aes").unwrap();
+    let w1 = (bench.workloads)(1, WorkloadSize::Quick);
+    let w2 = (bench.workloads)(2, WorkloadSize::Quick);
+    let sizes1: Vec<usize> = w1.test.iter().map(|j| j.len()).collect();
+    let sizes2: Vec<usize> = w2.test.iter().map(|j| j.len()).collect();
+    assert_ne!(sizes1, sizes2);
+}
+
+#[test]
+fn train_and_test_sets_differ() {
+    for name in ["h264", "md", "sha"] {
+        let bench = by_name(name).unwrap();
+        let w = (bench.workloads)(42, WorkloadSize::Quick);
+        assert_ne!(
+            w.train.first(),
+            w.test.first(),
+            "{name}: train/test must be distinct draws"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration: the ordering relations the paper's figures rely on hold
+//! for every benchmark at reduced scale.
+
+use predvfs_accel::all;
+use predvfs_sim::{Experiment, ExperimentConfig, Platform, Scheme};
+
+fn experiments() -> Vec<Experiment> {
+    all()
+        .into_iter()
+        .map(|b| Experiment::prepare(b, ExperimentConfig::quick(Platform::Asic)).unwrap())
+        .collect()
+}
+
+#[test]
+fn energy_and_miss_orderings_hold() {
+    for e in experiments() {
+        let base = e.run(Scheme::Baseline).unwrap();
+        let pred = e.run(Scheme::Prediction).unwrap();
+        let noovh = e.run(Scheme::PredictionNoOverhead).unwrap();
+        let oracle = e.run(Scheme::Oracle).unwrap();
+        let boost = e.run(Scheme::PredictionBoost).unwrap();
+
+        // Baseline never misses and spends the most.
+        assert_eq!(base.misses(), 0, "{}", e.bench.name);
+        assert!(
+            pred.total_energy_pj() < base.total_energy_pj(),
+            "{}: prediction must save energy",
+            e.bench.name
+        );
+        // Oracle is the lower bound; removing overheads approaches it.
+        assert!(
+            oracle.total_energy_pj() <= noovh.total_energy_pj() * 1.02,
+            "{}",
+            e.bench.name
+        );
+        assert!(
+            noovh.total_energy_pj() <= pred.total_energy_pj() * 1.001,
+            "{}",
+            e.bench.name
+        );
+        assert_eq!(oracle.misses(), 0, "{}: oracle never misses", e.bench.name);
+        assert_eq!(
+            noovh.misses(),
+            0,
+            "{}: without overheads prediction never misses",
+            e.bench.name
+        );
+        // Boost strictly reduces misses at negligible energy cost.
+        assert!(boost.misses() <= pred.misses(), "{}", e.bench.name);
+        assert!(
+            boost.total_energy_pj() <= pred.total_energy_pj() * 1.05,
+            "{}",
+            e.bench.name
+        );
+    }
+}
+
+#[test]
+fn table_scheme_is_conservative() {
+    for e in experiments() {
+        let base = e.run(Scheme::Baseline).unwrap();
+        let table = e.run(Scheme::Table).unwrap();
+        // The coarse table can't beat fine-grained prediction, but must
+        // still be no worse than the baseline.
+        assert!(
+            table.total_energy_pj() <= base.total_energy_pj() * 1.001,
+            "{}",
+            e.bench.name
+        );
+    }
+}
+
+#[test]
+fn longer_deadlines_save_more_energy() {
+    let e = Experiment::prepare(
+        predvfs_accel::by_name("cjpeg").unwrap(),
+        ExperimentConfig::quick(Platform::Asic),
+    )
+    .unwrap();
+    // Quick workloads are small; use deadlines tight enough that the
+    // short one forces mid/high levels.
+    let short = e.run_with_deadline(Scheme::Prediction, 2.5e-3).unwrap();
+    let long = e.run_with_deadline(Scheme::Prediction, 25e-3).unwrap();
+    assert!(long.total_energy_pj() < short.total_energy_pj());
+}
+
+#[test]
+fn fpga_and_asic_agree_qualitatively() {
+    let bench = predvfs_accel::by_name("md").unwrap();
+    let asic = Experiment::prepare(bench, ExperimentConfig::quick(Platform::Asic)).unwrap();
+    let fpga = Experiment::prepare(bench, ExperimentConfig::quick(Platform::Fpga)).unwrap();
+    for e in [&asic, &fpga] {
+        let base = e.run(Scheme::Baseline).unwrap();
+        let pred = e.run(Scheme::Prediction).unwrap();
+        assert!(pred.total_energy_pj() < base.total_energy_pj());
+    }
+}
