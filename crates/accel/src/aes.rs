@@ -9,12 +9,12 @@
 //! perfectly linear in the payload size, so the predictor is essentially
 //! exact (Fig. 10's near-zero error for aes).
 
-use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::builder::{ModuleBuilder, E};
 use predvfs_rtl::{JobInput, Module};
 
 use crate::common::{self, WorkloadSize};
-use rand::Rng;
 use crate::Workloads;
+use rand::Rng;
 
 /// Blocks (16 B) per full burst token.
 pub const BLOCKS_PER_BURST: u64 = 32;
@@ -28,14 +28,34 @@ pub fn build() -> Module {
 
     let fsm = b.fsm(
         "ctrl",
-        &["START", "KEYX_W", "FETCH", "HDR_W", "LOAD_W", "ENC_W", "STORE_W", "EMIT"],
+        &[
+            "START", "KEYX_W", "FETCH", "HDR_W", "LOAD_W", "ENC_W", "STORE_W", "EMIT",
+        ],
     );
     let keyx = b.wait_state(&fsm, "KEYX_W", "FETCH", "key.expand");
-    b.enter_wait(&fsm, "START", "KEYX_W", keyx, E::k(220), E::stream_empty().is_zero());
+    b.enter_wait(
+        &fsm,
+        "START",
+        "KEYX_W",
+        keyx,
+        E::k(220),
+        E::stream_empty().is_zero(),
+    );
     let hdr = b.wait_state(&fsm, "HDR_W", "LOAD_W", "pkt.hdr");
-    b.enter_wait(&fsm, "FETCH", "HDR_W", hdr, E::k(2), E::stream_empty().is_zero());
+    b.enter_wait(
+        &fsm,
+        "FETCH",
+        "HDR_W",
+        hdr,
+        E::k(2),
+        E::stream_empty().is_zero(),
+    );
     let load = b.wait_state(&fsm, "LOAD_W", "ENC_W", "dma.load");
-    b.set(load, fsm.in_state("HDR_W") & hdr.e().eq_(E::zero()), E::k(128));
+    b.set(
+        load,
+        fsm.in_state("HDR_W") & hdr.e().eq_(E::zero()),
+        E::k(128),
+    );
     let enc = b.wait_state(&fsm, "ENC_W", "STORE_W", "enc.rounds");
     b.set(
         enc,
@@ -43,7 +63,11 @@ pub fn build() -> Module {
         n_blocks * E::k(11),
     );
     let store = b.wait_state(&fsm, "STORE_W", "EMIT", "dma.store");
-    b.set(store, fsm.in_state("ENC_W") & enc.e().eq_(E::zero()), E::k(32));
+    b.set(
+        store,
+        fsm.in_state("ENC_W") & enc.e().eq_(E::zero()),
+        E::k(32),
+    );
     b.trans(&fsm, "EMIT", "FETCH", E::one());
     b.advance_when(fsm.in_state("EMIT"));
     b.done_when(fsm.in_state("FETCH") & E::stream_empty());
@@ -80,7 +104,11 @@ fn pieces(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
     let mut kb_walk = common::SkewedWalk::new(&mut r, 950.0, 7_750.0, 4.2, 0.06, 0.20);
     (0..count)
         .map(|_| {
-            let exc: f64 = if r.gen_bool(0.07) { r.gen_range(1.4..1.9) } else { 1.0 };
+            let exc: f64 = if r.gen_bool(0.07) {
+                r.gen_range(1.4..1.9)
+            } else {
+                1.0
+            };
             let jit: f64 = r.gen_range(0.85..1.15);
             let kb = (kb_walk.next(&mut r) * jit * exc).min(7_700.0);
             piece(size.tokens(kb as usize) as u64 * 1024)
@@ -106,8 +134,12 @@ mod tests {
     fn cycles_linear_in_bytes() {
         let m = build();
         let sim = Simulator::new(&m);
-        let t1 = sim.run(&piece(64 * 1024), ExecMode::FastForward, None).unwrap();
-        let t2 = sim.run(&piece(128 * 1024), ExecMode::FastForward, None).unwrap();
+        let t1 = sim
+            .run(&piece(64 * 1024), ExecMode::FastForward, None)
+            .unwrap();
+        let t2 = sim
+            .run(&piece(128 * 1024), ExecMode::FastForward, None)
+            .unwrap();
         let ratio = t2.cycles as f64 / (t1.cycles as f64);
         assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
     }
@@ -121,7 +153,7 @@ mod tests {
         // One extra burst costs ~ 2+128+352+32 plus transitions; key
         // expansion (220) must not repeat.
         let delta = b2.cycles - a.cycles;
-        assert!(delta >= 510 && delta <= 540, "delta {delta}");
+        assert!((510..=540).contains(&delta), "delta {delta}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! *size* (Table 3 uses "100 images, various sizes"), which is why
 //! reactive controllers do poorly: consecutive photos are uncorrelated.
 
-use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::builder::{ModuleBuilder, E};
 use predvfs_rtl::{JobInput, Module};
 
 use crate::common::{self, JumpyWalk, WorkloadSize};
@@ -26,14 +26,31 @@ pub fn build() -> Module {
 
     let fsm = b.fsm(
         "ctrl",
-        &["FETCH", "LOAD_W", "DCT_W", "QUANT_W", "HSCAN_W", "HUFF_W", "EMIT"],
+        &[
+            "FETCH", "LOAD_W", "DCT_W", "QUANT_W", "HSCAN_W", "HUFF_W", "EMIT",
+        ],
     );
     let load = b.wait_state(&fsm, "LOAD_W", "DCT_W", "dma.load");
-    b.enter_wait(&fsm, "FETCH", "LOAD_W", load, E::k(64), E::stream_empty().is_zero());
+    b.enter_wait(
+        &fsm,
+        "FETCH",
+        "LOAD_W",
+        load,
+        E::k(64),
+        E::stream_empty().is_zero(),
+    );
     let dct = b.wait_state(&fsm, "DCT_W", "QUANT_W", "dct.cnt");
-    b.set(dct, fsm.in_state("LOAD_W") & load.e().eq_(E::zero()), E::k(384));
+    b.set(
+        dct,
+        fsm.in_state("LOAD_W") & load.e().eq_(E::zero()),
+        E::k(384),
+    );
     let quant = b.wait_state(&fsm, "QUANT_W", "HSCAN_W", "quant.cnt");
-    b.set(quant, fsm.in_state("DCT_W") & dct.e().eq_(E::zero()), E::k(128));
+    b.set(
+        quant,
+        fsm.in_state("DCT_W") & dct.e().eq_(E::zero()),
+        E::k(128),
+    );
     // Serial coefficient scan: the only part the slice must truly re-run.
     let hscan = b.wait_state(&fsm, "HSCAN_W", "HUFF_W", "huff.scan");
     b.set(
@@ -53,10 +70,38 @@ pub fn build() -> Module {
 
     // Areas calibrated to Table 4 (175,225 µm²).
     b.datapath_compute("dma.engine", fsm.in_state("LOAD_W"), 8_000.0, 0.7, 600, 0);
-    b.datapath_compute("dct.pipeline", fsm.in_state("DCT_W"), 72_000.0, 1.1, 2_800, 40);
-    b.datapath_compute("quant.unit", fsm.in_state("QUANT_W"), 18_000.0, 1.0, 900, 16);
-    b.datapath_serial("huff.scanner", fsm.in_state("HSCAN_W"), 2_500.0, 0.4, 700, 0);
-    b.datapath_compute("huff.encoder", fsm.in_state("HUFF_W"), 22_000.0, 0.9, 1_500, 0);
+    b.datapath_compute(
+        "dct.pipeline",
+        fsm.in_state("DCT_W"),
+        72_000.0,
+        1.1,
+        2_800,
+        40,
+    );
+    b.datapath_compute(
+        "quant.unit",
+        fsm.in_state("QUANT_W"),
+        18_000.0,
+        1.0,
+        900,
+        16,
+    );
+    b.datapath_serial(
+        "huff.scanner",
+        fsm.in_state("HSCAN_W"),
+        2_500.0,
+        0.4,
+        700,
+        0,
+    );
+    b.datapath_compute(
+        "huff.encoder",
+        fsm.in_state("HUFF_W"),
+        22_000.0,
+        0.9,
+        1_500,
+        0,
+    );
     b.memory("mcu_buf", 16 * 1024, false);
     b.memory("bitstream_out", 4 * 1024, false);
 
@@ -83,7 +128,11 @@ fn image_set(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
         .map(|_| {
             // Occasional single outlier photo (panorama, burst shot):
             // reactive control pays twice per excursion (Fig. 3).
-            let exc: f64 = if r.gen_bool(0.07) { r.gen_range(1.4..1.9) } else { 1.0 };
+            let exc: f64 = if r.gen_bool(0.07) {
+                r.gen_range(1.4..1.9)
+            } else {
+                1.0
+            };
             let jit: f64 = r.gen_range(0.85..1.15);
             let raw = (mcus_walk.next(&mut r) * jit * exc).min(4750.0);
             let mcus = size.tokens(raw as usize);
@@ -139,7 +188,11 @@ mod tests {
         let t = sim.run(&job, ExecMode::FastForward, None).unwrap();
         // load 64 + dct 384 + quant 128 + scan 29 + huff 220 + transitions.
         let expected = 64 + 384 + 128 + 29 + 220;
-        assert!(t.cycles >= expected && t.cycles <= expected + 16, "{}", t.cycles);
+        assert!(
+            t.cycles >= expected && t.cycles <= expected + 16,
+            "{}",
+            t.cycles
+        );
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub fn jitter(r: &mut StdRng, mean: f64, rel_spread: f64, lo: u64, hi: u64) -> u
 }
 
 /// Splits `n` into per-video/job counts for quick test runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadSize {
     /// Paper-scale workloads (Table 3).
     Full,

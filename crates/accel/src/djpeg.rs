@@ -10,7 +10,7 @@
 //! shows visibly higher prediction error than the other benchmarks while
 //! the slice still captures the bulk of the variation.
 
-use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::builder::{ModuleBuilder, E};
 use predvfs_rtl::{JobInput, Module};
 use rand::Rng;
 
@@ -28,7 +28,9 @@ pub fn build() -> Module {
 
     let fsm = b.fsm(
         "ctrl",
-        &["FETCH", "HSCAN_W", "HUFF_W", "HUFFX", "DEQ_W", "IDCT_W", "COLOR_W", "EMIT"],
+        &[
+            "FETCH", "HSCAN_W", "HUFF_W", "HUFFX", "DEQ_W", "IDCT_W", "COLOR_W", "EMIT",
+        ],
     );
     // Serial symbol scan (the part the slice must genuinely re-run)...
     let hscan = b.wait_state(&fsm, "HSCAN_W", "HUFF_W", "huff.scan");
@@ -57,10 +59,18 @@ pub fn build() -> Module {
         sh.e() - (sh.e() >> E::k(5)) - E::one(),
     );
     let deq = b.wait_state(&fsm, "DEQ_W", "IDCT_W", "deq.cnt");
-    b.set(deq, fsm.in_state("HUFFX") & sh.e().eq_(E::zero()), E::k(128));
+    b.set(
+        deq,
+        fsm.in_state("HUFFX") & sh.e().eq_(E::zero()),
+        E::k(128),
+    );
     b.trans(&fsm, "HUFFX", "DEQ_W", sh.e().eq_(E::zero()));
     let idct = b.wait_state(&fsm, "IDCT_W", "COLOR_W", "idct.cnt");
-    b.set(idct, fsm.in_state("DEQ_W") & deq.e().eq_(E::zero()), E::k(384));
+    b.set(
+        idct,
+        fsm.in_state("DEQ_W") & deq.e().eq_(E::zero()),
+        E::k(384),
+    );
     let color = b.wait_state(&fsm, "COLOR_W", "EMIT", "color.cnt");
     b.set(
         color,
@@ -72,12 +82,33 @@ pub fn build() -> Module {
     b.done_when(fsm.in_state("FETCH") & E::stream_empty());
 
     // Areas calibrated to Table 4 (394,635 µm²).
-    b.datapath_serial("huff.decoder", fsm.in_state("HSCAN_W"), 7_000.0, 0.4, 1_200, 0);
+    b.datapath_serial(
+        "huff.decoder",
+        fsm.in_state("HSCAN_W"),
+        7_000.0,
+        0.4,
+        1_200,
+        0,
+    );
     b.datapath_compute("huff.expand", fsm.in_state("HUFF_W"), 10_000.0, 0.9, 800, 0);
     b.datapath_serial("huff.drain", fsm.in_state("HUFFX"), 5_000.0, 0.4, 800, 0);
     b.datapath_compute("deq.unit", fsm.in_state("DEQ_W"), 40_000.0, 1.0, 1_800, 16);
-    b.datapath_compute("idct.pipeline", fsm.in_state("IDCT_W"), 150_000.0, 1.1, 5_200, 56);
-    b.datapath_compute("color.convert", fsm.in_state("COLOR_W"), 80_000.0, 1.0, 3_000, 24);
+    b.datapath_compute(
+        "idct.pipeline",
+        fsm.in_state("IDCT_W"),
+        150_000.0,
+        1.1,
+        5_200,
+        56,
+    );
+    b.datapath_compute(
+        "color.convert",
+        fsm.in_state("COLOR_W"),
+        80_000.0,
+        1.0,
+        3_000,
+        24,
+    );
     b.memory("mcu_buf", 32 * 1024, false);
     b.memory("bitstream_in", 4 * 1024, true);
 
@@ -112,7 +143,11 @@ fn image_set(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
     let mut q_walk = JumpyWalk::new(&mut r, 0.05, 1.0, 0.05, 0.15);
     (0..count)
         .map(|_| {
-            let exc: f64 = if r.gen_bool(0.07) { r.gen_range(1.4..1.9) } else { 1.0 };
+            let exc: f64 = if r.gen_bool(0.07) {
+                r.gen_range(1.4..1.9)
+            } else {
+                1.0
+            };
             let jit: f64 = r.gen_range(0.85..1.15);
             let raw = (mcus_walk.next(&mut r) * jit * exc).min(4450.0);
             let mcus = size.tokens(raw as usize);
@@ -167,7 +202,12 @@ mod tests {
         }
         let tl = sim.run(&lo, ExecMode::FastForward, Some(&probes)).unwrap();
         let th = sim.run(&hi, ExecMode::FastForward, Some(&probes)).unwrap();
-        assert!(th.cycles > tl.cycles + 32 * 10, "{} vs {}", th.cycles, tl.cycles);
+        assert!(
+            th.cycles > tl.cycles + 32 * 10,
+            "{} vs {}",
+            th.cycles,
+            tl.cycles
+        );
         assert_eq!(tl.features, th.features, "features are blind to the drain");
     }
 

@@ -15,7 +15,7 @@
 //! path; this is the "subtle effect" (§3.7) that manually chosen features
 //! missed but the automatically mined counters capture.
 
-use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::builder::{ModuleBuilder, E};
 use predvfs_rtl::{JobInput, Module};
 use rand::Rng;
 
@@ -29,7 +29,15 @@ pub const F_NOMINAL_MHZ: f64 = 250.0;
 
 /// Token fields, in order.
 pub const FIELDS: [&str; 9] = [
-    "mb_type", "ncy", "ncc", "intra_mode", "qpel", "prel_y", "prel_cb", "prel_cr", "bs_sum",
+    "mb_type",
+    "ncy",
+    "ncc",
+    "intra_mode",
+    "qpel",
+    "prel_y",
+    "prel_cb",
+    "prel_cr",
+    "bs_sum",
 ];
 
 /// Builds the decoder module.
@@ -50,16 +58,27 @@ pub fn build() -> Module {
         &[
             "FETCH", "NAL_W", "HDR_W", "CAVY_W", "CAVC_W", "ROUTE_P", "RESY_W", "RESC_W",
             "ROUTE_R", "INTRA0_W", "INTRA1_W", "INTRA2_W", "INTRA3_W", "ROUTE_I", "PRELY_W",
-            "PRELCB_W", "PRELCR_W", "ROUTE_M", "INTF_W", "INTQ_W", "ROUTE_I2", "BS_W",
-            "FILTV_W", "FILTH_W", "EMIT",
+            "PRELCB_W", "PRELCR_W", "ROUTE_M", "INTF_W", "INTQ_W", "ROUTE_I2", "BS_W", "FILTV_W",
+            "FILTH_W", "EMIT",
         ],
     );
 
     // --- Bitstream parser: serial entropy decoding, chained waits -------
     let nal = b.wait_state(&fsm, "NAL_W", "HDR_W", "parse.nal");
-    b.enter_wait(&fsm, "FETCH", "NAL_W", nal, E::k(8), E::stream_empty().is_zero());
+    b.enter_wait(
+        &fsm,
+        "FETCH",
+        "NAL_W",
+        nal,
+        E::k(8),
+        E::stream_empty().is_zero(),
+    );
     let hdr = b.wait_state(&fsm, "HDR_W", "CAVY_W", "parse.hdr");
-    b.set(hdr, fsm.in_state("NAL_W") & nal.e().eq_(E::zero()), E::k(16));
+    b.set(
+        hdr,
+        fsm.in_state("NAL_W") & nal.e().eq_(E::zero()),
+        E::k(16),
+    );
     let cavy = b.wait_state(&fsm, "CAVY_W", "CAVC_W", "parse.cavlc_y");
     b.set(
         cavy,
@@ -127,7 +146,14 @@ pub fn build() -> Module {
         prel_cr,
     );
     let intf = b.wait_state(&fsm, "INTF_W", "ROUTE_I2", "inter.interp_full");
-    b.enter_wait(&fsm, "ROUTE_M", "INTF_W", intf, E::k(1500), qpel.clone().is_zero());
+    b.enter_wait(
+        &fsm,
+        "ROUTE_M",
+        "INTF_W",
+        intf,
+        E::k(1500),
+        qpel.clone().is_zero(),
+    );
     let intq = b.wait_state(&fsm, "INTQ_W", "ROUTE_I2", "inter.interp_qpel");
     b.enter_wait(&fsm, "ROUTE_M", "INTQ_W", intq, E::k(2700), qpel.nonzero());
 
@@ -141,8 +167,22 @@ pub fn build() -> Module {
         bs_sum.clone() + E::k(40),
         mb_type.eq_(E::zero()),
     );
-    b.enter_wait(&fsm, "ROUTE_I", "BS_W", bs, bs_sum.clone() + E::k(60), E::one());
-    b.enter_wait(&fsm, "ROUTE_I2", "BS_W", bs, bs_sum.clone() + E::k(60), E::one());
+    b.enter_wait(
+        &fsm,
+        "ROUTE_I",
+        "BS_W",
+        bs,
+        bs_sum.clone() + E::k(60),
+        E::one(),
+    );
+    b.enter_wait(
+        &fsm,
+        "ROUTE_I2",
+        "BS_W",
+        bs,
+        bs_sum.clone() + E::k(60),
+        E::one(),
+    );
     let filtv = b.wait_state(&fsm, "FILTV_W", "FILTH_W", "dblk.filt_v");
     b.set(
         filtv,
@@ -161,12 +201,47 @@ pub fn build() -> Module {
     b.done_when(fsm.in_state("FETCH") & E::stream_empty());
 
     // --- Datapath blocks: areas calibrated to Table 4 (659,506 µm²) -----
-    b.datapath_serial("parse.nal_unit", fsm.in_state("NAL_W"), 1_200.0, 0.5, 300, 0);
+    b.datapath_serial(
+        "parse.nal_unit",
+        fsm.in_state("NAL_W"),
+        1_200.0,
+        0.5,
+        300,
+        0,
+    );
     b.datapath_serial("parse.header", fsm.in_state("HDR_W"), 1_800.0, 0.5, 450, 0);
-    b.datapath_serial("parse.cavlc_y", fsm.in_state("CAVY_W"), 3_200.0, 0.5, 800, 0);
-    b.datapath_serial("parse.cavlc_c", fsm.in_state("CAVC_W"), 1_800.0, 0.5, 500, 0);
-    b.datapath_compute("res.itrans_y", fsm.in_state("RESY_W"), 55_000.0, 1.0, 3_200, 24);
-    b.datapath_compute("res.itrans_c", fsm.in_state("RESC_W"), 25_000.0, 1.0, 1_500, 12);
+    b.datapath_serial(
+        "parse.cavlc_y",
+        fsm.in_state("CAVY_W"),
+        3_200.0,
+        0.5,
+        800,
+        0,
+    );
+    b.datapath_serial(
+        "parse.cavlc_c",
+        fsm.in_state("CAVC_W"),
+        1_800.0,
+        0.5,
+        500,
+        0,
+    );
+    b.datapath_compute(
+        "res.itrans_y",
+        fsm.in_state("RESY_W"),
+        55_000.0,
+        1.0,
+        3_200,
+        24,
+    );
+    b.datapath_compute(
+        "res.itrans_c",
+        fsm.in_state("RESC_W"),
+        25_000.0,
+        1.0,
+        1_500,
+        12,
+    );
     for m in 0..4u64 {
         b.datapath_compute(
             &format!("intra.pred{m}"),
@@ -178,13 +253,62 @@ pub fn build() -> Module {
         );
     }
     b.datapath_compute("inter.dma_y", fsm.in_state("PRELY_W"), 8_000.0, 0.7, 600, 0);
-    b.datapath_compute("inter.dma_cb", fsm.in_state("PRELCB_W"), 8_000.0, 0.7, 600, 0);
-    b.datapath_compute("inter.dma_cr", fsm.in_state("PRELCR_W"), 8_000.0, 0.7, 600, 0);
-    b.datapath_compute("inter.interp_full", fsm.in_state("INTF_W"), 95_000.0, 1.1, 5_600, 48);
-    b.datapath_compute("inter.interp_qpel", fsm.in_state("INTQ_W"), 55_000.0, 1.1, 3_200, 32);
-    b.datapath_compute("dblk.bs_calc", fsm.in_state("BS_W"), 25_000.0, 0.9, 1_500, 4);
-    b.datapath_compute("dblk.filter_v", fsm.in_state("FILTV_W"), 55_000.0, 1.0, 3_000, 16);
-    b.datapath_compute("dblk.filter_h", fsm.in_state("FILTH_W"), 55_000.0, 1.0, 3_000, 16);
+    b.datapath_compute(
+        "inter.dma_cb",
+        fsm.in_state("PRELCB_W"),
+        8_000.0,
+        0.7,
+        600,
+        0,
+    );
+    b.datapath_compute(
+        "inter.dma_cr",
+        fsm.in_state("PRELCR_W"),
+        8_000.0,
+        0.7,
+        600,
+        0,
+    );
+    b.datapath_compute(
+        "inter.interp_full",
+        fsm.in_state("INTF_W"),
+        95_000.0,
+        1.1,
+        5_600,
+        48,
+    );
+    b.datapath_compute(
+        "inter.interp_qpel",
+        fsm.in_state("INTQ_W"),
+        55_000.0,
+        1.1,
+        3_200,
+        32,
+    );
+    b.datapath_compute(
+        "dblk.bs_calc",
+        fsm.in_state("BS_W"),
+        25_000.0,
+        0.9,
+        1_500,
+        4,
+    );
+    b.datapath_compute(
+        "dblk.filter_v",
+        fsm.in_state("FILTV_W"),
+        55_000.0,
+        1.0,
+        3_000,
+        16,
+    );
+    b.datapath_compute(
+        "dblk.filter_h",
+        fsm.in_state("FILTH_W"),
+        55_000.0,
+        1.0,
+        3_000,
+        16,
+    );
     b.memory("bitstream_buf", 8 * 1024, true);
     b.memory("ref_frame_spm", 64 * 1024, false);
 
@@ -283,9 +407,18 @@ pub fn clip(seed: u64, frames: usize, act_lo: f64, act_hi: f64, mbs: usize) -> V
 /// The three fixed-character clips of Fig. 2.
 pub fn figure2_clips(seed: u64, frames: usize) -> Vec<(&'static str, Vec<JobInput>)> {
     vec![
-        ("coastguard", clip(seed ^ 0xC0A5, frames, 0.62, 0.92, MBS_PER_FRAME)),
-        ("foreman", clip(seed ^ 0xF03E, frames, 0.32, 0.65, MBS_PER_FRAME)),
-        ("news", clip(seed ^ 0x4E35, frames, 0.04, 0.30, MBS_PER_FRAME)),
+        (
+            "coastguard",
+            clip(seed ^ 0xC0A5, frames, 0.62, 0.92, MBS_PER_FRAME),
+        ),
+        (
+            "foreman",
+            clip(seed ^ 0xF03E, frames, 0.32, 0.65, MBS_PER_FRAME),
+        ),
+        (
+            "news",
+            clip(seed ^ 0x4E35, frames, 0.04, 0.30, MBS_PER_FRAME),
+        ),
     ]
 }
 

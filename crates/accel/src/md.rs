@@ -11,7 +11,7 @@
 //! whose slice + DVFS-switch overhead can push past it (§4.3's analysis of
 //! the residual misses).
 
-use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::builder::{ModuleBuilder, E};
 use predvfs_rtl::{JobInput, Module};
 use rand::Rng;
 
@@ -30,7 +30,14 @@ pub fn build() -> Module {
 
     let fsm = b.fsm("ctrl", &["FETCH", "BIN_W", "FORCE_W", "UPD_W", "EMIT"]);
     let bin = b.wait_state(&fsm, "BIN_W", "FORCE_W", "nlist.scan");
-    b.enter_wait(&fsm, "FETCH", "BIN_W", bin, E::k(136), E::stream_empty().is_zero());
+    b.enter_wait(
+        &fsm,
+        "FETCH",
+        "BIN_W",
+        bin,
+        E::k(136),
+        E::stream_empty().is_zero(),
+    );
     let force = b.wait_state(&fsm, "FORCE_W", "UPD_W", "force.cnt");
     b.set(
         force,
@@ -38,14 +45,25 @@ pub fn build() -> Module {
         n_nb * E::k(12) + E::k(24),
     );
     let upd = b.wait_state(&fsm, "UPD_W", "EMIT", "update.cnt");
-    b.set(upd, fsm.in_state("FORCE_W") & force.e().eq_(E::zero()), E::k(16));
+    b.set(
+        upd,
+        fsm.in_state("FORCE_W") & force.e().eq_(E::zero()),
+        E::k(16),
+    );
     b.trans(&fsm, "EMIT", "FETCH", E::one());
     b.advance_when(fsm.in_state("EMIT"));
     b.done_when(fsm.in_state("FETCH") & E::stream_empty());
 
     // Areas calibrated to Table 4 (31,791 µm²).
     b.datapath_serial("nlist.builder", fsm.in_state("BIN_W"), 2_500.0, 0.3, 400, 0);
-    b.datapath_compute("force.pipeline", fsm.in_state("FORCE_W"), 14_000.0, 1.1, 700, 40);
+    b.datapath_compute(
+        "force.pipeline",
+        fsm.in_state("FORCE_W"),
+        14_000.0,
+        1.1,
+        700,
+        40,
+    );
     b.datapath_compute("pos.update", fsm.in_state("UPD_W"), 4_000.0, 1.0, 300, 8);
     b.memory("particle_spm", 4 * 1024, false);
 

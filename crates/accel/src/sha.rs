@@ -6,12 +6,12 @@
 //! load, and the 68-cycle-per-block compression rounds. Like `aes`, the
 //! latency is essentially linear in input size.
 
-use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::builder::{ModuleBuilder, E};
 use predvfs_rtl::{JobInput, Module};
 
 use crate::common::{self, WorkloadSize};
-use rand::Rng;
 use crate::Workloads;
+use rand::Rng;
 
 /// Message blocks (64 B) per full chunk token.
 pub const BLOCKS_PER_CHUNK: u64 = 64;
@@ -25,9 +25,20 @@ pub fn build() -> Module {
 
     let fsm = b.fsm("ctrl", &["FETCH", "HDR_W", "LOAD_W", "HASH_W", "EMIT"]);
     let hdr = b.wait_state(&fsm, "HDR_W", "LOAD_W", "desc.scan");
-    b.enter_wait(&fsm, "FETCH", "HDR_W", hdr, E::k(4), E::stream_empty().is_zero());
+    b.enter_wait(
+        &fsm,
+        "FETCH",
+        "HDR_W",
+        hdr,
+        E::k(4),
+        E::stream_empty().is_zero(),
+    );
     let load = b.wait_state(&fsm, "LOAD_W", "HASH_W", "dma.load");
-    b.set(load, fsm.in_state("HDR_W") & hdr.e().eq_(E::zero()), E::k(96));
+    b.set(
+        load,
+        fsm.in_state("HDR_W") & hdr.e().eq_(E::zero()),
+        E::k(96),
+    );
     let hash = b.wait_state(&fsm, "HASH_W", "EMIT", "hash.rounds");
     b.set(
         hash,
@@ -67,7 +78,11 @@ fn pieces(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
     let mut kb_walk = common::SkewedWalk::new(&mut r, 480.0, 5_900.0, 2.7, 0.06, 0.20);
     (0..count)
         .map(|_| {
-            let exc: f64 = if r.gen_bool(0.07) { r.gen_range(1.4..1.9) } else { 1.0 };
+            let exc: f64 = if r.gen_bool(0.07) {
+                r.gen_range(1.4..1.9)
+            } else {
+                1.0
+            };
             let jit: f64 = r.gen_range(0.85..1.15);
             let kb = (kb_walk.next(&mut r) * jit * exc).min(5_900.0);
             piece(size.tokens(kb as usize) as u64 * 1024)
@@ -93,8 +108,12 @@ mod tests {
     fn cycles_linear_in_bytes() {
         let m = build();
         let sim = Simulator::new(&m);
-        let t1 = sim.run(&piece(256 * 1024), ExecMode::FastForward, None).unwrap();
-        let t2 = sim.run(&piece(512 * 1024), ExecMode::FastForward, None).unwrap();
+        let t1 = sim
+            .run(&piece(256 * 1024), ExecMode::FastForward, None)
+            .unwrap();
+        let t2 = sim
+            .run(&piece(512 * 1024), ExecMode::FastForward, None)
+            .unwrap();
         let ratio = t2.cycles as f64 / t1.cycles as f64;
         assert!((1.95..2.05).contains(&ratio), "ratio {ratio}");
     }

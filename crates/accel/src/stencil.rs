@@ -9,12 +9,12 @@
 //! which is why the paper's Fig. 17 shows an outsized *relative* resource
 //! overhead for the stencil slice.
 
-use predvfs_rtl::builder::{E, ModuleBuilder};
+use predvfs_rtl::builder::{ModuleBuilder, E};
 use predvfs_rtl::{JobInput, Module};
 
 use crate::common::{self, WorkloadSize};
-use rand::Rng;
 use crate::Workloads;
+use rand::Rng;
 
 /// Nominal synthesis frequency (Table 4).
 pub const F_NOMINAL_MHZ: f64 = 602.0;
@@ -67,7 +67,11 @@ fn image_set(seed: u64, count: usize, size: WorkloadSize) -> Vec<JobInput> {
     let mut dim_walk = common::SkewedWalk::new(&mut r, 895.0, 3000.0, 1.4, 0.06, 0.22);
     (0..count)
         .map(|_| {
-            let exc: f64 = if r.gen_bool(0.06) { r.gen_range(1.3..1.7) } else { 1.0 };
+            let exc: f64 = if r.gen_bool(0.06) {
+                r.gen_range(1.3..1.7)
+            } else {
+                1.0
+            };
             let jit: f64 = r.gen_range(0.90..1.10);
             image(size.tokens((dim_walk.next(&mut r) * jit * exc).min(2990.0) as usize))
         })

@@ -12,15 +12,11 @@ fn per_job_prediction(c: &mut Criterion) {
         let bench = by_name(name).expect("registered");
         let module = (bench.build)();
         let w = (bench.workloads)(21, WorkloadSize::Quick);
-        let model = train::train(&module, &w.train, &TrainerConfig::default())
-            .expect("training succeeds");
-        let predictor = SlicePredictor::generate(
-            &module,
-            &model,
-            SliceOptions::default(),
-            SliceFlavor::Rtl,
-        )
-        .expect("slicing succeeds");
+        let model =
+            train::train(&module, &w.train, &TrainerConfig::default()).expect("training succeeds");
+        let predictor =
+            SlicePredictor::generate(&module, &model, SliceOptions::default(), SliceFlavor::Rtl)
+                .expect("slicing succeeds");
         let runner = predictor.runner();
         let job = &w.test[0];
         c.bench_function(&format!("predictor/{name}_slice_and_predict"), |b| {

@@ -33,7 +33,10 @@ fn h264_frame(c: &mut Criterion) {
     let sim = Simulator::new(&module);
     let frame = predvfs_accel::h264::clip(3, 1, 0.5, 0.6, 396).remove(0);
     c.bench_function("simulator/h264_frame_fast_forward", |b| {
-        b.iter(|| sim.run(&frame, ExecMode::FastForward, None).expect("frame decodes"));
+        b.iter(|| {
+            sim.run(&frame, ExecMode::FastForward, None)
+                .expect("frame decodes")
+        });
     });
 }
 

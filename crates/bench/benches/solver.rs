@@ -9,16 +9,21 @@ fn synthetic_problem(rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
     let mut r = StdRng::seed_from_u64(17);
     let mut x = Matrix::zeros(rows, cols);
     let beta: Vec<f64> = (0..cols)
-        .map(|j| if j % 7 == 0 { r.gen_range(0.5..2.0) } else { 0.0 })
+        .map(|j| {
+            if j % 7 == 0 {
+                r.gen_range(0.5..2.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut y = vec![0.0; rows];
-    for i in 0..rows {
+    for (i, yi) in y.iter_mut().enumerate() {
         *x.get_mut(i, 0) = 1.0;
         for j in 1..cols {
             *x.get_mut(i, j) = r.gen_range(-1.0..1.0);
         }
-        y[i] = (0..cols).map(|j| x.get(i, j) * beta[j]).sum::<f64>()
-            + r.gen_range(-0.05..0.05);
+        *yi = (0..cols).map(|j| x.get(i, j) * beta[j]).sum::<f64>() + r.gen_range(-0.05..0.05);
     }
     (x, y)
 }

@@ -12,7 +12,11 @@ use predvfs_sim::{run_scheme, RunConfig, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::var("PREDVFS_QUICK").as_deref() == Ok("1");
-    let size = if quick { WorkloadSize::Quick } else { WorkloadSize::Full };
+    let size = if quick {
+        WorkloadSize::Quick
+    } else {
+        WorkloadSize::Full
+    };
     let module = djpeg::build();
     let w = djpeg::workloads(42, size);
     let train_data = profile(&module, &w.train)?;
@@ -28,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let area = AsicAreaModel::default().area(&module);
     let mut energy = EnergyModel::new(&module, &area, &PowerParams::default(), f_hz, 1.0);
     energy.calibrate_leakage(
-        energy.dynamic_pj_nominal(traces[0].cycles, &traces[0].dp_active)
-            / traces[0].cycles as f64,
+        energy.dynamic_pj_nominal(traces[0].cycles, &traces[0].dp_active) / traces[0].cycles as f64,
         0.09,
     );
     let curve = AlphaPowerCurve::default();

@@ -10,7 +10,11 @@ use predvfs_sim::Table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::var("PREDVFS_QUICK").as_deref() == Ok("1");
-    let size = if quick { WorkloadSize::Quick } else { WorkloadSize::Full };
+    let size = if quick {
+        WorkloadSize::Quick
+    } else {
+        WorkloadSize::Full
+    };
     let mut t = Table::new(
         "ablation — wait-state compression",
         &[
@@ -25,17 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bench in all() {
         let module = (bench.build)();
         let w = (bench.workloads)(42, size);
-        let model = predvfs::train::train(
-            &module,
-            &w.train,
-            &predvfs::TrainerConfig::default(),
-        )?;
-        let with = SlicePredictor::generate(
-            &module,
-            &model,
-            SliceOptions::default(),
-            SliceFlavor::Rtl,
-        )?;
+        let model = predvfs::train::train(&module, &w.train, &predvfs::TrainerConfig::default())?;
+        let with =
+            SlicePredictor::generate(&module, &model, SliceOptions::default(), SliceFlavor::Rtl)?;
         let without = SlicePredictor::generate(
             &module,
             &model,
@@ -59,8 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.0}", full.cycles as f64 / 1e3),
             format!("{:.0}", compressed.cycles / 1e3),
             format!("{:.0}", uncompressed.cycles as f64 / 1e3),
-            format!("{:.1}", 100.0 * area.area(with.module()).total_um2() / full_area),
-            format!("{:.1}", 100.0 * area.area(without.module()).total_um2() / full_area),
+            format!(
+                "{:.1}",
+                100.0 * area.area(with.module()).total_um2() / full_area
+            ),
+            format!(
+                "{:.1}",
+                100.0 * area.area(without.module()).total_um2() / full_area
+            ),
         ]);
     }
     t.print();

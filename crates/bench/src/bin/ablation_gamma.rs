@@ -8,7 +8,11 @@ use predvfs_sim::Table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::var("PREDVFS_QUICK").as_deref() == Ok("1");
-    let size = if quick { WorkloadSize::Quick } else { WorkloadSize::Full };
+    let size = if quick {
+        WorkloadSize::Quick
+    } else {
+        WorkloadSize::Full
+    };
     let module = h264::build();
     let w = h264::workloads(42, size);
     let train_data = profile(&module, &w.train)?;
@@ -18,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ablation — Lasso weight gamma (h264)",
         &["gamma", "features", "median_err%", "worst_err%", "under%"],
     );
-    for gamma in [0.0, 0.05, 0.2, 0.6, 1.5, 4.0, 10.0] {
+    // Each gamma's fit is independent; fan the grid out and emit rows in
+    // grid order.
+    let gammas = [0.0, 0.05, 0.2, 0.6, 1.5, 4.0, 10.0];
+    let rows = predvfs_par::par_try_map(&gammas, |&gamma| {
         let cfg = TrainerConfig {
             gamma,
             ..TrainerConfig::default()
@@ -32,13 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let worst = errs.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
         let median = predvfs_opt::quantile(&errs, 0.5);
         let under = errs.iter().filter(|&&e| e < 0.0).count();
-        t.row(&[
+        Ok::<_, predvfs::CoreError>([
             format!("{gamma}"),
             model.selected_nonbias().len().to_string(),
             format!("{median:.2}"),
             format!("{worst:.2}"),
             format!("{:.1}", 100.0 * under as f64 / errs.len() as f64),
-        ]);
+        ])
+    })?;
+    for row in &rows {
+        t.row(row);
     }
     t.print();
     println!(

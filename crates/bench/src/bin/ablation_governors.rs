@@ -17,7 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut avg = [[0.0f64; 2]; 5];
     for e in &experiments {
-        let base = e.run(Scheme::Baseline)?;
+        let [base, table, pid, pred]: [_; 4] = e
+            .run_all(&[
+                Scheme::Baseline,
+                Scheme::Table,
+                Scheme::Pid,
+                Scheme::Prediction,
+            ])?
+            .try_into()
+            .expect("four schemes in, four results out");
         let f_hz = e.bench.f_nominal_mhz * 1e6;
         let run_cfg = RunConfig {
             deadline_s: e.config().deadline_s,
@@ -44,10 +52,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &e.dvfs,
             &run_cfg,
         )?;
-        let table = e.run(Scheme::Table)?;
-        let pid = e.run(Scheme::Pid)?;
-        let pred = e.run(Scheme::Prediction)?;
-
         let cells: Vec<(f64, f64)> = [&gov_res, &wcet_res, &table, &pid, &pred]
             .iter()
             .map(|r| (r.normalized_energy_pct(&base), r.miss_pct()))

@@ -14,11 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ablation — prediction margin (average across benchmarks)",
         &["margin%", "energy%", "miss%"],
     );
+    // One baseline per benchmark, shared across the whole margin grid.
+    let baselines = predvfs_par::par_try_map(&experiments, |e| e.run(Scheme::Baseline))?;
     for margin in [0.0, 0.02, 0.05, 0.10, 0.20] {
-        let mut energy_acc = 0.0;
-        let mut miss_acc = 0.0;
-        for e in &experiments {
-            let base = e.run(Scheme::Baseline)?;
+        let results = predvfs_par::par_try_map(&experiments, |e| {
             let mut dvfs = e.dvfs.clone();
             dvfs.margin_frac = margin;
             let f_hz = e.bench.f_nominal_mhz * 1e6;
@@ -28,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 switching: SwitchingModel::off_chip(),
                 leak_voltage_exp: 1.0,
             };
-            let res = run_scheme(
+            run_scheme(
                 &mut ctrl,
                 &e.workloads.test,
                 &e.test_traces,
@@ -36,8 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some(&e.slice_energy),
                 &dvfs,
                 &run_cfg,
-            )?;
-            energy_acc += res.normalized_energy_pct(&base);
+            )
+        })?;
+        let mut energy_acc = 0.0;
+        let mut miss_acc = 0.0;
+        for (res, base) in results.iter().zip(&baselines) {
+            energy_acc += res.normalized_energy_pct(base);
             miss_acc += res.miss_pct();
         }
         let n = experiments.len() as f64;

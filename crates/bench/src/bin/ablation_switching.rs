@@ -2,15 +2,18 @@
 //! 100 µs for off-chip regulators and notes on-chip regulation reaches
 //! tens of nanoseconds.
 
-use predvfs_bench::{prepare_all, results_dir, standard_config};
+use predvfs_bench::{prepare_all_cached, results_dir, standard_config};
 use predvfs_power::SwitchingModel;
-use predvfs_sim::{Platform, Scheme, Table};
+use predvfs_sim::{Platform, Scheme, Table, TraceCache};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t = Table::new(
         "ablation — DVFS switching time (average across benchmarks)",
         &["switch", "energy%", "miss%"],
     );
+    // Switching time doesn't change workloads or traces, so the whole
+    // grid shares one simulation pass per benchmark.
+    let cache = TraceCache::new();
     for (label, transition_s) in [
         ("100us", 100e-6),
         ("10us", 10e-6),
@@ -22,12 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             transition_s,
             transition_pj: 0.0,
         };
-        let experiments = prepare_all(&cfg)?;
+        let experiments = prepare_all_cached(&cfg, &cache)?;
         let mut energy_acc = 0.0;
         let mut miss_acc = 0.0;
         for e in &experiments {
-            let base = e.run(Scheme::Baseline)?;
-            let pred = e.run(Scheme::Prediction)?;
+            let [base, pred]: [_; 2] = e
+                .run_all(&[Scheme::Baseline, Scheme::Prediction])?
+                .try_into()
+                .expect("two schemes in, two results out");
             energy_acc += pred.normalized_energy_pct(&base);
             miss_acc += pred.miss_pct();
         }

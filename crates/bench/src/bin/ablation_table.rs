@@ -12,13 +12,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut t = Table::new(
         "§2.4 — table-based vs predictive DVFS",
-        &["bench", "table_energy%", "pred_energy%", "table_miss%", "pred_miss%"],
+        &[
+            "bench",
+            "table_energy%",
+            "pred_energy%",
+            "table_miss%",
+            "pred_miss%",
+        ],
     );
     let mut avg = [0.0f64; 4];
     for e in &experiments {
-        let base = e.run(Scheme::Baseline)?;
-        let table = e.run(Scheme::Table)?;
-        let pred = e.run(Scheme::Prediction)?;
+        let [base, table, pred]: [_; 3] = e
+            .run_all(&[Scheme::Baseline, Scheme::Table, Scheme::Prediction])?
+            .try_into()
+            .expect("three schemes in, three results out");
         let row = [
             table.normalized_energy_pct(&base),
             pred.normalized_energy_pct(&base),

@@ -44,7 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut t = Table::new(
         "extension — hybrid residual feedback (djpeg)",
-        &["scheme", "energy%", "miss%", "err_q1%", "err_median%", "err_q3%"],
+        &[
+            "scheme",
+            "energy%",
+            "miss%",
+            "err_q1%",
+            "err_median%",
+            "err_q3%",
+        ],
     );
     for res in [&pred, &hyb, &adp] {
         let errs = res.prediction_errors_pct();

@@ -6,7 +6,7 @@
 
 use predvfs_bench::{prepare_one, results_dir, standard_config};
 use predvfs_rtl::{ExecMode, JobInput, JobTrace, Simulator};
-use predvfs_sim::{run_pipeline, Platform, PipelineStage, SplitPolicy, Table};
+use predvfs_sim::{run_pipeline, PipelineStage, Platform, SplitPolicy, Table};
 use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,14 +26,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         })
         .collect();
-    let aes_jobs: Vec<JobInput> = kbs.iter().map(|&kb| predvfs_accel::aes::piece(kb * 1024)).collect();
-    let sha_jobs: Vec<JobInput> = kbs.iter().map(|&kb| predvfs_accel::sha::piece(kb * 256)).collect();
+    let aes_jobs: Vec<JobInput> = kbs
+        .iter()
+        .map(|&kb| predvfs_accel::aes::piece(kb * 1024))
+        .collect();
+    let sha_jobs: Vec<JobInput> = kbs
+        .iter()
+        .map(|&kb| predvfs_accel::sha::piece(kb * 256))
+        .collect();
 
-    let trace = |m: &predvfs_rtl::Module, jobs: &[JobInput]| -> Result<Vec<JobTrace>, predvfs_rtl::RtlError> {
+    let trace = |m: &predvfs_rtl::Module,
+                 jobs: &[JobInput]|
+     -> Result<Vec<JobTrace>, predvfs_rtl::RtlError> {
         let sim = Simulator::new(m);
-        jobs.iter().map(|j| sim.run(j, ExecMode::FastForward, None)).collect()
+        jobs.iter()
+            .map(|j| sim.run(j, ExecMode::FastForward, None))
+            .collect()
     };
-    let traces = [trace(&aes.module, &aes_jobs)?, trace(&sha.module, &sha_jobs)?];
+    let traces = [
+        trace(&aes.module, &aes_jobs)?,
+        trace(&sha.module, &sha_jobs)?,
+    ];
     let jobs = [aes_jobs, sha_jobs];
 
     let stages = [

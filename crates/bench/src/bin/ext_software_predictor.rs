@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     t.row(&["error median %".into(), format!("{:.2}", b.median)]);
     t.row(&["error q1..q3 %".into(), format!("{:.2}..{:.2}", b.q1, b.q3)]);
-    t.row(&["error range %".into(), format!("{:.2}..{:.2}", b.min, b.max)]);
+    t.row(&[
+        "error range %".into(),
+        format!("{:.2}..{:.2}", b.min, b.max),
+    ]);
     t.row(&[
         "cpu time avg ms".into(),
         format!("{:.3}", cpu_ms.iter().sum::<f64>() / cpu_ms.len() as f64),

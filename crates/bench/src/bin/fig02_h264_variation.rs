@@ -32,12 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_clip.push(times?);
     }
     for f in 0..frames {
-        series.row(&[
-            f.to_string(),
-            format!("{:.3}", per_clip[0][f]),
-            format!("{:.3}", per_clip[1][f]),
-            format!("{:.3}", per_clip[2][f]),
-        ]);
+        let mut row = vec![f.to_string()];
+        row.extend(per_clip.iter().map(|clip| format!("{:.3}", clip[f])));
+        series.row(&row);
     }
     let mut summary = Table::new(
         "Fig. 2 — summary per clip",

@@ -19,9 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut avg = [0.0f64; 3];
     let mut avg_miss = [0.0f64; 3];
     for e in &experiments {
-        let base = e.run(Scheme::Baseline)?;
-        let pid = e.run(Scheme::Pid)?;
-        let pred = e.run(Scheme::Prediction)?;
+        let [base, pid, pred]: [_; 3] = e
+            .run_all(&[Scheme::Baseline, Scheme::Pid, Scheme::Prediction])?
+            .try_into()
+            .expect("three schemes in, three results out");
         let en = [
             100.0,
             pid.normalized_energy_pct(&base),

@@ -19,10 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut avg = [0.0f64; 3];
     let mut avg_miss = [0.0f64; 3];
     for e in &experiments {
-        let base = e.run(Scheme::Baseline)?;
-        let pred = e.run(Scheme::Prediction)?;
-        let noovh = e.run(Scheme::PredictionNoOverhead)?;
-        let oracle = e.run(Scheme::Oracle)?;
+        let [base, pred, noovh, oracle]: [_; 4] = e
+            .run_all(&[
+                Scheme::Baseline,
+                Scheme::Prediction,
+                Scheme::PredictionNoOverhead,
+                Scheme::Oracle,
+            ])?
+            .try_into()
+            .expect("four schemes in, four results out");
         let en = [
             pred.normalized_energy_pct(&base),
             noovh.normalized_energy_pct(&base),

@@ -14,9 +14,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut avg = [0.0f64; 4];
     for e in &experiments {
-        let base = e.run(Scheme::Baseline)?;
-        let pred = e.run(Scheme::Prediction)?;
-        let boost = e.run(Scheme::PredictionBoost)?;
+        let [base, pred, boost]: [_; 3] = e
+            .run_all(&[
+                Scheme::Baseline,
+                Scheme::Prediction,
+                Scheme::PredictionBoost,
+            ])?
+            .try_into()
+            .expect("three schemes in, three results out");
         let row = [
             pred.normalized_energy_pct(&base),
             boost.normalized_energy_pct(&base),

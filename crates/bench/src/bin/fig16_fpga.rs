@@ -1,7 +1,7 @@
 //! Figure 16: normalized energy and deadline misses for FPGA-based
 //! accelerators (Kintex-7 ladder, 7 levels).
 
-use predvfs_bench::{paper, prepare_all, standard_config, results_dir};
+use predvfs_bench::{paper, prepare_all, results_dir, standard_config};
 use predvfs_sim::{Platform, Scheme, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -10,13 +10,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut t = Table::new(
         "Fig. 16 — FPGA: normalized energy and misses",
-        &["bench", "pid_energy%", "pred_energy%", "pid_miss%", "pred_miss%"],
+        &[
+            "bench",
+            "pid_energy%",
+            "pred_energy%",
+            "pid_miss%",
+            "pred_miss%",
+        ],
     );
     let mut avg = [0.0f64; 4];
     for e in &experiments {
-        let base = e.run(Scheme::Baseline)?;
-        let pid = e.run(Scheme::Pid)?;
-        let pred = e.run(Scheme::Prediction)?;
+        let [base, pid, pred]: [_; 3] = e
+            .run_all(&[Scheme::Baseline, Scheme::Pid, Scheme::Prediction])?
+            .try_into()
+            .expect("three schemes in, three results out");
         let row = [
             pid.normalized_energy_pct(&base),
             pred.normalized_energy_pct(&base),

@@ -12,7 +12,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut t = Table::new(
         "Fig. 17 — slice overheads (FPGA, %)",
-        &["bench", "resources%", "energy%", "time%", "luts", "dsps", "slice_luts", "slice_dsps"],
+        &[
+            "bench",
+            "resources%",
+            "energy%",
+            "time%",
+            "luts",
+            "dsps",
+            "slice_luts",
+            "slice_dsps",
+        ],
     );
     let mut sums = [0.0f64; 3];
     for e in &experiments {

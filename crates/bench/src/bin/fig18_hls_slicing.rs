@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["config", "err_q1%", "err_median%", "err_q3%", "miss%"],
     );
     for name in ["md", "stencil"] {
-        for (label, flavor) in [("rtl", SliceFlavor::Rtl), ("hls", SliceFlavor::hls_default())] {
+        for (label, flavor) in [
+            ("rtl", SliceFlavor::Rtl),
+            ("hls", SliceFlavor::hls_default()),
+        ] {
             let mut cfg = standard_config(Platform::Asic);
             cfg.flavor = flavor;
             let exp = prepare_one(name, &cfg)?;

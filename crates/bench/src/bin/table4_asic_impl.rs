@@ -12,8 +12,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t = Table::new(
         "Table 4 — ASIC implementation results (measured | paper)",
         &[
-            "bench", "area_um2", "paper_area", "MHz", "max_ms", "avg_ms", "min_ms",
-            "paper_max", "paper_avg", "paper_min",
+            "bench",
+            "area_um2",
+            "paper_area",
+            "MHz",
+            "max_ms",
+            "avg_ms",
+            "min_ms",
+            "paper_max",
+            "paper_avg",
+            "paper_min",
         ],
     );
     for e in &experiments {

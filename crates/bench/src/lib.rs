@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 
 use predvfs_accel::{all, Benchmark};
-use predvfs_sim::{Experiment, ExperimentConfig, Platform};
+use predvfs_sim::{Experiment, ExperimentConfig, Platform, TraceCache};
 
 /// Paper reference values used for side-by-side reporting.
 pub mod paper {
@@ -60,18 +60,30 @@ pub mod paper {
     pub const H264_SLICE_ENERGY_PCT: f64 = 2.8;
 }
 
-/// Prepares experiments for every benchmark on a platform.
+/// Prepares experiments for every benchmark on a platform, fanning the
+/// per-benchmark work out in parallel.
 ///
 /// # Errors
 ///
 /// Propagates preparation failures.
-pub fn prepare_all(
+pub fn prepare_all(config: &ExperimentConfig) -> Result<Vec<Experiment>, predvfs::CoreError> {
+    prepare_all_cached(config, &TraceCache::new())
+}
+
+/// Like [`prepare_all`], but serves trace simulation from `cache` so
+/// several configurations (e.g. ASIC then FPGA) share one pass per
+/// benchmark.
+///
+/// # Errors
+///
+/// Propagates preparation failures.
+pub fn prepare_all_cached(
     config: &ExperimentConfig,
+    cache: &TraceCache,
 ) -> Result<Vec<Experiment>, predvfs::CoreError> {
-    all()
-        .into_iter()
-        .map(|b| Experiment::prepare(b, config.clone()))
-        .collect()
+    predvfs_par::par_try_map(&all(), |b| {
+        Experiment::prepare_cached(*b, config.clone(), cache)
+    })
 }
 
 /// Prepares a single benchmark.
@@ -87,8 +99,8 @@ pub fn prepare_one(
     name: &str,
     config: &ExperimentConfig,
 ) -> Result<Experiment, predvfs::CoreError> {
-    let bench: Benchmark = predvfs_accel::by_name(name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let bench: Benchmark =
+        predvfs_accel::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
     Experiment::prepare(bench, config.clone())
 }
 

@@ -8,7 +8,12 @@
 //! predvfs slice <design.rtl> <jobs.txt> [out.rtl]
 //!                                           train, slice, and write the predictor hardware
 //! predvfs wcet <design.rtl>                 static worst-case bound
+//! predvfs eval <benchmark> [asic|fpga]      run every DVFS scheme on a built-in benchmark
 //! ```
+//!
+//! `--threads N` (anywhere on the command line) caps the worker pool used
+//! by parallel stages; the `RAYON_NUM_THREADS` / `PREDVFS_THREADS`
+//! environment variables are honored as a fallback.
 //!
 //! The jobs file holds one token per line (comma-separated field values in
 //! declaration order); a line containing only `---` ends a job. Lines
@@ -19,9 +24,10 @@ use std::process::ExitCode;
 
 use predvfs::{train, SliceFlavor, SlicePredictor, TrainerConfig};
 use predvfs_rtl::{
-    from_text, to_text, wcet, Analysis, AsicAreaModel, ExecMode, FeatureSchema,
-    FpgaResourceModel, JobInput, Module, SliceOptions, Simulator,
+    from_text, to_text, wcet, Analysis, AsicAreaModel, ExecMode, FeatureSchema, FpgaResourceModel,
+    JobInput, Module, Simulator, SliceOptions,
 };
+use predvfs_sim::{Experiment, ExperimentConfig, Platform, Scheme};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,13 +40,24 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (threads, args) = parse_thread_flag(raw_args)?;
+    if let Some(n) = threads {
+        predvfs_par::set_threads(n);
+    }
+    let args = &args;
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "export" => export(args.get(1), args.get(2)),
         "analyze" => analyze(required(args, 1, "design file")?),
-        "simulate" => simulate(required(args, 1, "design file")?, required(args, 2, "jobs file")?),
-        "train" => cmd_train(required(args, 1, "design file")?, required(args, 2, "jobs file")?),
+        "simulate" => simulate(
+            required(args, 1, "design file")?,
+            required(args, 2, "jobs file")?,
+        ),
+        "train" => cmd_train(
+            required(args, 1, "design file")?,
+            required(args, 2, "jobs file")?,
+        ),
         "slice" => cmd_slice(
             required(args, 1, "design file")?,
             required(args, 2, "jobs file")?,
@@ -48,12 +65,45 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         ),
         "wcet" => cmd_wcet(required(args, 1, "design file")?),
         "dot" => cmd_dot(required(args, 1, "design file")?),
+        "eval" => cmd_eval(required(args, 1, "benchmark name")?, args.get(2)),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
         }
         other => Err(format!("unknown command `{other}`; try `predvfs help`").into()),
     }
+}
+
+/// Strips `--threads N` / `--threads=N` from anywhere in the argument
+/// list, returning the requested worker count and the remaining args.
+fn parse_thread_flag(args: &[String]) -> Result<(Option<usize>, Vec<String>), String> {
+    let mut threads = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--threads" {
+            Some(
+                it.next()
+                    .ok_or("`--threads` needs a value; try `predvfs help`")?
+                    .as_str(),
+            )
+        } else {
+            a.strip_prefix("--threads=")
+        };
+        match value {
+            Some(v) => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{v}`"))?;
+                if n == 0 {
+                    return Err("thread count must be at least 1".to_owned());
+                }
+                threads = Some(n);
+            }
+            None => rest.push(a.clone()),
+        }
+    }
+    Ok((threads, rest))
 }
 
 const HELP: &str = "\
@@ -67,8 +117,14 @@ USAGE:
   predvfs slice <design.rtl> <jobs.txt> [out.rtl]
   predvfs wcet <design.rtl>
   predvfs dot <design.rtl>        (pipe into `dot -Tsvg`)
+  predvfs eval <benchmark> [asic|fpga]
+
+OPTIONS:
+  --threads <N>   worker-pool size for parallel stages (default: all
+                  cores; RAYON_NUM_THREADS / PREDVFS_THREADS also honored)
 
 Built-in benchmarks: h264 cjpeg djpeg md stencil aes sha
+PREDVFS_QUICK=1 shrinks `eval` workloads for smoke runs.
 ";
 
 fn required<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -96,8 +152,7 @@ fn load_jobs(path: &str, fields: usize) -> Result<Vec<JobInput>, Box<dyn std::er
             jobs.push(std::mem::replace(&mut cur, JobInput::new(fields)));
             continue;
         }
-        let token: Result<Vec<u64>, _> =
-            line.split(',').map(|v| v.trim().parse::<u64>()).collect();
+        let token: Result<Vec<u64>, _> = line.split(',').map(|v| v.trim().parse::<u64>()).collect();
         let token = token.map_err(|e| format!("jobs line {}: {e}", ln + 1))?;
         if token.len() != fields {
             return Err(format!(
@@ -118,10 +173,7 @@ fn load_jobs(path: &str, fields: usize) -> Result<Vec<JobInput>, Box<dyn std::er
     Ok(jobs)
 }
 
-fn export(
-    bench: Option<&String>,
-    out: Option<&String>,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn export(bench: Option<&String>, out: Option<&String>) -> Result<(), Box<dyn std::error::Error>> {
     let name = bench.ok_or("missing benchmark name")?;
     let b = predvfs_accel::by_name(name)
         .ok_or_else(|| format!("unknown benchmark `{name}` (try `predvfs help`)"))?;
@@ -198,7 +250,10 @@ fn simulate(path: &str, jobs_path: &str) -> Result<(), Box<dyn std::error::Error
     let module = load(path)?;
     let jobs = load_jobs(jobs_path, module.inputs.len())?;
     let sim = Simulator::new(&module);
-    println!("{:>5} {:>10} {:>12} {:>10}", "job", "tokens", "cycles", "stepped");
+    println!(
+        "{:>5} {:>10} {:>12} {:>10}",
+        "job", "tokens", "cycles", "stepped"
+    );
     for (i, job) in jobs.iter().enumerate() {
         let t = sim.run(job, ExecMode::FastForward, None)?;
         println!(
@@ -245,8 +300,13 @@ fn cmd_slice(
         report.removed_wait_states
     );
     let full = AsicAreaModel::default().area(&module).total_um2();
-    let slim = AsicAreaModel::default().area(predictor.module()).total_um2();
-    println!("area: {slim:.0} um2 ({:.1}% of {full:.0})", 100.0 * slim / full);
+    let slim = AsicAreaModel::default()
+        .area(predictor.module())
+        .total_um2();
+    println!(
+        "area: {slim:.0} um2 ({:.1}% of {full:.0})",
+        100.0 * slim / full
+    );
     if let Some(out_path) = out {
         fs::write(out_path, to_text(predictor.module()))?;
         println!("wrote {out_path}");
@@ -282,6 +342,43 @@ fn cmd_dot(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         println!("  s{src} -> s{dst};");
     }
     println!("}}");
+    Ok(())
+}
+
+/// Runs every DVFS scheme on a built-in benchmark in parallel and prints
+/// the energy/miss summary (normalized to the baseline scheme).
+fn cmd_eval(name: &str, platform: Option<&String>) -> Result<(), Box<dyn std::error::Error>> {
+    let platform = match platform.map(String::as_str) {
+        None | Some("asic") => Platform::Asic,
+        Some("fpga") => Platform::Fpga,
+        Some(other) => return Err(format!("unknown platform `{other}` (asic|fpga)").into()),
+    };
+    let bench = predvfs_accel::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `predvfs help`)"))?;
+    let mut cfg = ExperimentConfig::paper_default(platform);
+    if std::env::var("PREDVFS_QUICK").as_deref() == Ok("1") {
+        cfg.size = predvfs_accel::WorkloadSize::Quick;
+    }
+    eprintln!(
+        "preparing {name} ({} worker threads)...",
+        predvfs_par::current_threads()
+    );
+    let experiment = Experiment::prepare(bench, cfg)?;
+    let results = experiment.run_all(&Scheme::ALL)?;
+    let base = results[0].clone();
+    println!(
+        "{:<20} {:>16} {:>9} {:>7}",
+        "scheme", "energy_pJ", "norm%", "miss%"
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:>16.0} {:>9.1} {:>7.2}",
+            r.scheme,
+            r.total_energy_pj(),
+            r.normalized_energy_pct(&base),
+            r.miss_pct()
+        );
+    }
     Ok(())
 }
 
@@ -336,5 +433,36 @@ mod tests {
     fn unknown_command_fails() {
         assert!(run(&["frobnicate".to_owned()]).is_err());
         assert!(run(&[]).is_ok(), "bare invocation prints help");
+    }
+
+    #[test]
+    fn thread_flag_is_stripped_anywhere() {
+        let args: Vec<String> = ["eval", "--threads", "3", "sha"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let (threads, rest) = parse_thread_flag(&args).unwrap();
+        assert_eq!(threads, Some(3));
+        assert_eq!(rest, vec!["eval".to_owned(), "sha".to_owned()]);
+
+        let args: Vec<String> = vec!["--threads=8".to_owned(), "help".to_owned()];
+        let (threads, rest) = parse_thread_flag(&args).unwrap();
+        assert_eq!(threads, Some(8));
+        assert_eq!(rest, vec!["help".to_owned()]);
+    }
+
+    #[test]
+    fn thread_flag_rejects_bad_values() {
+        let bad = |s: &str| parse_thread_flag(&[s.to_owned()]).is_err();
+        assert!(bad("--threads"), "missing value");
+        assert!(bad("--threads=zero"), "non-numeric value");
+        assert!(bad("--threads=0"), "zero workers");
+    }
+
+    #[test]
+    fn eval_rejects_unknown_inputs() {
+        assert!(cmd_eval("nonesuch", None).is_err());
+        let plat = "gpu".to_owned();
+        assert!(cmd_eval("sha", Some(&plat)).is_err());
     }
 }

@@ -126,9 +126,7 @@ impl TableController {
         assert!(!jobs.is_empty() && classes > 0);
         let max_tokens = jobs.iter().map(JobInput::len).max().expect("nonempty");
         let step = max_tokens.div_ceil(classes).max(1);
-        let mut rows: Vec<(usize, u64)> = (1..=classes)
-            .map(|c| (c * step, 0u64))
-            .collect();
+        let mut rows: Vec<(usize, u64)> = (1..=classes).map(|c| (c * step, 0u64)).collect();
         for (j, &c) in jobs.iter().zip(cycles) {
             let class = (j.len().saturating_sub(1)) / step;
             let class = class.min(classes - 1);
@@ -245,10 +243,7 @@ impl DvfsController for PidController {
     fn decide(&mut self, ctx: &JobContext<'_>) -> Result<Decision, CoreError> {
         if !self.started {
             // No history yet: be conservative and run at nominal.
-            return Ok(Decision::overhead_free(
-                self.dvfs.nominal(),
-                None,
-            ));
+            return Ok(Decision::overhead_free(self.dvfs.nominal(), None));
         }
         let choice = self
             .dvfs
@@ -267,7 +262,11 @@ impl DvfsController for PidController {
         let error = actual - self.prediction;
         self.integral += error;
         let derivative = error - self.prev_error;
-        let kp = if error > 0.0 { self.kp_up } else { self.kp_down };
+        let kp = if error > 0.0 {
+            self.kp_up
+        } else {
+            self.kp_down
+        };
         self.prediction += kp * error + self.ki * self.integral + self.kd * derivative;
         self.prediction = self.prediction.max(0.0);
         self.prev_error = error;
@@ -415,8 +414,7 @@ mod tests {
     fn table_uses_class_worst_case() {
         let jobs: Vec<JobInput> = vec![job(10), job(10), job(100), job(100)];
         let cycles = vec![1_000_000, 1_500_000, 3_000_000, 3_600_000];
-        let mut t =
-            TableController::from_profile(dvfs(), 250e6, &jobs, &cycles, 2);
+        let mut t = TableController::from_profile(dvfs(), 250e6, &jobs, &cycles, 2);
         let small = job(8);
         let d = t.decide(&ctx(&small)).unwrap();
         assert_eq!(d.predicted_cycles, Some(1_500_000.0));
@@ -451,7 +449,11 @@ mod tests {
         // Step up: tuned gains catch up at once (and overshoot) so the
         // *next* job is safe...
         p.observe(2_000_000);
-        assert!(p.prediction() >= 1_900_000.0, "up-reaction too slow: {}", p.prediction());
+        assert!(
+            p.prediction() >= 1_900_000.0,
+            "up-reaction too slow: {}",
+            p.prediction()
+        );
         // ...while a step back down decays slowly (energy is wasted to
         // protect against misses).
         p.observe(1_000_000);

@@ -136,10 +136,7 @@ mod tests {
         let c = mb.choose(4_250_000.0, 250e6, 16.7e-3, 0.3e-3);
         assert_eq!(c, LevelChoice::Boost);
         let m = model(false);
-        assert_eq!(
-            m.choose(4_250_000.0, 250e6, 16.7e-3, 0.3e-3),
-            m.nominal()
-        );
+        assert_eq!(m.choose(4_250_000.0, 250e6, 16.7e-3, 0.3e-3), m.nominal());
     }
 
     #[test]

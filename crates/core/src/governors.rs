@@ -134,7 +134,7 @@ impl DvfsController for IntervalGovernor {
 mod tests {
     use super::*;
     use predvfs_power::{AlphaPowerCurve, Ladder, SwitchingModel};
-    use predvfs_rtl::builder::{E, ModuleBuilder};
+    use predvfs_rtl::builder::{ModuleBuilder, E};
     use predvfs_rtl::JobInput;
 
     fn dvfs() -> DvfsModel {
@@ -146,7 +146,15 @@ mod tests {
         let mut b = ModuleBuilder::new("toy");
         let d = b.input("d", 8);
         let fsm = b.fsm("ctrl", &["FETCH", "W", "EMIT"]);
-        b.timed(&fsm, "FETCH", "W", "EMIT", d, E::stream_empty().is_zero(), "c");
+        b.timed(
+            &fsm,
+            "FETCH",
+            "W",
+            "EMIT",
+            d,
+            E::stream_empty().is_zero(),
+            "c",
+        );
         b.trans(&fsm, "EMIT", "FETCH", E::one());
         b.advance_when(fsm.in_state("EMIT"));
         b.done_when(fsm.in_state("FETCH") & E::stream_empty());

@@ -69,10 +69,10 @@ pub use controllers::{
     PredictiveController, TableController,
 };
 pub use dvfs::{DvfsModel, LevelChoice};
+pub use error::CoreError;
 pub use governors::{IntervalGovernor, WcetController};
 pub use hybrid::HybridController;
-pub use error::CoreError;
 pub use model::ExecTimeModel;
 pub use slicer::{SliceFlavor, SlicePredictor, SliceRun, SliceRunner};
-pub use software::{CpuModel, SoftwarePredictor, SoftwarePrediction};
+pub use software::{CpuModel, SoftwarePrediction, SoftwarePredictor};
 pub use train::{TrainerConfig, TrainingData};

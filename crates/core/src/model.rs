@@ -88,7 +88,7 @@ impl ExecTimeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use predvfs_rtl::builder::{E, ModuleBuilder};
+    use predvfs_rtl::builder::{ModuleBuilder, E};
     use predvfs_rtl::Analysis;
 
     fn schema() -> FeatureSchema {

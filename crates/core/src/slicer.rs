@@ -6,8 +6,8 @@
 //! which the DVFS model must budget for.
 
 use predvfs_rtl::{
-    slice, Analysis, DatapathKind, ExecMode, JobInput, Module, ProbeProgram,
-    RtlError, SliceOptions, SliceReport, Simulator,
+    slice, Analysis, DatapathKind, ExecMode, JobInput, Module, ProbeProgram, RtlError, Simulator,
+    SliceOptions, SliceReport,
 };
 
 use crate::error::CoreError;
@@ -142,7 +142,9 @@ impl SliceRunner<'_> {
     /// Returns [`RtlError`] if the slice hangs (which would indicate a
     /// slicing bug).
     pub fn run(&self, job: &JobInput) -> Result<SliceRun, RtlError> {
-        let t = self.sim.run(job, ExecMode::Compressed, Some(&self.predictor.probes))?;
+        let t = self
+            .sim
+            .run(job, ExecMode::Compressed, Some(&self.predictor.probes))?;
         let mut cycles = t.cycles as f64;
         if let SliceFlavor::Hls { serial_speedup, .. } = self.predictor.flavor {
             let serial: u64 = self
@@ -178,20 +180,16 @@ mod tests {
     #[test]
     fn slice_features_match_full_design() {
         let (m, model) = setup();
-        let sp =
-            SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
-                .unwrap();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
         let runner = sp.runner();
-        let data = crate::train::profile(&m, &md::workloads(8, WorkloadSize::Quick).test[..3].to_vec()).unwrap();
+        let data =
+            crate::train::profile(&m, &md::workloads(8, WorkloadSize::Quick).test[..3]).unwrap();
         let jobs = md::workloads(8, WorkloadSize::Quick).test;
         for (i, job) in jobs.iter().take(3).enumerate() {
             let run = runner.run(job).unwrap();
             for &c in model.selected() {
-                assert_eq!(
-                    run.features[c],
-                    data.x.get(i, c),
-                    "feature {c} of job {i}"
-                );
+                assert_eq!(run.features[c], data.x.get(i, c), "feature {c} of job {i}");
             }
         }
     }
@@ -199,9 +197,8 @@ mod tests {
     #[test]
     fn hls_flavor_shrinks_serial_time() {
         let (m, model) = setup();
-        let rtl =
-            SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
-                .unwrap();
+        let rtl = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
         let hls = SlicePredictor::generate(
             &m,
             &model,
@@ -212,7 +209,12 @@ mod tests {
         let job = &md::workloads(9, WorkloadSize::Quick).test[0];
         let tr = rtl.runner().run(job).unwrap();
         let th = hls.runner().run(job).unwrap();
-        assert!(th.cycles < tr.cycles * 0.5, "{} vs {}", th.cycles, tr.cycles);
+        assert!(
+            th.cycles < tr.cycles * 0.5,
+            "{} vs {}",
+            th.cycles,
+            tr.cycles
+        );
         assert_eq!(tr.features, th.features);
         assert!(hls.area_factor() < 1.0);
         assert_eq!(rtl.area_factor(), 1.0);
@@ -221,9 +223,8 @@ mod tests {
     #[test]
     fn slice_is_small_and_fast() {
         let (m, model) = setup();
-        let sp =
-            SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
-                .unwrap();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
         let full_area = predvfs_rtl::AsicAreaModel::default().area(&m).total_um2();
         let slice_area = predvfs_rtl::AsicAreaModel::default()
             .area(sp.module())

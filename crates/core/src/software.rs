@@ -107,11 +107,10 @@ mod tests {
         let m = sha::build();
         let w = sha::workloads(3, WorkloadSize::Quick);
         let model = train(&m, &w.train, &TrainerConfig::default()).unwrap();
-        let sp =
-            SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
-                .unwrap();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
         let sw = SoftwarePredictor::new(&sp, &model, CpuModel::default());
-        let data = profile(&m, &w.test[..3].to_vec()).unwrap();
+        let data = profile(&m, &w.test[..3]).unwrap();
         for (i, job) in w.test.iter().take(3).enumerate() {
             let p = sw.predict(job).unwrap();
             let actual = data.y[i];

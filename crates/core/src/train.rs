@@ -8,7 +8,7 @@
 //! selected support) recovers the accuracy the L1 shrinkage costs.
 
 use predvfs_opt::{AsymLasso, FitOptions, Matrix, Standardizer};
-use predvfs_rtl::{Analysis, ExecMode, FeatureSchema, JobInput, Module, Simulator};
+use predvfs_rtl::{Analysis, ExecMode, FeatureSchema, JobInput, JobTrace, Module, Simulator};
 
 use crate::error::CoreError;
 use crate::model::ExecTimeModel;
@@ -49,10 +49,21 @@ pub struct TrainingData {
     pub y: Vec<f64>,
     /// Column layout.
     pub schema: FeatureSchema,
+    /// Full per-job traces from the profiling runs, in job order.
+    ///
+    /// Probes are timing-neutral, so `traces[i].cycles` and
+    /// `traces[i].dp_active` are exactly what an unprobed simulation
+    /// would report — downstream consumers (e.g. leakage calibration)
+    /// can reuse them instead of re-simulating the training set.
+    pub traces: Vec<JobTrace>,
 }
 
 /// Runs the instrumented accelerator over `jobs`, recording feature values
 /// and execution time for each (the "RTL simulation" box of Fig. 6).
+///
+/// Jobs are simulated in parallel (they are independent); rows are
+/// written back in job order, so the result is bit-identical to a serial
+/// profile.
 ///
 /// # Errors
 ///
@@ -65,14 +76,21 @@ pub fn profile(module: &Module, jobs: &[JobInput]) -> Result<TrainingData, CoreE
     let schema = FeatureSchema::from_analysis(module, &analysis);
     let probes = schema.probe_program(&analysis);
     let sim = Simulator::with_analysis(module, &analysis);
+    let traces: Vec<_> = predvfs_par::par_try_map(jobs, |job| {
+        sim.run(job, ExecMode::FastForward, Some(&probes))
+    })?;
     let mut x = Matrix::zeros(jobs.len(), schema.len());
     let mut y = Vec::with_capacity(jobs.len());
-    for (i, job) in jobs.iter().enumerate() {
-        let t = sim.run(job, ExecMode::FastForward, Some(&probes))?;
+    for (i, t) in traces.iter().enumerate() {
         x.row_mut(i).copy_from_slice(&t.features);
         y.push(t.cycles as f64);
     }
-    Ok(TrainingData { x, y, schema })
+    Ok(TrainingData {
+        x,
+        y,
+        schema,
+        traces,
+    })
 }
 
 /// Fits the execution-time model on profiled data.
@@ -111,12 +129,11 @@ pub fn fit(data: &TrainingData, config: &TrainerConfig) -> Result<ExecTimeModel,
         if unpenalized[c1] || (0..xs.rows()).all(|r| xs.get(r, c1) == 0.0) {
             continue;
         }
-        for c2 in (c1 + 1)..xs.cols() {
-            if unpenalized[c2] {
+        for (c2, &unpen) in unpenalized.iter().enumerate().skip(c1 + 1) {
+            if unpen {
                 continue;
             }
-            let identical =
-                (0..xs.rows()).all(|r| (xs.get(r, c1) - xs.get(r, c2)).abs() < 1e-9);
+            let identical = (0..xs.rows()).all(|r| (xs.get(r, c1) - xs.get(r, c2)).abs() < 1e-9);
             if identical {
                 for r in 0..xs.rows() {
                     *xs.get_mut(r, c2) = 0.0;
@@ -204,7 +221,7 @@ pub fn train(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use predvfs_rtl::builder::{E, ModuleBuilder};
+    use predvfs_rtl::builder::{ModuleBuilder, E};
     use rand::Rng;
 
     /// Toy accelerator: cycles ≈ 3·a + b per token plus small control
@@ -216,7 +233,14 @@ mod tests {
         let _noise = b.input("noise", 8);
         let fsm = b.fsm("ctrl", &["FETCH", "WA", "WB", "EMIT"]);
         let ca = b.wait_state(&fsm, "WA", "WB", "ca");
-        b.enter_wait(&fsm, "FETCH", "WA", ca, a * E::k(3), E::stream_empty().is_zero());
+        b.enter_wait(
+            &fsm,
+            "FETCH",
+            "WA",
+            ca,
+            a * E::k(3),
+            E::stream_empty().is_zero(),
+        );
         let cb = b.wait_state(&fsm, "WB", "EMIT", "cb");
         b.set(cb, fsm.in_state("WA") & ca.e().eq_(E::zero()), bb);
         b.trans(&fsm, "EMIT", "FETCH", E::one());
@@ -286,9 +310,6 @@ mod tests {
     #[test]
     fn empty_training_set_is_an_error() {
         let m = toy();
-        assert!(matches!(
-            profile(&m, &[]),
-            Err(CoreError::EmptyTrainingSet)
-        ));
+        assert!(matches!(profile(&m, &[]), Err(CoreError::EmptyTrainingSet)));
     }
 }

@@ -37,6 +37,8 @@ pub mod standardize;
 pub mod stats;
 
 pub use matrix::{dot, norm2, Matrix};
-pub use solver::{soft_threshold, AsymLasso, FitOptions, FitResult};
+pub use solver::{
+    convergence_check, soft_threshold, AsymLasso, CheckOutcome, FitOptions, FitResult,
+};
 pub use standardize::Standardizer;
 pub use stats::{mean, quantile, BoxStats};

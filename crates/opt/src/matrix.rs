@@ -114,8 +114,7 @@ impl Matrix {
         assert_eq!(v.len(), self.rows);
         assert_eq!(out.len(), self.cols);
         out.fill(0.0);
-        for r in 0..self.rows {
-            let s = v[r];
+        for (r, &s) in v.iter().enumerate() {
             if s == 0.0 {
                 continue;
             }

@@ -102,7 +102,11 @@ impl AsymLasso<'_> {
         self.x.matvec(beta, resid);
         for (ri, yi) in resid.iter_mut().zip(self.y) {
             let e = *ri - yi;
-            *ri = if e > 0.0 { 2.0 * e } else { 2.0 * self.alpha * e };
+            *ri = if e > 0.0 {
+                2.0 * e
+            } else {
+                2.0 * self.alpha * e
+            };
         }
         self.x.matvec_t(resid, grad);
     }
@@ -152,26 +156,60 @@ impl AsymLasso<'_> {
 
             if it % 10 == 9 {
                 let obj = self.objective(&beta);
-                // FISTA is not monotone; restart momentum on an increase.
-                if obj > prev_obj {
-                    theta.copy_from_slice(&beta);
-                    t = 1.0;
-                }
-                let denom = prev_obj.abs().max(1e-12);
-                if (prev_obj - obj).abs() / denom < options.tol {
-                    prev_obj = obj;
-                    converged = true;
-                    break;
+                match convergence_check(prev_obj, obj, options.tol) {
+                    // FISTA is not monotone; restart momentum on an
+                    // increase and keep iterating — an overshoot within
+                    // tolerance is not convergence.
+                    CheckOutcome::Restart => {
+                        theta.copy_from_slice(&beta);
+                        t = 1.0;
+                    }
+                    CheckOutcome::Converged => {
+                        converged = true;
+                        break;
+                    }
+                    CheckOutcome::Continue => {}
                 }
                 prev_obj = obj;
             }
         }
         FitResult {
-            objective: prev_obj,
+            // Evaluate at the returned coefficients: the periodic sample
+            // lags beta by up to 9 iterations when max_iter exits.
+            objective: self.objective(&beta),
             beta,
             iterations,
             converged,
         }
+    }
+}
+
+/// Outcome of the solver's periodic objective check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Objective increased: restart momentum and keep iterating.
+    Restart,
+    /// Relative change fell below tolerance: stop.
+    Converged,
+    /// Keep iterating.
+    Continue,
+}
+
+/// Classifies one periodic objective sample against the previous one.
+///
+/// An increase is always [`CheckOutcome::Restart`], never
+/// [`CheckOutcome::Converged`], even when its magnitude is within
+/// tolerance: the increase means the momentum sequence overshot, and the
+/// restarted iterations that follow can still make progress.
+pub fn convergence_check(prev_obj: f64, obj: f64, tol: f64) -> CheckOutcome {
+    if obj > prev_obj {
+        return CheckOutcome::Restart;
+    }
+    let denom = prev_obj.abs().max(1e-12);
+    if (prev_obj - obj).abs() / denom < tol {
+        CheckOutcome::Converged
+    } else {
+        CheckOutcome::Continue
     }
 }
 
@@ -284,7 +322,11 @@ mod tests {
         let start = prob.objective(&[0.0, 0.0, 0.0]);
         let fit = prob.fit(FitOptions::default());
         assert!(fit.objective < start);
-        assert!(fit.converged, "did not converge in {} iters", fit.iterations);
+        assert!(
+            fit.converged,
+            "did not converge in {} iters",
+            fit.iterations
+        );
     }
 
     #[test]
@@ -298,9 +340,9 @@ mod tests {
             unpenalized: unpenalized_bias(3),
         };
         let fit = prob.fit(FitOptions::default());
-        for r in 0..x.rows() {
+        for (r, yr) in y.iter().enumerate() {
             let p = dot(x.row(r), &fit.beta);
-            assert!((p - y[r]).abs() < 0.2, "row {r}: {p} vs {}", y[r]);
+            assert!((p - yr).abs() < 0.2, "row {r}: {p} vs {yr}");
         }
     }
 
@@ -310,6 +352,53 @@ mod tests {
         assert_eq!(soft_threshold(-5.0, 2.0), -3.0);
         assert_eq!(soft_threshold(1.0, 2.0), 0.0);
         assert_eq!(soft_threshold(-1.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn restart_is_never_converged() {
+        // Regression: an objective *increase* within tolerance used to
+        // pass the convergence test on the same iteration that triggered
+        // a momentum restart, declaring a divergent step "converged".
+        assert_eq!(
+            convergence_check(1.0, 1.0 + 1e-12, 1e-9),
+            CheckOutcome::Restart
+        );
+        assert_eq!(convergence_check(1.0, 2.0, 1e-9), CheckOutcome::Restart);
+        // Decreases classify by relative change as before.
+        assert_eq!(
+            convergence_check(1.0, 1.0 - 1e-12, 1e-9),
+            CheckOutcome::Converged
+        );
+        assert_eq!(convergence_check(1.0, 0.5, 1e-9), CheckOutcome::Continue);
+        // Zero-objective fixed point is converged, not a restart.
+        assert_eq!(convergence_check(0.0, 0.0, 1e-9), CheckOutcome::Converged);
+    }
+
+    #[test]
+    fn reported_objective_matches_returned_beta() {
+        // Regression: at max_iter exit, `objective` was the periodic
+        // sample, lagging `beta` by up to 9 iterations. Use an iteration
+        // cap that is not a multiple of the sampling period so the lag
+        // would show.
+        let (x, y) = design(40);
+        let prob = AsymLasso {
+            x: &x,
+            y: &y,
+            alpha: 4.0,
+            gamma: 1.0,
+            unpenalized: unpenalized_bias(3),
+        };
+        let fit = prob.fit(FitOptions {
+            max_iter: 23,
+            tol: 0.0,
+        });
+        assert!(!fit.converged);
+        assert_eq!(fit.iterations, 23);
+        assert_eq!(
+            fit.objective,
+            prob.objective(&fit.beta),
+            "reported objective must be evaluated at the returned beta"
+        );
     }
 
     #[test]

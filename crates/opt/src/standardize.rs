@@ -78,8 +78,8 @@ impl Standardizer {
         let mut out = x.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
-            for c in 0..row.len() {
-                row[c] = (row[c] - self.mean[c]) / self.scale[c];
+            for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.scale) {
+                *v = (*v - m) / s;
             }
         }
         out

@@ -146,7 +146,7 @@ impl EnergyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use predvfs_rtl::builder::{E, ModuleBuilder};
+    use predvfs_rtl::builder::{ModuleBuilder, E};
     use predvfs_rtl::AsicAreaModel;
 
     fn toy() -> Module {

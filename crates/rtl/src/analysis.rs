@@ -36,11 +36,7 @@ pub struct FsmInfo {
 impl FsmInfo {
     /// Distinct `(src, dst)` transition pairs, sorted.
     pub fn transition_pairs(&self) -> Vec<(u64, u64)> {
-        let mut pairs: Vec<(u64, u64)> = self
-            .transitions
-            .iter()
-            .map(|&(s, d, _)| (s, d))
-            .collect();
+        let mut pairs: Vec<(u64, u64)> = self.transitions.iter().map(|&(s, d, _)| (s, d)).collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs
@@ -136,9 +132,7 @@ impl Analysis {
 
     /// Looks up the wait state for `(fsm, state)`, if any.
     pub fn wait_for(&self, fsm: RegId, state: u64) -> Option<&WaitState> {
-        self.waits
-            .iter()
-            .find(|w| w.fsm == fsm && w.state == state)
+        self.waits.iter().find(|w| w.fsm == fsm && w.state == state)
     }
 }
 
@@ -157,9 +151,10 @@ fn self_state_of(guard: &Expr, reg: RegId) -> Option<u64> {
 /// True if `guard` is provably false whenever `fsm == state`: it contains a
 /// conjunct pinning `fsm` to a different state.
 pub fn provably_inactive_in(guard: &Expr, fsm: RegId, state: u64) -> bool {
-    guard.conjuncts().iter().any(|c| {
-        matches!(c.as_reg_eq_const(), Some((r, k)) if r == fsm && k != state)
-    })
+    guard
+        .conjuncts()
+        .iter()
+        .any(|c| matches!(c.as_reg_eq_const(), Some((r, k)) if r == fsm && k != state))
 }
 
 /// True if `e` is provably zero whenever `fsm == state` (constant zero, or
@@ -279,7 +274,7 @@ fn is_zero_test(e: &Expr, c: RegId) -> bool {
 
 /// If the expression is `c == bound` with `bound` not reading `c`, returns
 /// the bound expression (count-up exit test).
-fn as_bound_test<'e>(e: &'e Expr, c: RegId) -> Option<&'e Expr> {
+fn as_bound_test(e: &Expr, c: RegId) -> Option<&Expr> {
     if let Expr::Bin(BinOp::Eq, a, b) = e {
         match (a.as_ref(), b.as_ref()) {
             (Expr::Reg(r), bound) if *r == c && !bound.reads_reg(c) => return Some(bound),
@@ -334,12 +329,12 @@ fn try_wait_state(
                         WaitDir::Down => is_positivity_test(conj, creg),
                         WaitDir::Up => {
                             // allow `c < bound` / `c != bound` style guards
-                            !conj.reads_reg(f)
-                                && {
-                                    let mut regs = Vec::new();
-                                    conj.collect_regs(&mut regs);
-                                    regs.iter().all(|r| *r == creg || !changes_in(module, *r, f, state))
-                                }
+                            !conj.reads_reg(f) && {
+                                let mut regs = Vec::new();
+                                conj.collect_regs(&mut regs);
+                                regs.iter()
+                                    .all(|r| *r == creg || !changes_in(module, *r, f, state))
+                            }
                         }
                     };
                     if !ok {
@@ -488,7 +483,7 @@ fn changes_in(module: &Module, reg: RegId, fsm: RegId, state: u64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{E, ModuleBuilder};
+    use crate::builder::{ModuleBuilder, E};
 
     fn timed_module() -> (Module, RegId, RegId) {
         let mut b = ModuleBuilder::new("t");
@@ -546,14 +541,21 @@ mod tests {
         let fsm = b.fsm("ctrl", &["A", "B"]);
         let sh = b.reg("sh", 16, 0);
         b.set(sh, fsm.in_state("A"), bits);
-        b.set(sh, fsm.in_state("B") & sh.e().gt(E::zero()), sh.e() >> E::one());
+        b.set(
+            sh,
+            fsm.in_state("B") & sh.e().gt(E::zero()),
+            sh.e() >> E::one(),
+        );
         b.trans(&fsm, "A", "B", E::one());
         b.trans(&fsm, "B", "A", sh.e().eq_(E::zero()));
         let m = b.build().unwrap();
         let fsms = find_fsms(&m);
         assert_eq!(fsms.len(), 1);
         let ctrs = find_counters(&m, &fsms);
-        assert!(ctrs.is_empty(), "shift register must not look like a counter");
+        assert!(
+            ctrs.is_empty(),
+            "shift register must not look like a counter"
+        );
         // And B must not be a wait state: nothing fast-forwardable ticks.
         let a = Analysis::run(&m);
         assert!(a.waits.is_empty());
@@ -566,11 +568,7 @@ mod tests {
         let fsm = b.fsm("ctrl", &["A", "W", "D"]);
         let c = b.reg("c", 32, 0);
         b.set(c, fsm.in_state("A"), E::zero());
-        b.set(
-            c,
-            fsm.in_state("W") & c.e().lt(n.clone()),
-            c.e() + E::one(),
-        );
+        b.set(c, fsm.in_state("W") & c.e().lt(n.clone()), c.e() + E::one());
         b.trans(&fsm, "A", "W", E::one());
         b.trans(&fsm, "W", "D", c.e().eq_(n));
         b.done_when(fsm.in_state("D"));
@@ -617,7 +615,14 @@ mod tests {
         let dur = b.input("dur", 16);
         let fsm = b.fsm("ctrl", &["IDLE", "WAIT", "DONE"]);
         let c = b.timed(&fsm, "IDLE", "WAIT", "DONE", dur, E::one(), "cnt");
-        b.datapath_compute("alu", fsm.in_state("WAIT") & c.e().gt(E::k(3)), 10.0, 0.5, 20, 0);
+        b.datapath_compute(
+            "alu",
+            fsm.in_state("WAIT") & c.e().gt(E::k(3)),
+            10.0,
+            0.5,
+            20,
+            0,
+        );
         b.done_when(fsm.in_state("DONE"));
         let m = b.build().unwrap();
         let a = Analysis::run(&m);

@@ -75,8 +75,7 @@ impl AsicAreaModel {
             control += f64::from(r.width) * self.um2_per_reg_bit;
             control += control_ops(r) as f64 * self.um2_per_op;
         }
-        control += (module.advance.op_count() + module.done.op_count()) as f64
-            * self.um2_per_op;
+        control += (module.advance.op_count() + module.done.op_count()) as f64 * self.um2_per_op;
         for dp in &module.datapaths {
             control += dp.active.op_count() as f64 * self.um2_per_op;
         }
@@ -169,8 +168,7 @@ impl FpgaResourceModel {
                 .map(|rule| (rule.guard.mul_count() + rule.value.mul_count()) as u64)
                 .sum::<u64>();
         }
-        luts += (module.advance.op_count() + module.done.op_count()) as f64
-            * self.luts_per_op;
+        luts += (module.advance.op_count() + module.done.op_count()) as f64 * self.luts_per_op;
         for dp in &module.datapaths {
             luts += f64::from(dp.luts);
             luts += dp.active.op_count() as f64 * self.luts_per_op;
@@ -192,7 +190,7 @@ impl FpgaResourceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{E, ModuleBuilder};
+    use crate::builder::{ModuleBuilder, E};
 
     fn sample() -> Module {
         let mut b = ModuleBuilder::new("m");

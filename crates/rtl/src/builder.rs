@@ -120,11 +120,13 @@ impl E {
     }
 
     /// Integer division (division by zero yields zero).
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: impl Into<E>) -> E {
         E::bin(BinOp::Div, self, rhs.into())
     }
 
     /// Remainder (modulo zero yields zero).
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, rhs: impl Into<E>) -> E {
         E::bin(BinOp::Rem, self, rhs.into())
     }
@@ -159,6 +161,7 @@ impl E {
     }
 
     /// Bitwise NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> E {
         E(Expr::Un(UnOp::Not, Box::new(self.0)))
     }
@@ -355,6 +358,7 @@ impl ModuleBuilder {
     ///
     /// This is the canonical RTL idiom the paper's counter features (IC /
     /// AIV / APV) are mined from. Returns the counter register.
+    #[allow(clippy::too_many_arguments)]
     pub fn timed(
         &mut self,
         fsm: &Fsm,

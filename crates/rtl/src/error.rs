@@ -66,7 +66,11 @@ impl fmt::Display for RtlError {
                 f,
                 "register `{name}` reset value {init} does not fit in {width} bits"
             ),
-            RtlError::DuplicateName { name, first, second } => write!(
+            RtlError::DuplicateName {
+                name,
+                first,
+                second,
+            } => write!(
                 f,
                 "register name `{name}` used twice (indices {first} and {second})"
             ),
@@ -98,9 +102,20 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs: Vec<RtlError> = vec![
-            RtlError::BadWidth { name: "x".into(), width: 0 },
-            RtlError::InitOutOfRange { name: "x".into(), init: 9, width: 2 },
-            RtlError::DuplicateName { name: "x".into(), first: 0, second: 1 },
+            RtlError::BadWidth {
+                name: "x".into(),
+                width: 0,
+            },
+            RtlError::InitOutOfRange {
+                name: "x".into(),
+                init: 9,
+                width: 2,
+            },
+            RtlError::DuplicateName {
+                name: "x".into(),
+                first: 0,
+                second: 1,
+            },
             RtlError::DanglingReg { id: 3 },
             RtlError::DanglingInput { id: 4 },
             RtlError::CycleLimit { limit: 10 },

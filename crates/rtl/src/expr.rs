@@ -57,20 +57,8 @@ impl BinOp {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
             BinOp::Mul => a.wrapping_mul(b),
-            BinOp::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
-            BinOp::Rem => {
-                if b == 0 {
-                    0
-                } else {
-                    a % b
-                }
-            }
+            BinOp::Div => a.checked_div(b).unwrap_or(0),
+            BinOp::Rem => a.checked_rem(b).unwrap_or(0),
             BinOp::And => a & b,
             BinOp::Or => a | b,
             BinOp::Xor => a ^ b,
@@ -224,9 +212,7 @@ impl Expr {
             Expr::Reg(_) => true,
             Expr::Bin(_, a, b) => a.reads_any_reg() || b.reads_any_reg(),
             Expr::Un(_, a) => a.reads_any_reg(),
-            Expr::Mux(c, t, e) => {
-                c.reads_any_reg() || t.reads_any_reg() || e.reads_any_reg()
-            }
+            Expr::Mux(c, t, e) => c.reads_any_reg() || t.reads_any_reg() || e.reads_any_reg(),
         }
     }
 
@@ -410,11 +396,7 @@ mod tests {
     #[test]
     fn conjunct_decomposition() {
         let r = RegId::new(0);
-        let a = Expr::Bin(
-            BinOp::Eq,
-            Box::new(Expr::Reg(r)),
-            Box::new(Expr::Const(2)),
-        );
+        let a = Expr::Bin(BinOp::Eq, Box::new(Expr::Reg(r)), Box::new(Expr::Const(2)));
         let b = Expr::Bin(
             BinOp::Lt,
             Box::new(Expr::Input(InputId::new(0))),
@@ -430,18 +412,10 @@ mod tests {
     #[test]
     fn self_step_detection() {
         let r = RegId::new(3);
-        let dec = Expr::Bin(
-            BinOp::Sub,
-            Box::new(Expr::Reg(r)),
-            Box::new(Expr::Const(1)),
-        );
+        let dec = Expr::Bin(BinOp::Sub, Box::new(Expr::Reg(r)), Box::new(Expr::Const(1)));
         assert_eq!(dec.as_self_step(r), Some(-1));
         assert_eq!(dec.as_self_step(RegId::new(4)), None);
-        let inc = Expr::Bin(
-            BinOp::Add,
-            Box::new(Expr::Reg(r)),
-            Box::new(Expr::Const(2)),
-        );
+        let inc = Expr::Bin(BinOp::Add, Box::new(Expr::Reg(r)), Box::new(Expr::Const(2)));
         assert_eq!(inc.as_self_step(r), Some(2));
     }
 

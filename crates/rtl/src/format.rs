@@ -50,7 +50,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -492,7 +496,11 @@ impl Parser {
                     PExpr::Mux(Box::new(a), Box::new(b), Box::new(c))
                 } else {
                     self.expect_punct(")")?;
-                    let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                    let op = if name == "min" {
+                        BinOp::Min
+                    } else {
+                        BinOp::Max
+                    };
                     PExpr::Bin(op, Box::new(a), Box::new(b))
                 };
                 Ok(e)
@@ -519,11 +527,9 @@ impl Parser {
                 })?;
                 Expr::Reg(RegId::new(*id))
             }
-            PExpr::Bin(op, a, b) => Expr::Bin(
-                *op,
-                Box::new(self.resolve(a)?),
-                Box::new(self.resolve(b)?),
-            ),
+            PExpr::Bin(op, a, b) => {
+                Expr::Bin(*op, Box::new(self.resolve(a)?), Box::new(self.resolve(b)?))
+            }
             PExpr::Un(op, a) => Expr::Un(*op, Box::new(self.resolve(a)?)),
             PExpr::Mux(c, t, f) => Expr::Mux(
                 Box::new(self.resolve(c)?),
@@ -674,10 +680,8 @@ pub fn from_text(src: &str) -> Result<Module, ParseError> {
     // Order registers by first-declaration order (RawReg order), but ids
     // were assigned on first *sight* (which may be a forward reference in
     // an expression). Build in id order.
-    let mut by_name: HashMap<String, RawReg> = raw_regs
-        .into_iter()
-        .map(|r| (r.name.clone(), r))
-        .collect();
+    let mut by_name: HashMap<String, RawReg> =
+        raw_regs.into_iter().map(|r| (r.name.clone(), r)).collect();
     for rname in p.reg_order.clone() {
         let raw = by_name.remove(&rname).ok_or_else(|| ParseError {
             message: format!("register `{rname}` referenced but never declared"),
@@ -703,17 +707,19 @@ pub fn from_text(src: &str) -> Result<Module, ParseError> {
     }
     let datapaths = datapaths
         .into_iter()
-        .map(|(dname, kind, area_um2, energy_per_cycle, luts, dsps, active)| {
-            Ok(Datapath {
-                name: dname,
-                active: p.resolve(&active)?,
-                kind,
-                area_um2,
-                energy_per_cycle,
-                luts,
-                dsps,
-            })
-        })
+        .map(
+            |(dname, kind, area_um2, energy_per_cycle, luts, dsps, active)| {
+                Ok(Datapath {
+                    name: dname,
+                    active: p.resolve(&active)?,
+                    kind,
+                    area_um2,
+                    energy_per_cycle,
+                    luts,
+                    dsps,
+                })
+            },
+        )
         .collect::<Result<Vec<_>, ParseError>>()?;
 
     let module = Module {
@@ -736,14 +742,22 @@ pub fn from_text(src: &str) -> Result<Module, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{E, ModuleBuilder};
+    use crate::builder::{ModuleBuilder, E};
     use crate::interp::{ExecMode, JobInput, Simulator};
 
     fn toy() -> Module {
         let mut b = ModuleBuilder::new("toy");
         let dur = b.input("dur", 16);
         let fsm = b.fsm("ctrl", &["FETCH", "RUN", "EMIT"]);
-        b.timed(&fsm, "FETCH", "RUN", "EMIT", dur * E::k(3) + E::k(5), E::stream_empty().is_zero(), "cnt");
+        b.timed(
+            &fsm,
+            "FETCH",
+            "RUN",
+            "EMIT",
+            dur * E::k(3) + E::k(5),
+            E::stream_empty().is_zero(),
+            "cnt",
+        );
         b.trans(&fsm, "EMIT", "FETCH", E::one());
         b.datapath_compute("alu", fsm.in_state("RUN"), 512.5, 0.9, 64, 2);
         b.memory("spm", 2048, false);
@@ -775,8 +789,12 @@ mod tests {
         j.push(&[9]);
         j.push(&[0]);
         j.push(&[250]);
-        let a = Simulator::new(&m).run(&j, ExecMode::FastForward, None).unwrap();
-        let b = Simulator::new(&back).run(&j, ExecMode::FastForward, None).unwrap();
+        let a = Simulator::new(&m)
+            .run(&j, ExecMode::FastForward, None)
+            .unwrap();
+        let b = Simulator::new(&back)
+            .run(&j, ExecMode::FastForward, None)
+            .unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.dp_active, b.dp_active);
     }
@@ -789,10 +807,21 @@ mod tests {
         let x = b.input("x", 9);
         let fsm = b.fsm("ctrl", &["A", "W", "HX", "B"]);
         let c = b.wait_state(&fsm, "W", "HX", "c");
-        b.enter_wait(&fsm, "A", "W", c, x.clone() * E::k(2) + E::k(20), E::stream_empty().is_zero());
+        b.enter_wait(
+            &fsm,
+            "A",
+            "W",
+            c,
+            x.clone() * E::k(2) + E::k(20),
+            E::stream_empty().is_zero(),
+        );
         let sh = b.reg("sh", 16, 0);
         b.set(sh, fsm.in_state("W") & c.e().eq_(E::zero()), x.clone());
-        b.set(sh, fsm.in_state("HX") & sh.e().ne_(E::zero()), sh.e() - (sh.e() >> E::k(3)) - E::one());
+        b.set(
+            sh,
+            fsm.in_state("HX") & sh.e().ne_(E::zero()),
+            sh.e() - (sh.e() >> E::k(3)) - E::one(),
+        );
         b.trans(&fsm, "HX", "B", sh.e().eq_(E::zero()));
         b.trans(&fsm, "B", "A", E::one());
         b.datapath_serial("scan", fsm.in_state("HX"), 77.0, 1.0, 12, 0);
@@ -812,7 +841,8 @@ mod tests {
 
     #[test]
     fn unknown_register_is_rejected() {
-        let src = "module m {\n  reg a: 8 = 0 {\n    ghost + 1 when 1;\n  }\n  advance 0;\n  done 1;\n}";
+        let src =
+            "module m {\n  reg a: 8 = 0 {\n    ghost + 1 when 1;\n  }\n  advance 0;\n  done 1;\n}";
         let err = from_text(src).unwrap_err();
         assert!(err.message.contains("ghost"), "{err}");
     }

@@ -263,14 +263,22 @@ impl ProbeProgram {
 mod tests {
     use super::*;
     use crate::analysis::Analysis;
-    use crate::builder::{E, ModuleBuilder};
+    use crate::builder::{ModuleBuilder, E};
     use crate::interp::{ExecMode, JobInput, Simulator};
 
     fn toy() -> Module {
         let mut b = ModuleBuilder::new("toy");
         let dur = b.input("dur", 16);
         let fsm = b.fsm("ctrl", &["FETCH", "RUN", "EMIT"]);
-        b.timed(&fsm, "FETCH", "RUN", "EMIT", dur, E::stream_empty().is_zero(), "ctrl.cnt");
+        b.timed(
+            &fsm,
+            "FETCH",
+            "RUN",
+            "EMIT",
+            dur,
+            E::stream_empty().is_zero(),
+            "ctrl.cnt",
+        );
         b.trans(&fsm, "EMIT", "FETCH", E::one());
         b.advance_when(fsm.in_state("EMIT"));
         b.done_when(fsm.in_state("FETCH") & E::stream_empty());
@@ -308,7 +316,9 @@ mod tests {
         let s = FeatureSchema::from_analysis(&m, &a);
         let p = s.probe_program(&a);
         let sim = Simulator::new(&m);
-        let t = sim.run(&job(&[5, 7, 9]), ExecMode::FastForward, Some(&p)).unwrap();
+        let t = sim
+            .run(&job(&[5, 7, 9]), ExecMode::FastForward, Some(&p))
+            .unwrap();
         let by_name = |n: &str| -> f64 {
             let i = s.descs().iter().position(|d| d.name == n).unwrap();
             t.features[i]
@@ -333,7 +343,9 @@ mod tests {
         let p = s.probe_program(&a);
         let sim = Simulator::new(&m);
         let plain = sim.run(&job(&[4, 4]), ExecMode::FastForward, None).unwrap();
-        let probed = sim.run(&job(&[4, 4]), ExecMode::FastForward, Some(&p)).unwrap();
+        let probed = sim
+            .run(&job(&[4, 4]), ExecMode::FastForward, Some(&p))
+            .unwrap();
         assert_eq!(plain.cycles, probed.cycles);
         assert_eq!(plain.dp_active, probed.dp_active);
     }

@@ -63,11 +63,7 @@ impl JobInput {
 
     /// Number of tokens in the stream.
     pub fn len(&self) -> usize {
-        if self.fields == 0 {
-            0
-        } else {
-            self.data.len() / self.fields
-        }
+        self.data.len().checked_div(self.fields).unwrap_or(0)
     }
 
     /// True when the stream holds no tokens.
@@ -269,7 +265,9 @@ impl<'m> Simulator<'m> {
             tokens_consumed: 0,
             stepped_cycles: 0,
             skipped_cycles: 0,
-            features: probes.map(|p| vec![0.0; p.feature_count()]).unwrap_or_default(),
+            features: probes
+                .map(|p| vec![0.0; p.feature_count()])
+                .unwrap_or_default(),
         };
         if let Some(p) = probes {
             // Bias feature is constant 1 for every job.
@@ -429,10 +427,7 @@ pub fn eval(e: &Expr, regs: &[u64], job: &JobInput, tok: usize) -> u64 {
             }
         }
         Expr::StreamEmpty => u64::from(tok >= job.len()),
-        Expr::Bin(op, a, b) => op.apply(
-            eval(a, regs, job, tok),
-            eval(b, regs, job, tok),
-        ),
+        Expr::Bin(op, a, b) => op.apply(eval(a, regs, job, tok), eval(b, regs, job, tok)),
         Expr::Un(op, a) => op.apply(eval(a, regs, job, tok)),
         Expr::Mux(c, t, f) => {
             if eval(c, regs, job, tok) != 0 {
@@ -455,14 +450,22 @@ pub fn reg_id(module: &Module, name: &str) -> RegId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{E, ModuleBuilder};
+    use crate::builder::{ModuleBuilder, E};
 
     /// A toy accelerator: for each token, waits `dur` cycles then emits.
     fn toy() -> Module {
         let mut b = ModuleBuilder::new("toy");
         let dur = b.input("dur", 16);
         let fsm = b.fsm("ctrl", &["FETCH", "RUN", "EMIT"]);
-        b.timed(&fsm, "FETCH", "RUN", "EMIT", dur, E::stream_empty().is_zero(), "ctrl.cnt");
+        b.timed(
+            &fsm,
+            "FETCH",
+            "RUN",
+            "EMIT",
+            dur,
+            E::stream_empty().is_zero(),
+            "ctrl.cnt",
+        );
         b.trans(&fsm, "EMIT", "FETCH", E::one());
         b.datapath_compute("alu", fsm.in_state("RUN"), 500.0, 2.0, 100, 1);
         b.advance_when(fsm.in_state("EMIT"));
@@ -507,8 +510,12 @@ mod tests {
     fn compressed_mode_is_faster() {
         let m = toy();
         let sim = Simulator::new(&m);
-        let full = sim.run(&job(&[100, 100]), ExecMode::FastForward, None).unwrap();
-        let slice = sim.run(&job(&[100, 100]), ExecMode::Compressed, None).unwrap();
+        let full = sim
+            .run(&job(&[100, 100]), ExecMode::FastForward, None)
+            .unwrap();
+        let slice = sim
+            .run(&job(&[100, 100]), ExecMode::Compressed, None)
+            .unwrap();
         assert!(slice.cycles < full.cycles / 2);
         assert_eq!(slice.tokens_consumed, full.tokens_consumed);
     }
@@ -518,7 +525,15 @@ mod tests {
         let mut b = ModuleBuilder::new("serial");
         let dur = b.input("dur", 16);
         let fsm = b.fsm("ctrl", &["FETCH", "SCAN", "EMIT"]);
-        b.timed(&fsm, "FETCH", "SCAN", "EMIT", dur, E::stream_empty().is_zero(), "cnt");
+        b.timed(
+            &fsm,
+            "FETCH",
+            "SCAN",
+            "EMIT",
+            dur,
+            E::stream_empty().is_zero(),
+            "cnt",
+        );
         b.trans(&fsm, "EMIT", "FETCH", E::one());
         b.datapath_serial("huff", fsm.in_state("SCAN"), 80.0, 0.7, 60, 0);
         b.advance_when(fsm.in_state("EMIT"));
@@ -527,7 +542,10 @@ mod tests {
         let sim = Simulator::new(&m);
         let full = sim.run(&job(&[40]), ExecMode::FastForward, None).unwrap();
         let slice = sim.run(&job(&[40]), ExecMode::Compressed, None).unwrap();
-        assert_eq!(full.cycles, slice.cycles, "serial wait must keep its cycles");
+        assert_eq!(
+            full.cycles, slice.cycles,
+            "serial wait must keep its cycles"
+        );
     }
 
     #[test]
@@ -540,7 +558,9 @@ mod tests {
         let m = b.build().unwrap();
         let mut sim = Simulator::new(&m);
         sim.set_cycle_limit(100);
-        let err = sim.run(&JobInput::new(0), ExecMode::Step, None).unwrap_err();
+        let err = sim
+            .run(&JobInput::new(0), ExecMode::Step, None)
+            .unwrap_err();
         assert!(matches!(err, RtlError::CycleLimit { limit: 100 }));
     }
 
@@ -548,7 +568,9 @@ mod tests {
     fn datapath_activity_counts_match_wait_durations() {
         let m = toy();
         let sim = Simulator::new(&m);
-        let t = sim.run(&job(&[10, 20]), ExecMode::FastForward, None).unwrap();
+        let t = sim
+            .run(&job(&[10, 20]), ExecMode::FastForward, None)
+            .unwrap();
         // The ALU is active exactly while RUN holds: duration+1 cycles per
         // token (counter drains duration times, exit observed one cycle
         // later).
@@ -559,7 +581,9 @@ mod tests {
     fn empty_stream_finishes_immediately() {
         let m = toy();
         let sim = Simulator::new(&m);
-        let t = sim.run(&JobInput::new(1), ExecMode::FastForward, None).unwrap();
+        let t = sim
+            .run(&JobInput::new(1), ExecMode::FastForward, None)
+            .unwrap();
         assert_eq!(t.cycles, 0);
         assert_eq!(t.tokens_consumed, 0);
     }

@@ -57,7 +57,7 @@ pub mod wcet;
 
 pub use analysis::Analysis;
 pub use area::{AreaBreakdown, AsicAreaModel, FpgaResourceModel, FpgaResources};
-pub use builder::{E, ModuleBuilder};
+pub use builder::{ModuleBuilder, E};
 pub use error::RtlError;
 pub use format::{from_text, to_text, ParseError};
 pub use instrument::{FeatureDesc, FeatureKind, FeatureSchema, ProbeProgram};

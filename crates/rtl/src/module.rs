@@ -338,10 +338,7 @@ mod tests {
     fn validate_rejects_oversized_init() {
         let mut m = tiny();
         m.regs[0].init = 256;
-        assert!(matches!(
-            m.validate(),
-            Err(RtlError::InitOutOfRange { .. })
-        ));
+        assert!(matches!(m.validate(), Err(RtlError::InitOutOfRange { .. })));
     }
 
     #[test]
@@ -356,10 +353,7 @@ mod tests {
         let mut m = tiny();
         let dup = m.regs[0].clone();
         m.regs.push(dup);
-        assert!(matches!(
-            m.validate(),
-            Err(RtlError::DuplicateName { .. })
-        ));
+        assert!(matches!(m.validate(), Err(RtlError::DuplicateName { .. })));
     }
 
     #[test]

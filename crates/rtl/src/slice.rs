@@ -90,8 +90,7 @@ pub fn slice(
     sliced.name = format!("{}.slice", module.name);
 
     // The registers feeding selected features.
-    let feature_regs: BTreeSet<RegId> =
-        schema.source_regs(selected).into_iter().collect();
+    let feature_regs: BTreeSet<RegId> = schema.source_regs(selected).into_iter().collect();
     // States that selected STC features observe; waits on those states
     // cannot be removed without changing the features.
     let mut observed_states: BTreeSet<(RegId, u64)> = BTreeSet::new();
@@ -267,7 +266,7 @@ fn counter_has_other_readers(module: &Module, counter: RegId, fsm: RegId) -> boo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{E, ModuleBuilder};
+    use crate::builder::{ModuleBuilder, E};
     use crate::interp::{ExecMode, JobInput, Simulator};
 
     /// Toy with two timed stages: stage A's latency comes from the token
@@ -277,7 +276,15 @@ mod tests {
         let mut b = ModuleBuilder::new("two");
         let dur = b.input("dur", 16);
         let fsm = b.fsm("ctrl", &["FETCH", "RUN_A", "GAP", "RUN_B", "EMIT"]);
-        b.timed(&fsm, "FETCH", "RUN_A", "GAP", dur, E::stream_empty().is_zero(), "cnt_a");
+        b.timed(
+            &fsm,
+            "FETCH",
+            "RUN_A",
+            "GAP",
+            dur,
+            E::stream_empty().is_zero(),
+            "cnt_a",
+        );
         b.timed(&fsm, "GAP", "RUN_B", "EMIT", E::k(50), E::one(), "cnt_b");
         b.trans(&fsm, "EMIT", "FETCH", E::one());
         b.datapath_compute("dp_a", fsm.in_state("RUN_A"), 5_000.0, 2.0, 400, 4);
@@ -301,7 +308,10 @@ mod tests {
     }
 
     fn aiv_a_index(s: &FeatureSchema) -> usize {
-        s.descs().iter().position(|d| d.name == "aiv[cnt_a]").unwrap()
+        s.descs()
+            .iter()
+            .position(|d| d.name == "aiv[cnt_a]")
+            .unwrap()
     }
 
     #[test]
@@ -392,8 +402,12 @@ mod tests {
         // Without compression the un-rewritten slice takes as long as the
         // original, as the paper observes.
         let j = job(&[60, 10]);
-        let tf = Simulator::new(&m).run(&j, ExecMode::FastForward, None).unwrap();
-        let ts = Simulator::new(&sl).run(&j, ExecMode::FastForward, None).unwrap();
+        let tf = Simulator::new(&m)
+            .run(&j, ExecMode::FastForward, None)
+            .unwrap();
+        let ts = Simulator::new(&sl)
+            .run(&j, ExecMode::FastForward, None)
+            .unwrap();
         assert_eq!(tf.cycles, ts.cycles);
     }
 
@@ -413,7 +427,9 @@ mod tests {
         let sel = vec![0, aiv_a_index(&s)];
         let (sl, _) = slice(&m, &s, &sel, SliceOptions::default()).unwrap();
         let j = job(&[7, 7, 7, 7]);
-        let ts = Simulator::new(&sl).run(&j, ExecMode::Compressed, None).unwrap();
+        let ts = Simulator::new(&sl)
+            .run(&j, ExecMode::Compressed, None)
+            .unwrap();
         assert_eq!(ts.tokens_consumed, 4);
     }
 }

@@ -211,14 +211,22 @@ fn advance_state_of(module: &Module, fsm: RegId) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{E, ModuleBuilder};
+    use crate::builder::{ModuleBuilder, E};
     use crate::interp::{ExecMode, JobInput, Simulator};
 
     fn toy() -> Module {
         let mut b = ModuleBuilder::new("toy");
         let d = b.input("d", 8); // max 255
         let fsm = b.fsm("ctrl", &["FETCH", "W", "EMIT"]);
-        b.timed(&fsm, "FETCH", "W", "EMIT", d * E::k(2) + E::k(10), E::stream_empty().is_zero(), "c");
+        b.timed(
+            &fsm,
+            "FETCH",
+            "W",
+            "EMIT",
+            d * E::k(2) + E::k(10),
+            E::stream_empty().is_zero(),
+            "c",
+        );
         b.trans(&fsm, "EMIT", "FETCH", E::one());
         b.advance_when(fsm.in_state("EMIT"));
         b.done_when(fsm.in_state("FETCH") & E::stream_empty());

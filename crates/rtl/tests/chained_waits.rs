@@ -2,10 +2,10 @@
 //! wait's exit cycle), multi-entry waits, count-up waits, and the pretty
 //! printer — the corners the benchmark accelerators lean on.
 
-use predvfs_rtl::builder::{E, ModuleBuilder};
 use predvfs_rtl::analysis::WaitState;
+use predvfs_rtl::builder::{ModuleBuilder, E};
 use predvfs_rtl::{
-    slice, Analysis, ExecMode, FeatureSchema, JobInput, Module, SliceOptions, Simulator,
+    slice, Analysis, ExecMode, FeatureSchema, JobInput, Module, Simulator, SliceOptions,
 };
 
 /// Three chained waits with no routing states in between.
@@ -14,9 +14,20 @@ fn chain() -> Module {
     let a = b.input("a", 8);
     let fsm = b.fsm("ctrl", &["FETCH", "W0", "W1", "W2", "EMIT"]);
     let c0 = b.wait_state(&fsm, "W0", "W1", "c0");
-    b.enter_wait(&fsm, "FETCH", "W0", c0, a.clone() + E::k(2), E::stream_empty().is_zero());
+    b.enter_wait(
+        &fsm,
+        "FETCH",
+        "W0",
+        c0,
+        a.clone() + E::k(2),
+        E::stream_empty().is_zero(),
+    );
     let c1 = b.wait_state(&fsm, "W1", "W2", "c1");
-    b.set(c1, fsm.in_state("W0") & c0.e().eq_(E::zero()), a.clone() * E::k(2));
+    b.set(
+        c1,
+        fsm.in_state("W0") & c0.e().eq_(E::zero()),
+        a.clone() * E::k(2),
+    );
     let c2 = b.wait_state(&fsm, "W2", "EMIT", "c2");
     b.set(c2, fsm.in_state("W1") & c1.e().eq_(E::zero()), E::k(7));
     b.trans(&fsm, "EMIT", "FETCH", E::one());
@@ -59,7 +70,9 @@ fn chained_counters_record_correct_features() {
     let schema = FeatureSchema::from_analysis(&m, &an);
     let probes = schema.probe_program(&an);
     let sim = Simulator::new(&m);
-    let t = sim.run(&job(&[10, 4]), ExecMode::FastForward, Some(&probes)).unwrap();
+    let t = sim
+        .run(&job(&[10, 4]), ExecMode::FastForward, Some(&probes))
+        .unwrap();
     let feat = |n: &str| {
         let i = schema.descs().iter().position(|d| d.name == n).unwrap();
         t.features[i]
@@ -85,8 +98,12 @@ fn chained_wait_slice_preserves_features_and_timing_order() {
     let (sl, _) = slice(&m, &schema, &[aiv_c1], SliceOptions::default()).unwrap();
     let probes = schema.probe_program(&an);
     let j = job(&[33, 7, 1]);
-    let full = Simulator::new(&m).run(&j, ExecMode::FastForward, Some(&probes)).unwrap();
-    let slim = Simulator::new(&sl).run(&j, ExecMode::Compressed, Some(&probes)).unwrap();
+    let full = Simulator::new(&m)
+        .run(&j, ExecMode::FastForward, Some(&probes))
+        .unwrap();
+    let slim = Simulator::new(&sl)
+        .run(&j, ExecMode::Compressed, Some(&probes))
+        .unwrap();
     assert_eq!(full.features[aiv_c1], slim.features[aiv_c1]);
     assert!(slim.cycles < full.cycles);
 }
@@ -114,7 +131,11 @@ fn multi_entry_wait_counts_all_arms() {
     j.push(&[1]);
     j.push(&[1]);
     let t = sim.run(&j, ExecMode::FastForward, Some(&probes)).unwrap();
-    let aiv = schema.descs().iter().position(|d| d.name == "aiv[w]").unwrap();
+    let aiv = schema
+        .descs()
+        .iter()
+        .position(|d| d.name == "aiv[w]")
+        .unwrap();
     assert_eq!(t.features[aiv], (5 + 11 + 11) as f64);
 }
 
@@ -124,7 +145,11 @@ fn count_up_wait_fast_forward_matches_step() {
     let n = b.input("n", 10);
     let fsm = b.fsm("ctrl", &["FETCH", "W", "EMIT"]);
     let c = b.reg("c", 16, 0);
-    b.set(c, fsm.in_state("FETCH") & E::stream_empty().is_zero(), E::zero());
+    b.set(
+        c,
+        fsm.in_state("FETCH") & E::stream_empty().is_zero(),
+        E::zero(),
+    );
     b.set(c, fsm.in_state("W") & c.e().lt(n.clone()), c.e() + E::one());
     b.trans(&fsm, "FETCH", "W", E::stream_empty().is_zero());
     b.trans(&fsm, "W", "EMIT", c.e().eq_(n));
@@ -143,9 +168,15 @@ fn count_up_wait_fast_forward_matches_step() {
     // APV of a count-up counter records the bound it climbed to.
     let schema = FeatureSchema::from_analysis(&m, &an);
     let probes = schema.probe_program(&an);
-    let t = sim.run(&job(&[42, 17]), ExecMode::FastForward, Some(&probes)).unwrap();
-    let apv = schema.descs().iter().position(|d| d.name == "apv[c]").unwrap();
-    assert_eq!(t.features[apv], (0 + 42) as f64, "apv sees the previous bound");
+    let t = sim
+        .run(&job(&[42, 17]), ExecMode::FastForward, Some(&probes))
+        .unwrap();
+    let apv = schema
+        .descs()
+        .iter()
+        .position(|d| d.name == "apv[c]")
+        .unwrap();
+    assert_eq!(t.features[apv], 42.0, "apv sees the previous bound");
 }
 
 #[test]

@@ -1,0 +1,189 @@
+//! Shared trace cache: one simulation pass per `(benchmark, seed, size)`.
+//!
+//! Preparing an [`Experiment`](crate::Experiment) is dominated by trace
+//! simulation — profiling the training set and running the test set at
+//! nominal frequency. Neither depends on the platform, the switching
+//! model, the trainer hyper-parameters, or the slice flavor, so two
+//! configurations that differ only in those knobs (e.g. the ASIC and
+//! FPGA variants of one benchmark, or an ablation grid) can share a
+//! single pass. [`TraceCache`] memoizes the expensive part as a
+//! [`TraceBundle`] keyed by `(benchmark name, seed, size)`; the figure
+//! binaries hold one cache and call
+//! [`Experiment::prepare_cached`](crate::Experiment::prepare_cached).
+//!
+//! Cached bundles also carry the training-set traces that
+//! `train::profile` already computed, so leakage calibration reads them
+//! instead of re-simulating the first 20 training jobs. Probes are
+//! timing-neutral, making the reuse bit-identical to a fresh unprobed
+//! run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use predvfs::train::{self, TrainingData};
+use predvfs_accel::{Benchmark, WorkloadSize, Workloads};
+use predvfs_rtl::{ExecMode, JobTrace, Module, Simulator};
+
+/// Everything about one `(benchmark, seed, size)` that requires trace
+/// simulation: the generated workloads, the profiled training data
+/// (including per-job traces), and the nominal-frequency test traces.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// The generated train/test job sets.
+    pub workloads: Workloads,
+    /// Profiled training data; `data.traces` holds the per-job traces.
+    pub data: TrainingData,
+    /// Per-test-job traces at nominal frequency (unprobed).
+    pub test_traces: Vec<JobTrace>,
+}
+
+impl TraceBundle {
+    /// Generates workloads and simulates both job sets for `bench`.
+    ///
+    /// Training jobs are profiled (probed) and test jobs run unprobed,
+    /// both fanned out in parallel with input-order collection, so the
+    /// bundle is bit-identical to a serial pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling and simulation failures.
+    pub fn simulate(
+        module: &Module,
+        bench: &Benchmark,
+        seed: u64,
+        size: WorkloadSize,
+    ) -> Result<TraceBundle, predvfs::CoreError> {
+        let workloads = (bench.workloads)(seed, size);
+        let data = train::profile(module, &workloads.train)?;
+        let sim = Simulator::new(module);
+        let test_traces = predvfs_par::par_try_map(&workloads.test, |job| {
+            sim.run(job, ExecMode::FastForward, None)
+        })?;
+        Ok(TraceBundle {
+            workloads,
+            data,
+            test_traces,
+        })
+    }
+}
+
+/// A thread-safe memo of [`TraceBundle`]s keyed by
+/// `(benchmark name, seed, size)`.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    inner: Mutex<HashMap<(String, u64, WorkloadSize), Arc<TraceBundle>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// Returns the bundle for `(bench.name, seed, size)`, simulating it
+    /// on first use.
+    ///
+    /// `module` must be the module built by `bench` (callers have
+    /// already built it to derive area/energy models; rebuilding here
+    /// would waste that work).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceBundle::simulate`] failures; errors are not
+    /// cached.
+    pub fn get_or_simulate(
+        &self,
+        bench: &Benchmark,
+        module: &Module,
+        seed: u64,
+        size: WorkloadSize,
+    ) -> Result<Arc<TraceBundle>, predvfs::CoreError> {
+        let key = (bench.name.to_owned(), seed, size);
+        if let Some(bundle) = self.inner.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(bundle));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Simulate outside the lock so a long pass never blocks lookups
+        // of other benchmarks; a concurrent duplicate pass produces a
+        // bit-identical bundle, so whichever insert wins is equivalent.
+        let bundle = Arc::new(TraceBundle::simulate(module, bench, seed, size)?);
+        let mut map = self.inner.lock().expect("cache poisoned");
+        Ok(Arc::clone(
+            map.entry(key).or_insert_with(|| Arc::clone(&bundle)),
+        ))
+    }
+
+    /// Number of cached bundles.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required simulation.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predvfs_accel::by_name;
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_bundle() {
+        let bench = by_name("sha").unwrap();
+        let module = (bench.build)();
+        let cache = TraceCache::new();
+        let a = cache
+            .get_or_simulate(&bench, &module, 42, WorkloadSize::Quick)
+            .unwrap();
+        let b = cache
+            .get_or_simulate(&bench, &module, 42, WorkloadSize::Quick)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_seeds_get_distinct_bundles() {
+        let bench = by_name("sha").unwrap();
+        let module = (bench.build)();
+        let cache = TraceCache::new();
+        let a = cache
+            .get_or_simulate(&bench, &module, 1, WorkloadSize::Quick)
+            .unwrap();
+        let b = cache
+            .get_or_simulate(&bench, &module, 2, WorkloadSize::Quick)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn bundle_traces_match_training_rows() {
+        let bench = by_name("aes").unwrap();
+        let module = (bench.build)();
+        let bundle = TraceBundle::simulate(&module, &bench, 42, WorkloadSize::Quick).unwrap();
+        assert_eq!(bundle.data.traces.len(), bundle.workloads.train.len());
+        for (i, t) in bundle.data.traces.iter().enumerate() {
+            assert_eq!(t.cycles as f64, bundle.data.y[i]);
+        }
+        assert_eq!(bundle.test_traces.len(), bundle.workloads.test.len());
+    }
+}

@@ -2,19 +2,18 @@
 //! slice → profile → run every DVFS scheme.
 
 use predvfs::{
-    train, BaselineController, DvfsModel, ExecTimeModel, OracleController,
-    PidController, PredictiveController, SliceFlavor, SlicePredictor, TableController,
-    TrainerConfig,
+    train, BaselineController, DvfsModel, ExecTimeModel, OracleController, PidController,
+    PredictiveController, SliceFlavor, SlicePredictor, TableController, TrainerConfig,
 };
 use predvfs_accel::{Benchmark, WorkloadSize, Workloads};
 use predvfs_power::{
     AlphaPowerCurve, EnergyModel, Ladder, PowerParams, SwitchingModel, TableCurve,
 };
 use predvfs_rtl::{
-    AsicAreaModel, ExecMode, FpgaResourceModel, FpgaResources, JobTrace, Module, Simulator,
-    SliceOptions,
+    AsicAreaModel, FpgaResourceModel, FpgaResources, JobTrace, Module, SliceOptions,
 };
 
+use crate::cache::TraceCache;
 use crate::metrics::SchemeResult;
 use crate::runner::{run_scheme, RunConfig};
 
@@ -47,6 +46,17 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Every scheme, in the paper's presentation order.
+    pub const ALL: [Scheme; 7] = [
+        Scheme::Baseline,
+        Scheme::Table,
+        Scheme::Pid,
+        Scheme::Prediction,
+        Scheme::PredictionNoOverhead,
+        Scheme::PredictionBoost,
+        Scheme::Oracle,
+    ];
+
     /// The scheme's display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -156,27 +166,45 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates training, slicing, and simulation failures.
-    pub fn prepare(bench: Benchmark, config: ExperimentConfig) -> Result<Experiment, predvfs::CoreError> {
+    pub fn prepare(
+        bench: Benchmark,
+        config: ExperimentConfig,
+    ) -> Result<Experiment, predvfs::CoreError> {
+        Experiment::prepare_cached(bench, config, &TraceCache::new())
+    }
+
+    /// Like [`Experiment::prepare`], but serves trace simulation from
+    /// `cache`, so configurations sharing `(benchmark, seed, size)` —
+    /// e.g. the ASIC and FPGA variants, or an ablation grid — pay for
+    /// one simulation pass instead of one each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, slicing, and simulation failures.
+    pub fn prepare_cached(
+        bench: Benchmark,
+        config: ExperimentConfig,
+        cache: &TraceCache,
+    ) -> Result<Experiment, predvfs::CoreError> {
         let module = (bench.build)();
         let f_hz = bench.f_nominal_mhz * 1e6;
-        let workloads = (bench.workloads)(config.seed, config.size);
 
-        // Offline: profile the training set and fit the model.
-        let data = train::profile(&module, &workloads.train)?;
+        // Trace simulation (train profile + nominal test runs) comes
+        // from the cache; everything below is cheap per-config work.
+        let bundle = cache.get_or_simulate(&bench, &module, config.seed, config.size)?;
+        let data = &bundle.data;
         let raw_feature_count = data.schema.len();
-        let model = train::fit(&data, &config.trainer)?;
+        let model = train::fit(data, &config.trainer)?;
         let train_cycles: Vec<u64> = data.y.iter().map(|&c| c as u64).collect();
         let predictor =
             SlicePredictor::generate(&module, &model, config.slice_options, config.flavor)?;
-
-        // Profile the test set once at nominal (cycles are V/f-invariant).
-        let sim = Simulator::new(&module);
-        let mut test_traces = Vec::with_capacity(workloads.test.len());
-        for job in &workloads.test {
-            test_traces.push(sim.run(job, ExecMode::FastForward, None)?);
-        }
+        let workloads = bundle.workloads.clone();
+        let test_traces = bundle.test_traces.clone();
 
         // Energy models, leakage calibrated on the training profile.
+        // The profile traces are reused directly: probes are
+        // timing-neutral, so cycle and activity counts match what a
+        // fresh unprobed simulation of the same jobs would report.
         let area_model = AsicAreaModel::default();
         let params = PowerParams::default();
         let area = area_model.area(&module);
@@ -184,8 +212,7 @@ impl Experiment {
         let avg_dyn = {
             let mut pj = 0.0;
             let mut cycles = 0u64;
-            for job in workloads.train.iter().take(20) {
-                let t = sim.run(job, ExecMode::FastForward, None)?;
+            for t in data.traces.iter().take(20) {
                 pj += energy.dynamic_pj_nominal(t.cycles, &t.dp_active);
                 cycles += t.cycles;
             }
@@ -200,7 +227,10 @@ impl Experiment {
         };
         let mut slice_energy =
             EnergyModel::new(predictor.module(), &slice_area, &params, f_hz, 1.0);
-        slice_energy.calibrate_leakage(avg_dyn * slice_area.total_um2() / area.total_um2().max(1.0), bench.leak_share);
+        slice_energy.calibrate_leakage(
+            avg_dyn * slice_area.total_um2() / area.total_um2().max(1.0),
+            bench.leak_share,
+        );
 
         // Ladder for the platform, boost always attached (controllers opt in).
         let dvfs = match config.platform {
@@ -257,6 +287,21 @@ impl Experiment {
         self.run_with_deadline(scheme, self.config.deadline_s)
     }
 
+    /// Runs several schemes over the test set, fanned out in parallel.
+    ///
+    /// Each scheme's controller is private to its worker and the result
+    /// vector is collected in `schemes` order, so the output is
+    /// bit-identical to calling [`Experiment::run`] serially for each
+    /// scheme in turn.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first (lowest-indexed) failing scheme,
+    /// matching the serial path.
+    pub fn run_all(&self, schemes: &[Scheme]) -> Result<Vec<SchemeResult>, predvfs::CoreError> {
+        predvfs_par::par_try_map(schemes, |&scheme| self.run(scheme))
+    }
+
     /// Runs one scheme with an overridden deadline (Fig. 15 sweeps).
     ///
     /// # Errors
@@ -299,8 +344,12 @@ impl Experiment {
                 run_scheme(&mut c, jobs, traces, &self.energy, None, &dvfs, &cfg)?
             }
             Scheme::Prediction => {
-                let mut c =
-                    PredictiveController::new(dvfs.clone(), self.f_hz, &self.predictor, &self.model);
+                let mut c = PredictiveController::new(
+                    dvfs.clone(),
+                    self.f_hz,
+                    &self.predictor,
+                    &self.model,
+                );
                 run_scheme(
                     &mut c,
                     jobs,
@@ -312,8 +361,12 @@ impl Experiment {
                 )?
             }
             Scheme::PredictionNoOverhead => {
-                let mut c =
-                    PredictiveController::new(dvfs.clone(), self.f_hz, &self.predictor, &self.model);
+                let mut c = PredictiveController::new(
+                    dvfs.clone(),
+                    self.f_hz,
+                    &self.predictor,
+                    &self.model,
+                );
                 c.ignore_overheads = true;
                 run_scheme(&mut c, jobs, traces, &self.energy, None, &dvfs, &cfg)?
             }
@@ -370,8 +423,8 @@ impl Experiment {
         let pred = self.run(Scheme::Prediction)?;
         let area_model = AsicAreaModel::default();
         let full = area_model.area(&self.module).total_um2();
-        let slice = area_model.area(self.predictor.module()).total_um2()
-            * self.predictor.area_factor();
+        let slice =
+            area_model.area(self.predictor.module()).total_um2() * self.predictor.area_factor();
         Ok(SliceOverheads {
             area_pct: 100.0 * slice / full,
             resource_pct: 100.0 * self.fpga_slice.mean_share_of(&self.fpga_full),

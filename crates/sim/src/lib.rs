@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiment;
 pub mod metrics;
 pub mod pipeline;
@@ -28,6 +29,7 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use cache::{TraceBundle, TraceCache};
 pub use experiment::{Experiment, ExperimentConfig, Platform, Scheme, SliceOverheads};
 pub use metrics::{JobRecord, SchemeResult};
 pub use pipeline::{run_pipeline, PipelineResult, PipelineStage, SplitPolicy};

@@ -4,7 +4,10 @@
 use predvfs::LevelChoice;
 
 /// Everything recorded about one job under one scheme.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares floats exactly — determinism tests rely on the
+/// parallel and serial paths being *bit*-identical, not merely close.
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// Actual execution cycles of the job (frequency-independent).
     pub cycles: u64,
@@ -38,7 +41,7 @@ impl JobRecord {
 }
 
 /// Aggregated outcome of running one scheme over a job sequence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeResult {
     /// Scheme name ("baseline", "pid", "prediction", ...).
     pub scheme: String,

@@ -104,8 +104,13 @@ pub fn run_pipeline(
         .map(|s| s.dvfs.ladder.nominal_index())
         .collect();
 
-    for frame in 0..frames {
-        // 1. Every stage predicts its work for this frame.
+    // 1. Every stage predicts its work for every frame. Predictions are
+    // pure per-frame work (slice execution + a dot product), so frames
+    // fan out in parallel; the accounting below carries the sequential
+    // `prev_level` switching state and stays serial, consuming the
+    // predictions in frame order — bit-identical to the fused loop.
+    let frame_ids: Vec<usize> = (0..frames).collect();
+    let per_frame = predvfs_par::par_try_map(&frame_ids, |&frame| {
         let mut predictions = Vec::with_capacity(stages.len());
         let mut slice_times = Vec::with_capacity(stages.len());
         for (k, stage) in stages.iter().enumerate() {
@@ -115,6 +120,10 @@ pub fn run_pipeline(
             slice_times.push((run.cycles, run.cycles / f_hz, run.dp_active));
             predictions.push(pred / f_hz);
         }
+        Ok::<_, predvfs_rtl::RtlError>((predictions, slice_times))
+    })?;
+
+    for (frame, (predictions, slice_times)) in per_frame.into_iter().enumerate() {
         let total_pred: f64 = predictions.iter().sum();
         let total_slice: f64 = slice_times.iter().map(|s| s.1).sum();
 
@@ -163,11 +172,10 @@ pub fn run_pipeline(
                 nominal,
                 1.0,
             );
-            let energy_pj =
-                stage
-                    .energy
-                    .job_pj(trace.cycles, &trace.dp_active, point, 1.0)
-                    + slice_pj;
+            let energy_pj = stage
+                .energy
+                .job_pj(trace.cycles, &trace.dp_active, point, 1.0)
+                + slice_pj;
             frame_time += exec_s + slice_s + switch_s;
             records[k].push(JobRecord {
                 cycles: trace.cycles,
@@ -218,7 +226,12 @@ mod tests {
         jobs: Vec<JobInput>,
     }
 
-    fn prepare(build: fn() -> predvfs_rtl::Module, f_mhz: f64, jobs: Vec<JobInput>, train_jobs: &[JobInput]) -> Prepared {
+    fn prepare(
+        build: fn() -> predvfs_rtl::Module,
+        f_mhz: f64,
+        jobs: Vec<JobInput>,
+        train_jobs: &[JobInput],
+    ) -> Prepared {
         let module = build();
         let model = train::train(&module, train_jobs, &TrainerConfig::default()).unwrap();
         let predictor =

@@ -54,6 +54,7 @@ pub fn run_scheme(
         let decision: Decision = controller.decide(&ctx)?;
         let point = dvfs.point(decision.choice);
         let key = level_key(dvfs, decision.choice);
+        let level_changed = key != prev_key;
         let switch_s = config.switching.time_s(prev_key, key);
         prev_key = key;
 
@@ -80,7 +81,7 @@ pub fn run_scheme(
             &trace.dp_active,
             point,
             config.leak_voltage_exp,
-        ) + config.switching.transition_pj * f64::from(switch_s > 0.0);
+        ) + config.switching.transition_pj * f64::from(level_changed);
 
         let total_s = exec_s + slice_s + switch_s;
         records.push(JobRecord {
@@ -117,7 +118,7 @@ mod tests {
     use super::*;
     use predvfs::BaselineController;
     use predvfs_power::{AlphaPowerCurve, Ladder, PowerParams};
-    use predvfs_rtl::builder::{E, ModuleBuilder};
+    use predvfs_rtl::builder::{ModuleBuilder, E};
     use predvfs_rtl::{AsicAreaModel, ExecMode, Simulator};
 
     fn toy_setup() -> (predvfs_rtl::Module, Vec<JobInput>, Vec<JobTrace>) {
@@ -158,8 +159,7 @@ mod tests {
             switching: SwitchingModel::off_chip(),
             leak_voltage_exp: 1.0,
         };
-        let res =
-            run_scheme(&mut ctrl, &jobs, &traces, &em, None, &dvfs, &cfg).unwrap();
+        let res = run_scheme(&mut ctrl, &jobs, &traces, &em, None, &dvfs, &cfg).unwrap();
         assert_eq!(res.jobs(), 3);
         assert_eq!(res.misses(), 0);
         for r in &res.records {
@@ -184,12 +184,89 @@ mod tests {
         // Oracle with perfect knowledge picks low levels and saves energy.
         let actual: Vec<u64> = traces.iter().map(|t| t.cycles).collect();
         let mut oracle = predvfs::OracleController::new(dvfs.clone(), 100e6, actual);
-        let oracle_res =
-            run_scheme(&mut oracle, &jobs, &traces, &em, None, &dvfs, &cfg).unwrap();
+        let oracle_res = run_scheme(&mut oracle, &jobs, &traces, &em, None, &dvfs, &cfg).unwrap();
         let mut base = BaselineController::new(dvfs.clone());
-        let base_res =
-            run_scheme(&mut base, &jobs, &traces, &em, None, &dvfs, &cfg).unwrap();
+        let base_res = run_scheme(&mut base, &jobs, &traces, &em, None, &dvfs, &cfg).unwrap();
         assert!(oracle_res.total_energy_pj() < base_res.total_energy_pj());
         assert_eq!(oracle_res.misses(), 0);
+    }
+
+    #[test]
+    fn instant_transitions_still_charge_transition_energy() {
+        // Regression: transition energy used to be gated on switch time
+        // being positive, so an instant-but-costly regulator (on-chip,
+        // transition_s = 0) charged nothing on level changes.
+        let (m, jobs, traces) = toy_setup();
+        let area = AsicAreaModel::default().area(&m);
+        let em = EnergyModel::new(&m, &area, &PowerParams::default(), 100e6, 1.0);
+        let curve = AlphaPowerCurve::default();
+        let instant = SwitchingModel {
+            transition_s: 0.0,
+            transition_pj: 5000.0,
+        };
+        let dvfs = DvfsModel::new(Ladder::asic(&curve), instant);
+        let cfg = RunConfig {
+            deadline_s: 16.7e-3,
+            switching: instant,
+            leak_voltage_exp: 1.0,
+        };
+        // The oracle drops below nominal for the first job, switching
+        // levels at least once.
+        let actual: Vec<u64> = traces.iter().map(|t| t.cycles).collect();
+        let mut oracle = predvfs::OracleController::new(dvfs.clone(), 100e6, actual.clone());
+        let res = run_scheme(&mut oracle, &jobs, &traces, &em, None, &dvfs, &cfg).unwrap();
+
+        // Same decisions with a truly free model, as the reference.
+        let free_dvfs = DvfsModel::new(Ladder::asic(&curve), SwitchingModel::free());
+        let free_cfg = RunConfig {
+            switching: SwitchingModel::free(),
+            ..cfg.clone()
+        };
+        let mut free_oracle = predvfs::OracleController::new(free_dvfs.clone(), 100e6, actual);
+        let free_res = run_scheme(
+            &mut free_oracle,
+            &jobs,
+            &traces,
+            &em,
+            None,
+            &free_dvfs,
+            &free_cfg,
+        )
+        .unwrap();
+
+        let switches = res
+            .records
+            .iter()
+            .zip(&free_res.records)
+            .filter(|(a, b)| {
+                assert_eq!(
+                    a.choice, b.choice,
+                    "switching model must not alter decisions"
+                );
+                a.switch_s == 0.0 && b.switch_s == 0.0
+            })
+            .count();
+        assert_eq!(
+            switches,
+            res.records.len(),
+            "instant transitions take no time"
+        );
+        let mut changes = 0u32;
+        let mut prev = level_key(&dvfs, LevelChoice::Regular(dvfs.ladder.nominal_index()));
+        for r in &res.records {
+            let key = level_key(&dvfs, r.choice);
+            if key != prev {
+                changes += 1;
+            }
+            prev = key;
+        }
+        assert!(changes > 0, "test needs at least one level change");
+        let expected = free_res.total_energy_pj() + 5000.0 * f64::from(changes);
+        assert!(
+            (res.total_energy_pj() - expected).abs() < 1e-6,
+            "each level change must charge transition_pj: got {} want {}",
+            res.total_energy_pj(),
+            expected
+        );
     }
 }

@@ -29,15 +29,24 @@ pub fn deadline_sweep(
 ) -> Result<Vec<SweepPoint>, predvfs::CoreError> {
     let mut out = Vec::with_capacity(factors.len());
     for &factor in factors {
+        // One baseline per benchmark at this deadline, computed in
+        // parallel and shared by every scheme (runs are deterministic,
+        // so sharing is value-identical to recomputing per scheme).
+        let baselines = predvfs_par::par_try_map(experiments, |e| {
+            e.run_with_deadline(Scheme::Baseline, e.config().deadline_s * factor)
+        })?;
         let mut by_scheme = Vec::with_capacity(schemes.len());
         for &scheme in schemes {
+            // Per-benchmark fan-out; accumulation stays serial and in
+            // experiment order so the averages are bit-identical to the
+            // serial loop.
+            let results = predvfs_par::par_try_map(experiments, |e| {
+                e.run_with_deadline(scheme, e.config().deadline_s * factor)
+            })?;
             let mut energy_acc = 0.0;
             let mut miss_acc = 0.0;
-            for e in experiments {
-                let deadline = e.config().deadline_s * factor;
-                let base = e.run_with_deadline(Scheme::Baseline, deadline)?;
-                let res = e.run_with_deadline(scheme, deadline)?;
-                energy_acc += res.normalized_energy_pct(&base);
+            for (res, base) in results.iter().zip(&baselines) {
+                energy_acc += res.normalized_energy_pct(base);
                 miss_acc += res.miss_pct();
             }
             let n = experiments.len().max(1) as f64;

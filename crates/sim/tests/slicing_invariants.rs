@@ -1,0 +1,223 @@
+//! Property-based integration tests: for randomly generated pipeline
+//! accelerators and random jobs, the simulator's fast-forward optimization
+//! is exact, instrumentation is timing-neutral, and slices compute
+//! identical features while running no slower than compression promises.
+
+use proptest::prelude::*;
+
+use predvfs_rtl::builder::{ModuleBuilder, E};
+use predvfs_rtl::{
+    slice, Analysis, ExecMode, FeatureSchema, JobInput, Module, Simulator, SliceOptions,
+};
+
+/// One pipeline stage of a generated accelerator.
+#[derive(Debug, Clone)]
+struct StageSpec {
+    /// Cycles = `scale * field + offset`.
+    scale: u64,
+    offset: u64,
+    /// Which token field drives the latency.
+    field: usize,
+    /// Whether the stage is serial (uncompressible).
+    serial: bool,
+}
+
+fn build_pipeline(stages: &[StageSpec], fields: usize) -> Module {
+    let mut b = ModuleBuilder::new("generated");
+    let inputs: Vec<E> = (0..fields).map(|i| b.input(&format!("f{i}"), 16)).collect();
+    let mut names = vec!["FETCH".to_owned()];
+    for i in 0..stages.len() {
+        names.push(format!("S{i}_W"));
+    }
+    names.push("EMIT".to_owned());
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let fsm = b.fsm("ctrl", &name_refs);
+
+    let mut prev_ctr = None;
+    for (i, s) in stages.iter().enumerate() {
+        let wait = format!("S{i}_W");
+        let next = if i + 1 < stages.len() {
+            format!("S{}_W", i + 1)
+        } else {
+            "EMIT".to_owned()
+        };
+        let ctr = b.wait_state(&fsm, &wait, &next, &format!("c{i}"));
+        let dur = inputs[s.field].clone() * E::k(s.scale) + E::k(s.offset);
+        match prev_ctr {
+            None => b.enter_wait(&fsm, "FETCH", &wait, ctr, dur, E::stream_empty().is_zero()),
+            Some(prev) => {
+                let prev: predvfs_rtl::builder::Reg = prev;
+                b.set(
+                    ctr,
+                    fsm.in_state(&format!("S{}_W", i - 1)) & prev.e().eq_(E::zero()),
+                    dur,
+                );
+            }
+        }
+        if s.serial {
+            b.datapath_serial(&format!("dp{i}"), fsm.in_state(&wait), 100.0, 0.5, 50, 0);
+        } else {
+            b.datapath_compute(&format!("dp{i}"), fsm.in_state(&wait), 1_000.0, 1.0, 200, 2);
+        }
+        prev_ctr = Some(ctr);
+    }
+    b.trans(&fsm, "EMIT", "FETCH", E::one());
+    b.advance_when(fsm.in_state("EMIT"));
+    b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+    b.build().expect("generated module is well-formed")
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageSpec> {
+    (0u64..4, 0u64..40, 0usize..2, any::<bool>()).prop_map(|(scale, offset, field, serial)| {
+        StageSpec {
+            scale,
+            offset,
+            field,
+            serial,
+        }
+    })
+}
+
+fn job_strategy(fields: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(0u64..300, fields..=fields), 0..12)
+}
+
+fn to_job(tokens: &[Vec<u64>], fields: usize) -> JobInput {
+    let mut j = JobInput::new(fields);
+    for t in tokens {
+        j.push(t);
+    }
+    j
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_forward_is_exact(
+        stages in prop::collection::vec(stage_strategy(), 1..5),
+        tokens in job_strategy(2),
+    ) {
+        let module = build_pipeline(&stages, 2);
+        let job = to_job(&tokens, 2);
+        let sim = Simulator::new(&module);
+        let a = sim.run(&job, ExecMode::Step, None).unwrap();
+        let b = sim.run(&job, ExecMode::FastForward, None).unwrap();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.dp_active, b.dp_active);
+        prop_assert_eq!(a.tokens_consumed, b.tokens_consumed);
+    }
+
+    #[test]
+    fn probes_are_timing_neutral_and_mode_invariant(
+        stages in prop::collection::vec(stage_strategy(), 1..5),
+        tokens in job_strategy(2),
+    ) {
+        let module = build_pipeline(&stages, 2);
+        let job = to_job(&tokens, 2);
+        let analysis = Analysis::run(&module);
+        let schema = FeatureSchema::from_analysis(&module, &analysis);
+        let probes = schema.probe_program(&analysis);
+        let sim = Simulator::new(&module);
+        let plain = sim.run(&job, ExecMode::FastForward, None).unwrap();
+        let probed = sim.run(&job, ExecMode::FastForward, Some(&probes)).unwrap();
+        prop_assert_eq!(plain.cycles, probed.cycles);
+        let stepped = sim.run(&job, ExecMode::Step, Some(&probes)).unwrap();
+        let compressed = sim.run(&job, ExecMode::Compressed, Some(&probes)).unwrap();
+        prop_assert_eq!(&probed.features, &stepped.features);
+        prop_assert_eq!(&probed.features, &compressed.features);
+    }
+
+    #[test]
+    fn slices_preserve_selected_features(
+        stages in prop::collection::vec(stage_strategy(), 1..5),
+        tokens in job_strategy(2),
+        selector in any::<u64>(),
+    ) {
+        let module = build_pipeline(&stages, 2);
+        let job = to_job(&tokens, 2);
+        let analysis = Analysis::run(&module);
+        let schema = FeatureSchema::from_analysis(&module, &analysis);
+        // Pick a pseudo-random non-empty subset of features.
+        let selected: Vec<usize> = (0..schema.len())
+            .filter(|i| (selector >> (i % 60)) & 1 == 1)
+            .collect();
+        let selected = if selected.is_empty() { vec![0] } else { selected };
+        let (sliced, _) = slice(&module, &schema, &selected, SliceOptions::default()).unwrap();
+        let probes = schema.probe_program(&analysis);
+        let full = Simulator::new(&module)
+            .run(&job, ExecMode::FastForward, Some(&probes))
+            .unwrap();
+        let slim = Simulator::new(&sliced)
+            .run(&job, ExecMode::Compressed, Some(&probes))
+            .unwrap();
+        for &c in &selected {
+            prop_assert_eq!(full.features[c], slim.features[c], "feature {}", c);
+        }
+        prop_assert!(slim.cycles <= full.cycles);
+        prop_assert_eq!(slim.tokens_consumed, full.tokens_consumed);
+    }
+
+    #[test]
+    fn serial_cycles_survive_compression(
+        stages in prop::collection::vec(stage_strategy(), 1..5),
+        tokens in job_strategy(2),
+    ) {
+        let module = build_pipeline(&stages, 2);
+        let job = to_job(&tokens, 2);
+        let sim = Simulator::new(&module);
+        let full = sim.run(&job, ExecMode::FastForward, None).unwrap();
+        let comp = sim.run(&job, ExecMode::Compressed, None).unwrap();
+        // Serial datapath active cycles are identical in both modes: a
+        // slice cannot skip serial work.
+        let analysis = Analysis::run(&module);
+        for w in &analysis.waits {
+            if w.serial {
+                for &dp in &w.maybe_active_dps {
+                    prop_assert_eq!(full.dp_active[dp], comp.dp_active[dp]);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The static WCET bound must dominate every observed execution.
+    #[test]
+    fn wcet_bound_is_sound(
+        stages in prop::collection::vec(stage_strategy(), 1..5),
+        tokens in job_strategy(2),
+    ) {
+        let module = build_pipeline(&stages, 2);
+        let job = to_job(&tokens, 2);
+        let bound = predvfs_rtl::wcet(&module).unwrap();
+        let t = Simulator::new(&module)
+            .run(&job, ExecMode::FastForward, None)
+            .unwrap();
+        prop_assert!(
+            t.cycles <= bound.job_cycles(job.len()),
+            "observed {} > wcet {}",
+            t.cycles,
+            bound.job_cycles(job.len())
+        );
+    }
+
+    /// The textual format round-trips losslessly for generated designs.
+    #[test]
+    fn rtl_text_round_trips(
+        stages in prop::collection::vec(stage_strategy(), 1..5),
+        tokens in job_strategy(2),
+    ) {
+        let module = build_pipeline(&stages, 2);
+        let text = predvfs_rtl::to_text(&module);
+        let back = predvfs_rtl::from_text(&text).unwrap();
+        prop_assert_eq!(&predvfs_rtl::to_text(&back), &text);
+        // Same behaviour, not just same text.
+        let job = to_job(&tokens, 2);
+        let a = Simulator::new(&module).run(&job, ExecMode::FastForward, None).unwrap();
+        let b = Simulator::new(&back).run(&job, ExecMode::FastForward, None).unwrap();
+        prop_assert_eq!(a.cycles, b.cycles);
+    }
+}

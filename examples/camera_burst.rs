@@ -5,8 +5,8 @@
 //! Run with: `cargo run -p predvfs --release --example camera_burst`
 
 use predvfs::{
-    train, DvfsController, DvfsModel, JobContext, PidController, PredictiveController,
-    SliceFlavor, SlicePredictor, TrainerConfig,
+    train, DvfsController, DvfsModel, JobContext, PidController, PredictiveController, SliceFlavor,
+    SlicePredictor, TrainerConfig,
 };
 use predvfs_accel::cjpeg;
 use predvfs_accel::common::{self, WorkloadSize};

@@ -43,8 +43,16 @@ fn prepare(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let a = prepare(aes::build, aes::F_NOMINAL_MHZ, &aes::workloads(5, WorkloadSize::Quick).train)?;
-    let s = prepare(sha::build, sha::F_NOMINAL_MHZ, &sha::workloads(5, WorkloadSize::Quick).train)?;
+    let a = prepare(
+        aes::build,
+        aes::F_NOMINAL_MHZ,
+        &aes::workloads(5, WorkloadSize::Quick).train,
+    )?;
+    let s = prepare(
+        sha::build,
+        sha::F_NOMINAL_MHZ,
+        &sha::workloads(5, WorkloadSize::Quick).train,
+    )?;
 
     // 16 frames with varying payloads; the hash covers a digest region a
     // quarter the size of the encrypted payload.
@@ -55,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sha_jobs: Vec<JobInput> = payload_kb.iter().map(|&kb| sha::piece(kb * 256)).collect();
     let trace = |m: &Module, jobs: &[JobInput]| -> Result<Vec<JobTrace>, predvfs_rtl::RtlError> {
         let sim = Simulator::new(m);
-        jobs.iter().map(|j| sim.run(j, ExecMode::FastForward, None)).collect()
+        jobs.iter()
+            .map(|j| sim.run(j, ExecMode::FastForward, None))
+            .collect()
     };
     let traces = [trace(&a.module, &aes_jobs)?, trace(&s.module, &sha_jobs)?];
     let jobs = [aes_jobs, sha_jobs];

@@ -4,8 +4,8 @@
 //! Run with: `cargo run -p predvfs --release --example quickstart`
 
 use predvfs::{
-    train, DvfsController, DvfsModel, JobContext, LevelChoice, PredictiveController,
-    SliceFlavor, SlicePredictor, TrainerConfig,
+    train, DvfsController, DvfsModel, JobContext, LevelChoice, PredictiveController, SliceFlavor,
+    SlicePredictor, TrainerConfig,
 };
 use predvfs_accel::{sha, WorkloadSize};
 use predvfs_power::{AlphaPowerCurve, Ladder, SwitchingModel};
@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the accelerator (a SHA engine) and a training workload.
     let module = sha::build();
     let jobs = sha::workloads(42, WorkloadSize::Quick);
-    println!("accelerator: {} ({} registers)", module.name, module.regs.len());
+    println!(
+        "accelerator: {} ({} registers)",
+        module.name,
+        module.regs.len()
+    );
 
     // 2. Offline flow: mine features, profile, fit the sparse model.
     let model = train::train(&module, &jobs.train, &TrainerConfig::default())?;

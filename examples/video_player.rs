@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })?;
         let point = dvfs.point(decision.choice);
         let trace = sim.run(frame, ExecMode::FastForward, None)?;
-        let frame_time =
-            energy.time_s(trace.cycles, point) + decision.slice_cycles / f_hz;
+        let frame_time = energy.time_s(trace.cycles, point) + decision.slice_cycles / f_hz;
         if frame_time > DEADLINE_S {
             misses += 1;
         }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha-a40d713651c51abf.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/debug/deps/ablation_alpha-a40d713651c51abf: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha-b0706ad058ebb29f.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/debug/deps/ablation_alpha-b0706ad058ebb29f: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha-d460ec7974a842ed.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/debug/deps/ablation_alpha-d460ec7974a842ed: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha-d62b3223a82e6ff4.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/debug/deps/ablation_alpha-d62b3223a82e6ff4: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

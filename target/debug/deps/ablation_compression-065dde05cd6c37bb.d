@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compression-065dde05cd6c37bb.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/debug/deps/ablation_compression-065dde05cd6c37bb: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

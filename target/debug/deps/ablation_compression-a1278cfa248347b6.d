@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compression-a1278cfa248347b6.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/debug/deps/ablation_compression-a1278cfa248347b6: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

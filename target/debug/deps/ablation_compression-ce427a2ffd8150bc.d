@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compression-ce427a2ffd8150bc.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/debug/deps/ablation_compression-ce427a2ffd8150bc: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compression-e0fb9fc85aa44f9d.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/debug/deps/ablation_compression-e0fb9fc85aa44f9d: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gamma-26bfbc90f2c9f9dd.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/debug/deps/ablation_gamma-26bfbc90f2c9f9dd: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

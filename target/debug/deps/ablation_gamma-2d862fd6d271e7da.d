@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gamma-2d862fd6d271e7da.d: crates/bench/src/bin/ablation_gamma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gamma-2d862fd6d271e7da.rmeta: crates/bench/src/bin/ablation_gamma.rs Cargo.toml
+
+crates/bench/src/bin/ablation_gamma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

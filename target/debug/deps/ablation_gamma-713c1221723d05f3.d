@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gamma-713c1221723d05f3.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/debug/deps/ablation_gamma-713c1221723d05f3: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

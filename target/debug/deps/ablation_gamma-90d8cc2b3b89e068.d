@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gamma-90d8cc2b3b89e068.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/debug/deps/ablation_gamma-90d8cc2b3b89e068: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gamma-f33ef3060a93eec9.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/debug/deps/ablation_gamma-f33ef3060a93eec9: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

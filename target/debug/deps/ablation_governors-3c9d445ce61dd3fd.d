@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_governors-3c9d445ce61dd3fd.d: crates/bench/src/bin/ablation_governors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_governors-3c9d445ce61dd3fd.rmeta: crates/bench/src/bin/ablation_governors.rs Cargo.toml
+
+crates/bench/src/bin/ablation_governors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_governors-7b463eaa61cad6dc.d: crates/bench/src/bin/ablation_governors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_governors-7b463eaa61cad6dc.rmeta: crates/bench/src/bin/ablation_governors.rs Cargo.toml
+
+crates/bench/src/bin/ablation_governors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_governors-8858f44728105822.d: crates/bench/src/bin/ablation_governors.rs
+
+/root/repo/target/debug/deps/ablation_governors-8858f44728105822: crates/bench/src/bin/ablation_governors.rs
+
+crates/bench/src/bin/ablation_governors.rs:

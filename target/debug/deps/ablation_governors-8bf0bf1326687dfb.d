@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_governors-8bf0bf1326687dfb.d: crates/bench/src/bin/ablation_governors.rs
+
+/root/repo/target/debug/deps/ablation_governors-8bf0bf1326687dfb: crates/bench/src/bin/ablation_governors.rs
+
+crates/bench/src/bin/ablation_governors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_governors-a6959cc77241479f.d: crates/bench/src/bin/ablation_governors.rs
+
+/root/repo/target/debug/deps/ablation_governors-a6959cc77241479f: crates/bench/src/bin/ablation_governors.rs
+
+crates/bench/src/bin/ablation_governors.rs:

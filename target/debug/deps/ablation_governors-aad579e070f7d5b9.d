@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_governors-aad579e070f7d5b9.d: crates/bench/src/bin/ablation_governors.rs
+
+/root/repo/target/debug/deps/ablation_governors-aad579e070f7d5b9: crates/bench/src/bin/ablation_governors.rs
+
+crates/bench/src/bin/ablation_governors.rs:

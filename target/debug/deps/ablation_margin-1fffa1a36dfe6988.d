@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-1fffa1a36dfe6988.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/ablation_margin-1fffa1a36dfe6988: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-80486f28e2b24764.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/ablation_margin-80486f28e2b24764: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-b9b63dcd4fa09680.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/ablation_margin-b9b63dcd4fa09680: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-cf6d96c0ffc3cb36.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/ablation_margin-cf6d96c0ffc3cb36: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

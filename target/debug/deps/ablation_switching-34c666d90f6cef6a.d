@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_switching-34c666d90f6cef6a.d: crates/bench/src/bin/ablation_switching.rs
+
+/root/repo/target/debug/deps/ablation_switching-34c666d90f6cef6a: crates/bench/src/bin/ablation_switching.rs
+
+crates/bench/src/bin/ablation_switching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_switching-805123a1e6475f61.d: crates/bench/src/bin/ablation_switching.rs
+
+/root/repo/target/debug/deps/ablation_switching-805123a1e6475f61: crates/bench/src/bin/ablation_switching.rs
+
+crates/bench/src/bin/ablation_switching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_switching-9d2b68dad29a5b3d.d: crates/bench/src/bin/ablation_switching.rs
+
+/root/repo/target/debug/deps/ablation_switching-9d2b68dad29a5b3d: crates/bench/src/bin/ablation_switching.rs
+
+crates/bench/src/bin/ablation_switching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_switching-fa3bb72707700257.d: crates/bench/src/bin/ablation_switching.rs
+
+/root/repo/target/debug/deps/ablation_switching-fa3bb72707700257: crates/bench/src/bin/ablation_switching.rs
+
+crates/bench/src/bin/ablation_switching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_table-258f5a7465f1af05.d: crates/bench/src/bin/ablation_table.rs
+
+/root/repo/target/debug/deps/ablation_table-258f5a7465f1af05: crates/bench/src/bin/ablation_table.rs
+
+crates/bench/src/bin/ablation_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_table-3db5bf1d4d8315c0.d: crates/bench/src/bin/ablation_table.rs
+
+/root/repo/target/debug/deps/ablation_table-3db5bf1d4d8315c0: crates/bench/src/bin/ablation_table.rs
+
+crates/bench/src/bin/ablation_table.rs:

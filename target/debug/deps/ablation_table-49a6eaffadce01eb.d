@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_table-49a6eaffadce01eb.d: crates/bench/src/bin/ablation_table.rs
+
+/root/repo/target/debug/deps/ablation_table-49a6eaffadce01eb: crates/bench/src/bin/ablation_table.rs
+
+crates/bench/src/bin/ablation_table.rs:

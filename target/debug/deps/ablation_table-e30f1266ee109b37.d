@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_table-e30f1266ee109b37.d: crates/bench/src/bin/ablation_table.rs
+
+/root/repo/target/debug/deps/ablation_table-e30f1266ee109b37: crates/bench/src/bin/ablation_table.rs
+
+crates/bench/src/bin/ablation_table.rs:

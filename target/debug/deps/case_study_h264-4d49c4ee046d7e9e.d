@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study_h264-4d49c4ee046d7e9e.d: crates/bench/src/bin/case_study_h264.rs
+
+/root/repo/target/debug/deps/case_study_h264-4d49c4ee046d7e9e: crates/bench/src/bin/case_study_h264.rs
+
+crates/bench/src/bin/case_study_h264.rs:

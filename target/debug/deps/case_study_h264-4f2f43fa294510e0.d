@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study_h264-4f2f43fa294510e0.d: crates/bench/src/bin/case_study_h264.rs
+
+/root/repo/target/debug/deps/case_study_h264-4f2f43fa294510e0: crates/bench/src/bin/case_study_h264.rs
+
+crates/bench/src/bin/case_study_h264.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study_h264-c22be725696ff78f.d: crates/bench/src/bin/case_study_h264.rs
+
+/root/repo/target/debug/deps/case_study_h264-c22be725696ff78f: crates/bench/src/bin/case_study_h264.rs
+
+crates/bench/src/bin/case_study_h264.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study_h264-f1ad5b61edf7dea7.d: crates/bench/src/bin/case_study_h264.rs
+
+/root/repo/target/debug/deps/case_study_h264-f1ad5b61edf7dea7: crates/bench/src/bin/case_study_h264.rs
+
+crates/bench/src/bin/case_study_h264.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chained_waits-10969d820bda50d3.d: crates/rtl/tests/chained_waits.rs
+
+/root/repo/target/debug/deps/chained_waits-10969d820bda50d3: crates/rtl/tests/chained_waits.rs
+
+crates/rtl/tests/chained_waits.rs:

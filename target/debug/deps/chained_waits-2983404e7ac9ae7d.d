@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chained_waits-2983404e7ac9ae7d.d: crates/rtl/tests/chained_waits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchained_waits-2983404e7ac9ae7d.rmeta: crates/rtl/tests/chained_waits.rs Cargo.toml
+
+crates/rtl/tests/chained_waits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

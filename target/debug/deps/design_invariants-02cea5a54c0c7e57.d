@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_invariants-02cea5a54c0c7e57.d: crates/accel/tests/design_invariants.rs
+
+/root/repo/target/debug/deps/design_invariants-02cea5a54c0c7e57: crates/accel/tests/design_invariants.rs
+
+crates/accel/tests/design_invariants.rs:

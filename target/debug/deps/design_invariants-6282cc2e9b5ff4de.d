@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_invariants-6282cc2e9b5ff4de.d: crates/accel/tests/design_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_invariants-6282cc2e9b5ff4de.rmeta: crates/accel/tests/design_invariants.rs Cargo.toml
+
+crates/accel/tests/design_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-020c77ed963b499d.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-020c77ed963b499d: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-45c601b81f416409.d: crates/sim/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-45c601b81f416409.rmeta: crates/sim/tests/determinism.rs Cargo.toml
+
+crates/sim/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

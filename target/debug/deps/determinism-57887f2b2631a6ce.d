@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-57887f2b2631a6ce.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-57887f2b2631a6ce: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cc5e8d9543360e43.d: crates/sim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cc5e8d9543360e43: crates/sim/tests/determinism.rs
+
+crates/sim/tests/determinism.rs:

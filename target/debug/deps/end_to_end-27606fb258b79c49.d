@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-27606fb258b79c49.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-27606fb258b79c49: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

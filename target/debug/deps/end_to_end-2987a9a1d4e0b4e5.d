@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2987a9a1d4e0b4e5.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2987a9a1d4e0b4e5: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ef1381d57c26d492.d: crates/sim/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ef1381d57c26d492: crates/sim/tests/end_to_end.rs
+
+crates/sim/tests/end_to_end.rs:

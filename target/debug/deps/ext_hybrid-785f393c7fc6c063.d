@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hybrid-785f393c7fc6c063.d: crates/bench/src/bin/ext_hybrid.rs
+
+/root/repo/target/debug/deps/ext_hybrid-785f393c7fc6c063: crates/bench/src/bin/ext_hybrid.rs
+
+crates/bench/src/bin/ext_hybrid.rs:

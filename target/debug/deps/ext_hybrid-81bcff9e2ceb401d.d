@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hybrid-81bcff9e2ceb401d.d: crates/bench/src/bin/ext_hybrid.rs
+
+/root/repo/target/debug/deps/ext_hybrid-81bcff9e2ceb401d: crates/bench/src/bin/ext_hybrid.rs
+
+crates/bench/src/bin/ext_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hybrid-86813f27e4089b15.d: crates/bench/src/bin/ext_hybrid.rs
+
+/root/repo/target/debug/deps/ext_hybrid-86813f27e4089b15: crates/bench/src/bin/ext_hybrid.rs
+
+crates/bench/src/bin/ext_hybrid.rs:

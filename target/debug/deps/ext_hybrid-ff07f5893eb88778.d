@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hybrid-ff07f5893eb88778.d: crates/bench/src/bin/ext_hybrid.rs
+
+/root/repo/target/debug/deps/ext_hybrid-ff07f5893eb88778: crates/bench/src/bin/ext_hybrid.rs
+
+crates/bench/src/bin/ext_hybrid.rs:

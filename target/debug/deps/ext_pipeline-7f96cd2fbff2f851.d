@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pipeline-7f96cd2fbff2f851.d: crates/bench/src/bin/ext_pipeline.rs
+
+/root/repo/target/debug/deps/ext_pipeline-7f96cd2fbff2f851: crates/bench/src/bin/ext_pipeline.rs
+
+crates/bench/src/bin/ext_pipeline.rs:

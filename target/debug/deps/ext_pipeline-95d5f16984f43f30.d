@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pipeline-95d5f16984f43f30.d: crates/bench/src/bin/ext_pipeline.rs
+
+/root/repo/target/debug/deps/ext_pipeline-95d5f16984f43f30: crates/bench/src/bin/ext_pipeline.rs
+
+crates/bench/src/bin/ext_pipeline.rs:

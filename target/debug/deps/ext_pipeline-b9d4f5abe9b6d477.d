@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pipeline-b9d4f5abe9b6d477.d: crates/bench/src/bin/ext_pipeline.rs
+
+/root/repo/target/debug/deps/ext_pipeline-b9d4f5abe9b6d477: crates/bench/src/bin/ext_pipeline.rs
+
+crates/bench/src/bin/ext_pipeline.rs:

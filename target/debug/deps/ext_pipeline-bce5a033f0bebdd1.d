@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pipeline-bce5a033f0bebdd1.d: crates/bench/src/bin/ext_pipeline.rs
+
+/root/repo/target/debug/deps/ext_pipeline-bce5a033f0bebdd1: crates/bench/src/bin/ext_pipeline.rs
+
+crates/bench/src/bin/ext_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_software_predictor-06348095981dec26.d: crates/bench/src/bin/ext_software_predictor.rs
+
+/root/repo/target/debug/deps/ext_software_predictor-06348095981dec26: crates/bench/src/bin/ext_software_predictor.rs
+
+crates/bench/src/bin/ext_software_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_software_predictor-3c0b03f3ed271795.d: crates/bench/src/bin/ext_software_predictor.rs
+
+/root/repo/target/debug/deps/ext_software_predictor-3c0b03f3ed271795: crates/bench/src/bin/ext_software_predictor.rs
+
+crates/bench/src/bin/ext_software_predictor.rs:

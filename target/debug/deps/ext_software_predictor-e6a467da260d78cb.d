@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_software_predictor-e6a467da260d78cb.d: crates/bench/src/bin/ext_software_predictor.rs
+
+/root/repo/target/debug/deps/ext_software_predictor-e6a467da260d78cb: crates/bench/src/bin/ext_software_predictor.rs
+
+crates/bench/src/bin/ext_software_predictor.rs:

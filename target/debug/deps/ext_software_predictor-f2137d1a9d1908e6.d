@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_software_predictor-f2137d1a9d1908e6.d: crates/bench/src/bin/ext_software_predictor.rs
+
+/root/repo/target/debug/deps/ext_software_predictor-f2137d1a9d1908e6: crates/bench/src/bin/ext_software_predictor.rs
+
+crates/bench/src/bin/ext_software_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_h264_variation-231af8427a3e42a4.d: crates/bench/src/bin/fig02_h264_variation.rs
+
+/root/repo/target/debug/deps/fig02_h264_variation-231af8427a3e42a4: crates/bench/src/bin/fig02_h264_variation.rs
+
+crates/bench/src/bin/fig02_h264_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_h264_variation-397291d4ca37ed3b.d: crates/bench/src/bin/fig02_h264_variation.rs
+
+/root/repo/target/debug/deps/fig02_h264_variation-397291d4ca37ed3b: crates/bench/src/bin/fig02_h264_variation.rs
+
+crates/bench/src/bin/fig02_h264_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_h264_variation-5aac8ba1e4f3d6f3.d: crates/bench/src/bin/fig02_h264_variation.rs
+
+/root/repo/target/debug/deps/fig02_h264_variation-5aac8ba1e4f3d6f3: crates/bench/src/bin/fig02_h264_variation.rs
+
+crates/bench/src/bin/fig02_h264_variation.rs:

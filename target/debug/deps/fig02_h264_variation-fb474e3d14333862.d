@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_h264_variation-fb474e3d14333862.d: crates/bench/src/bin/fig02_h264_variation.rs
+
+/root/repo/target/debug/deps/fig02_h264_variation-fb474e3d14333862: crates/bench/src/bin/fig02_h264_variation.rs
+
+crates/bench/src/bin/fig02_h264_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_pid_lag-2f716af1032a5eed.d: crates/bench/src/bin/fig03_pid_lag.rs
+
+/root/repo/target/debug/deps/fig03_pid_lag-2f716af1032a5eed: crates/bench/src/bin/fig03_pid_lag.rs
+
+crates/bench/src/bin/fig03_pid_lag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_pid_lag-619f945a61037ef5.d: crates/bench/src/bin/fig03_pid_lag.rs
+
+/root/repo/target/debug/deps/fig03_pid_lag-619f945a61037ef5: crates/bench/src/bin/fig03_pid_lag.rs
+
+crates/bench/src/bin/fig03_pid_lag.rs:

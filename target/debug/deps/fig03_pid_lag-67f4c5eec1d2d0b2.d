@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_pid_lag-67f4c5eec1d2d0b2.d: crates/bench/src/bin/fig03_pid_lag.rs
+
+/root/repo/target/debug/deps/fig03_pid_lag-67f4c5eec1d2d0b2: crates/bench/src/bin/fig03_pid_lag.rs
+
+crates/bench/src/bin/fig03_pid_lag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_pid_lag-aeaf3aecd7ab18a4.d: crates/bench/src/bin/fig03_pid_lag.rs
+
+/root/repo/target/debug/deps/fig03_pid_lag-aeaf3aecd7ab18a4: crates/bench/src/bin/fig03_pid_lag.rs
+
+crates/bench/src/bin/fig03_pid_lag.rs:

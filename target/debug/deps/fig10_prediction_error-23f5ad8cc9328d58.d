@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_prediction_error-23f5ad8cc9328d58.d: crates/bench/src/bin/fig10_prediction_error.rs
+
+/root/repo/target/debug/deps/fig10_prediction_error-23f5ad8cc9328d58: crates/bench/src/bin/fig10_prediction_error.rs
+
+crates/bench/src/bin/fig10_prediction_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_prediction_error-6784e48c5e6a63cb.d: crates/bench/src/bin/fig10_prediction_error.rs
+
+/root/repo/target/debug/deps/fig10_prediction_error-6784e48c5e6a63cb: crates/bench/src/bin/fig10_prediction_error.rs
+
+crates/bench/src/bin/fig10_prediction_error.rs:

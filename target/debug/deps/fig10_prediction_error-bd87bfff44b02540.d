@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_prediction_error-bd87bfff44b02540.d: crates/bench/src/bin/fig10_prediction_error.rs
+
+/root/repo/target/debug/deps/fig10_prediction_error-bd87bfff44b02540: crates/bench/src/bin/fig10_prediction_error.rs
+
+crates/bench/src/bin/fig10_prediction_error.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_prediction_error-eeff42b7e8f557b7.d: crates/bench/src/bin/fig10_prediction_error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_prediction_error-eeff42b7e8f557b7.rmeta: crates/bench/src/bin/fig10_prediction_error.rs Cargo.toml
+
+crates/bench/src/bin/fig10_prediction_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

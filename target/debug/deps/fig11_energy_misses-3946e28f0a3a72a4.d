@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy_misses-3946e28f0a3a72a4.d: crates/bench/src/bin/fig11_energy_misses.rs
+
+/root/repo/target/debug/deps/fig11_energy_misses-3946e28f0a3a72a4: crates/bench/src/bin/fig11_energy_misses.rs
+
+crates/bench/src/bin/fig11_energy_misses.rs:

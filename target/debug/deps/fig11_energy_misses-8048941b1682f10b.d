@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy_misses-8048941b1682f10b.d: crates/bench/src/bin/fig11_energy_misses.rs
+
+/root/repo/target/debug/deps/fig11_energy_misses-8048941b1682f10b: crates/bench/src/bin/fig11_energy_misses.rs
+
+crates/bench/src/bin/fig11_energy_misses.rs:

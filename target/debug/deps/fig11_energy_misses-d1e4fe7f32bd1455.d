@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy_misses-d1e4fe7f32bd1455.d: crates/bench/src/bin/fig11_energy_misses.rs
+
+/root/repo/target/debug/deps/fig11_energy_misses-d1e4fe7f32bd1455: crates/bench/src/bin/fig11_energy_misses.rs
+
+crates/bench/src/bin/fig11_energy_misses.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy_misses-ef974285cebbe980.d: crates/bench/src/bin/fig11_energy_misses.rs
+
+/root/repo/target/debug/deps/fig11_energy_misses-ef974285cebbe980: crates/bench/src/bin/fig11_energy_misses.rs
+
+crates/bench/src/bin/fig11_energy_misses.rs:

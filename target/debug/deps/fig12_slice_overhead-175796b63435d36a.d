@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slice_overhead-175796b63435d36a.d: crates/bench/src/bin/fig12_slice_overhead.rs
+
+/root/repo/target/debug/deps/fig12_slice_overhead-175796b63435d36a: crates/bench/src/bin/fig12_slice_overhead.rs
+
+crates/bench/src/bin/fig12_slice_overhead.rs:

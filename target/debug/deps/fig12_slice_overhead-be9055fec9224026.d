@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slice_overhead-be9055fec9224026.d: crates/bench/src/bin/fig12_slice_overhead.rs
+
+/root/repo/target/debug/deps/fig12_slice_overhead-be9055fec9224026: crates/bench/src/bin/fig12_slice_overhead.rs
+
+crates/bench/src/bin/fig12_slice_overhead.rs:

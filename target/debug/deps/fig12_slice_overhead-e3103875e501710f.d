@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slice_overhead-e3103875e501710f.d: crates/bench/src/bin/fig12_slice_overhead.rs
+
+/root/repo/target/debug/deps/fig12_slice_overhead-e3103875e501710f: crates/bench/src/bin/fig12_slice_overhead.rs
+
+crates/bench/src/bin/fig12_slice_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slice_overhead-f8cc91b3d1957d62.d: crates/bench/src/bin/fig12_slice_overhead.rs
+
+/root/repo/target/debug/deps/fig12_slice_overhead-f8cc91b3d1957d62: crates/bench/src/bin/fig12_slice_overhead.rs
+
+crates/bench/src/bin/fig12_slice_overhead.rs:

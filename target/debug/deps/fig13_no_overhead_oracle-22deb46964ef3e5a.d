@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-22deb46964ef3e5a.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-22deb46964ef3e5a: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:

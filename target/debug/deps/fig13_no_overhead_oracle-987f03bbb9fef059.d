@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-987f03bbb9fef059.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-987f03bbb9fef059: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-b7e8a7d6c9824678.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-b7e8a7d6c9824678: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-eaeeebc9b528bab5.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-eaeeebc9b528bab5: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_boost-00e58f28fdbf0c46.d: crates/bench/src/bin/fig14_boost.rs
+
+/root/repo/target/debug/deps/fig14_boost-00e58f28fdbf0c46: crates/bench/src/bin/fig14_boost.rs
+
+crates/bench/src/bin/fig14_boost.rs:

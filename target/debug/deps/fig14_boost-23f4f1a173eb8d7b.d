@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_boost-23f4f1a173eb8d7b.d: crates/bench/src/bin/fig14_boost.rs
+
+/root/repo/target/debug/deps/fig14_boost-23f4f1a173eb8d7b: crates/bench/src/bin/fig14_boost.rs
+
+crates/bench/src/bin/fig14_boost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_boost-fa9bf5769c8e5a86.d: crates/bench/src/bin/fig14_boost.rs
+
+/root/repo/target/debug/deps/fig14_boost-fa9bf5769c8e5a86: crates/bench/src/bin/fig14_boost.rs
+
+crates/bench/src/bin/fig14_boost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_boost-fb84d41b8b859707.d: crates/bench/src/bin/fig14_boost.rs
+
+/root/repo/target/debug/deps/fig14_boost-fb84d41b8b859707: crates/bench/src/bin/fig14_boost.rs
+
+crates/bench/src/bin/fig14_boost.rs:

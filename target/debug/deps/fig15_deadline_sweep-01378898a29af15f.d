@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_deadline_sweep-01378898a29af15f.d: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+/root/repo/target/debug/deps/fig15_deadline_sweep-01378898a29af15f: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:

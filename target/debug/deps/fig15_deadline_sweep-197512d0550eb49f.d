@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_deadline_sweep-197512d0550eb49f.d: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+/root/repo/target/debug/deps/fig15_deadline_sweep-197512d0550eb49f: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:

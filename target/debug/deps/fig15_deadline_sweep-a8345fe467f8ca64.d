@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_deadline_sweep-a8345fe467f8ca64.d: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+/root/repo/target/debug/deps/fig15_deadline_sweep-a8345fe467f8ca64: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:

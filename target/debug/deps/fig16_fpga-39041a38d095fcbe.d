@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_fpga-39041a38d095fcbe.d: crates/bench/src/bin/fig16_fpga.rs
+
+/root/repo/target/debug/deps/fig16_fpga-39041a38d095fcbe: crates/bench/src/bin/fig16_fpga.rs
+
+crates/bench/src/bin/fig16_fpga.rs:

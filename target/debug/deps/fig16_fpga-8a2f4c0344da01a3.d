@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_fpga-8a2f4c0344da01a3.d: crates/bench/src/bin/fig16_fpga.rs
+
+/root/repo/target/debug/deps/fig16_fpga-8a2f4c0344da01a3: crates/bench/src/bin/fig16_fpga.rs
+
+crates/bench/src/bin/fig16_fpga.rs:

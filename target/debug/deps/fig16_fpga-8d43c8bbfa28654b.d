@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_fpga-8d43c8bbfa28654b.d: crates/bench/src/bin/fig16_fpga.rs
+
+/root/repo/target/debug/deps/fig16_fpga-8d43c8bbfa28654b: crates/bench/src/bin/fig16_fpga.rs
+
+crates/bench/src/bin/fig16_fpga.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_fpga-fae1cb5129898671.d: crates/bench/src/bin/fig16_fpga.rs
+
+/root/repo/target/debug/deps/fig16_fpga-fae1cb5129898671: crates/bench/src/bin/fig16_fpga.rs
+
+crates/bench/src/bin/fig16_fpga.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_fpga_overhead-2a15c542e5892bee.d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+/root/repo/target/debug/deps/fig17_fpga_overhead-2a15c542e5892bee: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_fpga_overhead-43ca9d2a15f843f7.d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+/root/repo/target/debug/deps/fig17_fpga_overhead-43ca9d2a15f843f7: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:

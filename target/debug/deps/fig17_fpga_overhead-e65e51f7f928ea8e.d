@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_fpga_overhead-e65e51f7f928ea8e.d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+/root/repo/target/debug/deps/fig17_fpga_overhead-e65e51f7f928ea8e: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_fpga_overhead-eb0b622c1133c95e.d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+/root/repo/target/debug/deps/fig17_fpga_overhead-eb0b622c1133c95e: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_hls_slicing-1bd74e329a061093.d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+/root/repo/target/debug/deps/fig18_hls_slicing-1bd74e329a061093: crates/bench/src/bin/fig18_hls_slicing.rs
+
+crates/bench/src/bin/fig18_hls_slicing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_hls_slicing-7a5b25937dddb79f.d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+/root/repo/target/debug/deps/fig18_hls_slicing-7a5b25937dddb79f: crates/bench/src/bin/fig18_hls_slicing.rs
+
+crates/bench/src/bin/fig18_hls_slicing.rs:

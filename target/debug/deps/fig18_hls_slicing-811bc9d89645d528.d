@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_hls_slicing-811bc9d89645d528.d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+/root/repo/target/debug/deps/fig18_hls_slicing-811bc9d89645d528: crates/bench/src/bin/fig18_hls_slicing.rs
+
+crates/bench/src/bin/fig18_hls_slicing.rs:

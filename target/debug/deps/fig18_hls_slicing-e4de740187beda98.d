@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_hls_slicing-e4de740187beda98.d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+/root/repo/target/debug/deps/fig18_hls_slicing-e4de740187beda98: crates/bench/src/bin/fig18_hls_slicing.rs
+
+crates/bench/src/bin/fig18_hls_slicing.rs:

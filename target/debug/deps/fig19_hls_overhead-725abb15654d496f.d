@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_hls_overhead-725abb15654d496f.d: crates/bench/src/bin/fig19_hls_overhead.rs
+
+/root/repo/target/debug/deps/fig19_hls_overhead-725abb15654d496f: crates/bench/src/bin/fig19_hls_overhead.rs
+
+crates/bench/src/bin/fig19_hls_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_hls_overhead-99bc4e70bb97b588.d: crates/bench/src/bin/fig19_hls_overhead.rs
+
+/root/repo/target/debug/deps/fig19_hls_overhead-99bc4e70bb97b588: crates/bench/src/bin/fig19_hls_overhead.rs
+
+crates/bench/src/bin/fig19_hls_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_hls_overhead-ea14a620e1ce594b.d: crates/bench/src/bin/fig19_hls_overhead.rs
+
+/root/repo/target/debug/deps/fig19_hls_overhead-ea14a620e1ce594b: crates/bench/src/bin/fig19_hls_overhead.rs
+
+crates/bench/src/bin/fig19_hls_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_hls_overhead-f4acdfe1a96a5e73.d: crates/bench/src/bin/fig19_hls_overhead.rs
+
+/root/repo/target/debug/deps/fig19_hls_overhead-f4acdfe1a96a5e73: crates/bench/src/bin/fig19_hls_overhead.rs
+
+crates/bench/src/bin/fig19_hls_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-2eb8f96be2e4fccb.d: crates/sim/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-2eb8f96be2e4fccb.rmeta: crates/sim/tests/parallel_determinism.rs Cargo.toml
+
+crates/sim/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

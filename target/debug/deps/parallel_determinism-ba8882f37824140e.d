@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-ba8882f37824140e.d: crates/sim/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-ba8882f37824140e: crates/sim/tests/parallel_determinism.rs
+
+crates/sim/tests/parallel_determinism.rs:

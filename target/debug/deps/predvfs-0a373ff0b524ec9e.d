@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs-0a373ff0b524ec9e.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/predvfs-0a373ff0b524ec9e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/predvfs-15521c4270fc362b.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+
+/root/repo/target/debug/deps/predvfs-15521c4270fc362b: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controllers.rs:
+crates/core/src/dvfs.rs:
+crates/core/src/error.rs:
+crates/core/src/governors.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/model.rs:
+crates/core/src/slicer.rs:
+crates/core/src/software.rs:
+crates/core/src/train.rs:

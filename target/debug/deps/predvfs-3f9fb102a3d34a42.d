@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs-3f9fb102a3d34a42.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs-3f9fb102a3d34a42.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs-5083053d2248f7ef.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/predvfs-5083053d2248f7ef: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

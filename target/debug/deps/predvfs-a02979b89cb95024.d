@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs-a02979b89cb95024.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/predvfs-a02979b89cb95024: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/predvfs_accel-c0508f5775db833b.d: crates/accel/src/lib.rs crates/accel/src/aes.rs crates/accel/src/cjpeg.rs crates/accel/src/common.rs crates/accel/src/djpeg.rs crates/accel/src/h264.rs crates/accel/src/md.rs crates/accel/src/sha.rs crates/accel/src/stencil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_accel-c0508f5775db833b.rmeta: crates/accel/src/lib.rs crates/accel/src/aes.rs crates/accel/src/cjpeg.rs crates/accel/src/common.rs crates/accel/src/djpeg.rs crates/accel/src/h264.rs crates/accel/src/md.rs crates/accel/src/sha.rs crates/accel/src/stencil.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/aes.rs:
+crates/accel/src/cjpeg.rs:
+crates/accel/src/common.rs:
+crates/accel/src/djpeg.rs:
+crates/accel/src/h264.rs:
+crates/accel/src/md.rs:
+crates/accel/src/sha.rs:
+crates/accel/src/stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predvfs_bench-68a901373a374731.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_bench-68a901373a374731.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_bench-68a901373a374731.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

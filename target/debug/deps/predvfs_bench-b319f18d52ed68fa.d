@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predvfs_bench-b319f18d52ed68fa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_bench-b319f18d52ed68fa.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_bench-b319f18d52ed68fa.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

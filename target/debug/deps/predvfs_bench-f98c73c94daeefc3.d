@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs_bench-f98c73c94daeefc3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/predvfs_bench-f98c73c94daeefc3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs_bench-fa935cece76a15dc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/predvfs_bench-fa935cece76a15dc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

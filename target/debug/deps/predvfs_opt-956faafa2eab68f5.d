@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/predvfs_opt-956faafa2eab68f5.d: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+/root/repo/target/debug/deps/libpredvfs_opt-956faafa2eab68f5.rlib: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+/root/repo/target/debug/deps/libpredvfs_opt-956faafa2eab68f5.rmeta: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/matrix.rs:
+crates/opt/src/solver.rs:
+crates/opt/src/standardize.rs:
+crates/opt/src/stats.rs:

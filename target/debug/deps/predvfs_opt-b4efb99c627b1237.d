@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs_opt-b4efb99c627b1237.d: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+/root/repo/target/debug/deps/predvfs_opt-b4efb99c627b1237: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/matrix.rs:
+crates/opt/src/solver.rs:
+crates/opt/src/standardize.rs:
+crates/opt/src/stats.rs:

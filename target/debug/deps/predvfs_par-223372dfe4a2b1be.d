@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predvfs_par-223372dfe4a2b1be.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_par-223372dfe4a2b1be.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_par-223372dfe4a2b1be.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs_par-58059def112e406f.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/predvfs_par-58059def112e406f: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

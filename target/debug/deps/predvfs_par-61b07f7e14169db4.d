@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs_par-61b07f7e14169db4.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_par-61b07f7e14169db4.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/predvfs_power-15ea85158debb40d.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+/root/repo/target/debug/deps/libpredvfs_power-15ea85158debb40d.rlib: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+/root/repo/target/debug/deps/libpredvfs_power-15ea85158debb40d.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/ladder.rs:
+crates/power/src/switch.rs:
+crates/power/src/vf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/predvfs_power-987ce2b180ad642a.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_power-987ce2b180ad642a.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/ladder.rs:
+crates/power/src/switch.rs:
+crates/power/src/vf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

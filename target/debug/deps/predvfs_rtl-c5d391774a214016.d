@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/predvfs_rtl-c5d391774a214016.d: crates/rtl/src/lib.rs crates/rtl/src/analysis.rs crates/rtl/src/area.rs crates/rtl/src/builder.rs crates/rtl/src/error.rs crates/rtl/src/expr.rs crates/rtl/src/format.rs crates/rtl/src/instrument.rs crates/rtl/src/interp.rs crates/rtl/src/module.rs crates/rtl/src/slice.rs crates/rtl/src/wcet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_rtl-c5d391774a214016.rmeta: crates/rtl/src/lib.rs crates/rtl/src/analysis.rs crates/rtl/src/area.rs crates/rtl/src/builder.rs crates/rtl/src/error.rs crates/rtl/src/expr.rs crates/rtl/src/format.rs crates/rtl/src/instrument.rs crates/rtl/src/interp.rs crates/rtl/src/module.rs crates/rtl/src/slice.rs crates/rtl/src/wcet.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/analysis.rs:
+crates/rtl/src/area.rs:
+crates/rtl/src/builder.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/expr.rs:
+crates/rtl/src/format.rs:
+crates/rtl/src/instrument.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/module.rs:
+crates/rtl/src/slice.rs:
+crates/rtl/src/wcet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

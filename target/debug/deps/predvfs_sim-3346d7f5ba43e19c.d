@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/predvfs_sim-3346d7f5ba43e19c.d: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/predvfs_sim-3346d7f5ba43e19c: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sweep.rs:

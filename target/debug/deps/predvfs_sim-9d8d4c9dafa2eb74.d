@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/predvfs_sim-9d8d4c9dafa2eb74.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_sim-9d8d4c9dafa2eb74.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_ordering-206c5add4d2d4b28.d: crates/sim/../../tests/scheme_ordering.rs
+
+/root/repo/target/debug/deps/scheme_ordering-206c5add4d2d4b28: crates/sim/../../tests/scheme_ordering.rs
+
+crates/sim/../../tests/scheme_ordering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_ordering-2343554deaab4777.d: crates/sim/tests/scheme_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_ordering-2343554deaab4777.rmeta: crates/sim/tests/scheme_ordering.rs Cargo.toml
+
+crates/sim/tests/scheme_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

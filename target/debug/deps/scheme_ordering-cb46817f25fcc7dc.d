@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_ordering-cb46817f25fcc7dc.d: crates/sim/tests/scheme_ordering.rs
+
+/root/repo/target/debug/deps/scheme_ordering-cb46817f25fcc7dc: crates/sim/tests/scheme_ordering.rs
+
+crates/sim/tests/scheme_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicing_invariants-66d7ca0cbc328281.d: crates/core/../../tests/slicing_invariants.rs
+
+/root/repo/target/debug/deps/slicing_invariants-66d7ca0cbc328281: crates/core/../../tests/slicing_invariants.rs
+
+crates/core/../../tests/slicing_invariants.rs:

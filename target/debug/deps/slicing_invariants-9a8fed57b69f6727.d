@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicing_invariants-9a8fed57b69f6727.d: crates/sim/tests/slicing_invariants.rs
+
+/root/repo/target/debug/deps/slicing_invariants-9a8fed57b69f6727: crates/sim/tests/slicing_invariants.rs
+
+crates/sim/tests/slicing_invariants.rs:

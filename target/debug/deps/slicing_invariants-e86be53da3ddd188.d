@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slicing_invariants-e86be53da3ddd188.d: crates/sim/tests/slicing_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicing_invariants-e86be53da3ddd188.rmeta: crates/sim/tests/slicing_invariants.rs Cargo.toml
+
+crates/sim/tests/slicing_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicing_invariants-feef97f727afe4b1.d: crates/core/../../tests/slicing_invariants.rs
+
+/root/repo/target/debug/deps/slicing_invariants-feef97f727afe4b1: crates/core/../../tests/slicing_invariants.rs
+
+crates/core/../../tests/slicing_invariants.rs:

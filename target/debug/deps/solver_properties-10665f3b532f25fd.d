@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_properties-10665f3b532f25fd.d: crates/opt/tests/solver_properties.rs
+
+/root/repo/target/debug/deps/solver_properties-10665f3b532f25fd: crates/opt/tests/solver_properties.rs
+
+crates/opt/tests/solver_properties.rs:

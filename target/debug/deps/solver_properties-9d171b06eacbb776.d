@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_properties-9d171b06eacbb776.d: crates/opt/tests/solver_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_properties-9d171b06eacbb776.rmeta: crates/opt/tests/solver_properties.rs Cargo.toml
+
+crates/opt/tests/solver_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

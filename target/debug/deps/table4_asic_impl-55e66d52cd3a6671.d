@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_asic_impl-55e66d52cd3a6671.d: crates/bench/src/bin/table4_asic_impl.rs
+
+/root/repo/target/debug/deps/table4_asic_impl-55e66d52cd3a6671: crates/bench/src/bin/table4_asic_impl.rs
+
+crates/bench/src/bin/table4_asic_impl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_asic_impl-7d4eda5784958225.d: crates/bench/src/bin/table4_asic_impl.rs
+
+/root/repo/target/debug/deps/table4_asic_impl-7d4eda5784958225: crates/bench/src/bin/table4_asic_impl.rs
+
+crates/bench/src/bin/table4_asic_impl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_asic_impl-97a95a4c9287e89c.d: crates/bench/src/bin/table4_asic_impl.rs
+
+/root/repo/target/debug/deps/table4_asic_impl-97a95a4c9287e89c: crates/bench/src/bin/table4_asic_impl.rs
+
+crates/bench/src/bin/table4_asic_impl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_asic_impl-a18c18132801484f.d: crates/bench/src/bin/table4_asic_impl.rs
+
+/root/repo/target/debug/deps/table4_asic_impl-a18c18132801484f: crates/bench/src/bin/table4_asic_impl.rs
+
+crates/bench/src/bin/table4_asic_impl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/camera_burst-78b0c423da759ab4.d: crates/core/../../examples/camera_burst.rs
+
+/root/repo/target/debug/examples/camera_burst-78b0c423da759ab4: crates/core/../../examples/camera_burst.rs
+
+crates/core/../../examples/camera_burst.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/camera_burst-a029e7b86f4485cc.d: crates/core/../../examples/camera_burst.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcamera_burst-a029e7b86f4485cc.rmeta: crates/core/../../examples/camera_burst.rs Cargo.toml
+
+crates/core/../../examples/camera_burst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/camera_burst-b8125471217b0c6e.d: crates/core/../../examples/camera_burst.rs
+
+/root/repo/target/debug/examples/camera_burst-b8125471217b0c6e: crates/core/../../examples/camera_burst.rs
+
+crates/core/../../examples/camera_burst.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drm_pipeline-3e9486816a26e19f.d: crates/sim/../../examples/drm_pipeline.rs
+
+/root/repo/target/debug/examples/drm_pipeline-3e9486816a26e19f: crates/sim/../../examples/drm_pipeline.rs
+
+crates/sim/../../examples/drm_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drm_pipeline-45d2afcb0259ad56.d: crates/sim/../../examples/drm_pipeline.rs
+
+/root/repo/target/debug/examples/drm_pipeline-45d2afcb0259ad56: crates/sim/../../examples/drm_pipeline.rs
+
+crates/sim/../../examples/drm_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drm_pipeline-a8fd738371dc9f2b.d: crates/sim/../../examples/drm_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrm_pipeline-a8fd738371dc9f2b.rmeta: crates/sim/../../examples/drm_pipeline.rs Cargo.toml
+
+crates/sim/../../examples/drm_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2d8adba0b90899cd.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2d8adba0b90899cd: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-afd0f65174fd360b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-afd0f65174fd360b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

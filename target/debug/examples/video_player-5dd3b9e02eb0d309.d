@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_player-5dd3b9e02eb0d309.d: crates/core/../../examples/video_player.rs
+
+/root/repo/target/debug/examples/video_player-5dd3b9e02eb0d309: crates/core/../../examples/video_player.rs
+
+crates/core/../../examples/video_player.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/video_player-65563c8c3e568085.d: crates/core/../../examples/video_player.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvideo_player-65563c8c3e568085.rmeta: crates/core/../../examples/video_player.rs Cargo.toml
+
+crates/core/../../examples/video_player.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

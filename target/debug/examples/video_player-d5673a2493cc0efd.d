@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_player-d5673a2493cc0efd.d: crates/core/../../examples/video_player.rs
+
+/root/repo/target/debug/examples/video_player-d5673a2493cc0efd: crates/core/../../examples/video_player.rs
+
+crates/core/../../examples/video_player.rs:

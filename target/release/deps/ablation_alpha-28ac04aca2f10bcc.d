@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alpha-28ac04aca2f10bcc.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/release/deps/ablation_alpha-28ac04aca2f10bcc: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_compression-2d813691e867530a.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/release/deps/ablation_compression-2d813691e867530a: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gamma-94669570f3ef7170.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/release/deps/ablation_gamma-94669570f3ef7170: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_governors-f2d1cf0c5bdcb5ff.d: crates/bench/src/bin/ablation_governors.rs
+
+/root/repo/target/release/deps/ablation_governors-f2d1cf0c5bdcb5ff: crates/bench/src/bin/ablation_governors.rs
+
+crates/bench/src/bin/ablation_governors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_margin-966c1914f9e7e523.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/release/deps/ablation_margin-966c1914f9e7e523: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

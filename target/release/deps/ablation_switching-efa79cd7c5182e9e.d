@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_switching-efa79cd7c5182e9e.d: crates/bench/src/bin/ablation_switching.rs
+
+/root/repo/target/release/deps/ablation_switching-efa79cd7c5182e9e: crates/bench/src/bin/ablation_switching.rs
+
+crates/bench/src/bin/ablation_switching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_table-714551f926eb04a5.d: crates/bench/src/bin/ablation_table.rs
+
+/root/repo/target/release/deps/ablation_table-714551f926eb04a5: crates/bench/src/bin/ablation_table.rs
+
+crates/bench/src/bin/ablation_table.rs:

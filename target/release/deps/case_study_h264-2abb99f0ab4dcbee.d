@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study_h264-2abb99f0ab4dcbee.d: crates/bench/src/bin/case_study_h264.rs
+
+/root/repo/target/release/deps/case_study_h264-2abb99f0ab4dcbee: crates/bench/src/bin/case_study_h264.rs
+
+crates/bench/src/bin/case_study_h264.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hybrid-7059111260851f3d.d: crates/bench/src/bin/ext_hybrid.rs
+
+/root/repo/target/release/deps/ext_hybrid-7059111260851f3d: crates/bench/src/bin/ext_hybrid.rs
+
+crates/bench/src/bin/ext_hybrid.rs:

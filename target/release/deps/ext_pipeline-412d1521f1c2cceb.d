@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_pipeline-412d1521f1c2cceb.d: crates/bench/src/bin/ext_pipeline.rs
+
+/root/repo/target/release/deps/ext_pipeline-412d1521f1c2cceb: crates/bench/src/bin/ext_pipeline.rs
+
+crates/bench/src/bin/ext_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_software_predictor-0697e6ba61c4843d.d: crates/bench/src/bin/ext_software_predictor.rs
+
+/root/repo/target/release/deps/ext_software_predictor-0697e6ba61c4843d: crates/bench/src/bin/ext_software_predictor.rs
+
+crates/bench/src/bin/ext_software_predictor.rs:

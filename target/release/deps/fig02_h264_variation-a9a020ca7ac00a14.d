@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_h264_variation-a9a020ca7ac00a14.d: crates/bench/src/bin/fig02_h264_variation.rs
+
+/root/repo/target/release/deps/fig02_h264_variation-a9a020ca7ac00a14: crates/bench/src/bin/fig02_h264_variation.rs
+
+crates/bench/src/bin/fig02_h264_variation.rs:

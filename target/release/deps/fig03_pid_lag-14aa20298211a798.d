@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_pid_lag-14aa20298211a798.d: crates/bench/src/bin/fig03_pid_lag.rs
+
+/root/repo/target/release/deps/fig03_pid_lag-14aa20298211a798: crates/bench/src/bin/fig03_pid_lag.rs
+
+crates/bench/src/bin/fig03_pid_lag.rs:

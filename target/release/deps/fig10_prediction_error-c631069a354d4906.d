@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_prediction_error-c631069a354d4906.d: crates/bench/src/bin/fig10_prediction_error.rs
+
+/root/repo/target/release/deps/fig10_prediction_error-c631069a354d4906: crates/bench/src/bin/fig10_prediction_error.rs
+
+crates/bench/src/bin/fig10_prediction_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_energy_misses-da9740c4de002ef7.d: crates/bench/src/bin/fig11_energy_misses.rs
+
+/root/repo/target/release/deps/fig11_energy_misses-da9740c4de002ef7: crates/bench/src/bin/fig11_energy_misses.rs
+
+crates/bench/src/bin/fig11_energy_misses.rs:

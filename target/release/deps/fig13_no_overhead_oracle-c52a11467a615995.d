@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_no_overhead_oracle-c52a11467a615995.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+/root/repo/target/release/deps/fig13_no_overhead_oracle-c52a11467a615995: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_boost-837ea48fc0810cc4.d: crates/bench/src/bin/fig14_boost.rs
+
+/root/repo/target/release/deps/fig14_boost-837ea48fc0810cc4: crates/bench/src/bin/fig14_boost.rs
+
+crates/bench/src/bin/fig14_boost.rs:

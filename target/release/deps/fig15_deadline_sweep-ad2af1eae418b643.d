@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_deadline_sweep-ad2af1eae418b643.d: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+/root/repo/target/release/deps/fig15_deadline_sweep-ad2af1eae418b643: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:

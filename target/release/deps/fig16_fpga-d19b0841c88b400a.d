@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_fpga-d19b0841c88b400a.d: crates/bench/src/bin/fig16_fpga.rs
+
+/root/repo/target/release/deps/fig16_fpga-d19b0841c88b400a: crates/bench/src/bin/fig16_fpga.rs
+
+crates/bench/src/bin/fig16_fpga.rs:

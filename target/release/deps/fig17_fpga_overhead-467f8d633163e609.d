@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_fpga_overhead-467f8d633163e609.d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+/root/repo/target/release/deps/fig17_fpga_overhead-467f8d633163e609: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:

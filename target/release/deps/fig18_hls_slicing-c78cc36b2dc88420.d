@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_hls_slicing-c78cc36b2dc88420.d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+/root/repo/target/release/deps/fig18_hls_slicing-c78cc36b2dc88420: crates/bench/src/bin/fig18_hls_slicing.rs
+
+crates/bench/src/bin/fig18_hls_slicing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_hls_overhead-488fe197c564f34c.d: crates/bench/src/bin/fig19_hls_overhead.rs
+
+/root/repo/target/release/deps/fig19_hls_overhead-488fe197c564f34c: crates/bench/src/bin/fig19_hls_overhead.rs
+
+crates/bench/src/bin/fig19_hls_overhead.rs:

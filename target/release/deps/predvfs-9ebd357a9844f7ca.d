@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predvfs-9ebd357a9844f7ca.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/predvfs-9ebd357a9844f7ca: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

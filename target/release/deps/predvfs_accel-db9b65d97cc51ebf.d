@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/predvfs_accel-db9b65d97cc51ebf.d: crates/accel/src/lib.rs crates/accel/src/aes.rs crates/accel/src/cjpeg.rs crates/accel/src/common.rs crates/accel/src/djpeg.rs crates/accel/src/h264.rs crates/accel/src/md.rs crates/accel/src/sha.rs crates/accel/src/stencil.rs
+
+/root/repo/target/release/deps/libpredvfs_accel-db9b65d97cc51ebf.rlib: crates/accel/src/lib.rs crates/accel/src/aes.rs crates/accel/src/cjpeg.rs crates/accel/src/common.rs crates/accel/src/djpeg.rs crates/accel/src/h264.rs crates/accel/src/md.rs crates/accel/src/sha.rs crates/accel/src/stencil.rs
+
+/root/repo/target/release/deps/libpredvfs_accel-db9b65d97cc51ebf.rmeta: crates/accel/src/lib.rs crates/accel/src/aes.rs crates/accel/src/cjpeg.rs crates/accel/src/common.rs crates/accel/src/djpeg.rs crates/accel/src/h264.rs crates/accel/src/md.rs crates/accel/src/sha.rs crates/accel/src/stencil.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/aes.rs:
+crates/accel/src/cjpeg.rs:
+crates/accel/src/common.rs:
+crates/accel/src/djpeg.rs:
+crates/accel/src/h264.rs:
+crates/accel/src/md.rs:
+crates/accel/src/sha.rs:
+crates/accel/src/stencil.rs:

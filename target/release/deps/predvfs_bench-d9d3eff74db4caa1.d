@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/predvfs_bench-d9d3eff74db4caa1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpredvfs_bench-d9d3eff74db4caa1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpredvfs_bench-d9d3eff74db4caa1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

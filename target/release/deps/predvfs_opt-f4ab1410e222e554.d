@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/predvfs_opt-f4ab1410e222e554.d: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+/root/repo/target/release/deps/libpredvfs_opt-f4ab1410e222e554.rlib: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+/root/repo/target/release/deps/libpredvfs_opt-f4ab1410e222e554.rmeta: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/matrix.rs:
+crates/opt/src/solver.rs:
+crates/opt/src/standardize.rs:
+crates/opt/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/predvfs_par-79d779b9f52000bb.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libpredvfs_par-79d779b9f52000bb.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libpredvfs_par-79d779b9f52000bb.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

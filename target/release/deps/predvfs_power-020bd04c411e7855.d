@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/predvfs_power-020bd04c411e7855.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+/root/repo/target/release/deps/libpredvfs_power-020bd04c411e7855.rlib: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+/root/repo/target/release/deps/libpredvfs_power-020bd04c411e7855.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/ladder.rs:
+crates/power/src/switch.rs:
+crates/power/src/vf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/predvfs_sim-497fbdba002703b8.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/libpredvfs_sim-497fbdba002703b8.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/libpredvfs_sim-497fbdba002703b8.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_asic_impl-519984324252268f.d: crates/bench/src/bin/table4_asic_impl.rs
+
+/root/repo/target/release/deps/table4_asic_impl-519984324252268f: crates/bench/src/bin/table4_asic_impl.rs
+
+crates/bench/src/bin/table4_asic_impl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bcb8d09c0c3be069.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bcb8d09c0c3be069: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

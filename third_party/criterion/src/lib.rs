@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim implements the slice of the criterion 0.5 API the workspace's
+//! benches use: [`Criterion::bench_function`], benchmark groups with
+//! throughput annotations, [`criterion_group!`]/[`criterion_main!`], and
+//! [`black_box`]. Timing is a plain mean over a fixed-duration loop —
+//! no statistics, plots, or baselines — which is enough to compare hot
+//! paths by eye on a developer machine.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timing driver handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over repeated calls for a short, fixed wall-clock
+    /// budget and records the per-call mean.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (fills caches, resolves lazies).
+        black_box(f());
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut calls: u32 = 0;
+        while start.elapsed() < budget {
+            black_box(f());
+            calls += 1;
+        }
+        let elapsed = start.elapsed();
+        self.samples.push(elapsed / calls.max(1));
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total / self.samples.len() as u32
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// An identifier for one input of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function + parameter pair.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mean = b.mean();
+    let per = match throughput {
+        Some(Throughput::Elements(n)) if n > 0 => {
+            let rate = n as f64 / mean.as_secs_f64().max(1e-12);
+            format!("  ({rate:.3e} elem/s)")
+        }
+        Some(Throughput::Bytes(n)) if n > 0 => {
+            let rate = n as f64 / mean.as_secs_f64().max(1e-12);
+            format!("  ({rate:.3e} B/s)")
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<48} {mean:>12.3?}/iter{per}");
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` over declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(2u64 + 2));
+        assert_eq!(b.samples.len(), 1);
+        assert!(b.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+}

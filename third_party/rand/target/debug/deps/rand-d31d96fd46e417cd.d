@@ -1,0 +1,7 @@
+/root/repo/third_party/rand/target/debug/deps/rand-d31d96fd46e417cd.d: src/lib.rs
+
+/root/repo/third_party/rand/target/debug/deps/librand-d31d96fd46e417cd.rlib: src/lib.rs
+
+/root/repo/third_party/rand/target/debug/deps/librand-d31d96fd46e417cd.rmeta: src/lib.rs
+
+src/lib.rs:
