@@ -9,6 +9,7 @@
 //!                                           train, slice, and write the predictor hardware
 //! predvfs wcet <design.rtl>                 static worst-case bound
 //! predvfs eval <benchmark> [asic|fpga]      run every DVFS scheme on a built-in benchmark
+//! predvfs serve <scenario.txt | --demo>     multi-stream DVFS service simulation
 //! ```
 //!
 //! `--threads N` (anywhere on the command line) caps the worker pool used
@@ -27,6 +28,7 @@ use predvfs_rtl::{
     from_text, to_text, wcet, Analysis, AsicAreaModel, ExecMode, FeatureSchema, FpgaResourceModel,
     JobInput, Module, Simulator, SliceOptions,
 };
+use predvfs_serve::{Scenario, ServeRuntime};
 use predvfs_sim::{Experiment, ExperimentConfig, Platform, Scheme};
 
 fn main() -> ExitCode {
@@ -66,6 +68,7 @@ fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "wcet" => cmd_wcet(required(args, 1, "design file")?),
         "dot" => cmd_dot(required(args, 1, "design file")?),
         "eval" => cmd_eval(required(args, 1, "benchmark name")?, args.get(2)),
+        "serve" => cmd_serve(required(args, 1, "scenario file (or --demo)")?),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -118,6 +121,7 @@ USAGE:
   predvfs wcet <design.rtl>
   predvfs dot <design.rtl>        (pipe into `dot -Tsvg`)
   predvfs eval <benchmark> [asic|fpga]
+  predvfs serve <scenario.txt | --demo>
 
 OPTIONS:
   --threads <N>   worker-pool size for parallel stages (default: all
@@ -125,6 +129,14 @@ OPTIONS:
 
 Built-in benchmarks: h264 cjpeg djpeg md stencil aes sha
 PREDVFS_QUICK=1 shrinks `eval` workloads for smoke runs.
+
+Scenario files (serve) are line-oriented:
+  platform asic|fpga
+  size quick|full
+  stream <benchmark> [deadline_ms=..] [period_ms=..] [jobs=..] [queue=..]
+         [policy=shed|relax:<f>] [controller=predictive|adaptive|pid|hybrid]
+         [seed=..] [drift=<at_frac>:<cycle_scale>] [name=..]
+`--demo` runs a built-in 4-stream scenario with drift and backpressure.
 ";
 
 fn required<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -379,6 +391,47 @@ fn cmd_eval(name: &str, platform: Option<&String>) -> Result<(), Box<dyn std::er
             r.miss_pct()
         );
     }
+    Ok(())
+}
+
+/// Runs a multi-stream service scenario and prints per-stream outcomes
+/// (completions, misses, backpressure, refits, energy).
+fn cmd_serve(scenario_arg: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = if scenario_arg == "--demo" {
+        Scenario::demo()
+    } else {
+        Scenario::parse(&fs::read_to_string(scenario_arg)?)?
+    };
+    eprintln!(
+        "preparing {} streams ({} worker threads)...",
+        scenario.streams.len(),
+        predvfs_par::current_threads()
+    );
+    let runtime = ServeRuntime::prepare(&scenario, &predvfs_sim::TraceCache::new())?;
+    let result = runtime.run()?;
+    println!(
+        "{:<12} {:<10} {:>9} {:>6} {:>7} {:>6} {:>8} {:>7} {:>14}",
+        "stream", "ctrl", "submitted", "done", "miss%", "shed", "relaxed", "refits", "energy_pJ"
+    );
+    for (spec, s) in runtime.specs().zip(&result.streams) {
+        println!(
+            "{:<12} {:<10} {:>9} {:>6} {:>7.2} {:>6} {:>8} {:>7} {:>14.0}",
+            s.name,
+            spec.controller.name(),
+            s.submitted,
+            s.completed(),
+            s.miss_pct(),
+            s.shed,
+            s.relaxed,
+            s.refits,
+            s.total_energy_pj()
+        );
+    }
+    println!(
+        "{} events over {:.1} ms of virtual time",
+        result.events,
+        result.horizon_s * 1e3
+    );
     Ok(())
 }
 

@@ -189,4 +189,127 @@ mod tests {
             "correction must stay conservative"
         );
     }
+
+    /// A cheap trained setup for exercising the EWMA arithmetic.
+    fn sha_setup() -> (predvfs_rtl::Module, predvfs_accel::Workloads, ExecTimeModel) {
+        use predvfs_accel::sha;
+        let m = sha::build();
+        let w = sha::workloads(7, WorkloadSize::Quick);
+        let model = train(&m, &w.train, &TrainerConfig::default()).unwrap();
+        (m, w, model)
+    }
+
+    #[test]
+    fn residual_ratio_follows_the_ewma_update() {
+        let (m, w, model) = sha_setup();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
+        let mut hybrid = HybridController::new(dvfs(), 500e6, &sp, &model);
+        assert_eq!(hybrid.residual_ratio(), 1.0);
+        let runner = sp.runner();
+        let mut expected = 1.0;
+        for (i, job) in w.test.iter().take(3).enumerate() {
+            let raw = model.predict_cycles(&runner.run(job).unwrap().features);
+            hybrid
+                .decide(&JobContext {
+                    job,
+                    deadline_s: 16.7e-3,
+                    index: i,
+                })
+                .unwrap();
+            // Pretend every job overruns its prediction by exactly 2x.
+            let actual = (raw * 2.0).round() as u64;
+            hybrid.observe(actual);
+            expected = 0.8 * expected + 0.2 * (actual as f64 / raw);
+            assert!(
+                (hybrid.residual_ratio() - expected).abs() < 1e-12,
+                "job {i}: ratio {} vs expected {expected}",
+                hybrid.residual_ratio()
+            );
+        }
+        assert!(hybrid.residual_ratio() > 1.0);
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_last_ratio_and_zero_freezes() {
+        let (m, w, model) = sha_setup();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
+        let runner = sp.runner();
+        let job = &w.test[0];
+        let raw = model.predict_cycles(&runner.run(job).unwrap().features);
+        let ctx = JobContext {
+            job,
+            deadline_s: 16.7e-3,
+            index: 0,
+        };
+
+        let mut eager = HybridController::new(dvfs(), 500e6, &sp, &model);
+        eager.ewma_alpha = 1.0;
+        eager.decide(&ctx).unwrap();
+        let actual = (raw * 3.0).round() as u64;
+        eager.observe(actual);
+        assert!(
+            (eager.residual_ratio() - actual as f64 / raw).abs() < 1e-12,
+            "alpha=1 must jump straight to the last observed ratio"
+        );
+
+        let mut frozen = HybridController::new(dvfs(), 500e6, &sp, &model);
+        frozen.ewma_alpha = 0.0;
+        frozen.decide(&ctx).unwrap();
+        frozen.observe(actual);
+        assert_eq!(
+            frozen.residual_ratio(),
+            1.0,
+            "alpha=0 must never move off the initial estimate"
+        );
+    }
+
+    #[test]
+    fn allow_downward_reclaims_overprediction() {
+        let (m, w, model) = sha_setup();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
+        let mut hybrid = HybridController::new(dvfs(), 500e6, &sp, &model);
+        hybrid.allow_downward = true;
+        for (i, job) in w.test.iter().take(5).enumerate() {
+            hybrid
+                .decide(&JobContext {
+                    job,
+                    deadline_s: 16.7e-3,
+                    index: i,
+                })
+                .unwrap();
+            hybrid.observe(1); // the model vastly over-predicts
+        }
+        assert!(hybrid.residual_ratio() < 1.0);
+        let runner = sp.runner();
+        let job = &w.test[6];
+        let raw = model.predict_cycles(&runner.run(job).unwrap().features);
+        let d = hybrid
+            .decide(&JobContext {
+                job,
+                deadline_s: 16.7e-3,
+                index: 6,
+            })
+            .unwrap();
+        assert!(
+            d.predicted_cycles.unwrap() < raw,
+            "downward correction must lower the corrected prediction"
+        );
+    }
+
+    #[test]
+    fn observe_without_a_pending_decision_is_a_noop() {
+        let (m, _w, model) = sha_setup();
+        let sp = SlicePredictor::generate(&m, &model, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
+        let mut hybrid = HybridController::new(dvfs(), 500e6, &sp, &model);
+        hybrid.observe(123_456);
+        assert_eq!(
+            hybrid.residual_ratio(),
+            1.0,
+            "an observation with no matching decision must not move the EWMA"
+        );
+    }
 }

@@ -60,6 +60,7 @@ pub mod error;
 pub mod governors;
 pub mod hybrid;
 pub mod model;
+pub mod online;
 pub mod slicer;
 pub mod software;
 pub mod train;
@@ -73,6 +74,7 @@ pub use error::CoreError;
 pub use governors::{IntervalGovernor, WcetController};
 pub use hybrid::HybridController;
 pub use model::ExecTimeModel;
+pub use online::{AdaptState, AdaptiveController, OnlineTrainer, OnlineTrainerConfig};
 pub use slicer::{SliceFlavor, SlicePredictor, SliceRun, SliceRunner};
 pub use software::{CpuModel, SoftwarePrediction, SoftwarePredictor};
 pub use train::{TrainerConfig, TrainingData};

@@ -68,6 +68,21 @@ impl Standardizer {
         self.passthrough[col]
     }
 
+    /// The learned mean of a column (0 for passthrough columns).
+    ///
+    /// Together with [`Standardizer::scale`] this is the forward map
+    /// `fold_back` inverts: raw-space coefficients warm-starting a fit in
+    /// standardized space are mapped as `βs_c = β_c·σ_c`, with
+    /// `Σ β_c·μ_c` added onto the bias coefficient.
+    pub fn mean(&self, col: usize) -> f64 {
+        self.mean[col]
+    }
+
+    /// The learned scale of a column (1 for passthrough columns).
+    pub fn scale(&self, col: usize) -> f64 {
+        self.scale[col]
+    }
+
     /// Returns a standardized copy of `x`.
     ///
     /// # Panics

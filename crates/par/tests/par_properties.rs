@@ -1,0 +1,54 @@
+//! Property tests for the `par_try_map` contract: for *any* input
+//! length, thread count, and failure pattern, the outcome — error index
+//! on failure, value ordering on success — is exactly what the serial
+//! `.map(f).collect::<Result<_, _>>()` path produces. The whole repo's
+//! determinism story (trace caches, scheme fan-out, the serve runtime)
+//! rests on this equivalence.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_serial_collect_for_any_failure_pattern(
+        fail in prop::collection::vec(any::<bool>(), 0..40),
+        threads in 1..9usize,
+    ) {
+        let items: Vec<usize> = (0..fail.len()).collect();
+        // Fail at the marked indices, carrying the index as the error.
+        let f = |&i: &usize| if fail[i] { Err(i) } else { Ok(i * 7 + 1) };
+        let serial: Result<Vec<usize>, usize> = items.iter().map(f).collect();
+        let parallel = predvfs_par::with_threads(threads, || {
+            predvfs_par::par_try_map(&items, f)
+        });
+        prop_assert_eq!(&parallel, &serial);
+        match parallel {
+            Err(idx) => {
+                // The reported error is the lowest-indexed failure.
+                let first = fail.iter().position(|&b| b).expect("an error implies a failure");
+                prop_assert_eq!(idx, first);
+            }
+            Ok(values) => {
+                // No failures: every value present, in input order.
+                prop_assert!(!fail.iter().any(|&b| b));
+                prop_assert_eq!(values, items.iter().map(|&i| i * 7 + 1).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_is_order_preserving_for_any_thread_count(
+        len in 0..80usize,
+        threads in 1..9usize,
+    ) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let out = predvfs_par::with_threads(threads, || {
+            predvfs_par::par_map(&items, |&i| i.wrapping_mul(2_654_435_761))
+        });
+        prop_assert_eq!(
+            out,
+            items.iter().map(|&i| i.wrapping_mul(2_654_435_761)).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,582 @@
+//! The deterministic discrete-event service runtime.
+//!
+//! [`ServeRuntime::prepare`] trains and slices each stream's accelerator
+//! (fanned out with [`predvfs_par`], trace simulation deduplicated by the
+//! shared [`TraceCache`]); [`ServeRuntime::run`] then advances a virtual
+//! clock over arrival / slice-done / level-switch / job-done events in a
+//! single serial loop. Parallelism lives entirely in the preparation
+//! phase, whose per-stream outputs are bit-identical regardless of thread
+//! count, so the whole pipeline is deterministic: same scenario, same
+//! result, any `--threads`.
+//!
+//! Ties on the virtual clock are broken by a monotonic sequence number,
+//! so simultaneous events (two streams arriving in the same instant)
+//! always play out in submission order.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use predvfs::{
+    AdaptiveController, DvfsController, DvfsModel, HybridController, JobContext, LevelChoice,
+    OnlineTrainerConfig, PidController, PredictiveController,
+};
+use predvfs_power::OperatingPoint;
+use predvfs_rtl::JobTrace;
+use predvfs_sim::{Experiment, ExperimentConfig, TraceCache};
+
+use crate::scenario::{ControllerKind, OverloadPolicy, Scenario, ServeError, StreamSpec};
+
+/// One stream, trained and ready to serve: the prepared experiment plus
+/// the per-arrival job sequence (with any drift already applied to the
+/// traces).
+struct PreparedStream {
+    spec: StreamSpec,
+    exp: Experiment,
+    /// Index into the experiment's test set for each arrival.
+    job_idx: Vec<usize>,
+    /// Ground-truth trace for each arrival (drift-scaled past the shift).
+    traces: Vec<JobTrace>,
+}
+
+/// A scenario with every stream prepared; reusable across runs.
+pub struct ServeRuntime {
+    streams: Vec<PreparedStream>,
+}
+
+/// Per-completed-job accounting, mirroring the batch runner's fields plus
+/// the service-level ones (queueing, relaxation, fallback state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRecord {
+    /// Arrival index within the stream.
+    pub job: usize,
+    /// Virtual time the job arrived.
+    pub arrival_s: f64,
+    /// Virtual time service began (≥ arrival when queued).
+    pub start_s: f64,
+    /// Virtual time the job completed.
+    pub done_s: f64,
+    /// Effective relative deadline (stretched when admitted relaxed).
+    pub deadline_s: f64,
+    /// True when the job was admitted under a relaxed deadline.
+    pub relaxed: bool,
+    /// True when completion exceeded the effective deadline.
+    pub missed: bool,
+    /// True when the decision came from the drift fallback.
+    pub degraded: bool,
+    /// Core voltage of the chosen operating point.
+    pub volts: f64,
+    /// Total energy charged (job + slice + transition), picojoules.
+    pub energy_pj: f64,
+    /// Slice share of the energy, picojoules.
+    pub slice_energy_pj: f64,
+    /// The controller's (corrected) prediction, if it made one.
+    pub predicted_cycles: Option<f64>,
+    /// Ground-truth execution cycles.
+    pub actual_cycles: u64,
+}
+
+/// Outcome of one stream over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamResult {
+    /// The stream's display name.
+    pub name: String,
+    /// The benchmark it served.
+    pub bench: String,
+    /// Jobs the stream submitted.
+    pub submitted: usize,
+    /// Per-completed-job records, in completion order.
+    pub records: Vec<ServeRecord>,
+    /// Arrivals dropped by the shed policy.
+    pub shed: usize,
+    /// Arrivals admitted with a stretched deadline.
+    pub relaxed: usize,
+    /// Online refits installed by an adaptive controller.
+    pub refits: usize,
+}
+
+impl StreamResult {
+    /// Jobs that completed service.
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Completed jobs that exceeded their effective deadline.
+    pub fn misses(&self) -> usize {
+        self.records.iter().filter(|r| r.missed).count()
+    }
+
+    /// Deadline misses as a percentage of completed jobs (0 when none
+    /// completed).
+    pub fn miss_pct(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            100.0 * self.misses() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Total energy across completed jobs, picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.records.iter().map(|r| r.energy_pj).sum()
+    }
+}
+
+/// Outcome of a full service run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResult {
+    /// Per-stream outcomes, in scenario order.
+    pub streams: Vec<StreamResult>,
+    /// Virtual time of the last event.
+    pub horizon_s: f64,
+    /// Events processed by the engine.
+    pub events: usize,
+}
+
+/// What the virtual clock is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Stream's `job`-th arrival enters admission.
+    Arrival { stream: usize, job: usize },
+    /// The feature slice finished (the accelerator may start switching).
+    SliceDone { stream: usize },
+    /// The voltage regulator settled at the chosen level.
+    SwitchDone { stream: usize },
+    /// The job left the accelerator.
+    JobDone { stream: usize },
+}
+
+/// Heap entry: earliest time first, submission order on ties.
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we pop earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A job admitted but not yet completed.
+#[derive(Debug, Clone, Copy)]
+struct Admitted {
+    job: usize,
+    arrival_s: f64,
+    deadline_abs_s: f64,
+    relaxed: bool,
+}
+
+/// The in-service job and its precomputed accounting.
+struct InFlight {
+    adm: Admitted,
+    start_s: f64,
+    degraded: bool,
+    volts: f64,
+    energy_pj: f64,
+    slice_energy_pj: f64,
+    predicted_cycles: Option<f64>,
+    actual_cycles: u64,
+}
+
+/// Per-stream controller dispatch. Boxing a `dyn DvfsController` would
+/// lose access to the adaptive controller's refit counter, so the enum
+/// keeps the concrete types.
+enum Ctrl<'p> {
+    Predictive(PredictiveController<'p>),
+    Adaptive(Box<AdaptiveController<'p>>),
+    Pid(PidController),
+    Hybrid(HybridController<'p>),
+}
+
+impl Ctrl<'_> {
+    fn decide(&mut self, ctx: &JobContext<'_>) -> Result<predvfs::Decision, predvfs::CoreError> {
+        match self {
+            Ctrl::Predictive(c) => c.decide(ctx),
+            Ctrl::Adaptive(c) => c.decide(ctx),
+            Ctrl::Pid(c) => c.decide(ctx),
+            Ctrl::Hybrid(c) => c.decide(ctx),
+        }
+    }
+
+    fn observe(&mut self, actual: u64) {
+        match self {
+            Ctrl::Predictive(c) => c.observe(actual),
+            Ctrl::Adaptive(c) => c.observe(actual),
+            Ctrl::Pid(c) => c.observe(actual),
+            Ctrl::Hybrid(c) => c.observe(actual),
+        }
+    }
+
+    fn refits(&self) -> usize {
+        match self {
+            Ctrl::Adaptive(c) => c.refits(),
+            _ => 0,
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        match self {
+            Ctrl::Adaptive(c) => c.is_degraded(),
+            _ => false,
+        }
+    }
+}
+
+/// Mutable service state of one stream during a run.
+struct StreamState<'p> {
+    ctrl: Ctrl<'p>,
+    queue: VecDeque<Admitted>,
+    in_flight: Option<InFlight>,
+    prev_key: usize,
+    started: usize,
+    result: StreamResult,
+}
+
+/// Maps a level choice to an ordinal for switching-cost bookkeeping.
+fn level_key(dvfs: &DvfsModel, choice: LevelChoice) -> usize {
+    match choice {
+        LevelChoice::Regular(i) => i,
+        LevelChoice::Boost => dvfs.ladder.len(),
+    }
+}
+
+/// Returns `trace` with cycles and datapath activity scaled by `scale`.
+fn scaled_trace(trace: &JobTrace, scale: f64) -> JobTrace {
+    let mut t = trace.clone();
+    t.cycles = (t.cycles as f64 * scale).round() as u64;
+    for a in &mut t.dp_active {
+        *a = (*a as f64 * scale).round() as u64;
+    }
+    t
+}
+
+impl ServeRuntime {
+    /// Trains and slices every stream, in parallel, sharing `cache` for
+    /// trace simulation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate stream specs ([`ServeError::InvalidSpec`]) and
+    /// propagates pipeline failures.
+    pub fn prepare(scenario: &Scenario, cache: &TraceCache) -> Result<ServeRuntime, ServeError> {
+        for spec in &scenario.streams {
+            let invalid = |msg: &str| ServeError::InvalidSpec {
+                stream: spec.name.clone(),
+                msg: msg.to_owned(),
+            };
+            if spec.jobs == 0 {
+                return Err(invalid("stream submits no jobs"));
+            }
+            if spec.period_s.partial_cmp(&0.0) != Some(Ordering::Greater) {
+                return Err(invalid("arrival period must be positive"));
+            }
+            if spec.deadline_s.partial_cmp(&0.0) != Some(Ordering::Greater) {
+                return Err(invalid("deadline must be positive"));
+            }
+        }
+        let streams = predvfs_par::par_try_map(
+            &scenario.streams,
+            |spec| -> Result<PreparedStream, ServeError> {
+                let mut config = ExperimentConfig::paper_default(scenario.platform);
+                config.size = scenario.size;
+                config.seed = spec.seed;
+                config.deadline_s = spec.deadline_s;
+                let exp = Experiment::prepare_cached(spec.bench, config, cache)
+                    .map_err(ServeError::Core)?;
+                let n_test = exp.workloads.test.len();
+                let shift_at = spec
+                    .drift
+                    .map(|d| (d.at_frac * spec.jobs as f64).floor() as usize)
+                    .unwrap_or(usize::MAX);
+                let mut job_idx = Vec::with_capacity(spec.jobs);
+                let mut traces = Vec::with_capacity(spec.jobs);
+                for i in 0..spec.jobs {
+                    let idx = i % n_test;
+                    job_idx.push(idx);
+                    let base = &exp.test_traces[idx];
+                    traces.push(if i >= shift_at {
+                        scaled_trace(base, spec.drift.expect("shift implies drift").cycle_scale)
+                    } else {
+                        base.clone()
+                    });
+                }
+                Ok(PreparedStream {
+                    spec: spec.clone(),
+                    exp,
+                    job_idx,
+                    traces,
+                })
+            },
+        )?;
+        Ok(ServeRuntime { streams })
+    }
+
+    /// The prepared streams' specs, in scenario order.
+    pub fn specs(&self) -> impl Iterator<Item = &StreamSpec> {
+        self.streams.iter().map(|s| &s.spec)
+    }
+
+    /// Runs the scenario with each stream's configured controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (e.g. a hung slice).
+    pub fn run(&self) -> Result<ServeResult, ServeError> {
+        self.run_with(None)
+    }
+
+    /// Runs the scenario, optionally forcing every stream onto one
+    /// controller kind (for baseline comparisons over identical arrivals).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (e.g. a hung slice).
+    pub fn run_with(&self, force: Option<ControllerKind>) -> Result<ServeResult, ServeError> {
+        let mut states: Vec<StreamState<'_>> = self
+            .streams
+            .iter()
+            .map(|s| {
+                let kind = force.unwrap_or(s.spec.controller);
+                let dvfs = s.exp.dvfs.clone();
+                let f_hz = s.exp.energy.f_nominal_hz();
+                let ctrl = match kind {
+                    ControllerKind::Predictive => Ctrl::Predictive(PredictiveController::new(
+                        dvfs.clone(),
+                        f_hz,
+                        &s.exp.predictor,
+                        &s.exp.model,
+                    )),
+                    ControllerKind::Adaptive => Ctrl::Adaptive(Box::new(AdaptiveController::new(
+                        dvfs.clone(),
+                        f_hz,
+                        &s.exp.predictor,
+                        s.exp.model.clone(),
+                        OnlineTrainerConfig::default(),
+                    ))),
+                    ControllerKind::Pid => Ctrl::Pid(PidController::tuned(dvfs.clone(), f_hz)),
+                    ControllerKind::Hybrid => Ctrl::Hybrid(HybridController::new(
+                        dvfs.clone(),
+                        f_hz,
+                        &s.exp.predictor,
+                        &s.exp.model,
+                    )),
+                };
+                StreamState {
+                    ctrl,
+                    queue: VecDeque::new(),
+                    in_flight: None,
+                    prev_key: level_key(&dvfs, dvfs.nominal()),
+                    started: 0,
+                    result: StreamResult {
+                        name: s.spec.name.clone(),
+                        bench: s.spec.bench.name.to_owned(),
+                        submitted: s.spec.jobs,
+                        records: Vec::with_capacity(s.spec.jobs),
+                        shed: 0,
+                        relaxed: 0,
+                        refits: 0,
+                    },
+                }
+            })
+            .collect();
+
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, time: f64, event: Event| {
+            heap.push(Scheduled {
+                time,
+                seq: *seq,
+                event,
+            });
+            *seq += 1;
+        };
+        for (k, s) in self.streams.iter().enumerate() {
+            for job in 0..s.spec.jobs {
+                push(
+                    &mut heap,
+                    &mut seq,
+                    job as f64 * s.spec.period_s,
+                    Event::Arrival { stream: k, job },
+                );
+            }
+        }
+
+        let mut horizon_s = 0.0f64;
+        let mut events = 0usize;
+        while let Some(Scheduled { time, event, .. }) = heap.pop() {
+            horizon_s = horizon_s.max(time);
+            events += 1;
+            match event {
+                Event::Arrival { stream, job } => {
+                    let spec = &self.streams[stream].spec;
+                    let adm = Admitted {
+                        job,
+                        arrival_s: time,
+                        deadline_abs_s: time + spec.deadline_s,
+                        relaxed: false,
+                    };
+                    let state = &mut states[stream];
+                    if state.in_flight.is_none() {
+                        self.start_service(stream, state, adm, time, &mut heap, &mut seq)?;
+                    } else if state.queue.len() < spec.queue_bound {
+                        state.queue.push_back(adm);
+                    } else {
+                        match spec.policy {
+                            OverloadPolicy::Shed => state.result.shed += 1,
+                            OverloadPolicy::Relax { factor } => {
+                                state.result.relaxed += 1;
+                                state.queue.push_back(Admitted {
+                                    deadline_abs_s: time + spec.deadline_s * factor,
+                                    relaxed: true,
+                                    ..adm
+                                });
+                            }
+                        }
+                    }
+                }
+                // Pure clock markers: the accelerator's phase changes but
+                // no scheduling decision hangs off them.
+                Event::SliceDone { .. } | Event::SwitchDone { .. } => {}
+                Event::JobDone { stream } => {
+                    let state = &mut states[stream];
+                    let fly = state.in_flight.take().expect("JobDone without a job");
+                    let rel_deadline = fly.adm.deadline_abs_s - fly.adm.arrival_s;
+                    let response = time - fly.adm.arrival_s;
+                    state.result.records.push(ServeRecord {
+                        job: fly.adm.job,
+                        arrival_s: fly.adm.arrival_s,
+                        start_s: fly.start_s,
+                        done_s: time,
+                        deadline_s: rel_deadline,
+                        relaxed: fly.adm.relaxed,
+                        missed: response > rel_deadline * (1.0 + 1e-9),
+                        degraded: fly.degraded,
+                        volts: fly.volts,
+                        energy_pj: fly.energy_pj,
+                        slice_energy_pj: fly.slice_energy_pj,
+                        predicted_cycles: fly.predicted_cycles,
+                        actual_cycles: fly.actual_cycles,
+                    });
+                    state.ctrl.observe(fly.actual_cycles);
+                    if let Some(next) = state.queue.pop_front() {
+                        self.start_service(stream, state, next, time, &mut heap, &mut seq)?;
+                    }
+                }
+            }
+        }
+
+        let streams = states
+            .into_iter()
+            .map(|mut s| {
+                s.result.refits = s.ctrl.refits();
+                s.result
+            })
+            .collect();
+        Ok(ServeResult {
+            streams,
+            horizon_s,
+            events,
+        })
+    }
+
+    /// Makes the DVFS decision for one admitted job, charges time and
+    /// energy exactly as the batch runner does, and schedules the job's
+    /// slice-done / switch-done / job-done events.
+    fn start_service(
+        &self,
+        stream: usize,
+        state: &mut StreamState<'_>,
+        adm: Admitted,
+        now: f64,
+        heap: &mut BinaryHeap<Scheduled>,
+        seq: &mut u64,
+    ) -> Result<(), ServeError> {
+        let s = &self.streams[stream];
+        let trace = &s.traces[adm.job];
+        let job = &s.exp.workloads.test[s.job_idx[adm.job]];
+        // Whatever budget queueing left is what the controller gets.
+        let ctx = JobContext {
+            job,
+            deadline_s: adm.deadline_abs_s - now,
+            index: state.started,
+        };
+        state.started += 1;
+        let degraded = state.ctrl.is_degraded();
+        let decision = state.ctrl.decide(&ctx)?;
+
+        let config = s.exp.config();
+        let point = s.exp.dvfs.point(decision.choice);
+        let key = level_key(&s.exp.dvfs, decision.choice);
+        let level_changed = key != state.prev_key;
+        let switch_s = config.switching.time_s(state.prev_key, key);
+        state.prev_key = key;
+
+        let f_hz = s.exp.energy.f_nominal_hz();
+        let exec_s = s.exp.energy.time_s(trace.cycles, point);
+        // The slice runs in its own always-nominal domain.
+        let slice_s = decision.slice_cycles / f_hz;
+        let slice_pj = if decision.slice_cycles > 0.0 {
+            let nominal = OperatingPoint {
+                volts: 1.0,
+                freq_ratio: 1.0,
+            };
+            s.exp.slice_energy.job_pj(
+                decision.slice_cycles.round() as u64,
+                &decision.slice_dp_active,
+                nominal,
+                1.0,
+            )
+        } else {
+            0.0
+        };
+        let job_pj = s
+            .exp
+            .energy
+            .job_pj(trace.cycles, &trace.dp_active, point, 1.0)
+            + config.switching.transition_pj * f64::from(level_changed);
+
+        state.in_flight = Some(InFlight {
+            adm,
+            start_s: now,
+            degraded,
+            volts: point.volts,
+            energy_pj: job_pj + slice_pj,
+            slice_energy_pj: slice_pj,
+            predicted_cycles: decision.predicted_cycles,
+            actual_cycles: trace.cycles,
+        });
+
+        let mut push = |time: f64, event: Event| {
+            heap.push(Scheduled {
+                time,
+                seq: *seq,
+                event,
+            });
+            *seq += 1;
+        };
+        if slice_s > 0.0 {
+            push(now + slice_s, Event::SliceDone { stream });
+        }
+        if switch_s > 0.0 {
+            push(now + slice_s + switch_s, Event::SwitchDone { stream });
+        }
+        push(now + slice_s + switch_s + exec_s, Event::JobDone { stream });
+        Ok(())
+    }
+}

@@ -1,0 +1,412 @@
+//! Scenario descriptions for the service runtime: which streams run,
+//! against which platform, with what deadlines, arrival rates, queue
+//! bounds, overload policies, controllers, and injected drift.
+//!
+//! Scenarios are parsed from a small line-oriented text format so the CLI
+//! can run service experiments without recompiling:
+//!
+//! ```text
+//! # comment
+//! platform asic            # or fpga
+//! size quick               # or full
+//! stream sha  deadline_ms=16.7 period_ms=8 jobs=60 queue=4 policy=shed controller=predictive seed=42
+//! stream aes  policy=relax:1.5 controller=adaptive drift=0.5:1.6
+//! ```
+//!
+//! Every `key=val` is optional; [`StreamSpec::new`] supplies defaults.
+
+use std::error::Error;
+use std::fmt;
+
+use predvfs::CoreError;
+use predvfs_accel::{by_name, Benchmark, WorkloadSize};
+use predvfs_sim::Platform;
+
+/// What happens to an arriving job when its stream's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverloadPolicy {
+    /// Drop the job and count it as shed.
+    Shed,
+    /// Admit the job anyway with its deadline stretched by `factor`,
+    /// counting it as relaxed.
+    Relax {
+        /// Deadline multiplier applied to the admitted job (> 1).
+        factor: f64,
+    },
+}
+
+/// Which controller drives a stream's DVFS decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerKind {
+    /// The paper's predictive controller with a fixed offline model.
+    Predictive,
+    /// Predictive with online drift detection, PID fallback, and
+    /// warm-started refits ([`predvfs::AdaptiveController`]).
+    Adaptive,
+    /// Reactive PID control only.
+    Pid,
+    /// Predictive with EWMA residual correction
+    /// ([`predvfs::HybridController`]).
+    Hybrid,
+}
+
+impl ControllerKind {
+    /// The scenario-file keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            ControllerKind::Predictive => "predictive",
+            ControllerKind::Adaptive => "adaptive",
+            ControllerKind::Pid => "pid",
+            ControllerKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// A mid-run workload-distribution shift injected into a stream.
+///
+/// From job `⌊at_frac·jobs⌋` onward every job's execution trace is scaled
+/// by `cycle_scale` — the jobs *look* identical to the feature slice (the
+/// features the offline model reads don't move) but take longer, exactly
+/// the silent-staleness failure mode online adaptation exists for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSpec {
+    /// Fraction of the stream's job sequence after which the shift applies.
+    pub at_frac: f64,
+    /// Multiplier on execution cycles (and datapath activity) post-shift.
+    pub cycle_scale: f64,
+}
+
+/// One job stream: a benchmark, an arrival process, and service policy.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Display name (defaults to the benchmark name).
+    pub name: String,
+    /// The accelerator serving this stream.
+    pub bench: Benchmark,
+    /// Per-job deadline, seconds.
+    pub deadline_s: f64,
+    /// Inter-arrival period, seconds.
+    pub period_s: f64,
+    /// Number of jobs the stream submits.
+    pub jobs: usize,
+    /// Admission-queue bound (jobs waiting, excluding the one in service).
+    pub queue_bound: usize,
+    /// What to do with arrivals that find the queue full.
+    pub policy: OverloadPolicy,
+    /// The controller driving DVFS decisions.
+    pub controller: ControllerKind,
+    /// Workload seed.
+    pub seed: u64,
+    /// Optional mid-run workload shift.
+    pub drift: Option<DriftSpec>,
+}
+
+impl StreamSpec {
+    /// A stream with the paper's deadline (16.7 ms), arrivals at the
+    /// deadline period, 60 jobs, a queue bound of 4, shedding on
+    /// overload, the predictive controller, and seed 42.
+    pub fn new(bench: Benchmark) -> StreamSpec {
+        StreamSpec {
+            name: bench.name.to_owned(),
+            bench,
+            deadline_s: 16.7e-3,
+            period_s: 16.7e-3,
+            jobs: 60,
+            queue_bound: 4,
+            policy: OverloadPolicy::Shed,
+            controller: ControllerKind::Predictive,
+            seed: 42,
+            drift: None,
+        }
+    }
+}
+
+/// A full service scenario: platform, workload scale, and streams.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// ASIC or FPGA ladder/curve.
+    pub platform: Platform,
+    /// Paper-scale or quick workloads.
+    pub size: WorkloadSize,
+    /// The concurrent job streams.
+    pub streams: Vec<StreamSpec>,
+}
+
+impl Scenario {
+    /// The built-in demonstration scenario: four mixed-benchmark streams
+    /// on the ASIC platform, one adaptive stream with injected drift and
+    /// one overloaded stream exercising backpressure.
+    pub fn demo() -> Scenario {
+        let mut drifted = StreamSpec::new(by_name("aes").expect("aes registered"));
+        drifted.controller = ControllerKind::Adaptive;
+        drifted.drift = Some(DriftSpec {
+            at_frac: 0.5,
+            cycle_scale: 1.6,
+        });
+        let mut overloaded = StreamSpec::new(by_name("md").expect("md registered"));
+        overloaded.period_s = 0.5e-3; // arrivals ~3x faster than service
+        overloaded.queue_bound = 2;
+        let mut relaxed = StreamSpec::new(by_name("stencil").expect("stencil registered"));
+        relaxed.period_s = 0.03e-3;
+        relaxed.queue_bound = 2;
+        relaxed.policy = OverloadPolicy::Relax { factor: 1.5 };
+        relaxed.controller = ControllerKind::Hybrid;
+        Scenario {
+            platform: Platform::Asic,
+            size: WorkloadSize::Quick,
+            streams: vec![
+                StreamSpec::new(by_name("sha").expect("sha registered")),
+                drifted,
+                overloaded,
+                relaxed,
+            ],
+        }
+    }
+
+    /// Parses the line-oriented scenario format (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Parse`] with a 1-based line number for any
+    /// malformed directive, and [`ServeError::UnknownBenchmark`] for a
+    /// stream naming an unregistered accelerator.
+    pub fn parse(text: &str) -> Result<Scenario, ServeError> {
+        let mut scenario = Scenario {
+            platform: Platform::Asic,
+            size: WorkloadSize::Quick,
+            streams: Vec::new(),
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| ServeError::Parse { line: i + 1, msg };
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("platform") => {
+                    scenario.platform = match words.next() {
+                        Some("asic") => Platform::Asic,
+                        Some("fpga") => Platform::Fpga,
+                        other => {
+                            return Err(err(format!("expected asic|fpga, got {other:?}")));
+                        }
+                    };
+                }
+                Some("size") => {
+                    scenario.size = match words.next() {
+                        Some("quick") => WorkloadSize::Quick,
+                        Some("full") => WorkloadSize::Full,
+                        other => {
+                            return Err(err(format!("expected quick|full, got {other:?}")));
+                        }
+                    };
+                }
+                Some("stream") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err("stream needs a benchmark name".into()))?;
+                    let bench = by_name(name)
+                        .ok_or_else(|| ServeError::UnknownBenchmark(name.to_owned()))?;
+                    let mut spec = StreamSpec::new(bench);
+                    for kv in words {
+                        let (key, val) = kv
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("expected key=val, got {kv:?}")))?;
+                        parse_stream_option(&mut spec, key, val)
+                            .map_err(|msg| err(format!("{key}={val}: {msg}")))?;
+                    }
+                    scenario.streams.push(spec);
+                }
+                Some(word) => {
+                    return Err(err(format!("unknown directive {word:?}")));
+                }
+                None => unreachable!("blank lines are skipped"),
+            }
+        }
+        if scenario.streams.is_empty() {
+            return Err(ServeError::Parse {
+                line: text.lines().count().max(1),
+                msg: "scenario declares no streams".into(),
+            });
+        }
+        Ok(scenario)
+    }
+}
+
+fn parse_stream_option(spec: &mut StreamSpec, key: &str, val: &str) -> Result<(), String> {
+    fn num(val: &str) -> Result<f64, String> {
+        val.parse::<f64>().map_err(|e| e.to_string())
+    }
+    match key {
+        "name" => spec.name = val.to_owned(),
+        "deadline_ms" => spec.deadline_s = num(val)? * 1e-3,
+        "period_ms" => spec.period_s = num(val)? * 1e-3,
+        "jobs" => {
+            spec.jobs = val
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?
+        }
+        "queue" => {
+            spec.queue_bound = val
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?;
+        }
+        "seed" => {
+            spec.seed = val
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?
+        }
+        "policy" => {
+            spec.policy = if val == "shed" {
+                OverloadPolicy::Shed
+            } else if let Some(f) = val.strip_prefix("relax:") {
+                let factor = num(f)?;
+                if factor < 1.0 {
+                    return Err("relax factor must be >= 1".into());
+                }
+                OverloadPolicy::Relax { factor }
+            } else {
+                return Err("expected shed or relax:<factor>".into());
+            };
+        }
+        "controller" => {
+            spec.controller = match val {
+                "predictive" => ControllerKind::Predictive,
+                "adaptive" => ControllerKind::Adaptive,
+                "pid" => ControllerKind::Pid,
+                "hybrid" => ControllerKind::Hybrid,
+                _ => return Err("expected predictive|adaptive|pid|hybrid".into()),
+            };
+        }
+        "drift" => {
+            let (at, scale) = val
+                .split_once(':')
+                .ok_or_else(|| "expected <at_frac>:<cycle_scale>".to_owned())?;
+            let drift = DriftSpec {
+                at_frac: num(at)?,
+                cycle_scale: num(scale)?,
+            };
+            if !(0.0..=1.0).contains(&drift.at_frac) {
+                return Err("at_frac must be in [0, 1]".into());
+            }
+            if drift.cycle_scale <= 0.0 {
+                return Err("cycle_scale must be positive".into());
+            }
+            spec.drift = Some(drift);
+        }
+        _ => return Err("unknown stream option".into()),
+    }
+    Ok(())
+}
+
+/// Errors produced by scenario parsing and the service runtime.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A failure from the core pipeline (training, slicing, simulation).
+    Core(CoreError),
+    /// A malformed scenario file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A stream names a benchmark that is not registered.
+    UnknownBenchmark(String),
+    /// A stream specification is semantically invalid.
+    InvalidSpec {
+        /// The stream's display name.
+        stream: String,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Parse { line, msg } => write!(f, "scenario line {line}: {msg}"),
+            ServeError::UnknownBenchmark(name) => write!(f, "unknown benchmark {name:?}"),
+            ServeError::InvalidSpec { stream, msg } => write!(f, "stream {stream:?}: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> ServeError {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_format() {
+        let s = Scenario::parse(
+            "# demo\n\
+             platform fpga\n\
+             size quick\n\
+             stream sha deadline_ms=20 period_ms=10 jobs=30 queue=2 policy=shed seed=7\n\
+             stream aes policy=relax:1.5 controller=adaptive drift=0.5:1.6 # inline comment\n",
+        )
+        .unwrap();
+        assert_eq!(s.platform, Platform::Fpga);
+        assert_eq!(s.streams.len(), 2);
+        let sha = &s.streams[0];
+        assert_eq!(sha.name, "sha");
+        assert!((sha.deadline_s - 20e-3).abs() < 1e-12);
+        assert!((sha.period_s - 10e-3).abs() < 1e-12);
+        assert_eq!((sha.jobs, sha.queue_bound, sha.seed), (30, 2, 7));
+        let aes = &s.streams[1];
+        assert_eq!(aes.policy, OverloadPolicy::Relax { factor: 1.5 });
+        assert_eq!(aes.controller, ControllerKind::Adaptive);
+        let drift = aes.drift.unwrap();
+        assert!((drift.at_frac - 0.5).abs() < 1e-12);
+        assert!((drift.cycle_scale - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input_with_line_numbers() {
+        let err = Scenario::parse("platform asic\nstream sha queue=x\n").unwrap_err();
+        match err {
+            ServeError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(matches!(
+            Scenario::parse("stream nosuch\n").unwrap_err(),
+            ServeError::UnknownBenchmark(_)
+        ));
+        assert!(matches!(
+            Scenario::parse("platform asic\n").unwrap_err(),
+            ServeError::Parse { .. }
+        ));
+        assert!(matches!(
+            Scenario::parse("stream sha drift=2:1.5\n").unwrap_err(),
+            ServeError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn demo_scenario_is_wellformed() {
+        let s = Scenario::demo();
+        assert_eq!(s.streams.len(), 4);
+        assert!(s.streams.iter().any(|st| st.drift.is_some()));
+        assert!(s
+            .streams
+            .iter()
+            .any(|st| matches!(st.policy, OverloadPolicy::Relax { .. })));
+    }
+}

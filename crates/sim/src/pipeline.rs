@@ -64,6 +64,16 @@ impl PipelineResult {
             100.0 * self.frame_misses as f64 / self.frames as f64
         }
     }
+
+    /// Mean energy per frame across all stages, pJ (0 for an empty
+    /// stream — an idle pipeline consumed nothing, not NaN).
+    pub fn mean_frame_energy_pj(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.total_energy_pj() / self.frames as f64
+        }
+    }
 }
 
 /// Runs a frame pipeline: for each frame, every stage's slice predicts its
@@ -302,5 +312,43 @@ mod tests {
         );
         assert_eq!(prop.frames, frames);
         assert!(prop.frame_miss_pct() == 0.0);
+        assert!(
+            (prop.mean_frame_energy_pj() - prop.total_energy_pj() / frames as f64).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn empty_stream_reports_zero_not_nan() {
+        // Regression: a pipeline fed no frames (e.g. a stream that shed
+        // everything upstream) must report 0 for every normalized metric
+        // instead of NaN from 0/0.
+        let sha_train = sha::workloads(3, WorkloadSize::Quick).train;
+        let s = prepare(sha::build, sha::F_NOMINAL_MHZ, Vec::new(), &sha_train);
+        let curve = AlphaPowerCurve::default();
+        let dvfs = DvfsModel::new(Ladder::asic(&curve), SwitchingModel::off_chip());
+        let stages = [PipelineStage {
+            name: "sha",
+            predictor: &s.predictor,
+            model: &s.model,
+            energy: &s.energy,
+            dvfs,
+        }];
+        let res = run_pipeline(
+            &stages,
+            &[Vec::new()],
+            &[Vec::new()],
+            16.7e-3,
+            SplitPolicy::Proportional,
+        )
+        .unwrap();
+        assert_eq!(res.frames, 0);
+        assert_eq!(res.frame_misses, 0);
+        assert_eq!(res.frame_miss_pct(), 0.0);
+        assert_eq!(res.mean_frame_energy_pj(), 0.0);
+        assert!(
+            res.frame_miss_pct().is_finite() && res.mean_frame_energy_pj().is_finite(),
+            "empty streams must not divide by zero"
+        );
+        assert_eq!(res.stages[0].records.len(), 0);
     }
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_alpha-89fe986afb45cd74.d: crates/bench/src/bin/ablation_alpha.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_alpha-89fe986afb45cd74.rmeta: crates/bench/src/bin/ablation_alpha.rs Cargo.toml
+
+crates/bench/src/bin/ablation_alpha.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alpha-903e2bec143f6f59.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/debug/deps/ablation_alpha-903e2bec143f6f59: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

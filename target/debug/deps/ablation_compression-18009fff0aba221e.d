@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_compression-18009fff0aba221e.d: crates/bench/src/bin/ablation_compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_compression-18009fff0aba221e.rmeta: crates/bench/src/bin/ablation_compression.rs Cargo.toml
+
+crates/bench/src/bin/ablation_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

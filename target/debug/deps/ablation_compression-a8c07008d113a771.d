@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_compression-a8c07008d113a771.d: crates/bench/src/bin/ablation_compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_compression-a8c07008d113a771.rmeta: crates/bench/src/bin/ablation_compression.rs Cargo.toml
+
+crates/bench/src/bin/ablation_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

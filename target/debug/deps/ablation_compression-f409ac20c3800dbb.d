@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_compression-f409ac20c3800dbb.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/debug/deps/ablation_compression-f409ac20c3800dbb: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gamma-c65bf3e44457af0e.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/debug/deps/ablation_gamma-c65bf3e44457af0e: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

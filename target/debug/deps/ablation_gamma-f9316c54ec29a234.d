@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gamma-f9316c54ec29a234.d: crates/bench/src/bin/ablation_gamma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gamma-f9316c54ec29a234.rmeta: crates/bench/src/bin/ablation_gamma.rs Cargo.toml
+
+crates/bench/src/bin/ablation_gamma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gamma-feaa8dcd89a713c7.d: crates/bench/src/bin/ablation_gamma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gamma-feaa8dcd89a713c7.rmeta: crates/bench/src/bin/ablation_gamma.rs Cargo.toml
+
+crates/bench/src/bin/ablation_gamma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

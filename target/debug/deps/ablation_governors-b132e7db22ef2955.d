@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_governors-b132e7db22ef2955.d: crates/bench/src/bin/ablation_governors.rs
+
+/root/repo/target/debug/deps/ablation_governors-b132e7db22ef2955: crates/bench/src/bin/ablation_governors.rs
+
+crates/bench/src/bin/ablation_governors.rs:

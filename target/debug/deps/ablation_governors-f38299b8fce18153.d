@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_governors-f38299b8fce18153.d: crates/bench/src/bin/ablation_governors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_governors-f38299b8fce18153.rmeta: crates/bench/src/bin/ablation_governors.rs Cargo.toml
+
+crates/bench/src/bin/ablation_governors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

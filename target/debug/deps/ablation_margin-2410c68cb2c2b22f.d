@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_margin-2410c68cb2c2b22f.d: crates/bench/src/bin/ablation_margin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_margin-2410c68cb2c2b22f.rmeta: crates/bench/src/bin/ablation_margin.rs Cargo.toml
+
+crates/bench/src/bin/ablation_margin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

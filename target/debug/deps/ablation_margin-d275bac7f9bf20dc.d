@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-d275bac7f9bf20dc.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/ablation_margin-d275bac7f9bf20dc: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

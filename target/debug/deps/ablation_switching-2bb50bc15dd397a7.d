@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_switching-2bb50bc15dd397a7.d: crates/bench/src/bin/ablation_switching.rs
+
+/root/repo/target/debug/deps/ablation_switching-2bb50bc15dd397a7: crates/bench/src/bin/ablation_switching.rs
+
+crates/bench/src/bin/ablation_switching.rs:

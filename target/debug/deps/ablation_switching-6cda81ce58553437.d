@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_switching-6cda81ce58553437.d: crates/bench/src/bin/ablation_switching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_switching-6cda81ce58553437.rmeta: crates/bench/src/bin/ablation_switching.rs Cargo.toml
+
+crates/bench/src/bin/ablation_switching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_switching-f35892f57c8d739a.d: crates/bench/src/bin/ablation_switching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_switching-f35892f57c8d739a.rmeta: crates/bench/src/bin/ablation_switching.rs Cargo.toml
+
+crates/bench/src/bin/ablation_switching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

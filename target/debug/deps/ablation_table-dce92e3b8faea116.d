@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_table-dce92e3b8faea116.d: crates/bench/src/bin/ablation_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_table-dce92e3b8faea116.rmeta: crates/bench/src/bin/ablation_table.rs Cargo.toml
+
+crates/bench/src/bin/ablation_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_table-e6d9ec50e51d8fcc.d: crates/bench/src/bin/ablation_table.rs
+
+/root/repo/target/debug/deps/ablation_table-e6d9ec50e51d8fcc: crates/bench/src/bin/ablation_table.rs
+
+crates/bench/src/bin/ablation_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_study_h264-2db4101c03b5b9df.d: crates/bench/src/bin/case_study_h264.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_study_h264-2db4101c03b5b9df.rmeta: crates/bench/src/bin/case_study_h264.rs Cargo.toml
+
+crates/bench/src/bin/case_study_h264.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_study_h264-6769576e78d2cb71.d: crates/bench/src/bin/case_study_h264.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_study_h264-6769576e78d2cb71.rmeta: crates/bench/src/bin/case_study_h264.rs Cargo.toml
+
+crates/bench/src/bin/case_study_h264.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study_h264-710e43f0383eb891.d: crates/bench/src/bin/case_study_h264.rs
+
+/root/repo/target/debug/deps/case_study_h264-710e43f0383eb891: crates/bench/src/bin/case_study_h264.rs
+
+crates/bench/src/bin/case_study_h264.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hybrid-2b15d0bbc3c9dc52.d: crates/bench/src/bin/ext_hybrid.rs
+
+/root/repo/target/debug/deps/ext_hybrid-2b15d0bbc3c9dc52: crates/bench/src/bin/ext_hybrid.rs
+
+crates/bench/src/bin/ext_hybrid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_hybrid-b70654f0da5e1223.d: crates/bench/src/bin/ext_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_hybrid-b70654f0da5e1223.rmeta: crates/bench/src/bin/ext_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/ext_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_hybrid-f3e02bd67a81efba.d: crates/bench/src/bin/ext_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_hybrid-f3e02bd67a81efba.rmeta: crates/bench/src/bin/ext_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/ext_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_pipeline-21af76b7c5b613ac.d: crates/bench/src/bin/ext_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_pipeline-21af76b7c5b613ac.rmeta: crates/bench/src/bin/ext_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/ext_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

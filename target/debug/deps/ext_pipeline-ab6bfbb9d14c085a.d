@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_pipeline-ab6bfbb9d14c085a.d: crates/bench/src/bin/ext_pipeline.rs
+
+/root/repo/target/debug/deps/ext_pipeline-ab6bfbb9d14c085a: crates/bench/src/bin/ext_pipeline.rs
+
+crates/bench/src/bin/ext_pipeline.rs:

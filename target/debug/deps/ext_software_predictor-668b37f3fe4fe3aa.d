@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_software_predictor-668b37f3fe4fe3aa.d: crates/bench/src/bin/ext_software_predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_software_predictor-668b37f3fe4fe3aa.rmeta: crates/bench/src/bin/ext_software_predictor.rs Cargo.toml
+
+crates/bench/src/bin/ext_software_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

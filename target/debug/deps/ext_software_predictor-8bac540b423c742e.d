@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_software_predictor-8bac540b423c742e.d: crates/bench/src/bin/ext_software_predictor.rs
+
+/root/repo/target/debug/deps/ext_software_predictor-8bac540b423c742e: crates/bench/src/bin/ext_software_predictor.rs
+
+crates/bench/src/bin/ext_software_predictor.rs:

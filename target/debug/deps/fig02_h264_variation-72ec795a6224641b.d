@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_h264_variation-72ec795a6224641b.d: crates/bench/src/bin/fig02_h264_variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_h264_variation-72ec795a6224641b.rmeta: crates/bench/src/bin/fig02_h264_variation.rs Cargo.toml
+
+crates/bench/src/bin/fig02_h264_variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

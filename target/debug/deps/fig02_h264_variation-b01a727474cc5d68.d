@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_h264_variation-b01a727474cc5d68.d: crates/bench/src/bin/fig02_h264_variation.rs
+
+/root/repo/target/debug/deps/fig02_h264_variation-b01a727474cc5d68: crates/bench/src/bin/fig02_h264_variation.rs
+
+crates/bench/src/bin/fig02_h264_variation.rs:

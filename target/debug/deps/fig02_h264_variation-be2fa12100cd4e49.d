@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_h264_variation-be2fa12100cd4e49.d: crates/bench/src/bin/fig02_h264_variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_h264_variation-be2fa12100cd4e49.rmeta: crates/bench/src/bin/fig02_h264_variation.rs Cargo.toml
+
+crates/bench/src/bin/fig02_h264_variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_pid_lag-957407721ff943f9.d: crates/bench/src/bin/fig03_pid_lag.rs
+
+/root/repo/target/debug/deps/fig03_pid_lag-957407721ff943f9: crates/bench/src/bin/fig03_pid_lag.rs
+
+crates/bench/src/bin/fig03_pid_lag.rs:

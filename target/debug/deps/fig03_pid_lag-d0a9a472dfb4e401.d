@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_pid_lag-d0a9a472dfb4e401.d: crates/bench/src/bin/fig03_pid_lag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_pid_lag-d0a9a472dfb4e401.rmeta: crates/bench/src/bin/fig03_pid_lag.rs Cargo.toml
+
+crates/bench/src/bin/fig03_pid_lag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

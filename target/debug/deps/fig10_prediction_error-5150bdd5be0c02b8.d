@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_prediction_error-5150bdd5be0c02b8.d: crates/bench/src/bin/fig10_prediction_error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_prediction_error-5150bdd5be0c02b8.rmeta: crates/bench/src/bin/fig10_prediction_error.rs Cargo.toml
+
+crates/bench/src/bin/fig10_prediction_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_prediction_error-e549f3f8eedc62cc.d: crates/bench/src/bin/fig10_prediction_error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_prediction_error-e549f3f8eedc62cc.rmeta: crates/bench/src/bin/fig10_prediction_error.rs Cargo.toml
+
+crates/bench/src/bin/fig10_prediction_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_prediction_error-ee724406ced30253.d: crates/bench/src/bin/fig10_prediction_error.rs
+
+/root/repo/target/debug/deps/fig10_prediction_error-ee724406ced30253: crates/bench/src/bin/fig10_prediction_error.rs
+
+crates/bench/src/bin/fig10_prediction_error.rs:

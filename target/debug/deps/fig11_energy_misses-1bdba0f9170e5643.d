@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_energy_misses-1bdba0f9170e5643.d: crates/bench/src/bin/fig11_energy_misses.rs
+
+/root/repo/target/debug/deps/fig11_energy_misses-1bdba0f9170e5643: crates/bench/src/bin/fig11_energy_misses.rs
+
+crates/bench/src/bin/fig11_energy_misses.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_energy_misses-445dbae7255edfd4.d: crates/bench/src/bin/fig11_energy_misses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_energy_misses-445dbae7255edfd4.rmeta: crates/bench/src/bin/fig11_energy_misses.rs Cargo.toml
+
+crates/bench/src/bin/fig11_energy_misses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

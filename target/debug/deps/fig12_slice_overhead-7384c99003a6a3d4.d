@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_slice_overhead-7384c99003a6a3d4.d: crates/bench/src/bin/fig12_slice_overhead.rs
+
+/root/repo/target/debug/deps/fig12_slice_overhead-7384c99003a6a3d4: crates/bench/src/bin/fig12_slice_overhead.rs
+
+crates/bench/src/bin/fig12_slice_overhead.rs:

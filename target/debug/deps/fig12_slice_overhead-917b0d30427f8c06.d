@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_slice_overhead-917b0d30427f8c06.d: crates/bench/src/bin/fig12_slice_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_slice_overhead-917b0d30427f8c06.rmeta: crates/bench/src/bin/fig12_slice_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig12_slice_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-0f206b62594eed9d.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-0f206b62594eed9d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:

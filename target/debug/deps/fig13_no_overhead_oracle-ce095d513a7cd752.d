@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-ce095d513a7cd752.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_no_overhead_oracle-ce095d513a7cd752.rmeta: crates/bench/src/bin/fig13_no_overhead_oracle.rs Cargo.toml
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

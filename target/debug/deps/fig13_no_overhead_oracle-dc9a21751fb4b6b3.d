@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_no_overhead_oracle-dc9a21751fb4b6b3.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_no_overhead_oracle-dc9a21751fb4b6b3.rmeta: crates/bench/src/bin/fig13_no_overhead_oracle.rs Cargo.toml
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_boost-9dca0b9f0d02d410.d: crates/bench/src/bin/fig14_boost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_boost-9dca0b9f0d02d410.rmeta: crates/bench/src/bin/fig14_boost.rs Cargo.toml
+
+crates/bench/src/bin/fig14_boost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_boost-aac5889df4a3fa17.d: crates/bench/src/bin/fig14_boost.rs
+
+/root/repo/target/debug/deps/fig14_boost-aac5889df4a3fa17: crates/bench/src/bin/fig14_boost.rs
+
+crates/bench/src/bin/fig14_boost.rs:

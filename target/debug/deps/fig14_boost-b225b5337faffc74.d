@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_boost-b225b5337faffc74.d: crates/bench/src/bin/fig14_boost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_boost-b225b5337faffc74.rmeta: crates/bench/src/bin/fig14_boost.rs Cargo.toml
+
+crates/bench/src/bin/fig14_boost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

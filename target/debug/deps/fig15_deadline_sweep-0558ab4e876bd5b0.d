@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_deadline_sweep-0558ab4e876bd5b0.d: crates/bench/src/bin/fig15_deadline_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_deadline_sweep-0558ab4e876bd5b0.rmeta: crates/bench/src/bin/fig15_deadline_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

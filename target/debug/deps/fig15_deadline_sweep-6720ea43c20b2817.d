@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_deadline_sweep-6720ea43c20b2817.d: crates/bench/src/bin/fig15_deadline_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_deadline_sweep-6720ea43c20b2817.rmeta: crates/bench/src/bin/fig15_deadline_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_deadline_sweep-e63aeb464e33d3d2.d: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+/root/repo/target/debug/deps/fig15_deadline_sweep-e63aeb464e33d3d2: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_fpga-3e541d20c620bbc4.d: crates/bench/src/bin/fig16_fpga.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_fpga-3e541d20c620bbc4.rmeta: crates/bench/src/bin/fig16_fpga.rs Cargo.toml
+
+crates/bench/src/bin/fig16_fpga.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

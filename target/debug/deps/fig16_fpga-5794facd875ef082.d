@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_fpga-5794facd875ef082.d: crates/bench/src/bin/fig16_fpga.rs
+
+/root/repo/target/debug/deps/fig16_fpga-5794facd875ef082: crates/bench/src/bin/fig16_fpga.rs
+
+crates/bench/src/bin/fig16_fpga.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_fpga-b8d9e0a8d8cb8e80.d: crates/bench/src/bin/fig16_fpga.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_fpga-b8d9e0a8d8cb8e80.rmeta: crates/bench/src/bin/fig16_fpga.rs Cargo.toml
+
+crates/bench/src/bin/fig16_fpga.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_fpga_overhead-3db6a3121821e656.d: crates/bench/src/bin/fig17_fpga_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_fpga_overhead-3db6a3121821e656.rmeta: crates/bench/src/bin/fig17_fpga_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_fpga_overhead-6daf1acaff0300de.d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+/root/repo/target/debug/deps/fig17_fpga_overhead-6daf1acaff0300de: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_hls_slicing-021265c13fe172ba.d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+/root/repo/target/debug/deps/fig18_hls_slicing-021265c13fe172ba: crates/bench/src/bin/fig18_hls_slicing.rs
+
+crates/bench/src/bin/fig18_hls_slicing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_hls_slicing-752b94b44f4e0a7b.d: crates/bench/src/bin/fig18_hls_slicing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_hls_slicing-752b94b44f4e0a7b.rmeta: crates/bench/src/bin/fig18_hls_slicing.rs Cargo.toml
+
+crates/bench/src/bin/fig18_hls_slicing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

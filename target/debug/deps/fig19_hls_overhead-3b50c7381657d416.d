@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_hls_overhead-3b50c7381657d416.d: crates/bench/src/bin/fig19_hls_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_hls_overhead-3b50c7381657d416.rmeta: crates/bench/src/bin/fig19_hls_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig19_hls_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

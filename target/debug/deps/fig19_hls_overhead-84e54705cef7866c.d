@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_hls_overhead-84e54705cef7866c.d: crates/bench/src/bin/fig19_hls_overhead.rs
+
+/root/repo/target/debug/deps/fig19_hls_overhead-84e54705cef7866c: crates/bench/src/bin/fig19_hls_overhead.rs
+
+crates/bench/src/bin/fig19_hls_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_serve_drift-48df675d9746bfd0.d: crates/bench/src/bin/fig_serve_drift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_serve_drift-48df675d9746bfd0.rmeta: crates/bench/src/bin/fig_serve_drift.rs Cargo.toml
+
+crates/bench/src/bin/fig_serve_drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_serve_drift-7c7ba059f03a51db.d: crates/bench/src/bin/fig_serve_drift.rs
+
+/root/repo/target/debug/deps/fig_serve_drift-7c7ba059f03a51db: crates/bench/src/bin/fig_serve_drift.rs
+
+crates/bench/src/bin/fig_serve_drift.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/par_properties-9b86d01d326c3b0b.d: crates/par/tests/par_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar_properties-9b86d01d326c3b0b.rmeta: crates/par/tests/par_properties.rs Cargo.toml
+
+crates/par/tests/par_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

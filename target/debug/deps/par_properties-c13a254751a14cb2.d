@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_properties-c13a254751a14cb2.d: crates/par/tests/par_properties.rs
+
+/root/repo/target/debug/deps/par_properties-c13a254751a14cb2: crates/par/tests/par_properties.rs
+
+crates/par/tests/par_properties.rs:

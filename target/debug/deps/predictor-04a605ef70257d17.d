@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictor-04a605ef70257d17.d: crates/bench/benches/predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictor-04a605ef70257d17.rmeta: crates/bench/benches/predictor.rs Cargo.toml
+
+crates/bench/benches/predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

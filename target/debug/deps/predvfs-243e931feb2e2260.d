@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs-243e931feb2e2260.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/predvfs-243e931feb2e2260: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs-2e5e037b2d4292cb.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs-2e5e037b2d4292cb.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs-9267fbd4d15c62a4.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs-9267fbd4d15c62a4.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

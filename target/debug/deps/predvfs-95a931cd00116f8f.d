@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/predvfs-95a931cd00116f8f.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+/root/repo/target/debug/deps/predvfs-95a931cd00116f8f.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
 
-/root/repo/target/debug/deps/libpredvfs-95a931cd00116f8f.rlib: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+/root/repo/target/debug/deps/libpredvfs-95a931cd00116f8f.rlib: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
 
-/root/repo/target/debug/deps/libpredvfs-95a931cd00116f8f.rmeta: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+/root/repo/target/debug/deps/libpredvfs-95a931cd00116f8f.rmeta: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
 
 crates/core/src/lib.rs:
 crates/core/src/controllers.rs:
@@ -11,6 +11,7 @@ crates/core/src/error.rs:
 crates/core/src/governors.rs:
 crates/core/src/hybrid.rs:
 crates/core/src/model.rs:
+crates/core/src/online.rs:
 crates/core/src/slicer.rs:
 crates/core/src/software.rs:
 crates/core/src/train.rs:

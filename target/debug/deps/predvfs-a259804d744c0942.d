@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/predvfs-a259804d744c0942.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+
+/root/repo/target/debug/deps/libpredvfs-a259804d744c0942.rmeta: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controllers.rs:
+crates/core/src/dvfs.rs:
+crates/core/src/error.rs:
+crates/core/src/governors.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/model.rs:
+crates/core/src/online.rs:
+crates/core/src/slicer.rs:
+crates/core/src/software.rs:
+crates/core/src/train.rs:

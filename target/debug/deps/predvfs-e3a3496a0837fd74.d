@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/predvfs-e3a3496a0837fd74.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+/root/repo/target/debug/deps/predvfs-e3a3496a0837fd74.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
 
-/root/repo/target/debug/deps/predvfs-e3a3496a0837fd74: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+/root/repo/target/debug/deps/predvfs-e3a3496a0837fd74: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
 
 crates/core/src/lib.rs:
 crates/core/src/controllers.rs:
@@ -9,6 +9,7 @@ crates/core/src/error.rs:
 crates/core/src/governors.rs:
 crates/core/src/hybrid.rs:
 crates/core/src/model.rs:
+crates/core/src/online.rs:
 crates/core/src/slicer.rs:
 crates/core/src/software.rs:
 crates/core/src/train.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/predvfs-e46a0b2569b978de.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs Cargo.toml
+/root/repo/target/debug/deps/predvfs-e46a0b2569b978de.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpredvfs-e46a0b2569b978de.rmeta: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs Cargo.toml
+/root/repo/target/debug/deps/libpredvfs-e46a0b2569b978de.rmeta: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/controllers.rs:
@@ -9,6 +9,7 @@ crates/core/src/error.rs:
 crates/core/src/governors.rs:
 crates/core/src/hybrid.rs:
 crates/core/src/model.rs:
+crates/core/src/online.rs:
 crates/core/src/slicer.rs:
 crates/core/src/software.rs:
 crates/core/src/train.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs_bench-16ddce745548cfdf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_bench-16ddce745548cfdf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs_bench-85af4bc15da03934.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_bench-85af4bc15da03934.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs_bench-a74f1bc6e3d0e4f5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/predvfs_bench-a74f1bc6e3d0e4f5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs_bench-c9722cbfd80593cc.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_bench-c9722cbfd80593cc.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

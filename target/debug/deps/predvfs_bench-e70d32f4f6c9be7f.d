@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predvfs_bench-e70d32f4f6c9be7f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_bench-e70d32f4f6c9be7f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_bench-e70d32f4f6c9be7f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

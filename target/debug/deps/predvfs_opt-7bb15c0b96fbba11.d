@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs_opt-7bb15c0b96fbba11.d: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+/root/repo/target/debug/deps/libpredvfs_opt-7bb15c0b96fbba11.rmeta: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/matrix.rs:
+crates/opt/src/solver.rs:
+crates/opt/src/standardize.rs:
+crates/opt/src/stats.rs:

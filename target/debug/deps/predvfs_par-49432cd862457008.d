@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs_par-49432cd862457008.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_par-49432cd862457008.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs_par-79940687802cce2c.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/predvfs_par-79940687802cce2c: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

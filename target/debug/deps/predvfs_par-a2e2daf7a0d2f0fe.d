@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predvfs_par-a2e2daf7a0d2f0fe.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libpredvfs_par-a2e2daf7a0d2f0fe.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

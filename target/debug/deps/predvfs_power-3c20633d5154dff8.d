@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs_power-3c20633d5154dff8.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+/root/repo/target/debug/deps/libpredvfs_power-3c20633d5154dff8.rmeta: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/ladder.rs:
+crates/power/src/switch.rs:
+crates/power/src/vf.rs:

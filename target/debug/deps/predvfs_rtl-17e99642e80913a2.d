@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/predvfs_rtl-17e99642e80913a2.d: crates/rtl/src/lib.rs crates/rtl/src/analysis.rs crates/rtl/src/area.rs crates/rtl/src/builder.rs crates/rtl/src/error.rs crates/rtl/src/expr.rs crates/rtl/src/format.rs crates/rtl/src/instrument.rs crates/rtl/src/interp.rs crates/rtl/src/module.rs crates/rtl/src/slice.rs crates/rtl/src/wcet.rs
+
+/root/repo/target/debug/deps/libpredvfs_rtl-17e99642e80913a2.rmeta: crates/rtl/src/lib.rs crates/rtl/src/analysis.rs crates/rtl/src/area.rs crates/rtl/src/builder.rs crates/rtl/src/error.rs crates/rtl/src/expr.rs crates/rtl/src/format.rs crates/rtl/src/instrument.rs crates/rtl/src/interp.rs crates/rtl/src/module.rs crates/rtl/src/slice.rs crates/rtl/src/wcet.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/analysis.rs:
+crates/rtl/src/area.rs:
+crates/rtl/src/builder.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/expr.rs:
+crates/rtl/src/format.rs:
+crates/rtl/src/instrument.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/module.rs:
+crates/rtl/src/slice.rs:
+crates/rtl/src/wcet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predvfs_serve-052fdf17543f49ff.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+/root/repo/target/debug/deps/predvfs_serve-052fdf17543f49ff: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/scenario.rs:

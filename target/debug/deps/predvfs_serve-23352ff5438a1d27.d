@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predvfs_serve-23352ff5438a1d27.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+/root/repo/target/debug/deps/libpredvfs_serve-23352ff5438a1d27.rlib: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+/root/repo/target/debug/deps/libpredvfs_serve-23352ff5438a1d27.rmeta: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/scenario.rs:

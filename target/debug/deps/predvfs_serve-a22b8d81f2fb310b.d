@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predvfs_serve-a22b8d81f2fb310b.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+/root/repo/target/debug/deps/libpredvfs_serve-a22b8d81f2fb310b.rmeta: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/scenario.rs:

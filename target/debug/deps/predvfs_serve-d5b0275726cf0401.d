@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/predvfs_serve-d5b0275726cf0401.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredvfs_serve-d5b0275726cf0401.rmeta: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/predvfs_sim-6997c65934a4dc75.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libpredvfs_sim-6997c65934a4dc75.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sweep.rs:

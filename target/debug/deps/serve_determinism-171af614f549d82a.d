@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_determinism-171af614f549d82a.d: crates/serve/tests/serve_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_determinism-171af614f549d82a.rmeta: crates/serve/tests/serve_determinism.rs Cargo.toml
+
+crates/serve/tests/serve_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

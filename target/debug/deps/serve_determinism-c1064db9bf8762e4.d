@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_determinism-c1064db9bf8762e4.d: crates/serve/tests/serve_determinism.rs
+
+/root/repo/target/debug/deps/serve_determinism-c1064db9bf8762e4: crates/serve/tests/serve_determinism.rs
+
+crates/serve/tests/serve_determinism.rs:

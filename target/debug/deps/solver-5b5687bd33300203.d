@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver-5b5687bd33300203.d: crates/bench/benches/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver-5b5687bd33300203.rmeta: crates/bench/benches/solver.rs Cargo.toml
+
+crates/bench/benches/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_asic_impl-0d29fc8f21086a3e.d: crates/bench/src/bin/table4_asic_impl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_asic_impl-0d29fc8f21086a3e.rmeta: crates/bench/src/bin/table4_asic_impl.rs Cargo.toml
+
+crates/bench/src/bin/table4_asic_impl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

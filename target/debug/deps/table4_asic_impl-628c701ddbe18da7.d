@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_asic_impl-628c701ddbe18da7.d: crates/bench/src/bin/table4_asic_impl.rs
+
+/root/repo/target/debug/deps/table4_asic_impl-628c701ddbe18da7: crates/bench/src/bin/table4_asic_impl.rs
+
+crates/bench/src/bin/table4_asic_impl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_stream-19beb2bc3ffe9776.d: crates/serve/../../examples/multi_stream.rs
+
+/root/repo/target/debug/examples/multi_stream-19beb2bc3ffe9776: crates/serve/../../examples/multi_stream.rs
+
+crates/serve/../../examples/multi_stream.rs:

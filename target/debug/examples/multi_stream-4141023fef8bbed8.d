@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_stream-4141023fef8bbed8.d: crates/serve/../../examples/multi_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_stream-4141023fef8bbed8.rmeta: crates/serve/../../examples/multi_stream.rs Cargo.toml
+
+crates/serve/../../examples/multi_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

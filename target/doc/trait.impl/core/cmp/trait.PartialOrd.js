@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["predvfs_rtl",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"predvfs_rtl/module/struct.InputId.html\" title=\"struct predvfs_rtl::module::InputId\">InputId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"predvfs_rtl/module/struct.RegId.html\" title=\"struct predvfs_rtl::module::RegId\">RegId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[583]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["predvfs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"predvfs/error/enum.CoreError.html\" title=\"enum predvfs::error::CoreError\">CoreError</a>",0]]],["predvfs_rtl",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"predvfs_rtl/error/enum.RtlError.html\" title=\"enum predvfs_rtl::error::RtlError\">RtlError</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"predvfs_rtl/format/struct.ParseError.html\" title=\"struct predvfs_rtl::format::ParseError\">ParseError</a>",0]]],["predvfs_serve",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"predvfs_serve/enum.ServeError.html\" title=\"enum predvfs_serve::ServeError\">ServeError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[278,572,287]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["predvfs_rtl",[["impl&lt;T: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.Into.html\" title=\"trait core::convert::Into\">Into</a>&lt;<a class=\"struct\" href=\"predvfs_rtl/builder/struct.E.html\" title=\"struct predvfs_rtl::builder::E\">E</a>&gt;&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/bit/trait.BitOr.html\" title=\"trait core::ops::bit::BitOr\">BitOr</a>&lt;T&gt; for <a class=\"struct\" href=\"predvfs_rtl/builder/struct.E.html\" title=\"struct predvfs_rtl::builder::E\">E</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[552]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alpha-777aaee6e4efbcc5.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/release/deps/ablation_alpha-777aaee6e4efbcc5: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alpha-d282717cffcc650a.d: crates/bench/src/bin/ablation_alpha.rs
+
+/root/repo/target/release/deps/ablation_alpha-d282717cffcc650a: crates/bench/src/bin/ablation_alpha.rs
+
+crates/bench/src/bin/ablation_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_compression-b97403de059f5edd.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/release/deps/ablation_compression-b97403de059f5edd: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_compression-f227c7a88eb5dd79.d: crates/bench/src/bin/ablation_compression.rs
+
+/root/repo/target/release/deps/ablation_compression-f227c7a88eb5dd79: crates/bench/src/bin/ablation_compression.rs
+
+crates/bench/src/bin/ablation_compression.rs:

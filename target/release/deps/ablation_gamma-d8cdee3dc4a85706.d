@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gamma-d8cdee3dc4a85706.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/release/deps/ablation_gamma-d8cdee3dc4a85706: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gamma-df9d7578d35b2210.d: crates/bench/src/bin/ablation_gamma.rs
+
+/root/repo/target/release/deps/ablation_gamma-df9d7578d35b2210: crates/bench/src/bin/ablation_gamma.rs
+
+crates/bench/src/bin/ablation_gamma.rs:

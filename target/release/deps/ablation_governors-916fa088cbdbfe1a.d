@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_governors-916fa088cbdbfe1a.d: crates/bench/src/bin/ablation_governors.rs
+
+/root/repo/target/release/deps/ablation_governors-916fa088cbdbfe1a: crates/bench/src/bin/ablation_governors.rs
+
+crates/bench/src/bin/ablation_governors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_governors-e655a629a4ceb7c2.d: crates/bench/src/bin/ablation_governors.rs
+
+/root/repo/target/release/deps/ablation_governors-e655a629a4ceb7c2: crates/bench/src/bin/ablation_governors.rs
+
+crates/bench/src/bin/ablation_governors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_margin-1e5c16c3e7dcfc2e.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/release/deps/ablation_margin-1e5c16c3e7dcfc2e: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

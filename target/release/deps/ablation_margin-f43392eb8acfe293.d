@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_margin-f43392eb8acfe293.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/release/deps/ablation_margin-f43392eb8acfe293: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

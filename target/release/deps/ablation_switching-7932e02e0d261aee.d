@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_switching-7932e02e0d261aee.d: crates/bench/src/bin/ablation_switching.rs
+
+/root/repo/target/release/deps/ablation_switching-7932e02e0d261aee: crates/bench/src/bin/ablation_switching.rs
+
+crates/bench/src/bin/ablation_switching.rs:

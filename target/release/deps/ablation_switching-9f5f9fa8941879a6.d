@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_switching-9f5f9fa8941879a6.d: crates/bench/src/bin/ablation_switching.rs
+
+/root/repo/target/release/deps/ablation_switching-9f5f9fa8941879a6: crates/bench/src/bin/ablation_switching.rs
+
+crates/bench/src/bin/ablation_switching.rs:

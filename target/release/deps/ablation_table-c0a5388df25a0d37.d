@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_table-c0a5388df25a0d37.d: crates/bench/src/bin/ablation_table.rs
+
+/root/repo/target/release/deps/ablation_table-c0a5388df25a0d37: crates/bench/src/bin/ablation_table.rs
+
+crates/bench/src/bin/ablation_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_table-ff78a79bbb3e1851.d: crates/bench/src/bin/ablation_table.rs
+
+/root/repo/target/release/deps/ablation_table-ff78a79bbb3e1851: crates/bench/src/bin/ablation_table.rs
+
+crates/bench/src/bin/ablation_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study_h264-9e9b36770450d218.d: crates/bench/src/bin/case_study_h264.rs
+
+/root/repo/target/release/deps/case_study_h264-9e9b36770450d218: crates/bench/src/bin/case_study_h264.rs
+
+crates/bench/src/bin/case_study_h264.rs:

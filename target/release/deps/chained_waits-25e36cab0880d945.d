@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chained_waits-25e36cab0880d945.d: crates/rtl/tests/chained_waits.rs
+
+/root/repo/target/release/deps/chained_waits-25e36cab0880d945: crates/rtl/tests/chained_waits.rs
+
+crates/rtl/tests/chained_waits.rs:

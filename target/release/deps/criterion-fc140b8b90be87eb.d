@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-fc140b8b90be87eb.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fc140b8b90be87eb.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fc140b8b90be87eb.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

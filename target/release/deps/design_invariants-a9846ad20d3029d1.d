@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_invariants-a9846ad20d3029d1.d: crates/accel/tests/design_invariants.rs
+
+/root/repo/target/release/deps/design_invariants-a9846ad20d3029d1: crates/accel/tests/design_invariants.rs
+
+crates/accel/tests/design_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-5d52548b31fc2b97.d: crates/sim/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-5d52548b31fc2b97: crates/sim/tests/determinism.rs
+
+crates/sim/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a8ce828b3d9689d3.d: crates/sim/tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a8ce828b3d9689d3: crates/sim/tests/end_to_end.rs
+
+crates/sim/tests/end_to_end.rs:

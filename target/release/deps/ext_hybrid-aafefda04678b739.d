@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hybrid-aafefda04678b739.d: crates/bench/src/bin/ext_hybrid.rs
+
+/root/repo/target/release/deps/ext_hybrid-aafefda04678b739: crates/bench/src/bin/ext_hybrid.rs
+
+crates/bench/src/bin/ext_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hybrid-fb0091591b2d4cc3.d: crates/bench/src/bin/ext_hybrid.rs
+
+/root/repo/target/release/deps/ext_hybrid-fb0091591b2d4cc3: crates/bench/src/bin/ext_hybrid.rs
+
+crates/bench/src/bin/ext_hybrid.rs:

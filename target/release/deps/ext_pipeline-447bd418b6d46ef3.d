@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_pipeline-447bd418b6d46ef3.d: crates/bench/src/bin/ext_pipeline.rs
+
+/root/repo/target/release/deps/ext_pipeline-447bd418b6d46ef3: crates/bench/src/bin/ext_pipeline.rs
+
+crates/bench/src/bin/ext_pipeline.rs:

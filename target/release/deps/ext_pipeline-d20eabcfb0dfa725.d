@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_pipeline-d20eabcfb0dfa725.d: crates/bench/src/bin/ext_pipeline.rs
+
+/root/repo/target/release/deps/ext_pipeline-d20eabcfb0dfa725: crates/bench/src/bin/ext_pipeline.rs
+
+crates/bench/src/bin/ext_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_software_predictor-4fe4c6e7cd515be2.d: crates/bench/src/bin/ext_software_predictor.rs
+
+/root/repo/target/release/deps/ext_software_predictor-4fe4c6e7cd515be2: crates/bench/src/bin/ext_software_predictor.rs
+
+crates/bench/src/bin/ext_software_predictor.rs:

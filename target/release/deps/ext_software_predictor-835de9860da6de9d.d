@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_software_predictor-835de9860da6de9d.d: crates/bench/src/bin/ext_software_predictor.rs
+
+/root/repo/target/release/deps/ext_software_predictor-835de9860da6de9d: crates/bench/src/bin/ext_software_predictor.rs
+
+crates/bench/src/bin/ext_software_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_h264_variation-2a17b4a74a420184.d: crates/bench/src/bin/fig02_h264_variation.rs
+
+/root/repo/target/release/deps/fig02_h264_variation-2a17b4a74a420184: crates/bench/src/bin/fig02_h264_variation.rs
+
+crates/bench/src/bin/fig02_h264_variation.rs:

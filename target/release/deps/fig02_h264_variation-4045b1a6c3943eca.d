@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_h264_variation-4045b1a6c3943eca.d: crates/bench/src/bin/fig02_h264_variation.rs
+
+/root/repo/target/release/deps/fig02_h264_variation-4045b1a6c3943eca: crates/bench/src/bin/fig02_h264_variation.rs
+
+crates/bench/src/bin/fig02_h264_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_pid_lag-973c7ca54b051af4.d: crates/bench/src/bin/fig03_pid_lag.rs
+
+/root/repo/target/release/deps/fig03_pid_lag-973c7ca54b051af4: crates/bench/src/bin/fig03_pid_lag.rs
+
+crates/bench/src/bin/fig03_pid_lag.rs:

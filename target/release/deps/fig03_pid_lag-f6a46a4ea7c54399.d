@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_pid_lag-f6a46a4ea7c54399.d: crates/bench/src/bin/fig03_pid_lag.rs
+
+/root/repo/target/release/deps/fig03_pid_lag-f6a46a4ea7c54399: crates/bench/src/bin/fig03_pid_lag.rs
+
+crates/bench/src/bin/fig03_pid_lag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_prediction_error-09c1b31eaba02198.d: crates/bench/src/bin/fig10_prediction_error.rs
+
+/root/repo/target/release/deps/fig10_prediction_error-09c1b31eaba02198: crates/bench/src/bin/fig10_prediction_error.rs
+
+crates/bench/src/bin/fig10_prediction_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_prediction_error-ccc5640534020fa1.d: crates/bench/src/bin/fig10_prediction_error.rs
+
+/root/repo/target/release/deps/fig10_prediction_error-ccc5640534020fa1: crates/bench/src/bin/fig10_prediction_error.rs
+
+crates/bench/src/bin/fig10_prediction_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_energy_misses-361f216dcbe4168a.d: crates/bench/src/bin/fig11_energy_misses.rs
+
+/root/repo/target/release/deps/fig11_energy_misses-361f216dcbe4168a: crates/bench/src/bin/fig11_energy_misses.rs
+
+crates/bench/src/bin/fig11_energy_misses.rs:

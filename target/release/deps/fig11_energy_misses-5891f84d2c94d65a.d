@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_energy_misses-5891f84d2c94d65a.d: crates/bench/src/bin/fig11_energy_misses.rs
+
+/root/repo/target/release/deps/fig11_energy_misses-5891f84d2c94d65a: crates/bench/src/bin/fig11_energy_misses.rs
+
+crates/bench/src/bin/fig11_energy_misses.rs:

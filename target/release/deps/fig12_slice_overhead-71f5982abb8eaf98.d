@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_slice_overhead-71f5982abb8eaf98.d: crates/bench/src/bin/fig12_slice_overhead.rs
+
+/root/repo/target/release/deps/fig12_slice_overhead-71f5982abb8eaf98: crates/bench/src/bin/fig12_slice_overhead.rs
+
+crates/bench/src/bin/fig12_slice_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_slice_overhead-ea9c78bca165a50e.d: crates/bench/src/bin/fig12_slice_overhead.rs
+
+/root/repo/target/release/deps/fig12_slice_overhead-ea9c78bca165a50e: crates/bench/src/bin/fig12_slice_overhead.rs
+
+crates/bench/src/bin/fig12_slice_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_no_overhead_oracle-45209b2e7d09ffee.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+/root/repo/target/release/deps/fig13_no_overhead_oracle-45209b2e7d09ffee: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:

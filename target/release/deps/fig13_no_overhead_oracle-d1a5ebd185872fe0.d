@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_no_overhead_oracle-d1a5ebd185872fe0.d: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+/root/repo/target/release/deps/fig13_no_overhead_oracle-d1a5ebd185872fe0: crates/bench/src/bin/fig13_no_overhead_oracle.rs
+
+crates/bench/src/bin/fig13_no_overhead_oracle.rs:

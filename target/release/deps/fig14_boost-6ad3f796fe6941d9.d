@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_boost-6ad3f796fe6941d9.d: crates/bench/src/bin/fig14_boost.rs
+
+/root/repo/target/release/deps/fig14_boost-6ad3f796fe6941d9: crates/bench/src/bin/fig14_boost.rs
+
+crates/bench/src/bin/fig14_boost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_boost-cb5c982ef3400e1f.d: crates/bench/src/bin/fig14_boost.rs
+
+/root/repo/target/release/deps/fig14_boost-cb5c982ef3400e1f: crates/bench/src/bin/fig14_boost.rs
+
+crates/bench/src/bin/fig14_boost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_deadline_sweep-2bfd8ee045478994.d: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+/root/repo/target/release/deps/fig15_deadline_sweep-2bfd8ee045478994: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_deadline_sweep-4963a24c81ff1d6a.d: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+/root/repo/target/release/deps/fig15_deadline_sweep-4963a24c81ff1d6a: crates/bench/src/bin/fig15_deadline_sweep.rs
+
+crates/bench/src/bin/fig15_deadline_sweep.rs:

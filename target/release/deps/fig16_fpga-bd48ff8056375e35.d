@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_fpga-bd48ff8056375e35.d: crates/bench/src/bin/fig16_fpga.rs
+
+/root/repo/target/release/deps/fig16_fpga-bd48ff8056375e35: crates/bench/src/bin/fig16_fpga.rs
+
+crates/bench/src/bin/fig16_fpga.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_fpga-db2d7a5c0b5446bf.d: crates/bench/src/bin/fig16_fpga.rs
+
+/root/repo/target/release/deps/fig16_fpga-db2d7a5c0b5446bf: crates/bench/src/bin/fig16_fpga.rs
+
+crates/bench/src/bin/fig16_fpga.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_fpga_overhead-930fe3dde241bad1.d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+/root/repo/target/release/deps/fig17_fpga_overhead-930fe3dde241bad1: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:

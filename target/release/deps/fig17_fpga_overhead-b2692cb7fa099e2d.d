@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_fpga_overhead-b2692cb7fa099e2d.d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+/root/repo/target/release/deps/fig17_fpga_overhead-b2692cb7fa099e2d: crates/bench/src/bin/fig17_fpga_overhead.rs
+
+crates/bench/src/bin/fig17_fpga_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_hls_slicing-031ee6fc592153f4.d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+/root/repo/target/release/deps/fig18_hls_slicing-031ee6fc592153f4: crates/bench/src/bin/fig18_hls_slicing.rs
+
+crates/bench/src/bin/fig18_hls_slicing.rs:

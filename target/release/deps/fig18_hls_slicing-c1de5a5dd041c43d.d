@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_hls_slicing-c1de5a5dd041c43d.d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+/root/repo/target/release/deps/fig18_hls_slicing-c1de5a5dd041c43d: crates/bench/src/bin/fig18_hls_slicing.rs
+
+crates/bench/src/bin/fig18_hls_slicing.rs:

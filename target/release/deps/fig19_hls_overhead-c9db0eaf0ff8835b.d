@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_hls_overhead-c9db0eaf0ff8835b.d: crates/bench/src/bin/fig19_hls_overhead.rs
+
+/root/repo/target/release/deps/fig19_hls_overhead-c9db0eaf0ff8835b: crates/bench/src/bin/fig19_hls_overhead.rs
+
+crates/bench/src/bin/fig19_hls_overhead.rs:

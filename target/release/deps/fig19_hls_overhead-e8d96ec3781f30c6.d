@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_hls_overhead-e8d96ec3781f30c6.d: crates/bench/src/bin/fig19_hls_overhead.rs
+
+/root/repo/target/release/deps/fig19_hls_overhead-e8d96ec3781f30c6: crates/bench/src/bin/fig19_hls_overhead.rs
+
+crates/bench/src/bin/fig19_hls_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_serve_drift-c26d12ce26290882.d: crates/bench/src/bin/fig_serve_drift.rs
+
+/root/repo/target/release/deps/fig_serve_drift-c26d12ce26290882: crates/bench/src/bin/fig_serve_drift.rs
+
+crates/bench/src/bin/fig_serve_drift.rs:

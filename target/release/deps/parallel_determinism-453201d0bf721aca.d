@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-453201d0bf721aca.d: crates/sim/tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-453201d0bf721aca: crates/sim/tests/parallel_determinism.rs
+
+crates/sim/tests/parallel_determinism.rs:

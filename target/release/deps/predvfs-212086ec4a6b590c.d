@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/predvfs-212086ec4a6b590c.d: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+
+/root/repo/target/release/deps/predvfs-212086ec4a6b590c: crates/core/src/lib.rs crates/core/src/controllers.rs crates/core/src/dvfs.rs crates/core/src/error.rs crates/core/src/governors.rs crates/core/src/hybrid.rs crates/core/src/model.rs crates/core/src/slicer.rs crates/core/src/software.rs crates/core/src/train.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controllers.rs:
+crates/core/src/dvfs.rs:
+crates/core/src/error.rs:
+crates/core/src/governors.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/model.rs:
+crates/core/src/slicer.rs:
+crates/core/src/software.rs:
+crates/core/src/train.rs:

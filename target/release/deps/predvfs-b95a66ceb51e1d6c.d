@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predvfs-b95a66ceb51e1d6c.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/predvfs-b95a66ceb51e1d6c: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predvfs-d3bdec6919e2bb0e.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/predvfs-d3bdec6919e2bb0e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/predvfs_accel-d26dd7fe5b713dd5.d: crates/accel/src/lib.rs crates/accel/src/aes.rs crates/accel/src/cjpeg.rs crates/accel/src/common.rs crates/accel/src/djpeg.rs crates/accel/src/h264.rs crates/accel/src/md.rs crates/accel/src/sha.rs crates/accel/src/stencil.rs
+
+/root/repo/target/release/deps/predvfs_accel-d26dd7fe5b713dd5: crates/accel/src/lib.rs crates/accel/src/aes.rs crates/accel/src/cjpeg.rs crates/accel/src/common.rs crates/accel/src/djpeg.rs crates/accel/src/h264.rs crates/accel/src/md.rs crates/accel/src/sha.rs crates/accel/src/stencil.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/aes.rs:
+crates/accel/src/cjpeg.rs:
+crates/accel/src/common.rs:
+crates/accel/src/djpeg.rs:
+crates/accel/src/h264.rs:
+crates/accel/src/md.rs:
+crates/accel/src/sha.rs:
+crates/accel/src/stencil.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/predvfs_bench-1ec8b8ea32bace1e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpredvfs_bench-1ec8b8ea32bace1e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpredvfs_bench-1ec8b8ea32bace1e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predvfs_bench-e2fe77c55361c0d9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/predvfs_bench-e2fe77c55361c0d9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/predvfs_opt-f9245518e424faad.d: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+/root/repo/target/release/deps/predvfs_opt-f9245518e424faad: crates/opt/src/lib.rs crates/opt/src/matrix.rs crates/opt/src/solver.rs crates/opt/src/standardize.rs crates/opt/src/stats.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/matrix.rs:
+crates/opt/src/solver.rs:
+crates/opt/src/standardize.rs:
+crates/opt/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predvfs_par-ab3a3ec50bbddf60.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/predvfs_par-ab3a3ec50bbddf60: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

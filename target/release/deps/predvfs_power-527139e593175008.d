@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/predvfs_power-527139e593175008.d: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+/root/repo/target/release/deps/predvfs_power-527139e593175008: crates/power/src/lib.rs crates/power/src/energy.rs crates/power/src/ladder.rs crates/power/src/switch.rs crates/power/src/vf.rs
+
+crates/power/src/lib.rs:
+crates/power/src/energy.rs:
+crates/power/src/ladder.rs:
+crates/power/src/switch.rs:
+crates/power/src/vf.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/predvfs_rtl-864d6337820f134e.d: crates/rtl/src/lib.rs crates/rtl/src/analysis.rs crates/rtl/src/area.rs crates/rtl/src/builder.rs crates/rtl/src/error.rs crates/rtl/src/expr.rs crates/rtl/src/format.rs crates/rtl/src/instrument.rs crates/rtl/src/interp.rs crates/rtl/src/module.rs crates/rtl/src/slice.rs crates/rtl/src/wcet.rs
+
+/root/repo/target/release/deps/predvfs_rtl-864d6337820f134e: crates/rtl/src/lib.rs crates/rtl/src/analysis.rs crates/rtl/src/area.rs crates/rtl/src/builder.rs crates/rtl/src/error.rs crates/rtl/src/expr.rs crates/rtl/src/format.rs crates/rtl/src/instrument.rs crates/rtl/src/interp.rs crates/rtl/src/module.rs crates/rtl/src/slice.rs crates/rtl/src/wcet.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/analysis.rs:
+crates/rtl/src/area.rs:
+crates/rtl/src/builder.rs:
+crates/rtl/src/error.rs:
+crates/rtl/src/expr.rs:
+crates/rtl/src/format.rs:
+crates/rtl/src/instrument.rs:
+crates/rtl/src/interp.rs:
+crates/rtl/src/module.rs:
+crates/rtl/src/slice.rs:
+crates/rtl/src/wcet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/predvfs_serve-04c48b7175406019.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+/root/repo/target/release/deps/predvfs_serve-04c48b7175406019: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/predvfs_serve-49d4724ca522d974.d: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+/root/repo/target/release/deps/libpredvfs_serve-49d4724ca522d974.rlib: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+/root/repo/target/release/deps/libpredvfs_serve-49d4724ca522d974.rmeta: crates/serve/src/lib.rs crates/serve/src/engine.rs crates/serve/src/scenario.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/engine.rs:
+crates/serve/src/scenario.rs:

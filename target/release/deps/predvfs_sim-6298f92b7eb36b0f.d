@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/predvfs_sim-6298f92b7eb36b0f.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/predvfs_sim-6298f92b7eb36b0f: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/experiment.rs crates/sim/src/metrics.rs crates/sim/src/pipeline.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sweep.rs:

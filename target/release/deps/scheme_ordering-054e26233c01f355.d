@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme_ordering-054e26233c01f355.d: crates/sim/tests/scheme_ordering.rs
+
+/root/repo/target/release/deps/scheme_ordering-054e26233c01f355: crates/sim/tests/scheme_ordering.rs
+
+crates/sim/tests/scheme_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_determinism-924d765779e9a1f1.d: crates/serve/tests/serve_determinism.rs
+
+/root/repo/target/release/deps/serve_determinism-924d765779e9a1f1: crates/serve/tests/serve_determinism.rs
+
+crates/serve/tests/serve_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slicing_invariants-4ec0cb90298d4035.d: crates/sim/tests/slicing_invariants.rs
+
+/root/repo/target/release/deps/slicing_invariants-4ec0cb90298d4035: crates/sim/tests/slicing_invariants.rs
+
+crates/sim/tests/slicing_invariants.rs:

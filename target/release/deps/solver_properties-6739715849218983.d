@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_properties-6739715849218983.d: crates/opt/tests/solver_properties.rs
+
+/root/repo/target/release/deps/solver_properties-6739715849218983: crates/opt/tests/solver_properties.rs
+
+crates/opt/tests/solver_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_asic_impl-094b8303553a3b41.d: crates/bench/src/bin/table4_asic_impl.rs
+
+/root/repo/target/release/deps/table4_asic_impl-094b8303553a3b41: crates/bench/src/bin/table4_asic_impl.rs
+
+crates/bench/src/bin/table4_asic_impl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_asic_impl-16a293bd325cbe95.d: crates/bench/src/bin/table4_asic_impl.rs
+
+/root/repo/target/release/deps/table4_asic_impl-16a293bd325cbe95: crates/bench/src/bin/table4_asic_impl.rs
+
+crates/bench/src/bin/table4_asic_impl.rs:

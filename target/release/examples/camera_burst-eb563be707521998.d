@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/camera_burst-eb563be707521998.d: crates/core/../../examples/camera_burst.rs
+
+/root/repo/target/release/examples/camera_burst-eb563be707521998: crates/core/../../examples/camera_burst.rs
+
+crates/core/../../examples/camera_burst.rs:

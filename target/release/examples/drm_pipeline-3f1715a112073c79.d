@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/drm_pipeline-3f1715a112073c79.d: crates/sim/../../examples/drm_pipeline.rs
+
+/root/repo/target/release/examples/drm_pipeline-3f1715a112073c79: crates/sim/../../examples/drm_pipeline.rs
+
+crates/sim/../../examples/drm_pipeline.rs:

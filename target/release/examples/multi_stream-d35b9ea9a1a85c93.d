@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_stream-d35b9ea9a1a85c93.d: crates/serve/../../examples/multi_stream.rs
+
+/root/repo/target/release/examples/multi_stream-d35b9ea9a1a85c93: crates/serve/../../examples/multi_stream.rs
+
+crates/serve/../../examples/multi_stream.rs:

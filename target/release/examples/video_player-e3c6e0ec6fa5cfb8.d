@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/video_player-e3c6e0ec6fa5cfb8.d: crates/core/../../examples/video_player.rs
+
+/root/repo/target/release/examples/video_player-e3c6e0ec6fa5cfb8: crates/core/../../examples/video_player.rs
+
+crates/core/../../examples/video_player.rs:
