@@ -14,6 +14,7 @@
 //! engine's determinism contract on a drift scenario.
 
 use predvfs_bench::results_dir;
+use predvfs_obs::Recorder;
 use predvfs_serve::{ControllerKind, DriftSpec, Scenario, ServeResult, ServeRuntime, StreamSpec};
 use predvfs_sim::{Experiment, ExperimentConfig, Platform, Table, TraceCache};
 
@@ -24,6 +25,16 @@ const CYCLE_SCALE: f64 = 1.6;
 /// Jobs after the shift allowed for detection + refit (the defaults need
 /// `detect_window + min_refit_samples = 20`; 24 leaves slack).
 const ADAPT_JOBS: usize = 24;
+
+/// Events of one kind in the recorded trace.
+fn count_events(recorder: &Recorder, kind: &str) -> usize {
+    recorder
+        .ring()
+        .snapshot()
+        .iter()
+        .filter(|e| e.kind == kind)
+        .count()
+}
 
 /// Miss percentage over a phase of the job sequence, by arrival index.
 fn phase_miss_pct(result: &ServeResult, lo: usize, hi: usize) -> f64 {
@@ -79,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let runtime = ServeRuntime::prepare(&scenario, &cache)?;
 
-    let adaptive = runtime.run()?;
+    // Record the adaptive run's event trace: it captures the whole drift
+    // arc (fallback engage → refit → recover) with virtual timestamps.
+    let recorder = Recorder::new(1 << 16);
+    let adaptive = runtime.run_observed(None, &recorder)?;
     let never_refit = runtime.run_with(Some(ControllerKind::Predictive))?;
     let always_pid = runtime.run_with(Some(ControllerKind::Pid))?;
 
@@ -131,6 +145,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = results_dir().join("fig_serve_drift.csv");
     table.write_csv(&out)?;
     println!("wrote {}", out.display());
+    let trace_out = results_dir().join("fig_serve_drift.trace.jsonl");
+    std::fs::write(&trace_out, recorder.ring().to_jsonl())?;
+    println!(
+        "wrote {} ({} events, {} drift fallbacks, {} refit installs)",
+        trace_out.display(),
+        recorder.ring().len(),
+        count_events(&recorder, "drift_fallback"),
+        count_events(&recorder, "refit"),
+    );
 
     // The figure's claim, enforced: the adaptive controller recovers to
     // (at worst) its pre-shift miss rate, while never-refit stays broken.

@@ -16,6 +16,12 @@
 //! by parallel stages; the `RAYON_NUM_THREADS` / `PREDVFS_THREADS`
 //! environment variables are honored as a fallback.
 //!
+//! `--metrics-out <path>` and `--trace-out <path>` (anywhere on the
+//! command line) turn on observability: counters/gauges/histograms are
+//! written as Prometheus text and the structured event trace as JSON
+//! lines. Trace events carry the *virtual* clock, so `serve` traces are
+//! byte-identical regardless of `--threads`.
+//!
 //! The jobs file holds one token per line (comma-separated field values in
 //! declaration order); a line containing only `---` ends a job. Lines
 //! starting with `#` are comments.
@@ -24,6 +30,7 @@ use std::fs;
 use std::process::ExitCode;
 
 use predvfs::{train, SliceFlavor, SlicePredictor, TrainerConfig};
+use predvfs_obs::{Recorder, TraceEvent};
 use predvfs_rtl::{
     from_text, to_text, wcet, Analysis, AsicAreaModel, ExecMode, FeatureSchema, FpgaResourceModel,
     JobInput, Module, Simulator, SliceOptions,
@@ -43,13 +50,18 @@ fn main() -> ExitCode {
 }
 
 fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let (threads, args) = parse_thread_flag(raw_args)?;
-    if let Some(n) = threads {
+    let (opts, args) = parse_options(raw_args)?;
+    if let Some(n) = opts.threads {
         predvfs_par::set_threads(n);
+    }
+    if opts.observing() {
+        // Deep components (solver, trace cache) report through the
+        // process-global sink; install it before any work starts.
+        predvfs_obs::install(std::sync::Arc::new(Recorder::new(TRACE_CAPACITY)));
     }
     let args = &args;
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    match cmd {
+    let outcome = match cmd {
         "export" => export(args.get(1), args.get(2)),
         "analyze" => analyze(required(args, 1, "design file")?),
         "simulate" => simulate(
@@ -74,39 +86,117 @@ fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`; try `predvfs help`").into()),
+    };
+    if outcome.is_ok() {
+        write_observability(&opts)?;
+    }
+    outcome
+}
+
+/// Bound on buffered trace events; beyond it the ring evicts oldest and
+/// counts drops (reported in the summary).
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// Global flags accepted anywhere on the command line.
+#[derive(Debug, Default, PartialEq)]
+struct CliOptions {
+    /// Worker-pool size (`--threads`).
+    threads: Option<usize>,
+    /// Prometheus text output path (`--metrics-out`).
+    metrics_out: Option<String>,
+    /// JSON-lines trace output path (`--trace-out`).
+    trace_out: Option<String>,
+}
+
+impl CliOptions {
+    /// True when any observability output was requested.
+    fn observing(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
     }
 }
 
-/// Strips `--threads N` / `--threads=N` from anywhere in the argument
-/// list, returning the requested worker count and the remaining args.
-fn parse_thread_flag(args: &[String]) -> Result<(Option<usize>, Vec<String>), String> {
-    let mut threads = None;
+/// Strips the global flags (`--threads N`, `--metrics-out P`,
+/// `--trace-out P`, each also in `--flag=value` form) from anywhere in
+/// the argument list, returning them and the remaining args.
+fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
+    let mut opts = CliOptions::default();
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let value = if a == "--threads" {
-            Some(
-                it.next()
-                    .ok_or("`--threads` needs a value; try `predvfs help`")?
-                    .as_str(),
-            )
-        } else {
-            a.strip_prefix("--threads=")
-        };
-        match value {
-            Some(v) => {
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| format!("invalid thread count `{v}`"))?;
-                if n == 0 {
-                    return Err("thread count must be at least 1".to_owned());
-                }
-                threads = Some(n);
+        let mut take = |flag: &str| -> Result<Option<String>, String> {
+            if a == flag {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("`{flag}` needs a value; try `predvfs help`"))?;
+                Ok(Some(v.clone()))
+            } else {
+                Ok(a.strip_prefix(flag)
+                    .and_then(|r| r.strip_prefix('='))
+                    .map(str::to_owned))
             }
-            None => rest.push(a.clone()),
+        };
+        if let Some(v) = take("--threads")? {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("invalid thread count `{v}`"))?;
+            if n == 0 {
+                return Err("thread count must be at least 1".to_owned());
+            }
+            opts.threads = Some(n);
+        } else if let Some(path) = take("--metrics-out")? {
+            opts.metrics_out = Some(path);
+        } else if let Some(path) = take("--trace-out")? {
+            opts.trace_out = Some(path);
+        } else {
+            rest.push(a.clone());
         }
     }
-    Ok((threads, rest))
+    Ok((opts, rest))
+}
+
+/// Writes the requested metrics/trace files from the global recorder and
+/// prints a metrics summary table. No-op when observability is off.
+fn write_observability(opts: &CliOptions) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(rec) = predvfs_obs::recorder() else {
+        return Ok(());
+    };
+    if let Some(path) = &opts.metrics_out {
+        fs::write(path, rec.registry().prometheus_text())?;
+        eprintln!("wrote metrics to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        fs::write(path, rec.ring().to_jsonl())?;
+        eprintln!(
+            "wrote {} trace events to {path}{}",
+            rec.ring().len(),
+            match rec.ring().dropped() {
+                0 => String::new(),
+                n => format!(" ({n} oldest dropped by the ring bound)"),
+            }
+        );
+    }
+    let counters = rec.registry().counters();
+    let histograms = rec.registry().histogram_summaries();
+    if counters.is_empty() && histograms.is_empty() {
+        return Ok(());
+    }
+    println!("\nmetrics summary:");
+    println!("  {:<44} {:>14}", "counter", "value");
+    for (name, value) in &counters {
+        println!("  {name:<44} {value:>14}");
+    }
+    if !histograms.is_empty() {
+        println!("  {:<44} {:>14} {:>16}", "histogram", "count", "mean");
+        for (name, count, sum) in &histograms {
+            let mean = if *count == 0 {
+                0.0
+            } else {
+                sum / *count as f64
+            };
+            println!("  {name:<44} {count:>14} {mean:>16.6}");
+        }
+    }
+    Ok(())
 }
 
 const HELP: &str = "\
@@ -124,8 +214,13 @@ USAGE:
   predvfs serve <scenario.txt | --demo>
 
 OPTIONS:
-  --threads <N>   worker-pool size for parallel stages (default: all
-                  cores; RAYON_NUM_THREADS / PREDVFS_THREADS also honored)
+  --threads <N>        worker-pool size for parallel stages (default: all
+                       cores; RAYON_NUM_THREADS / PREDVFS_THREADS also
+                       honored)
+  --metrics-out <path> write counters/gauges/histograms as Prometheus text
+  --trace-out <path>   write the structured event trace as JSON lines
+                       (virtual-clock stamped; byte-identical across
+                       --threads for `serve`)
 
 Built-in benchmarks: h264 cjpeg djpeg md stencil aes sha
 PREDVFS_QUICK=1 shrinks `eval` workloads for smoke runs.
@@ -382,6 +477,7 @@ fn cmd_eval(name: &str, platform: Option<&String>) -> Result<(), Box<dyn std::er
         "{:<20} {:>16} {:>9} {:>7}",
         "scheme", "energy_pJ", "norm%", "miss%"
     );
+    let sink = predvfs_obs::global();
     for r in &results {
         println!(
             "{:<20} {:>16.0} {:>9.1} {:>7.2}",
@@ -390,6 +486,17 @@ fn cmd_eval(name: &str, platform: Option<&String>) -> Result<(), Box<dyn std::er
             r.normalized_energy_pct(&base),
             r.miss_pct()
         );
+        if sink.enabled() {
+            // Emitted serially in scheme order after the parallel runs,
+            // so the trace stays deterministic under `--threads`.
+            sink.emit(
+                TraceEvent::new(0.0, "eval", "scheme_done")
+                    .with_str("scheme", &r.scheme.to_string())
+                    .with_f64("energy_pj", r.total_energy_pj())
+                    .with_f64("norm_pct", r.normalized_energy_pct(&base))
+                    .with_f64("miss_pct", r.miss_pct()),
+            );
+        }
     }
     Ok(())
 }
@@ -408,20 +515,20 @@ fn cmd_serve(scenario_arg: &str) -> Result<(), Box<dyn std::error::Error>> {
         predvfs_par::current_threads()
     );
     let runtime = ServeRuntime::prepare(&scenario, &predvfs_sim::TraceCache::new())?;
-    let result = runtime.run()?;
+    let result = runtime.run_observed(None, predvfs_obs::global())?;
     println!(
-        "{:<12} {:<10} {:>9} {:>6} {:>7} {:>6} {:>8} {:>7} {:>14}",
-        "stream", "ctrl", "submitted", "done", "miss%", "shed", "relaxed", "refits", "energy_pJ"
+        "{:<12} {:<10} {:>9} {:>6} {:>7} {:>7} {:>8} {:>7} {:>14}",
+        "stream", "ctrl", "submitted", "done", "miss%", "shed%", "relaxed", "refits", "energy_pJ"
     );
     for (spec, s) in runtime.specs().zip(&result.streams) {
         println!(
-            "{:<12} {:<10} {:>9} {:>6} {:>7.2} {:>6} {:>8} {:>7} {:>14.0}",
+            "{:<12} {:<10} {:>9} {:>6} {:>7.2} {:>7.2} {:>8} {:>7} {:>14.0}",
             s.name,
             spec.controller.name(),
             s.submitted,
             s.completed(),
             s.miss_pct(),
-            s.shed,
+            s.shed_pct(),
             s.relaxed,
             s.refits,
             s.total_energy_pj()
@@ -488,28 +595,56 @@ mod tests {
         assert!(run(&[]).is_ok(), "bare invocation prints help");
     }
 
+    fn owned(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
     #[test]
     fn thread_flag_is_stripped_anywhere() {
-        let args: Vec<String> = ["eval", "--threads", "3", "sha"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
-        let (threads, rest) = parse_thread_flag(&args).unwrap();
-        assert_eq!(threads, Some(3));
-        assert_eq!(rest, vec!["eval".to_owned(), "sha".to_owned()]);
+        let (opts, rest) = parse_options(&owned(&["eval", "--threads", "3", "sha"])).unwrap();
+        assert_eq!(opts.threads, Some(3));
+        assert_eq!(rest, owned(&["eval", "sha"]));
 
-        let args: Vec<String> = vec!["--threads=8".to_owned(), "help".to_owned()];
-        let (threads, rest) = parse_thread_flag(&args).unwrap();
-        assert_eq!(threads, Some(8));
-        assert_eq!(rest, vec!["help".to_owned()]);
+        let (opts, rest) = parse_options(&owned(&["--threads=8", "help"])).unwrap();
+        assert_eq!(opts.threads, Some(8));
+        assert_eq!(rest, owned(&["help"]));
     }
 
     #[test]
     fn thread_flag_rejects_bad_values() {
-        let bad = |s: &str| parse_thread_flag(&[s.to_owned()]).is_err();
+        let bad = |s: &str| parse_options(&[s.to_owned()]).is_err();
         assert!(bad("--threads"), "missing value");
         assert!(bad("--threads=zero"), "non-numeric value");
         assert!(bad("--threads=0"), "zero workers");
+    }
+
+    #[test]
+    fn observability_flags_are_stripped_anywhere() {
+        let (opts, rest) = parse_options(&owned(&[
+            "serve",
+            "--metrics-out",
+            "m.prom",
+            "--demo",
+            "--trace-out=t.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(opts.trace_out.as_deref(), Some("t.jsonl"));
+        assert!(opts.observing());
+        assert_eq!(rest, owned(&["serve", "--demo"]));
+
+        assert!(parse_options(&owned(&["--metrics-out"])).is_err());
+        assert!(parse_options(&owned(&["--trace-out"])).is_err());
+        let (opts, _) = parse_options(&owned(&["eval", "sha"])).unwrap();
+        assert!(!opts.observing());
+    }
+
+    #[test]
+    fn flag_prefix_does_not_swallow_lookalikes() {
+        // `--threadspool` shares a prefix with `--threads` but is not it.
+        let (opts, rest) = parse_options(&owned(&["--threadspool"])).unwrap();
+        assert_eq!(opts, CliOptions::default());
+        assert_eq!(rest, owned(&["--threadspool"]));
     }
 
     #[test]

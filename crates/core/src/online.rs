@@ -212,6 +212,7 @@ impl OnlineTrainer {
         match self.refit(model) {
             Some(refit) => {
                 self.refits += 1;
+                predvfs_obs::global().counter_add("predvfs_online_refits_total", 1);
                 self.state = AdaptState::Healthy;
                 self.recent_under.clear();
                 self.ratio = 1.0;
@@ -312,6 +313,7 @@ impl OnlineTrainer {
                 ..FitOptions::default()
             },
         );
+        crate::train::record_solver_metrics(predvfs_obs::global(), &fit);
 
         let mut raw = std.fold_back(&fit.beta, bias_j);
         for c in &mut raw {

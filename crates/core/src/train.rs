@@ -93,6 +93,21 @@ pub fn profile(module: &Module, jobs: &[JobInput]) -> Result<TrainingData, CoreE
     })
 }
 
+/// Records one FISTA solve's outcome (iteration count, momentum
+/// restarts, final objective) into `sink`.
+pub(crate) fn record_solver_metrics(sink: &dyn predvfs_obs::ObsSink, fit: &predvfs_opt::FitResult) {
+    if !sink.enabled() {
+        return;
+    }
+    sink.counter_add("predvfs_fista_fits_total", 1);
+    sink.counter_add("predvfs_fista_iterations_total", fit.iterations as u64);
+    sink.counter_add("predvfs_fista_restarts_total", fit.restarts as u64);
+    if !fit.converged {
+        sink.counter_add("predvfs_fista_nonconverged_total", 1);
+    }
+    sink.observe("predvfs_fista_objective", fit.objective);
+}
+
 /// Fits the execution-time model on profiled data.
 ///
 /// # Errors
@@ -100,6 +115,8 @@ pub fn profile(module: &Module, jobs: &[JobInput]) -> Result<TrainingData, CoreE
 /// Returns [`CoreError::DegenerateModel`] when the L1 penalty removes
 /// every feature including the bias.
 pub fn fit(data: &TrainingData, config: &TrainerConfig) -> Result<ExecTimeModel, CoreError> {
+    let sink = predvfs_obs::global();
+    let _fit_timer = predvfs_obs::PhaseTimer::start(sink, "predvfs_fit");
     let std = Standardizer::fit(&data.x);
     let mut xs = std.transform(&data.x);
     let y_scale = data.y.iter().map(|v| v.abs()).sum::<f64>() / data.y.len() as f64;
@@ -154,6 +171,7 @@ pub fn fit(data: &TrainingData, config: &TrainerConfig) -> Result<ExecTimeModel,
         unpenalized: unpenalized.clone(),
     }
     .fit(options);
+    record_solver_metrics(sink, &lasso);
 
     let mut support: Vec<usize> = lasso.support(1e-7);
     if !support.contains(&bias) {
@@ -180,6 +198,7 @@ pub fn fit(data: &TrainingData, config: &TrainerConfig) -> Result<ExecTimeModel,
             unpenalized: support.iter().map(|&c| unpenalized[c]).collect(),
         }
         .fit(options);
+        record_solver_metrics(sink, &refit);
         let mut full = vec![0.0; data.schema.len()];
         for (j, &c) in support.iter().enumerate() {
             full[c] = refit.beta[j];

@@ -1,0 +1,53 @@
+//! # predvfs-obs
+//!
+//! The observability layer of the predvfs stack: a lightweight,
+//! dependency-free metrics registry (counters, gauges, fixed-bucket
+//! histograms), a bounded structured event ring for deterministic
+//! tracing, and phase timers — all behind the [`ObsSink`] trait whose
+//! default implementation is a no-op, so instrumented hot paths pay a
+//! single branch when observability is off.
+//!
+//! ## Design
+//!
+//! * **Metrics** ([`MetricsRegistry`]) are lock-free atomics keyed by
+//!   name in sorted maps, exported as Prometheus text
+//!   ([`MetricsRegistry::prometheus_text`]). Counter and histogram
+//!   updates are order-insensitive, so parallel stages (experiment
+//!   preparation, scheme fan-out) may record freely.
+//! * **Traces** ([`TraceRing`]) are bounded rings of structured
+//!   [`TraceEvent`]s exported as JSON lines
+//!   ([`TraceRing::to_jsonl`]). Producers that need *deterministic*
+//!   traces (the serve engine) only emit from their serial event loop and
+//!   stamp events with the **virtual** clock, so the JSONL output is
+//!   byte-identical regardless of worker-thread count.
+//! * **Sinks** ([`ObsSink`]) decouple instrumentation points from the
+//!   backing store. [`NullSink`] drops everything; [`Recorder`] combines
+//!   a registry and a ring. Deep components (the FISTA solver's caller,
+//!   the trace cache) reach the process-wide sink through [`global`],
+//!   which costs one atomic load plus one branch until a recorder is
+//!   [`install`]ed.
+//!
+//! ```
+//! use predvfs_obs::{ObsSink, Recorder, TraceEvent};
+//!
+//! let rec = Recorder::new(1024);
+//! rec.counter_add("predvfs_jobs_total", 1);
+//! rec.observe("predvfs_slack_seconds", 3.2e-3);
+//! rec.emit(
+//!     TraceEvent::new(0.0167, "sha", "job_done")
+//!         .with_u64("job", 0)
+//!         .with_bool("missed", false),
+//! );
+//! assert!(rec.registry().prometheus_text().contains("predvfs_jobs_total 1"));
+//! assert!(rec.ring().to_jsonl().contains("\"event\":\"job_done\""));
+//! ```
+
+#![warn(missing_docs)]
+
+mod registry;
+mod ring;
+mod sink;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use ring::{FieldValue, TraceEvent, TraceRing};
+pub use sink::{global, install, recorder, NullSink, ObsSink, PhaseTimer, Recorder};

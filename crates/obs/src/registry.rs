@@ -1,0 +1,334 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with a Prometheus text exporter.
+//!
+//! All metric cells are atomics, so recording never blocks and is safe
+//! from parallel stages; the registry maps are behind short-lived mutexes
+//! taken only to *look up or create* a metric, and handles are `Arc`s a
+//! caller may retain to skip the lookup entirely on a hot path.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Recovers a possibly poisoned guard: the registry maps are only
+/// inserted into, so a snapshot taken by a panicking thread is still
+/// internally consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point metric.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Atomically adds `delta` to an `f64` stored as bits in `cell`.
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A histogram over fixed, sorted bucket upper bounds (the `+Inf` bucket
+/// is implicit), tracking per-bucket counts plus the sum and count of
+/// observations — exactly the Prometheus histogram data model.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One cell per bound, plus the trailing `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The default bucket layout: powers of ten from `1e-9` to `1e12`,
+    /// wide enough for seconds-scale phase timings and picojoule-scale
+    /// energies alike.
+    pub fn default_bounds() -> Vec<f64> {
+        (-9..=12).map(|e| 10f64.powi(e)).collect()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, value);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// `(upper bound, cumulative count)` pairs in bound order, ending
+    /// with the `+Inf` bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, cell) in self.buckets.iter().enumerate() {
+            acc += cell.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// A process- or run-scoped collection of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock(&self.counters);
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock(&self.gauges);
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use
+    /// (later calls keep the original bucket layout).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Snapshot of every counter as `(name, value)`, name-sorted.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of every gauge as `(name, value)`, name-sorted.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        lock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of every histogram as `(name, count, sum)`, name-sorted.
+    pub fn histogram_summaries(&self) -> Vec<(String, u64, f64)> {
+        lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.count(), v.sum()))
+            .collect()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format,
+    /// metrics sorted by name so the output is stable.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in self.gauges() {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", fmt_f64(value));
+        }
+        let hists: Vec<(String, Arc<Histogram>)> = lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        for (name, h) in hists {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (bound, cum) in h.cumulative_buckets() {
+                let le = if bound.is_infinite() {
+                    "+Inf".to_owned()
+                } else {
+                    fmt_f64(bound)
+                };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum()));
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+/// Formats a float the way the exporters need: finite shortest-roundtrip,
+/// with non-finite values spelled the Prometheus way.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(2);
+        reg.counter("a_total").add(3);
+        reg.gauge("g").set(1.5);
+        assert_eq!(reg.counters(), vec![("a_total".to_owned(), 5)]);
+        assert_eq!(reg.gauges(), vec![("g".to_owned(), 1.5)]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![(1.0, 2), (10.0, 3), (f64::INFINITY, 4)]
+        );
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 56.2).abs() < 1e-12);
+        assert!((h.mean() - 14.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn prometheus_text_is_stable_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_total").add(1);
+        reg.counter("a_total").add(2);
+        reg.gauge("obj").set(0.25);
+        reg.histogram("lat_seconds", &[0.1, 1.0]).observe(0.05);
+        let text = reg.prometheus_text();
+        let a = text.find("a_total 2").expect("a_total");
+        let z = text.find("z_total 1").expect("z_total");
+        assert!(a < z, "counters must be name-sorted");
+        assert!(text.contains("# TYPE obj gauge\nobj 0.25"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_seconds_count 1"));
+        assert_eq!(text, reg.prometheus_text(), "export must be idempotent");
+    }
+
+    #[test]
+    fn parallel_counting_is_exact() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n_total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

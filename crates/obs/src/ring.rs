@@ -1,0 +1,261 @@
+//! Bounded structured event tracing.
+//!
+//! A [`TraceEvent`] is a timestamped, named event with typed key/value
+//! fields; a [`TraceRing`] keeps the most recent `capacity` events and
+//! counts what it had to drop. Events render as JSON lines with fields in
+//! insertion order, so a producer that emits from a serial loop (the
+//! serve engine) gets byte-identical output for identical runs.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::registry::fmt_f64;
+
+/// A typed trace-event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered shortest-roundtrip; non-finite renders as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (JSON-escaped on export).
+    Str(String),
+}
+
+/// One structured event: a virtual-clock timestamp, the scope it belongs
+/// to (stream or component name), the event kind, and ordered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual-clock timestamp, seconds.
+    pub t_s: f64,
+    /// Emitting scope (e.g. the stream name).
+    pub scope: String,
+    /// Event kind (e.g. `arrival`, `job_done`).
+    pub kind: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// An event with no payload fields.
+    pub fn new(t_s: f64, scope: &str, kind: &str) -> TraceEvent {
+        TraceEvent {
+            t_s,
+            scope: scope.to_owned(),
+            kind: kind.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends an unsigned-integer field.
+    #[must_use]
+    pub fn with_u64(mut self, key: &str, value: u64) -> TraceEvent {
+        self.fields.push((key.to_owned(), FieldValue::U64(value)));
+        self
+    }
+
+    /// Appends a float field.
+    #[must_use]
+    pub fn with_f64(mut self, key: &str, value: f64) -> TraceEvent {
+        self.fields.push((key.to_owned(), FieldValue::F64(value)));
+        self
+    }
+
+    /// Appends a boolean field.
+    #[must_use]
+    pub fn with_bool(mut self, key: &str, value: bool) -> TraceEvent {
+        self.fields.push((key.to_owned(), FieldValue::Bool(value)));
+        self
+    }
+
+    /// Appends a string field.
+    #[must_use]
+    pub fn with_str(mut self, key: &str, value: &str) -> TraceEvent {
+        self.fields
+            .push((key.to_owned(), FieldValue::Str(value.to_owned())));
+        self
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        let _ = write!(
+            out,
+            "{{\"t_s\":{},\"scope\":\"{}\",\"event\":\"{}\"",
+            json_f64(self.t_s),
+            json_escape(&self.scope),
+            json_escape(&self.kind)
+        );
+        for (key, value) in &self.fields {
+            let _ = write!(out, ",\"{}\":", json_escape(key));
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) => {
+                    let _ = write!(out, "{}", json_f64(*v));
+                }
+                FieldValue::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::Str(v) => {
+                    let _ = write!(out, "\"{}\"", json_escape(v));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// JSON has no non-finite numbers; render them as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        fmt_f64(v)
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct RingInner {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A bounded ring of [`TraceEvent`]s keeping the most recent `capacity`.
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingInner> {
+        // Push-only state: a snapshot from a panicked pusher is intact.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut inner = self.lock();
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Renders the buffered events as JSON lines (one event per line,
+    /// each line terminated by `\n`), oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for event in &inner.events {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_renders_fields_in_order() {
+        let e = TraceEvent::new(0.5, "sha", "job_done")
+            .with_u64("job", 3)
+            .with_f64("energy_pj", 1.25)
+            .with_bool("missed", true)
+            .with_str("note", "a\"b");
+        assert_eq!(
+            e.to_json(),
+            "{\"t_s\":0.5,\"scope\":\"sha\",\"event\":\"job_done\",\
+             \"job\":3,\"energy_pj\":1.25,\"missed\":true,\"note\":\"a\\\"b\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let e = TraceEvent::new(f64::NAN, "x", "k").with_f64("v", f64::INFINITY);
+        assert_eq!(
+            e.to_json(),
+            "{\"t_s\":null,\"scope\":\"x\",\"event\":\"k\",\"v\":null}"
+        );
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json_escape("a\nb\tc\u{1}"), "a\\nb\\tc\\u0001");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let ring = TraceRing::new(2);
+        for i in 0..5 {
+            ring.push(TraceEvent::new(i as f64, "s", "e"));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let kept: Vec<f64> = ring.snapshot().iter().map(|e| e.t_s).collect();
+        assert_eq!(kept, vec![3.0, 4.0], "oldest events are evicted first");
+        assert_eq!(ring.to_jsonl().lines().count(), 2);
+    }
+}

@@ -58,6 +58,8 @@ pub struct FitResult {
     pub objective: f64,
     /// Iterations performed.
     pub iterations: usize,
+    /// Momentum restarts triggered by objective increases.
+    pub restarts: usize,
     /// Whether the tolerance was met before `max_iter`.
     pub converged: bool,
 }
@@ -148,6 +150,7 @@ impl AsymLasso<'_> {
         let mut t = 1.0f64;
         let mut prev_obj = self.objective(&beta);
         let mut iterations = 0;
+        let mut restarts = 0;
         let mut converged = false;
 
         for it in 0..options.max_iter {
@@ -178,6 +181,7 @@ impl AsymLasso<'_> {
                     CheckOutcome::Restart => {
                         theta.copy_from_slice(&beta);
                         t = 1.0;
+                        restarts += 1;
                     }
                     CheckOutcome::Converged => {
                         converged = true;
@@ -194,6 +198,7 @@ impl AsymLasso<'_> {
             objective: self.objective(&beta),
             beta,
             iterations,
+            restarts,
             converged,
         }
     }
@@ -337,6 +342,8 @@ mod tests {
         let start = prob.objective(&[0.0, 0.0, 0.0]);
         let fit = prob.fit(FitOptions::default());
         assert!(fit.objective < start);
+        // Restarts only happen at the periodic check (every 10 iters).
+        assert!(fit.restarts <= fit.iterations / 10 + 1);
         assert!(
             fit.converged,
             "did not converge in {} iters",

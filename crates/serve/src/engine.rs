@@ -12,6 +12,18 @@
 //! Ties on the virtual clock are broken by a monotonic sequence number,
 //! so simultaneous events (two streams arriving in the same instant)
 //! always play out in submission order.
+//!
+//! ## Observability
+//!
+//! [`ServeRuntime::run_observed`] threads a [`predvfs_obs::ObsSink`]
+//! through the engine: every service-level transition (arrival, shed,
+//! relax, slice-done, level-switch, job-done, drift-fallback, refit)
+//! becomes a structured trace event stamped with the **virtual** clock,
+//! and per-job slack, response time, queue depth, and energy land in
+//! histograms. Because all events are emitted from the serial event loop
+//! with virtual timestamps, the trace is bit-deterministic across worker
+//! thread counts — the `serve_observability` integration test pins the
+//! JSONL output byte-for-byte between `--threads 1` and `--threads 8`.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -20,6 +32,7 @@ use predvfs::{
     AdaptiveController, DvfsController, DvfsModel, HybridController, JobContext, LevelChoice,
     OnlineTrainerConfig, PidController, PredictiveController,
 };
+use predvfs_obs::{NullSink, ObsSink, TraceEvent};
 use predvfs_power::OperatingPoint;
 use predvfs_rtl::JobTrace;
 use predvfs_sim::{Experiment, ExperimentConfig, TraceCache};
@@ -105,13 +118,31 @@ impl StreamResult {
         self.records.iter().filter(|r| r.missed).count()
     }
 
-    /// Deadline misses as a percentage of completed jobs (0 when none
-    /// completed).
+    /// Deadline misses as a percentage of **completed** jobs (0 when
+    /// none completed).
+    ///
+    /// Shed arrivals never complete, so they are *not* part of this
+    /// denominator — a stream can show 0% misses while dropping most of
+    /// its traffic. Read it together with [`StreamResult::shed_pct`]:
+    /// `miss_pct` is service *quality* over the jobs that ran, `shed_pct`
+    /// is the share of offered load that was refused outright.
     pub fn miss_pct(&self) -> f64 {
         if self.records.is_empty() {
             0.0
         } else {
             100.0 * self.misses() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Shed arrivals as a percentage of submitted jobs (0 when the
+    /// stream submitted nothing). The complement of the admission rate;
+    /// see [`StreamResult::miss_pct`] for why the two must be read
+    /// together.
+    pub fn shed_pct(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            100.0 * self.shed as f64 / self.submitted as f64
         }
     }
 
@@ -245,7 +276,44 @@ struct StreamState<'p> {
     in_flight: Option<InFlight>,
     prev_key: usize,
     started: usize,
+    /// Last observed controller degradation, for edge-triggered
+    /// drift-fallback events.
+    was_degraded: bool,
+    /// Last observed refit count, for edge-triggered refit events.
+    seen_refits: usize,
     result: StreamResult,
+}
+
+impl StreamState<'_> {
+    /// Emits edge-triggered controller-transition events (drift fallback
+    /// engaged/cleared, refit installed) after a controller interaction.
+    fn note_ctrl_transitions(&mut self, now: f64, sink: &dyn ObsSink) {
+        if !sink.enabled() {
+            return;
+        }
+        let degraded = self.ctrl.is_degraded();
+        if degraded != self.was_degraded {
+            sink.emit(
+                TraceEvent::new(now, &self.result.name, "drift_fallback")
+                    .with_bool("engaged", degraded),
+            );
+            if degraded {
+                sink.counter_add("predvfs_serve_drift_fallbacks_total", 1);
+            }
+            self.was_degraded = degraded;
+        }
+        let refits = self.ctrl.refits();
+        if refits > self.seen_refits {
+            sink.emit(
+                TraceEvent::new(now, &self.result.name, "refit").with_u64("refits", refits as u64),
+            );
+            sink.counter_add(
+                "predvfs_serve_refits_total",
+                (refits - self.seen_refits) as u64,
+            );
+            self.seen_refits = refits;
+        }
+    }
 }
 
 /// Maps a level choice to an ordinal for switching-cost bookkeeping.
@@ -290,6 +358,12 @@ impl ServeRuntime {
                 return Err(invalid("deadline must be positive"));
             }
         }
+        let sink = predvfs_obs::global();
+        let _prepare_timer = predvfs_obs::PhaseTimer::start(sink, "predvfs_serve_prepare");
+        sink.counter_add(
+            "predvfs_serve_streams_prepared_total",
+            scenario.streams.len() as u64,
+        );
         let streams = predvfs_par::par_try_map(
             &scenario.streams,
             |spec| -> Result<PreparedStream, ServeError> {
@@ -300,20 +374,31 @@ impl ServeRuntime {
                 let exp = Experiment::prepare_cached(spec.bench, config, cache)
                     .map_err(ServeError::Core)?;
                 let n_test = exp.workloads.test.len();
+                // Guard the modulo below: a benchmark that generates no
+                // test jobs must surface as a spec error, not as a
+                // divide-by-zero panic deep in the parallel fan-out.
+                if n_test == 0 {
+                    return Err(ServeError::InvalidSpec {
+                        stream: spec.name.clone(),
+                        msg: "benchmark generated an empty test set".to_owned(),
+                    });
+                }
                 let shift_at = spec
                     .drift
                     .map(|d| (d.at_frac * spec.jobs as f64).floor() as usize)
                     .unwrap_or(usize::MAX);
+                // Hoisted out of the loop: `drift` is per-stream, not
+                // per-job, and `shift_at` is only finite when it is set.
+                let drift_scale = spec.drift.map(|d| d.cycle_scale);
                 let mut job_idx = Vec::with_capacity(spec.jobs);
                 let mut traces = Vec::with_capacity(spec.jobs);
                 for i in 0..spec.jobs {
                     let idx = i % n_test;
                     job_idx.push(idx);
                     let base = &exp.test_traces[idx];
-                    traces.push(if i >= shift_at {
-                        scaled_trace(base, spec.drift.expect("shift implies drift").cycle_scale)
-                    } else {
-                        base.clone()
+                    traces.push(match drift_scale {
+                        Some(scale) if i >= shift_at => scaled_trace(base, scale),
+                        _ => base.clone(),
                     });
                 }
                 Ok(PreparedStream {
@@ -348,6 +433,29 @@ impl ServeRuntime {
     ///
     /// Propagates controller failures (e.g. a hung slice).
     pub fn run_with(&self, force: Option<ControllerKind>) -> Result<ServeResult, ServeError> {
+        self.run_observed(force, &NullSink)
+    }
+
+    /// Runs the scenario with observability: per-stream service events
+    /// go to `sink` as [`TraceEvent`]s stamped with the **virtual**
+    /// clock, and slack / response / queue-depth / energy observations
+    /// land in its histograms.
+    ///
+    /// All emission happens on the serial event loop, so for a given
+    /// scenario the event sequence (and its JSONL rendering) is
+    /// byte-identical regardless of worker-thread count. Passing
+    /// [`NullSink`] makes this exactly [`ServeRuntime::run_with`]; the
+    /// engine then pays one `enabled()` branch per event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (e.g. a hung slice).
+    pub fn run_observed(
+        &self,
+        force: Option<ControllerKind>,
+        sink: &dyn ObsSink,
+    ) -> Result<ServeResult, ServeError> {
+        let _run_timer = predvfs_obs::PhaseTimer::start(sink, "predvfs_serve_run");
         let mut states: Vec<StreamState<'_>> = self
             .streams
             .iter()
@@ -383,6 +491,8 @@ impl ServeRuntime {
                     in_flight: None,
                     prev_key: level_key(&dvfs, dvfs.nominal()),
                     started: 0,
+                    was_degraded: false,
+                    seen_refits: 0,
                     result: StreamResult {
                         name: s.spec.name.clone(),
                         bench: s.spec.bench.name.to_owned(),
@@ -432,32 +542,95 @@ impl ServeRuntime {
                         relaxed: false,
                     };
                     let state = &mut states[stream];
+                    if sink.enabled() {
+                        sink.counter_add("predvfs_serve_arrivals_total", 1);
+                        sink.emit(
+                            TraceEvent::new(time, &spec.name, "arrival")
+                                .with_u64("job", job as u64),
+                        );
+                    }
                     if state.in_flight.is_none() {
-                        self.start_service(stream, state, adm, time, &mut heap, &mut seq)?;
+                        self.start_service(stream, state, adm, time, &mut heap, &mut seq, sink)?;
                     } else if state.queue.len() < spec.queue_bound {
                         state.queue.push_back(adm);
                     } else {
                         match spec.policy {
-                            OverloadPolicy::Shed => state.result.shed += 1,
+                            OverloadPolicy::Shed => {
+                                state.result.shed += 1;
+                                if sink.enabled() {
+                                    sink.counter_add("predvfs_serve_shed_total", 1);
+                                    sink.emit(
+                                        TraceEvent::new(time, &spec.name, "shed")
+                                            .with_u64("job", job as u64),
+                                    );
+                                }
+                            }
                             OverloadPolicy::Relax { factor } => {
                                 state.result.relaxed += 1;
+                                let stretched = spec.deadline_s * factor;
+                                if sink.enabled() {
+                                    sink.counter_add("predvfs_serve_relaxed_total", 1);
+                                    sink.emit(
+                                        TraceEvent::new(time, &spec.name, "relax")
+                                            .with_u64("job", job as u64)
+                                            .with_f64("deadline_s", stretched),
+                                    );
+                                }
                                 state.queue.push_back(Admitted {
-                                    deadline_abs_s: time + spec.deadline_s * factor,
+                                    deadline_abs_s: time + stretched,
                                     relaxed: true,
                                     ..adm
                                 });
                             }
                         }
                     }
+                    if sink.enabled() {
+                        sink.observe("predvfs_serve_queue_depth", state.queue.len() as f64);
+                    }
                 }
-                // Pure clock markers: the accelerator's phase changes but
-                // no scheduling decision hangs off them.
-                Event::SliceDone { .. } | Event::SwitchDone { .. } => {}
+                // Clock markers: the accelerator's phase changes but no
+                // scheduling decision hangs off them. SliceDone is still
+                // traced — slice latency is an overhead observable.
+                Event::SliceDone { stream } => {
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::new(
+                            time,
+                            &self.streams[stream].spec.name,
+                            "slice_done",
+                        ));
+                    }
+                }
+                Event::SwitchDone { .. } => {}
                 Event::JobDone { stream } => {
                     let state = &mut states[stream];
                     let fly = state.in_flight.take().expect("JobDone without a job");
                     let rel_deadline = fly.adm.deadline_abs_s - fly.adm.arrival_s;
                     let response = time - fly.adm.arrival_s;
+                    let missed = response > rel_deadline * (1.0 + 1e-9);
+                    if sink.enabled() {
+                        let name = &self.streams[stream].spec.name;
+                        sink.counter_add("predvfs_serve_jobs_done_total", 1);
+                        if missed {
+                            sink.counter_add("predvfs_serve_misses_total", 1);
+                        }
+                        sink.observe("predvfs_serve_response_seconds", response);
+                        sink.observe("predvfs_serve_slack_seconds", rel_deadline - response);
+                        sink.observe("predvfs_serve_energy_pj", fly.energy_pj);
+                        let mut ev = TraceEvent::new(time, name, "job_done")
+                            .with_u64("job", fly.adm.job as u64)
+                            .with_f64("response_s", response)
+                            .with_f64("slack_s", rel_deadline - response)
+                            .with_bool("missed", missed)
+                            .with_bool("relaxed", fly.adm.relaxed)
+                            .with_bool("degraded", fly.degraded)
+                            .with_f64("volts", fly.volts)
+                            .with_f64("energy_pj", fly.energy_pj)
+                            .with_u64("actual_cycles", fly.actual_cycles);
+                        if let Some(p) = fly.predicted_cycles {
+                            ev = ev.with_f64("predicted_cycles", p);
+                        }
+                        sink.emit(ev);
+                    }
                     state.result.records.push(ServeRecord {
                         job: fly.adm.job,
                         arrival_s: fly.adm.arrival_s,
@@ -465,7 +638,7 @@ impl ServeRuntime {
                         done_s: time,
                         deadline_s: rel_deadline,
                         relaxed: fly.adm.relaxed,
-                        missed: response > rel_deadline * (1.0 + 1e-9),
+                        missed,
                         degraded: fly.degraded,
                         volts: fly.volts,
                         energy_pj: fly.energy_pj,
@@ -474,8 +647,9 @@ impl ServeRuntime {
                         actual_cycles: fly.actual_cycles,
                     });
                     state.ctrl.observe(fly.actual_cycles);
+                    state.note_ctrl_transitions(time, sink);
                     if let Some(next) = state.queue.pop_front() {
-                        self.start_service(stream, state, next, time, &mut heap, &mut seq)?;
+                        self.start_service(stream, state, next, time, &mut heap, &mut seq, sink)?;
                     }
                 }
             }
@@ -498,6 +672,7 @@ impl ServeRuntime {
     /// Makes the DVFS decision for one admitted job, charges time and
     /// energy exactly as the batch runner does, and schedules the job's
     /// slice-done / switch-done / job-done events.
+    #[allow(clippy::too_many_arguments)]
     fn start_service(
         &self,
         stream: usize,
@@ -506,6 +681,7 @@ impl ServeRuntime {
         now: f64,
         heap: &mut BinaryHeap<Scheduled>,
         seq: &mut u64,
+        sink: &dyn ObsSink,
     ) -> Result<(), ServeError> {
         let s = &self.streams[stream];
         let trace = &s.traces[adm.job];
@@ -519,12 +695,23 @@ impl ServeRuntime {
         state.started += 1;
         let degraded = state.ctrl.is_degraded();
         let decision = state.ctrl.decide(&ctx)?;
+        state.note_ctrl_transitions(now, sink);
 
         let config = s.exp.config();
         let point = s.exp.dvfs.point(decision.choice);
         let key = level_key(&s.exp.dvfs, decision.choice);
         let level_changed = key != state.prev_key;
         let switch_s = config.switching.time_s(state.prev_key, key);
+        if level_changed && sink.enabled() {
+            sink.counter_add("predvfs_serve_level_switches_total", 1);
+            sink.emit(
+                TraceEvent::new(now, &s.spec.name, "level_switch")
+                    .with_u64("from_level", state.prev_key as u64)
+                    .with_u64("to_level", key as u64)
+                    .with_f64("volts", point.volts)
+                    .with_f64("switch_s", switch_s),
+            );
+        }
         state.prev_key = key;
 
         let f_hz = s.exp.energy.f_nominal_hz();

@@ -238,14 +238,25 @@ fn parse_stream_option(spec: &mut StreamSpec, key: &str, val: &str) -> Result<()
     fn num(val: &str) -> Result<f64, String> {
         val.parse::<f64>().map_err(|e| e.to_string())
     }
+    fn positive(val: &str) -> Result<f64, String> {
+        let v = num(val)?;
+        // `is_finite` so NaN and infinities are rejected, not just <= 0.
+        if !v.is_finite() || v <= 0.0 {
+            return Err("must be positive".into());
+        }
+        Ok(v)
+    }
     match key {
         "name" => spec.name = val.to_owned(),
-        "deadline_ms" => spec.deadline_s = num(val)? * 1e-3,
-        "period_ms" => spec.period_s = num(val)? * 1e-3,
+        "deadline_ms" => spec.deadline_s = positive(val)? * 1e-3,
+        "period_ms" => spec.period_s = positive(val)? * 1e-3,
         "jobs" => {
             spec.jobs = val
                 .parse()
-                .map_err(|e: std::num::ParseIntError| e.to_string())?
+                .map_err(|e: std::num::ParseIntError| e.to_string())?;
+            if spec.jobs == 0 {
+                return Err("stream must submit at least one job".into());
+            }
         }
         "queue" => {
             spec.queue_bound = val
@@ -397,6 +408,59 @@ mod tests {
             Scenario::parse("stream sha drift=2:1.5\n").unwrap_err(),
             ServeError::Parse { .. }
         ));
+    }
+
+    /// Asserts that parsing fails with a [`ServeError::Parse`] whose
+    /// message contains `needle`.
+    fn assert_parse_err(text: &str, needle: &str) {
+        match Scenario::parse(text) {
+            Err(ServeError::Parse { msg, .. }) => assert!(
+                msg.contains(needle),
+                "error for {text:?} should mention {needle:?}, got {msg:?}"
+            ),
+            other => panic!("{text:?} must fail to parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_drift() {
+        assert_parse_err("stream sha drift=2:1.5\n", "at_frac");
+        assert_parse_err("stream sha drift=-0.1:1.5\n", "at_frac");
+    }
+
+    #[test]
+    fn rejects_non_positive_cycle_scale() {
+        assert_parse_err("stream sha drift=0.5:0\n", "cycle_scale");
+        assert_parse_err("stream sha drift=0.5:-2\n", "cycle_scale");
+    }
+
+    #[test]
+    fn rejects_malformed_drift_directive() {
+        assert_parse_err("stream sha drift=0.5\n", "expected");
+        assert_parse_err("stream sha drift=a:b\n", "invalid");
+    }
+
+    #[test]
+    fn rejects_non_positive_period_and_deadline() {
+        assert_parse_err("stream sha period_ms=0\n", "positive");
+        assert_parse_err("stream sha period_ms=-3\n", "positive");
+        assert_parse_err("stream sha period_ms=nan\n", "positive");
+        assert_parse_err("stream sha deadline_ms=0\n", "positive");
+        assert_parse_err("stream sha deadline_ms=-16.7\n", "positive");
+    }
+
+    #[test]
+    fn rejects_zero_jobs() {
+        assert_parse_err("stream sha jobs=0\n", "at least one job");
+    }
+
+    #[test]
+    fn rejects_unknown_benchmark_and_option() {
+        assert!(matches!(
+            Scenario::parse("stream nosuchbench\n").unwrap_err(),
+            ServeError::UnknownBenchmark(name) if name == "nosuchbench"
+        ));
+        assert_parse_err("stream sha wombat=3\n", "unknown stream option");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use predvfs::train::{self, TrainingData};
 use predvfs_accel::{Benchmark, WorkloadSize, Workloads};
@@ -83,6 +83,17 @@ impl TraceCache {
         TraceCache::default()
     }
 
+    /// Locks the memo map, recovering from poisoning.
+    ///
+    /// The map is insert-only (bundles are immutable `Arc`s and entries
+    /// are never mutated in place), so a guard abandoned by a panicking
+    /// worker still protects a fully consistent snapshot. Recovering
+    /// here keeps one panicked closure in a parallel fan-out from
+    /// cascading poison panics into every other worker's lookups.
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<(String, u64, WorkloadSize), Arc<TraceBundle>>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Returns the bundle for `(bench.name, seed, size)`, simulating it
     /// on first use.
     ///
@@ -102,16 +113,18 @@ impl TraceCache {
         size: WorkloadSize,
     ) -> Result<Arc<TraceBundle>, predvfs::CoreError> {
         let key = (bench.name.to_owned(), seed, size);
-        if let Some(bundle) = self.inner.lock().expect("cache poisoned").get(&key) {
+        if let Some(bundle) = self.lock_map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            predvfs_obs::global().counter_add("predvfs_trace_cache_hits_total", 1);
             return Ok(Arc::clone(bundle));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        predvfs_obs::global().counter_add("predvfs_trace_cache_misses_total", 1);
         // Simulate outside the lock so a long pass never blocks lookups
         // of other benchmarks; a concurrent duplicate pass produces a
         // bit-identical bundle, so whichever insert wins is equivalent.
         let bundle = Arc::new(TraceBundle::simulate(module, bench, seed, size)?);
-        let mut map = self.inner.lock().expect("cache poisoned");
+        let mut map = self.lock_map();
         Ok(Arc::clone(
             map.entry(key).or_insert_with(|| Arc::clone(&bundle)),
         ))
@@ -119,7 +132,7 @@ impl TraceCache {
 
     /// Number of cached bundles.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").len()
+        self.lock_map().len()
     }
 
     /// Whether the cache is empty.
@@ -173,6 +186,35 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let bench = by_name("sha").unwrap();
+        let module = (bench.build)();
+        let cache = TraceCache::new();
+        cache
+            .get_or_simulate(&bench, &module, 42, WorkloadSize::Quick)
+            .unwrap();
+        // Poison the memo mutex the way a dying fan-out worker would: by
+        // panicking while holding the guard. Before the recovery fix this
+        // turned every later lookup into a "cache poisoned" panic.
+        let worker = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.inner.lock().unwrap();
+                panic!("worker dies while holding the cache lock");
+            })
+            .join()
+        });
+        assert!(worker.is_err(), "the worker must have panicked");
+        assert!(cache.inner.is_poisoned());
+        // Subsequent lookups see the intact insert-only snapshot.
+        assert_eq!(cache.len(), 1);
+        let again = cache
+            .get_or_simulate(&bench, &module, 42, WorkloadSize::Quick)
+            .expect("lookup after poisoning must succeed");
+        assert_eq!(again.workloads.test.len(), again.test_traces.len());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]

@@ -469,10 +469,7 @@ mod tests {
         let mut b = crate::TestRng::deterministic("x");
         assert_eq!(a.next_u64(), b.next_u64());
         let mut c = crate::TestRng::deterministic("y");
-        assert_ne!(
-            crate::TestRng::deterministic("x").next_u64(),
-            c.next_u64()
-        );
+        assert_ne!(crate::TestRng::deterministic("x").next_u64(), c.next_u64());
     }
 
     proptest! {
