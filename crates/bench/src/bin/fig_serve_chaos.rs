@@ -1,0 +1,165 @@
+//! Extension: graceful degradation under deterministic fault injection.
+//!
+//! Two predictive streams (sha, md) run with a 2.5x headroom deadline
+//! while a seeded fault plan injects transient trace spikes (1.5x cycle
+//! inflation the predictor cannot see) and rejected level switches
+//! (streams stranded at stale levels). The same prepared runtime and the
+//! same plan are run twice: with every degradation mechanism disabled,
+//! and with the watchdog + bounded switch retries + quarantine enabled.
+//! The figure's claim is that the degradation machinery strictly lowers
+//! the miss rate under faults.
+//!
+//! The hardened run is also repeated under a 4-thread pool and asserted
+//! bit-identical — fault draws are pure functions of
+//! `(seed, site, stream, job, attempt)`, so chaos does not break the
+//! engine's determinism contract.
+
+use predvfs_bench::results_dir;
+use predvfs_faults::{FaultConfig, FaultPlan};
+use predvfs_obs::{NullSink, Recorder};
+use predvfs_serve::{DegradeConfig, Scenario, ServeResult, ServeRuntime, StreamSpec};
+use predvfs_sim::{Experiment, ExperimentConfig, Platform, Table, TraceCache};
+
+const JOBS: usize = 80;
+const SEED: u64 = 7;
+
+/// Events of one kind in the recorded trace.
+fn count_events(recorder: &Recorder, kind: &str) -> usize {
+    recorder
+        .ring()
+        .snapshot()
+        .iter()
+        .filter(|e| e.kind == kind)
+        .count()
+}
+
+/// A stream with its deadline sized to `headroom ×` the benchmark's
+/// largest nominal job and arrivals spaced to avoid queueing, so misses
+/// measure per-job service quality only.
+fn headroom_stream(
+    name: &str,
+    headroom: f64,
+    size: predvfs_accel::WorkloadSize,
+    cache: &TraceCache,
+) -> Result<StreamSpec, Box<dyn std::error::Error>> {
+    let bench = predvfs_accel::by_name(name).ok_or("benchmark registered")?;
+    let mut probe_cfg = ExperimentConfig::paper_default(Platform::Asic);
+    probe_cfg.size = size;
+    let probe = Experiment::prepare_cached(bench, probe_cfg, cache)?;
+    let (max_ms, _, _) = probe.exec_time_stats_ms();
+    let mut spec = StreamSpec::new(bench);
+    spec.deadline_s = headroom * max_ms * 1e-3;
+    spec.period_s = 2.0 * spec.deadline_s;
+    spec.jobs = JOBS;
+    Ok(spec)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = if std::env::var("PREDVFS_QUICK").as_deref() == Ok("1") {
+        predvfs_accel::WorkloadSize::Quick
+    } else {
+        predvfs_accel::WorkloadSize::Full
+    };
+    let cache = TraceCache::new();
+
+    let scenario = Scenario {
+        platform: Platform::Asic,
+        size,
+        streams: vec![
+            headroom_stream("sha", 2.5, size, &cache)?,
+            headroom_stream("md", 2.5, size, &cache)?,
+        ],
+        faults: None,
+    };
+    let mut config = FaultConfig::none();
+    config.set("trace_spike", "0.35:1.5")?;
+    config.set("switch_reject", "0.25")?;
+    let plan = FaultPlan::new(SEED, config);
+
+    eprintln!(
+        "preparing chaos scenario (seed {SEED}, {} streams x {JOBS} jobs)...",
+        scenario.streams.len()
+    );
+    let runtime = ServeRuntime::prepare(&scenario, &cache)?;
+
+    let baseline = runtime.run_chaos(None, &NullSink, &plan, &DegradeConfig::disabled())?;
+    let recorder = Recorder::new(1 << 16);
+    let hardened = runtime.run_chaos(None, &recorder, &plan, &DegradeConfig::enabled())?;
+
+    // Determinism: the hardened run repeated under a 4-thread pool must
+    // match float for float.
+    let parallel =
+        predvfs_par::with_threads(4, || -> Result<ServeResult, Box<dyn std::error::Error>> {
+            let rt = ServeRuntime::prepare(&scenario, &cache)?;
+            Ok(rt.run_chaos(None, &NullSink, &plan, &DegradeConfig::enabled())?)
+        })?;
+    assert_eq!(
+        hardened, parallel,
+        "serial and 4-thread chaos runs must be bit-identical"
+    );
+
+    let mut table = Table::new(
+        &format!("serve chaos — seed {SEED}, trace spikes 1.5x @ p=0.35, switch rejects @ p=0.25"),
+        &[
+            "degradation",
+            "stream",
+            "done",
+            "miss%",
+            "faults",
+            "escalations",
+            "quarantines",
+            "energy (uJ)",
+        ],
+    );
+    let runs = [("disabled", &baseline), ("enabled", &hardened)];
+    for (mode, result) in runs {
+        for s in &result.streams {
+            table.row(&[
+                mode.to_owned(),
+                s.name.clone(),
+                s.completed().to_string(),
+                format!("{:.1}", s.miss_pct()),
+                s.faults.to_string(),
+                s.escalations.to_string(),
+                s.quarantines.to_string(),
+                format!("{:.2}", s.total_energy_pj() / 1e6),
+            ]);
+        }
+    }
+    table.print();
+    let out = results_dir().join("fig_serve_chaos.csv");
+    table.write_csv(&out)?;
+    println!("wrote {}", out.display());
+    let trace_out = results_dir().join("fig_serve_chaos.trace.jsonl");
+    std::fs::write(&trace_out, recorder.ring().to_jsonl())?;
+    println!(
+        "wrote {} ({} events, {} faults, {} watchdog boosts, {} quarantine transitions)",
+        trace_out.display(),
+        recorder.ring().len(),
+        count_events(&recorder, "fault"),
+        count_events(&recorder, "watchdog_boost"),
+        count_events(&recorder, "quarantine"),
+    );
+
+    // The figure's claim, enforced: under the same fault plan the
+    // degradation machinery strictly lowers the miss rate.
+    let misses = |r: &ServeResult| r.streams.iter().map(|s| s.misses()).sum::<usize>();
+    let done = |r: &ServeResult| r.streams.iter().map(|s| s.completed()).sum::<usize>();
+    let miss_pct = |r: &ServeResult| 100.0 * misses(r) as f64 / done(r) as f64;
+    assert!(
+        misses(&baseline) > 0,
+        "the fault plan must cause misses when undefended"
+    );
+    assert!(
+        miss_pct(&hardened) < miss_pct(&baseline),
+        "degradation must strictly reduce the miss rate: {:.2}% vs {:.2}%",
+        miss_pct(&hardened),
+        miss_pct(&baseline)
+    );
+    println!(
+        "miss rate {:.2}% (disabled) -> {:.2}% (enabled)",
+        miss_pct(&baseline),
+        miss_pct(&hardened)
+    );
+    Ok(())
+}

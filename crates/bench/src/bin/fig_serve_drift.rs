@@ -81,6 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         platform: Platform::Asic,
         size,
         streams: vec![stream],
+        faults: None,
     };
 
     eprintln!(

@@ -10,11 +10,18 @@
 //! predvfs wcet <design.rtl>                 static worst-case bound
 //! predvfs eval <benchmark> [asic|fpga]      run every DVFS scheme on a built-in benchmark
 //! predvfs serve <scenario.txt | --demo>     multi-stream DVFS service simulation
+//! predvfs chaos <scenario.txt | --demo> [seed]
+//!                                           same scenario under fault injection,
+//!                                           degradation off vs on
 //! ```
 //!
 //! `--threads N` (anywhere on the command line) caps the worker pool used
 //! by parallel stages; the `RAYON_NUM_THREADS` / `PREDVFS_THREADS`
 //! environment variables are honored as a fallback.
+//!
+//! `--faults <seed>` turns on deterministic fault injection for `serve`
+//! (with graceful degradation enabled); the fault mix comes from the
+//! scenario's `[faults]` section when present, else the standard mix.
 //!
 //! `--metrics-out <path>` and `--trace-out <path>` (anywhere on the
 //! command line) turn on observability: counters/gauges/histograms are
@@ -30,12 +37,13 @@ use std::fs;
 use std::process::ExitCode;
 
 use predvfs::{train, SliceFlavor, SlicePredictor, TrainerConfig};
+use predvfs_faults::{FaultConfig, FaultPlan};
 use predvfs_obs::{Recorder, TraceEvent};
 use predvfs_rtl::{
     from_text, to_text, wcet, Analysis, AsicAreaModel, ExecMode, FeatureSchema, FpgaResourceModel,
     JobInput, Module, Simulator, SliceOptions,
 };
-use predvfs_serve::{Scenario, ServeRuntime};
+use predvfs_serve::{DegradeConfig, Scenario, ServeResult, ServeRuntime};
 use predvfs_sim::{Experiment, ExperimentConfig, Platform, Scheme};
 
 fn main() -> ExitCode {
@@ -80,7 +88,8 @@ fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "wcet" => cmd_wcet(required(args, 1, "design file")?),
         "dot" => cmd_dot(required(args, 1, "design file")?),
         "eval" => cmd_eval(required(args, 1, "benchmark name")?, args.get(2)),
-        "serve" => cmd_serve(required(args, 1, "scenario file (or --demo)")?),
+        "serve" => cmd_serve(required(args, 1, "scenario file (or --demo)")?, opts.faults),
+        "chaos" => cmd_chaos(required(args, 1, "scenario file (or --demo)")?, args.get(2)),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -106,6 +115,8 @@ struct CliOptions {
     metrics_out: Option<String>,
     /// JSON-lines trace output path (`--trace-out`).
     trace_out: Option<String>,
+    /// Fault-injection seed for `serve` (`--faults`).
+    faults: Option<u64>,
 }
 
 impl CliOptions {
@@ -116,8 +127,8 @@ impl CliOptions {
 }
 
 /// Strips the global flags (`--threads N`, `--metrics-out P`,
-/// `--trace-out P`, each also in `--flag=value` form) from anywhere in
-/// the argument list, returning them and the remaining args.
+/// `--trace-out P`, `--faults S`, each also in `--flag=value` form) from
+/// anywhere in the argument list, returning them and the remaining args.
 fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
     let mut opts = CliOptions::default();
     let mut rest = Vec::with_capacity(args.len());
@@ -147,6 +158,9 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
             opts.metrics_out = Some(path);
         } else if let Some(path) = take("--trace-out")? {
             opts.trace_out = Some(path);
+        } else if let Some(v) = take("--faults")? {
+            let seed: u64 = v.parse().map_err(|_| format!("invalid fault seed `{v}`"))?;
+            opts.faults = Some(seed);
         } else {
             rest.push(a.clone());
         }
@@ -212,6 +226,7 @@ USAGE:
   predvfs dot <design.rtl>        (pipe into `dot -Tsvg`)
   predvfs eval <benchmark> [asic|fpga]
   predvfs serve <scenario.txt | --demo>
+  predvfs chaos <scenario.txt | --demo> [seed]
 
 OPTIONS:
   --threads <N>        worker-pool size for parallel stages (default: all
@@ -221,6 +236,10 @@ OPTIONS:
   --trace-out <path>   write the structured event trace as JSON lines
                        (virtual-clock stamped; byte-identical across
                        --threads for `serve`)
+  --faults <seed>      serve: inject deterministic faults from this seed
+                       with graceful degradation (watchdog, switch retries,
+                       quarantine) enabled; the fault mix comes from the
+                       scenario's [faults] section, else the standard mix
 
 Built-in benchmarks: h264 cjpeg djpeg md stencil aes sha
 PREDVFS_QUICK=1 shrinks `eval` workloads for smoke runs.
@@ -231,7 +250,13 @@ Scenario files (serve) are line-oriented:
   stream <benchmark> [deadline_ms=..] [period_ms=..] [jobs=..] [queue=..]
          [policy=shed|relax:<f>] [controller=predictive|adaptive|pid|hybrid]
          [seed=..] [drift=<at_frac>:<cycle_scale>] [name=..]
+An optional `[faults]` section sets the chaos plan: `seed=<n>` plus
+`<fault>=<p>` or `<fault>=<p>:<magnitude>` lines (slice_corrupt,
+slice_timeout, switch_reject, switch_stall, clock_jitter, trace_spike,
+burst, spurious_done).
 `--demo` runs a built-in 4-stream scenario with drift and backpressure.
+`chaos` runs the same plan twice — degradation off, then on — and prints
+the per-stream comparison.
 ";
 
 fn required<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -501,28 +526,45 @@ fn cmd_eval(name: &str, platform: Option<&String>) -> Result<(), Box<dyn std::er
     Ok(())
 }
 
-/// Runs a multi-stream service scenario and prints per-stream outcomes
-/// (completions, misses, backpressure, refits, energy).
-fn cmd_serve(scenario_arg: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = if scenario_arg == "--demo" {
-        Scenario::demo()
+/// Loads a scenario argument: `--demo` or a scenario file path.
+fn load_scenario(scenario_arg: &str) -> Result<Scenario, Box<dyn std::error::Error>> {
+    if scenario_arg == "--demo" {
+        Ok(Scenario::demo())
     } else {
-        Scenario::parse(&fs::read_to_string(scenario_arg)?)?
-    };
-    eprintln!(
-        "preparing {} streams ({} worker threads)...",
-        scenario.streams.len(),
-        predvfs_par::current_threads()
+        Ok(Scenario::parse(&fs::read_to_string(scenario_arg)?)?)
+    }
+}
+
+/// Fault plan for a serve run. A `--faults` seed overrides the scenario's
+/// `[faults]` seed; either source alone turns chaos on. A `[faults]`
+/// section that names no faults (seed only) gets the standard mix.
+fn resolve_plan(scenario: &Scenario, flag_seed: Option<u64>) -> Option<FaultPlan> {
+    let section = scenario.faults.as_ref();
+    let seed = flag_seed.or_else(|| section.map(|f| f.seed))?;
+    let config = section
+        .map(|f| f.config)
+        .filter(|c| !c.is_empty())
+        .unwrap_or_else(FaultConfig::standard);
+    Some(FaultPlan::new(seed, config))
+}
+
+/// Prints the per-stream outcome table for a serve run; chaos runs get
+/// the fault/degradation columns appended.
+fn print_serve_table(runtime: &ServeRuntime, result: &ServeResult, chaos: bool) {
+    print!(
+        "{:<12} {:<10} {:>9} {:>6} {:>7} {:>7} {:>8} {:>7}",
+        "stream", "ctrl", "submitted", "done", "miss%", "shed%", "relaxed", "refits"
     );
-    let runtime = ServeRuntime::prepare(&scenario, &predvfs_sim::TraceCache::new())?;
-    let result = runtime.run_observed(None, predvfs_obs::global())?;
-    println!(
-        "{:<12} {:<10} {:>9} {:>6} {:>7} {:>7} {:>8} {:>7} {:>14}",
-        "stream", "ctrl", "submitted", "done", "miss%", "shed%", "relaxed", "refits", "energy_pJ"
-    );
+    if chaos {
+        print!(
+            " {:>7} {:>6} {:>5} {:>7}",
+            "faults", "escal", "quar", "interr"
+        );
+    }
+    println!(" {:>14}", "energy_pJ");
     for (spec, s) in runtime.specs().zip(&result.streams) {
-        println!(
-            "{:<12} {:<10} {:>9} {:>6} {:>7.2} {:>7.2} {:>8} {:>7} {:>14.0}",
+        print!(
+            "{:<12} {:<10} {:>9} {:>6} {:>7.2} {:>7.2} {:>8} {:>7}",
             s.name,
             spec.controller.name(),
             s.submitted,
@@ -530,14 +572,103 @@ fn cmd_serve(scenario_arg: &str) -> Result<(), Box<dyn std::error::Error>> {
             s.miss_pct(),
             s.shed_pct(),
             s.relaxed,
-            s.refits,
-            s.total_energy_pj()
+            s.refits
         );
+        if chaos {
+            print!(
+                " {:>7} {:>6} {:>5} {:>7}",
+                s.faults, s.escalations, s.quarantines, s.internal_errors
+            );
+        }
+        println!(" {:>14.0}", s.total_energy_pj());
     }
+}
+
+/// Runs a multi-stream service scenario and prints per-stream outcomes
+/// (completions, misses, backpressure, refits, energy). With a fault
+/// plan (from `--faults` or the scenario's `[faults]` section) the run
+/// goes through the chaos path with graceful degradation enabled.
+fn cmd_serve(
+    scenario_arg: &str,
+    faults_seed: Option<u64>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = load_scenario(scenario_arg)?;
+    let plan = resolve_plan(&scenario, faults_seed);
+    eprintln!(
+        "preparing {} streams ({} worker threads)...",
+        scenario.streams.len(),
+        predvfs_par::current_threads()
+    );
+    let runtime = ServeRuntime::prepare(&scenario, &predvfs_sim::TraceCache::new())?;
+    let result = match &plan {
+        Some(plan) => {
+            eprintln!(
+                "fault injection on (seed {}), graceful degradation enabled",
+                plan.seed()
+            );
+            runtime.run_chaos(None, predvfs_obs::global(), plan, &DegradeConfig::enabled())?
+        }
+        None => runtime.run_observed(None, predvfs_obs::global())?,
+    };
+    print_serve_table(&runtime, &result, plan.is_some());
     println!(
         "{} events over {:.1} ms of virtual time",
         result.events,
         result.horizon_s * 1e3
+    );
+    Ok(())
+}
+
+/// Runs a scenario twice under the same deterministic fault plan —
+/// degradation disabled, then enabled — and prints both outcome tables
+/// plus the headline miss-rate comparison.
+fn cmd_chaos(
+    scenario_arg: &str,
+    seed_arg: Option<&String>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = load_scenario(scenario_arg)?;
+    let seed = match seed_arg {
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| format!("invalid chaos seed `{s}`"))?,
+        None => scenario.faults.as_ref().map(|f| f.seed).unwrap_or(42),
+    };
+    let plan = resolve_plan(&scenario, Some(seed)).expect("seed is always present");
+    eprintln!(
+        "preparing {} streams ({} worker threads)...",
+        scenario.streams.len(),
+        predvfs_par::current_threads()
+    );
+    let runtime = ServeRuntime::prepare(&scenario, &predvfs_sim::TraceCache::new())?;
+    let baseline = runtime.run_chaos(
+        None,
+        &predvfs_obs::NullSink,
+        &plan,
+        &DegradeConfig::disabled(),
+    )?;
+    let hardened = runtime.run_chaos(
+        None,
+        predvfs_obs::global(),
+        &plan,
+        &DegradeConfig::enabled(),
+    )?;
+    println!("chaos seed {seed} — graceful degradation DISABLED:");
+    print_serve_table(&runtime, &baseline, true);
+    println!("\nchaos seed {seed} — graceful degradation ENABLED:");
+    print_serve_table(&runtime, &hardened, true);
+    let miss_pct = |r: &ServeResult| {
+        let misses: usize = r.streams.iter().map(|s| s.misses()).sum();
+        let done: usize = r.streams.iter().map(|s| s.completed()).sum();
+        if done == 0 {
+            0.0
+        } else {
+            100.0 * misses as f64 / done as f64
+        }
+    };
+    println!(
+        "\noverall miss rate: {:.2}% disabled -> {:.2}% enabled",
+        miss_pct(&baseline),
+        miss_pct(&hardened)
     );
     Ok(())
 }
@@ -637,6 +768,46 @@ mod tests {
         assert!(parse_options(&owned(&["--trace-out"])).is_err());
         let (opts, _) = parse_options(&owned(&["eval", "sha"])).unwrap();
         assert!(!opts.observing());
+    }
+
+    #[test]
+    fn faults_flag_is_stripped_and_validated() {
+        let (opts, rest) = parse_options(&owned(&["serve", "--demo", "--faults", "7"])).unwrap();
+        assert_eq!(opts.faults, Some(7));
+        assert_eq!(rest, owned(&["serve", "--demo"]));
+
+        let (opts, _) = parse_options(&owned(&["--faults=12345", "serve"])).unwrap();
+        assert_eq!(opts.faults, Some(12345));
+
+        assert!(
+            parse_options(&owned(&["--faults"])).is_err(),
+            "missing value"
+        );
+        assert!(
+            parse_options(&owned(&["--faults=lucky"])).is_err(),
+            "non-numeric"
+        );
+    }
+
+    #[test]
+    fn chaos_plan_resolution_prefers_the_flag_seed() {
+        // No flag, no [faults] section: chaos stays off.
+        let scenario = Scenario::demo();
+        assert!(resolve_plan(&scenario, None).is_none());
+        // The flag alone turns it on with the standard mix.
+        let plan = resolve_plan(&scenario, Some(9)).expect("flag enables chaos");
+        assert_eq!(plan.seed(), 9);
+        assert!(!plan.config().is_empty());
+        // A [faults] section alone turns it on with its own seed/config.
+        let with_section = Scenario::parse(
+            "platform asic\nsize quick\nstream sha\n[faults]\nseed=5\ntrace_spike=0.2:1.5\n",
+        )
+        .unwrap();
+        let plan = resolve_plan(&with_section, None).expect("section enables chaos");
+        assert_eq!(plan.seed(), 5);
+        // The flag seed overrides the section's seed but keeps its mix.
+        let plan = resolve_plan(&with_section, Some(11)).unwrap();
+        assert_eq!(plan.seed(), 11);
     }
 
     #[test]

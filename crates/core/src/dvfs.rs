@@ -91,6 +91,23 @@ impl DvfsModel {
         }
     }
 
+    /// The emergency escalation target for an imminent deadline miss:
+    /// the boost level when the ladder has one, otherwise nominal.
+    ///
+    /// Unlike [`DvfsModel::choose`], this ignores `use_boost` — that
+    /// flag gates *planned* decisions (Fig. 14's opt-in boost), while
+    /// escalation runs after a prediction has already been proven wrong
+    /// mid-job, where the only useful answer is "as fast as the silicon
+    /// goes". The serve runtime's deadline watchdog switches through
+    /// this hook.
+    pub fn escalation(&self) -> LevelChoice {
+        if self.ladder.boost().is_some() {
+            LevelChoice::Boost
+        } else {
+            self.nominal()
+        }
+    }
+
     fn infeasible(&self) -> LevelChoice {
         if self.use_boost && self.ladder.boost().is_some() {
             LevelChoice::Boost
@@ -161,6 +178,17 @@ mod tests {
     fn zero_budget_is_infeasible() {
         let m = model(true);
         assert_eq!(m.choose(1000.0, 250e6, 50e-6, 0.0), LevelChoice::Boost);
+    }
+
+    #[test]
+    fn escalation_ignores_use_boost() {
+        // `use_boost = false` suppresses planned boost decisions but not
+        // the emergency escalation path.
+        let m = model(false);
+        assert_eq!(m.escalation(), LevelChoice::Boost);
+        let curve = AlphaPowerCurve::default();
+        let no_boost = DvfsModel::new(Ladder::asic(&curve), SwitchingModel::off_chip());
+        assert_eq!(no_boost.escalation(), no_boost.nominal());
     }
 
     #[test]

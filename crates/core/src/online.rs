@@ -597,4 +597,109 @@ mod tests {
             "stale pre-drift observations must not survive into the refit"
         );
     }
+
+    /// The full `is_degraded` hysteresis arc at the controller surface:
+    /// healthy → drift engages the PID fallback → a consistent drifted
+    /// relation accumulates, the refit lands and clears the fallback →
+    /// the recovered model stays healthy on the new relation. The
+    /// trainer-level tests above pin the detector; this one pins the
+    /// *controller* wiring (decide/observe round-trips, fallback
+    /// engagement, model swap).
+    #[test]
+    fn adaptive_controller_degrade_refit_recover_arc() {
+        use crate::slicer::{SliceFlavor, SlicePredictor};
+        use crate::train::{train, TrainerConfig};
+        use predvfs_accel::{djpeg, WorkloadSize};
+        use predvfs_power::{AlphaPowerCurve, Ladder, SwitchingModel};
+        use predvfs_rtl::SliceOptions;
+
+        let m = djpeg::build();
+        let w = djpeg::workloads(31, WorkloadSize::Quick);
+        let offline = train(&m, &w.train, &TrainerConfig::default()).unwrap();
+        let sp = SlicePredictor::generate(&m, &offline, SliceOptions::default(), SliceFlavor::Rtl)
+            .unwrap();
+        let curve = AlphaPowerCurve::default();
+        let dvfs = DvfsModel::new(Ladder::asic(&curve), SwitchingModel::off_chip());
+        let mut ctrl = AdaptiveController::new(dvfs, 250e6, &sp, offline.clone(), quick_config());
+        let runner = sp.runner();
+        let scale = 1.6;
+        let mut jobs = w.test.iter().cycle();
+        let mut index = 0usize;
+        let mut step = |ctrl: &mut AdaptiveController<'_>, actual_scale: f64| {
+            let job = jobs.next().expect("cycled iterator never ends");
+            let raw = offline.predict_cycles(&runner.run(job).unwrap().features);
+            ctrl.decide(&JobContext {
+                job,
+                deadline_s: 16.7e-3,
+                index,
+            })
+            .unwrap();
+            ctrl.observe((raw * actual_scale).round().max(1.0) as u64);
+            index += 1;
+        };
+
+        // Phase 1 — healthy: actuals sit a touch under the offline fit.
+        for _ in 0..8 {
+            step(&mut ctrl, 0.97);
+            assert!(
+                !ctrl.is_degraded(),
+                "conservative actuals must not trip the detector"
+            );
+        }
+        assert_eq!(ctrl.refits(), 0);
+
+        // Phase 2 — drift: every job now takes 1.6x the offline relation.
+        let mut engaged = false;
+        for _ in 0..64 {
+            step(&mut ctrl, scale);
+            if ctrl.is_degraded() {
+                engaged = true;
+                break;
+            }
+        }
+        assert!(
+            engaged,
+            "sustained under-prediction must engage the fallback"
+        );
+        assert_eq!(ctrl.state(), AdaptState::Degraded);
+        assert_eq!(ctrl.refits(), 0, "fallback engages before any refit lands");
+
+        // Phase 3 — keep serving the drifted relation from inside the
+        // fallback until the warm refit lands and clears it.
+        let mut cleared = false;
+        for _ in 0..64 {
+            step(&mut ctrl, scale);
+            if !ctrl.is_degraded() {
+                cleared = true;
+                break;
+            }
+        }
+        assert!(
+            cleared,
+            "a consistent drifted relation must refit and recover"
+        );
+        assert_eq!(ctrl.refits(), 1, "recovery comes from exactly one refit");
+
+        // The recovered model tracks the drifted relation on held-out jobs.
+        for job in w.test.iter().take(5) {
+            let f = runner.run(job).unwrap().features;
+            let want = offline.predict_cycles(&f) * scale;
+            let got = ctrl.model().predict_cycles(&f);
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "refit {got:.1} vs drifted truth {want:.1}"
+            );
+        }
+
+        // Hysteresis: the refit model stays healthy on the new relation —
+        // no flapping back into the fallback.
+        for _ in 0..8 {
+            step(&mut ctrl, scale);
+            assert!(
+                !ctrl.is_degraded(),
+                "recovered controller must not re-trip on the relation it refit to"
+            );
+        }
+        assert_eq!(ctrl.refits(), 1);
+    }
 }

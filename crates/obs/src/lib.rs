@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod kinds;
 mod registry;
 mod ring;
 mod sink;

@@ -111,6 +111,22 @@ pub struct JobTrace {
     pub features: Vec<f64>,
 }
 
+impl JobTrace {
+    /// Returns the trace with execution cycles and per-block datapath
+    /// activity scaled by `scale`, rounded to whole cycles. Features are
+    /// left untouched: a scaled job *looks* identical to the feature
+    /// slice but takes longer — the primitive behind injected workload
+    /// drift and transient trace spikes.
+    pub fn scaled(&self, scale: f64) -> JobTrace {
+        let mut t = self.clone();
+        t.cycles = (t.cycles as f64 * scale).round() as u64;
+        for a in &mut t.dp_active {
+            *a = (*a as f64 * scale).round() as u64;
+        }
+        t
+    }
+}
+
 #[derive(Debug, Clone)]
 struct WaitPlan {
     counter: usize,

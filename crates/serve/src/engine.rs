@@ -24,15 +24,47 @@
 //! with virtual timestamps, the trace is bit-deterministic across worker
 //! thread counts — the `serve_observability` integration test pins the
 //! JSONL output byte-for-byte between `--threads 1` and `--threads 8`.
+//!
+//! ## Fault injection and graceful degradation
+//!
+//! [`ServeRuntime::run_chaos`] additionally threads a
+//! [`predvfs_faults::FaultInjector`] and a [`DegradeConfig`] through the
+//! loop. The injector perturbs the simulated hardware at well-defined
+//! sites (arrival bursts, slice corruption/timeouts, switch
+//! rejections/stalls, clock jitter, trace spikes, spurious completions);
+//! the degradation machinery pushes back:
+//!
+//! * a **deadline watchdog** fires at `watchdog_frac` of each job's
+//!   remaining budget and, if the job is projected to miss, escalates it
+//!   mid-flight to [`DvfsModel::escalation`] (boost);
+//! * rejected level switches are **retried with exponential backoff** up
+//!   to `max_switch_retries` times before the stream stays put;
+//! * a stream entering `quarantine_misses` consecutive misses (or
+//!   sustained controller degradation, or an engine-detected
+//!   inconsistency) drops into **quarantine**: decisions bypass the
+//!   controller and pin the nominal level until `probe_jobs` consecutive
+//!   clean completions probe it back out.
+//!
+//! Every transition is emitted as a [`TraceEvent`] (kinds in
+//! [`predvfs_obs::kinds`]). Scheduled events carry the **epoch** of the
+//! service attempt that produced them; escalation bumps the stream's
+//! epoch, so superseded completions are recognised as stale and skipped,
+//! while a current-epoch completion with no job in flight is contained
+//! as an `internal_error` (event + quarantine) instead of a panic.
+//!
+//! Faults are queried through pure functions of `(stream, job, attempt)`
+//! — never of event order — so chaos runs stay byte-deterministic across
+//! thread counts; the `chaos_determinism` integration suite pins this.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use predvfs::{
-    AdaptiveController, DvfsController, DvfsModel, HybridController, JobContext, LevelChoice,
-    OnlineTrainerConfig, PidController, PredictiveController,
+    AdaptiveController, Decision, DvfsController, DvfsModel, HybridController, JobContext,
+    LevelChoice, OnlineTrainerConfig, PidController, PredictiveController,
 };
-use predvfs_obs::{NullSink, ObsSink, TraceEvent};
+use predvfs_faults::{FaultInjector, FaultKind, NullInjector};
+use predvfs_obs::{kinds, NullSink, ObsSink, TraceEvent};
 use predvfs_power::OperatingPoint;
 use predvfs_rtl::JobTrace;
 use predvfs_sim::{Experiment, ExperimentConfig, TraceCache};
@@ -56,6 +88,66 @@ pub struct ServeRuntime {
     streams: Vec<PreparedStream>,
 }
 
+/// Degradation machinery configuration for [`ServeRuntime::run_chaos`].
+///
+/// [`DegradeConfig::disabled`] turns every mechanism off (the baseline
+/// the chaos harness compares against); [`DegradeConfig::enabled`] is
+/// the standard production posture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeConfig {
+    /// Arm the mid-job deadline watchdog.
+    pub watchdog: bool,
+    /// When the watchdog fires, as a fraction of the budget remaining at
+    /// dispatch (in `(0, 1)`).
+    pub watchdog_frac: f64,
+    /// Retries granted to a rejected level switch (0 = give up at once).
+    pub max_switch_retries: u32,
+    /// Backoff before retry `n` is `retry_backoff_s · 2ⁿ` seconds.
+    pub retry_backoff_s: f64,
+    /// Consecutive deadline misses that trip quarantine (0 = never).
+    pub quarantine_misses: usize,
+    /// Consecutive controller-degraded dispatches that trip quarantine
+    /// (0 = never) — the "repeated refit non-convergence" guard.
+    pub quarantine_degraded: usize,
+    /// Consecutive clean completions that probe a stream back out of
+    /// quarantine.
+    pub probe_jobs: usize,
+}
+
+impl DegradeConfig {
+    /// Everything off: no watchdog, no retries, no quarantine.
+    pub fn disabled() -> DegradeConfig {
+        DegradeConfig {
+            watchdog: false,
+            watchdog_frac: 0.6,
+            max_switch_retries: 0,
+            retry_backoff_s: 20e-6,
+            quarantine_misses: 0,
+            quarantine_degraded: 0,
+            probe_jobs: 8,
+        }
+    }
+
+    /// The standard posture: watchdog at 60 % of the remaining budget,
+    /// 3 switch retries from a 20 µs backoff, quarantine after 3
+    /// consecutive misses or 32 degraded dispatches, 8 probe jobs.
+    pub fn enabled() -> DegradeConfig {
+        DegradeConfig {
+            watchdog: true,
+            max_switch_retries: 3,
+            quarantine_misses: 3,
+            quarantine_degraded: 32,
+            ..DegradeConfig::disabled()
+        }
+    }
+}
+
+impl Default for DegradeConfig {
+    fn default() -> DegradeConfig {
+        DegradeConfig::disabled()
+    }
+}
+
 /// Per-completed-job accounting, mirroring the batch runner's fields plus
 /// the service-level ones (queueing, relaxation, fallback state).
 #[derive(Debug, Clone, PartialEq)]
@@ -76,7 +168,12 @@ pub struct ServeRecord {
     pub missed: bool,
     /// True when the decision came from the drift fallback.
     pub degraded: bool,
-    /// Core voltage of the chosen operating point.
+    /// True when the deadline watchdog escalated the job mid-flight.
+    pub escalated: bool,
+    /// True when the job was served in quarantine (controller bypassed,
+    /// nominal level pinned).
+    pub safe_mode: bool,
+    /// Core voltage of the operating point the job *finished* at.
     pub volts: f64,
     /// Total energy charged (job + slice + transition), picojoules.
     pub energy_pj: f64,
@@ -105,6 +202,14 @@ pub struct StreamResult {
     pub relaxed: usize,
     /// Online refits installed by an adaptive controller.
     pub refits: usize,
+    /// Injected faults that fired on this stream.
+    pub faults: usize,
+    /// Mid-job watchdog escalations.
+    pub escalations: usize,
+    /// Times the stream entered quarantine.
+    pub quarantines: usize,
+    /// Inconsistent events the engine contained instead of panicking.
+    pub internal_errors: usize,
 }
 
 impl StreamResult {
@@ -164,16 +269,23 @@ pub struct ServeResult {
 }
 
 /// What the virtual clock is waiting on.
+///
+/// Every event tied to a service attempt carries the **epoch** of that
+/// attempt; a watchdog escalation bumps the stream's epoch, so events
+/// scheduled by a superseded attempt are recognised as stale and
+/// skipped when they surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// Stream's `job`-th arrival enters admission.
     Arrival { stream: usize, job: usize },
     /// The feature slice finished (the accelerator may start switching).
-    SliceDone { stream: usize },
+    SliceDone { stream: usize, epoch: u64 },
     /// The voltage regulator settled at the chosen level.
-    SwitchDone { stream: usize },
+    SwitchDone { stream: usize, epoch: u64 },
     /// The job left the accelerator.
-    JobDone { stream: usize },
+    JobDone { stream: usize, epoch: u64 },
+    /// Mid-job deadline check for the attempt dispatched at `epoch`.
+    Watchdog { stream: usize, epoch: u64 },
 }
 
 /// Heap entry: earliest time first, submission order on ties.
@@ -216,13 +328,31 @@ struct Admitted {
 /// The in-service job and its precomputed accounting.
 struct InFlight {
     adm: Admitted,
+    /// The service attempt this job was dispatched (or escalated) under.
+    epoch: u64,
     start_s: f64,
+    /// When execution proper begins (after slice + switching).
+    exec_start_s: f64,
+    /// Scheduled completion time (moves on escalation).
+    done_s: f64,
+    /// Level ordinal the job is executing at.
+    key: usize,
+    /// Effective execution frequency, Hz (clock jitter included).
+    f_eff_hz: f64,
     degraded: bool,
+    safe_mode: bool,
+    escalated: bool,
     volts: f64,
-    energy_pj: f64,
-    slice_energy_pj: f64,
+    job_pj: f64,
+    slice_pj: f64,
+    transition_pj: f64,
     predicted_cycles: Option<f64>,
+    /// Ground-truth cycles of the job as served (spiked when a
+    /// trace-spike fault fired).
     actual_cycles: u64,
+    /// Spike-scaled ground truth, kept for escalation-time
+    /// re-accounting.
+    spiked: Option<JobTrace>,
 }
 
 /// Per-stream controller dispatch. Boxing a `dyn DvfsController` would
@@ -236,7 +366,7 @@ enum Ctrl<'p> {
 }
 
 impl Ctrl<'_> {
-    fn decide(&mut self, ctx: &JobContext<'_>) -> Result<predvfs::Decision, predvfs::CoreError> {
+    fn decide(&mut self, ctx: &JobContext<'_>) -> Result<Decision, predvfs::CoreError> {
         match self {
             Ctrl::Predictive(c) => c.decide(ctx),
             Ctrl::Adaptive(c) => c.decide(ctx),
@@ -276,6 +406,17 @@ struct StreamState<'p> {
     in_flight: Option<InFlight>,
     prev_key: usize,
     started: usize,
+    /// Epoch of the most recent service attempt; scheduled events from
+    /// older epochs are stale.
+    epoch: u64,
+    /// Consecutive deadline misses (quarantine trigger).
+    consec_misses: usize,
+    /// Consecutive dispatches made while the controller was degraded
+    /// (quarantine trigger for refits that never converge).
+    consec_degraded: usize,
+    /// `Some(clean)` while quarantined: `clean` consecutive clean
+    /// completions so far, out of the `probe_jobs` needed to recover.
+    quarantine: Option<usize>,
     /// Last observed controller degradation, for edge-triggered
     /// drift-fallback events.
     was_degraded: bool,
@@ -294,7 +435,7 @@ impl StreamState<'_> {
         let degraded = self.ctrl.is_degraded();
         if degraded != self.was_degraded {
             sink.emit(
-                TraceEvent::new(now, &self.result.name, "drift_fallback")
+                TraceEvent::new(now, &self.result.name, kinds::DRIFT_FALLBACK)
                     .with_bool("engaged", degraded),
             );
             if degraded {
@@ -305,13 +446,61 @@ impl StreamState<'_> {
         let refits = self.ctrl.refits();
         if refits > self.seen_refits {
             sink.emit(
-                TraceEvent::new(now, &self.result.name, "refit").with_u64("refits", refits as u64),
+                TraceEvent::new(now, &self.result.name, kinds::REFIT)
+                    .with_u64("refits", refits as u64),
             );
             sink.counter_add(
                 "predvfs_serve_refits_total",
                 (refits - self.seen_refits) as u64,
             );
             self.seen_refits = refits;
+        }
+    }
+
+    /// Records one fired fault, and traces it when observability is on.
+    fn note_fault(&mut self, now: f64, sink: &dyn ObsSink, kind: &FaultKind, job: usize) {
+        self.result.faults += 1;
+        if sink.enabled() {
+            sink.counter_add("predvfs_serve_faults_total", 1);
+            let mut ev = TraceEvent::new(now, &self.result.name, kinds::FAULT)
+                .with_str("kind", kind.name())
+                .with_u64("job", job as u64);
+            if let Some(m) = kind.magnitude() {
+                ev = ev.with_f64("magnitude", m);
+            }
+            sink.emit(ev);
+        }
+    }
+
+    /// Drops the stream into quarantine (no-op when already there).
+    fn enter_quarantine(&mut self, now: f64, sink: &dyn ObsSink, reason: &str) {
+        if self.quarantine.is_some() {
+            return;
+        }
+        self.quarantine = Some(0);
+        self.result.quarantines += 1;
+        self.consec_misses = 0;
+        if sink.enabled() {
+            sink.counter_add("predvfs_serve_quarantines_total", 1);
+            sink.emit(
+                TraceEvent::new(now, &self.result.name, kinds::QUARANTINE)
+                    .with_bool("engaged", true)
+                    .with_str("reason", reason),
+            );
+        }
+    }
+
+    /// Leaves quarantine after a successful probe sequence.
+    fn exit_quarantine(&mut self, now: f64, sink: &dyn ObsSink) {
+        self.quarantine = None;
+        self.consec_misses = 0;
+        self.consec_degraded = 0;
+        if sink.enabled() {
+            sink.emit(
+                TraceEvent::new(now, &self.result.name, kinds::QUARANTINE)
+                    .with_bool("engaged", false)
+                    .with_str("reason", "probe_recover"),
+            );
         }
     }
 }
@@ -324,14 +513,13 @@ fn level_key(dvfs: &DvfsModel, choice: LevelChoice) -> usize {
     }
 }
 
-/// Returns `trace` with cycles and datapath activity scaled by `scale`.
-fn scaled_trace(trace: &JobTrace, scale: f64) -> JobTrace {
-    let mut t = trace.clone();
-    t.cycles = (t.cycles as f64 * scale).round() as u64;
-    for a in &mut t.dp_active {
-        *a = (*a as f64 * scale).round() as u64;
+/// Inverse of [`level_key`]: the choice a stored ordinal denotes.
+fn key_choice(dvfs: &DvfsModel, key: usize) -> LevelChoice {
+    if key == dvfs.ladder.len() {
+        LevelChoice::Boost
+    } else {
+        LevelChoice::Regular(key)
     }
-    t
 }
 
 impl ServeRuntime {
@@ -397,7 +585,7 @@ impl ServeRuntime {
                     job_idx.push(idx);
                     let base = &exp.test_traces[idx];
                     traces.push(match drift_scale {
-                        Some(scale) if i >= shift_at => scaled_trace(base, scale),
+                        Some(scale) if i >= shift_at => base.scaled(scale),
                         _ => base.clone(),
                     });
                 }
@@ -455,6 +643,29 @@ impl ServeRuntime {
         force: Option<ControllerKind>,
         sink: &dyn ObsSink,
     ) -> Result<ServeResult, ServeError> {
+        self.run_chaos(force, sink, &NullInjector, &DegradeConfig::disabled())
+    }
+
+    /// Runs the scenario under fault injection with the degradation
+    /// machinery configured by `degrade` — the chaos-testing entry
+    /// point. With [`NullInjector`] and [`DegradeConfig::disabled`] this
+    /// is exactly [`ServeRuntime::run_observed`].
+    ///
+    /// Determinism is preserved: the injector is only queried with
+    /// `(stream, job, attempt)` coordinates from the serial event loop,
+    /// so for a given scenario, seed, and configuration the result and
+    /// the emitted trace are byte-identical across worker-thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (e.g. a hung slice).
+    pub fn run_chaos(
+        &self,
+        force: Option<ControllerKind>,
+        sink: &dyn ObsSink,
+        injector: &dyn FaultInjector,
+        degrade: &DegradeConfig,
+    ) -> Result<ServeResult, ServeError> {
         let _run_timer = predvfs_obs::PhaseTimer::start(sink, "predvfs_serve_run");
         let mut states: Vec<StreamState<'_>> = self
             .streams
@@ -491,6 +702,10 @@ impl ServeRuntime {
                     in_flight: None,
                     prev_key: level_key(&dvfs, dvfs.nominal()),
                     started: 0,
+                    epoch: 0,
+                    consec_misses: 0,
+                    consec_degraded: 0,
+                    quarantine: None,
                     was_degraded: false,
                     seen_refits: 0,
                     result: StreamResult {
@@ -501,6 +716,10 @@ impl ServeRuntime {
                         shed: 0,
                         relaxed: 0,
                         refits: 0,
+                        faults: 0,
+                        escalations: 0,
+                        quarantines: 0,
+                        internal_errors: 0,
                     },
                 }
             })
@@ -516,14 +735,23 @@ impl ServeRuntime {
             });
             *seq += 1;
         };
+        let faults_on = injector.enabled();
         for (k, s) in self.streams.iter().enumerate() {
+            let mut prev_arrival = 0.0f64;
             for job in 0..s.spec.jobs {
-                push(
-                    &mut heap,
-                    &mut seq,
-                    job as f64 * s.spec.period_s,
-                    Event::Arrival { stream: k, job },
-                );
+                // An arrival burst collapses this job onto its
+                // predecessor's arrival instant (ties resolve in job
+                // order via the sequence number). Non-burst jobs stay
+                // anchored to the nominal schedule, so a burst is a
+                // transient, not a cumulative shift.
+                let nominal = job as f64 * s.spec.period_s;
+                let t = if faults_on && job > 0 && injector.arrival_burst(k, job) {
+                    prev_arrival
+                } else {
+                    nominal
+                };
+                prev_arrival = t;
+                push(&mut heap, &mut seq, t, Event::Arrival { stream: k, job });
             }
         }
 
@@ -542,15 +770,23 @@ impl ServeRuntime {
                         relaxed: false,
                     };
                     let state = &mut states[stream];
+                    // Stateless re-query: same coordinates, same answer
+                    // as at schedule time — the burst is traced from the
+                    // serial loop to keep emission order deterministic.
+                    if faults_on && job > 0 && injector.arrival_burst(stream, job) {
+                        state.note_fault(time, sink, &FaultKind::ArrivalBurst, job);
+                    }
                     if sink.enabled() {
                         sink.counter_add("predvfs_serve_arrivals_total", 1);
                         sink.emit(
-                            TraceEvent::new(time, &spec.name, "arrival")
+                            TraceEvent::new(time, &spec.name, kinds::ARRIVAL)
                                 .with_u64("job", job as u64),
                         );
                     }
                     if state.in_flight.is_none() {
-                        self.start_service(stream, state, adm, time, &mut heap, &mut seq, sink)?;
+                        self.start_service(
+                            stream, state, adm, time, &mut heap, &mut seq, sink, injector, degrade,
+                        )?;
                     } else if state.queue.len() < spec.queue_bound {
                         state.queue.push_back(adm);
                     } else {
@@ -560,7 +796,7 @@ impl ServeRuntime {
                                 if sink.enabled() {
                                     sink.counter_add("predvfs_serve_shed_total", 1);
                                     sink.emit(
-                                        TraceEvent::new(time, &spec.name, "shed")
+                                        TraceEvent::new(time, &spec.name, kinds::SHED)
                                             .with_u64("job", job as u64),
                                     );
                                 }
@@ -571,7 +807,7 @@ impl ServeRuntime {
                                 if sink.enabled() {
                                     sink.counter_add("predvfs_serve_relaxed_total", 1);
                                     sink.emit(
-                                        TraceEvent::new(time, &spec.name, "relax")
+                                        TraceEvent::new(time, &spec.name, kinds::RELAX)
                                             .with_u64("job", job as u64)
                                             .with_f64("deadline_s", stretched),
                                     );
@@ -591,22 +827,49 @@ impl ServeRuntime {
                 // Clock markers: the accelerator's phase changes but no
                 // scheduling decision hangs off them. SliceDone is still
                 // traced — slice latency is an overhead observable.
-                Event::SliceDone { stream } => {
-                    if sink.enabled() {
+                Event::SliceDone { stream, epoch } => {
+                    if states[stream].epoch == epoch && sink.enabled() {
                         sink.emit(TraceEvent::new(
                             time,
                             &self.streams[stream].spec.name,
-                            "slice_done",
+                            kinds::SLICE_DONE,
                         ));
                     }
                 }
                 Event::SwitchDone { .. } => {}
-                Event::JobDone { stream } => {
+                Event::JobDone { stream, epoch } => {
                     let state = &mut states[stream];
-                    let fly = state.in_flight.take().expect("JobDone without a job");
+                    let stale = match &state.in_flight {
+                        Some(fly) => fly.epoch != epoch,
+                        None => epoch != state.epoch,
+                    };
+                    if stale {
+                        // A completion superseded by a watchdog
+                        // escalation (its epoch was bumped past this
+                        // event's): drop it.
+                        continue;
+                    }
+                    if state.in_flight.is_none() {
+                        // A current-epoch completion with no job in
+                        // flight: the accelerator signalled "done" out
+                        // of thin air. Contain it — count, trace, and
+                        // quarantine the stream — instead of panicking.
+                        state.result.internal_errors += 1;
+                        if sink.enabled() {
+                            sink.counter_add("predvfs_serve_internal_errors_total", 1);
+                            sink.emit(
+                                TraceEvent::new(time, &state.result.name, kinds::INTERNAL_ERROR)
+                                    .with_str("cause", "job_done_without_job"),
+                            );
+                        }
+                        state.enter_quarantine(time, sink, kinds::INTERNAL_ERROR);
+                        continue;
+                    }
+                    let fly = state.in_flight.take().expect("checked above");
                     let rel_deadline = fly.adm.deadline_abs_s - fly.adm.arrival_s;
                     let response = time - fly.adm.arrival_s;
                     let missed = response > rel_deadline * (1.0 + 1e-9);
+                    let energy_pj = fly.job_pj + fly.slice_pj + fly.transition_pj;
                     if sink.enabled() {
                         let name = &self.streams[stream].spec.name;
                         sink.counter_add("predvfs_serve_jobs_done_total", 1);
@@ -615,8 +878,8 @@ impl ServeRuntime {
                         }
                         sink.observe("predvfs_serve_response_seconds", response);
                         sink.observe("predvfs_serve_slack_seconds", rel_deadline - response);
-                        sink.observe("predvfs_serve_energy_pj", fly.energy_pj);
-                        let mut ev = TraceEvent::new(time, name, "job_done")
+                        sink.observe("predvfs_serve_energy_pj", energy_pj);
+                        let mut ev = TraceEvent::new(time, name, kinds::JOB_DONE)
                             .with_u64("job", fly.adm.job as u64)
                             .with_f64("response_s", response)
                             .with_f64("slack_s", rel_deadline - response)
@@ -624,13 +887,20 @@ impl ServeRuntime {
                             .with_bool("relaxed", fly.adm.relaxed)
                             .with_bool("degraded", fly.degraded)
                             .with_f64("volts", fly.volts)
-                            .with_f64("energy_pj", fly.energy_pj)
+                            .with_f64("energy_pj", energy_pj)
                             .with_u64("actual_cycles", fly.actual_cycles);
+                        if fly.escalated {
+                            ev = ev.with_bool("escalated", true);
+                        }
+                        if fly.safe_mode {
+                            ev = ev.with_bool("safe_mode", true);
+                        }
                         if let Some(p) = fly.predicted_cycles {
                             ev = ev.with_f64("predicted_cycles", p);
                         }
                         sink.emit(ev);
                     }
+                    let actual_cycles = fly.actual_cycles;
                     state.result.records.push(ServeRecord {
                         job: fly.adm.job,
                         arrival_s: fly.adm.arrival_s,
@@ -640,17 +910,74 @@ impl ServeRuntime {
                         relaxed: fly.adm.relaxed,
                         missed,
                         degraded: fly.degraded,
+                        escalated: fly.escalated,
+                        safe_mode: fly.safe_mode,
                         volts: fly.volts,
-                        energy_pj: fly.energy_pj,
-                        slice_energy_pj: fly.slice_energy_pj,
+                        energy_pj,
+                        slice_energy_pj: fly.slice_pj,
                         predicted_cycles: fly.predicted_cycles,
-                        actual_cycles: fly.actual_cycles,
+                        actual_cycles,
                     });
-                    state.ctrl.observe(fly.actual_cycles);
-                    state.note_ctrl_transitions(time, sink);
-                    if let Some(next) = state.queue.pop_front() {
-                        self.start_service(stream, state, next, time, &mut heap, &mut seq, sink)?;
+                    // Quarantine bookkeeping: consecutive misses trip
+                    // it, probe completions recover from it.
+                    if missed {
+                        state.consec_misses += 1;
+                    } else {
+                        state.consec_misses = 0;
                     }
+                    match state.quarantine {
+                        None => {
+                            if degrade.quarantine_misses > 0
+                                && state.consec_misses >= degrade.quarantine_misses
+                            {
+                                state.enter_quarantine(time, sink, "consecutive_misses");
+                            }
+                        }
+                        Some(clean) => {
+                            if missed {
+                                state.quarantine = Some(0);
+                            } else if clean + 1 >= degrade.probe_jobs {
+                                state.exit_quarantine(time, sink);
+                            } else {
+                                state.quarantine = Some(clean + 1);
+                            }
+                        }
+                    }
+                    state.ctrl.observe(actual_cycles);
+                    state.note_ctrl_transitions(time, sink);
+                    // A spurious completion interrupt: schedule a
+                    // phantom JobDone at the current epoch. If the
+                    // stream idles it surfaces as an internal error; if
+                    // another job dispatches first the epoch moves on
+                    // and the phantom is dropped as stale.
+                    if faults_on && injector.spurious_done(stream, fly.adm.job) {
+                        state.note_fault(time, sink, &FaultKind::SpuriousDone, fly.adm.job);
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            time,
+                            Event::JobDone {
+                                stream,
+                                epoch: state.epoch,
+                            },
+                        );
+                    }
+                    if let Some(next) = state.queue.pop_front() {
+                        self.start_service(
+                            stream, state, next, time, &mut heap, &mut seq, sink, injector, degrade,
+                        )?;
+                    }
+                }
+                Event::Watchdog { stream, epoch } => {
+                    self.check_watchdog(
+                        stream,
+                        &mut states[stream],
+                        epoch,
+                        time,
+                        &mut heap,
+                        &mut seq,
+                        sink,
+                    );
                 }
             }
         }
@@ -669,9 +996,107 @@ impl ServeRuntime {
         })
     }
 
+    /// Mid-job deadline check: if the in-flight attempt `epoch` is
+    /// projected to miss, switch the remaining work to the escalation
+    /// level (boost), bump the epoch so the superseded completion goes
+    /// stale, and schedule the new completion.
+    #[allow(clippy::too_many_arguments)]
+    fn check_watchdog(
+        &self,
+        stream: usize,
+        state: &mut StreamState<'_>,
+        epoch: u64,
+        now: f64,
+        heap: &mut BinaryHeap<Scheduled>,
+        seq: &mut u64,
+        sink: &dyn ObsSink,
+    ) {
+        let s = &self.streams[stream];
+        let Some(fly) = state.in_flight.as_mut() else {
+            return; // attempt already completed
+        };
+        if fly.epoch != epoch || fly.escalated {
+            return;
+        }
+        if fly.done_s <= fly.adm.deadline_abs_s {
+            return; // on track
+        }
+        let esc_choice = s.exp.dvfs.escalation();
+        let esc_key = level_key(&s.exp.dvfs, esc_choice);
+        let esc_point = s.exp.dvfs.point(esc_choice);
+        let cur_point = s.exp.dvfs.point(key_choice(&s.exp.dvfs, fly.key));
+        if esc_point.freq_ratio <= cur_point.freq_ratio {
+            return; // nowhere faster to go
+        }
+        let trace = fly.spiked.as_ref().unwrap_or(&s.traces[fly.adm.job]);
+        let total = trace.cycles as f64;
+        // Cycles retired so far at the effective (possibly jittered)
+        // frequency; slice/switch phases retire nothing.
+        let done_cycles = ((now - fly.exec_start_s).max(0.0) * fly.f_eff_hz).min(total);
+        let remaining = total - done_cycles;
+        if remaining <= 0.0 {
+            return;
+        }
+        let config = s.exp.config();
+        let switch_s = config.switching.time_s(fly.key, esc_key);
+        // Escalation runs at the clean escalation clock: the jitter
+        // fault models a mis-trimmed level, and re-locking the PLL for
+        // boost re-trims it.
+        let f_esc = s.exp.energy.f_nominal_hz() * esc_point.freq_ratio;
+        let new_done = now + switch_s + remaining / f_esc;
+        if new_done >= fly.done_s {
+            return; // switching overhead would make things worse
+        }
+        // Energy: pro-rate the job between the two operating points and
+        // charge the extra transition.
+        let e_old = s
+            .exp
+            .energy
+            .job_pj(trace.cycles, &trace.dp_active, cur_point, 1.0);
+        let e_new = s
+            .exp
+            .energy
+            .job_pj(trace.cycles, &trace.dp_active, esc_point, 1.0);
+        let frac = done_cycles / total;
+        fly.job_pj = e_old * frac + e_new * (1.0 - frac);
+        fly.transition_pj += config.switching.transition_pj;
+        let from_key = fly.key;
+        fly.key = esc_key;
+        fly.volts = esc_point.volts;
+        fly.f_eff_hz = f_esc;
+        fly.done_s = new_done;
+        fly.escalated = true;
+        state.epoch += 1;
+        fly.epoch = state.epoch;
+        let job = fly.adm.job;
+        state.prev_key = esc_key;
+        state.result.escalations += 1;
+        if sink.enabled() {
+            sink.counter_add("predvfs_serve_escalations_total", 1);
+            sink.emit(
+                TraceEvent::new(now, &state.result.name, kinds::WATCHDOG_BOOST)
+                    .with_u64("job", job as u64)
+                    .with_u64("from_level", from_key as u64)
+                    .with_u64("to_level", esc_key as u64)
+                    .with_f64("remaining_cycles", remaining)
+                    .with_f64("done_s", new_done),
+            );
+        }
+        heap.push(Scheduled {
+            time: new_done,
+            seq: *seq,
+            event: Event::JobDone {
+                stream,
+                epoch: state.epoch,
+            },
+        });
+        *seq += 1;
+    }
+
     /// Makes the DVFS decision for one admitted job, charges time and
-    /// energy exactly as the batch runner does, and schedules the job's
-    /// slice-done / switch-done / job-done events.
+    /// energy exactly as the batch runner does, applies any injected
+    /// faults, and schedules the job's slice-done / switch-done /
+    /// job-done (and watchdog) events.
     #[allow(clippy::too_many_arguments)]
     fn start_service(
         &self,
@@ -682,10 +1107,12 @@ impl ServeRuntime {
         heap: &mut BinaryHeap<Scheduled>,
         seq: &mut u64,
         sink: &dyn ObsSink,
+        injector: &dyn FaultInjector,
+        degrade: &DegradeConfig,
     ) -> Result<(), ServeError> {
         let s = &self.streams[stream];
-        let trace = &s.traces[adm.job];
         let job = &s.exp.workloads.test[s.job_idx[adm.job]];
+        let faults_on = injector.enabled();
         // Whatever budget queueing left is what the controller gets.
         let ctx = JobContext {
             job,
@@ -693,31 +1120,162 @@ impl ServeRuntime {
             index: state.started,
         };
         state.started += 1;
+
         let degraded = state.ctrl.is_degraded();
-        let decision = state.ctrl.decide(&ctx)?;
+        if degraded {
+            state.consec_degraded += 1;
+        } else {
+            state.consec_degraded = 0;
+        }
+        if state.quarantine.is_none()
+            && degrade.quarantine_degraded > 0
+            && state.consec_degraded >= degrade.quarantine_degraded
+        {
+            state.enter_quarantine(now, sink, "sustained_degradation");
+        }
+        let safe_mode = state.quarantine.is_some();
+        // In quarantine the controller is bypassed entirely: no slice,
+        // no prediction, nominal level. The stream trades energy for a
+        // deterministic return to deadline safety while probing.
+        let mut decision = if safe_mode {
+            Decision {
+                choice: s.exp.dvfs.nominal(),
+                slice_cycles: 0.0,
+                slice_dp_active: Vec::new(),
+                predicted_cycles: None,
+            }
+        } else {
+            state.ctrl.decide(&ctx)?
+        };
         state.note_ctrl_transitions(now, sink);
 
+        let f_hz = s.exp.energy.f_nominal_hz();
+        let mut slice_s = decision.slice_cycles / f_hz;
+        if faults_on && !safe_mode {
+            match injector.slice_fault(stream, adm.job) {
+                // A corrupted prediction only matters on the predictive
+                // path; the PID fallback never reads the slice output.
+                Some(kind @ FaultKind::SliceCorrupt { predict_scale }) if !degraded => {
+                    if let Some(p) = decision.predicted_cycles {
+                        let corrupted = p * predict_scale;
+                        decision.choice =
+                            s.exp.dvfs.choose(corrupted, f_hz, ctx.deadline_s, slice_s);
+                        decision.predicted_cycles = Some(corrupted);
+                        state.note_fault(now, sink, &kind, adm.job);
+                    }
+                }
+                // A hung slice costs time after the decision was read
+                // out; the controller never learns it happened.
+                Some(kind @ FaultKind::SliceTimeout { time_stretch }) => {
+                    slice_s *= time_stretch;
+                    state.note_fault(now, sink, &kind, adm.job);
+                }
+                _ => {}
+            }
+        }
+
+        // Level switch, with rejected attempts retried under backoff.
         let config = s.exp.config();
-        let point = s.exp.dvfs.point(decision.choice);
-        let key = level_key(&s.exp.dvfs, decision.choice);
+        let target_key = level_key(&s.exp.dvfs, decision.choice);
+        let mut key = state.prev_key;
+        let mut switch_s = 0.0f64;
+        let mut retries = 0u32;
+        let mut switch_failed = false;
+        if target_key != state.prev_key {
+            let base_s = config.switching.time_s(state.prev_key, target_key);
+            let mut attempt = 0u32;
+            loop {
+                if faults_on && injector.switch_rejected(stream, adm.job, attempt) {
+                    state.note_fault(now, sink, &FaultKind::SwitchReject, adm.job);
+                    if attempt >= degrade.max_switch_retries {
+                        switch_failed = true;
+                        break;
+                    }
+                    switch_s += degrade.retry_backoff_s * f64::from(1u32 << attempt.min(10));
+                    attempt += 1;
+                    retries += 1;
+                    continue;
+                }
+                if let Some(stretch) = faults_on
+                    .then(|| injector.switch_stall(stream, adm.job))
+                    .flatten()
+                {
+                    state.note_fault(now, sink, &FaultKind::SwitchStall { stretch }, adm.job);
+                    switch_s += base_s * stretch;
+                } else {
+                    switch_s += base_s;
+                }
+                key = target_key;
+                break;
+            }
+        }
         let level_changed = key != state.prev_key;
-        let switch_s = config.switching.time_s(state.prev_key, key);
-        if level_changed && sink.enabled() {
-            sink.counter_add("predvfs_serve_level_switches_total", 1);
-            sink.emit(
-                TraceEvent::new(now, &s.spec.name, "level_switch")
-                    .with_u64("from_level", state.prev_key as u64)
-                    .with_u64("to_level", key as u64)
-                    .with_f64("volts", point.volts)
-                    .with_f64("switch_s", switch_s),
-            );
+        let choice = key_choice(&s.exp.dvfs, key);
+        let point = s.exp.dvfs.point(choice);
+        if sink.enabled() {
+            if retries > 0 {
+                sink.counter_add("predvfs_serve_switch_retries_total", u64::from(retries));
+                sink.emit(
+                    TraceEvent::new(now, &s.spec.name, kinds::SWITCH_RETRY)
+                        .with_u64("job", adm.job as u64)
+                        .with_u64("retries", u64::from(retries)),
+                );
+            }
+            if switch_failed {
+                sink.counter_add("predvfs_serve_switch_failed_total", 1);
+                sink.emit(
+                    TraceEvent::new(now, &s.spec.name, kinds::SWITCH_FAILED)
+                        .with_u64("job", adm.job as u64)
+                        .with_u64("stuck_level", key as u64)
+                        .with_u64("wanted_level", target_key as u64),
+                );
+            }
+            if level_changed {
+                sink.counter_add("predvfs_serve_level_switches_total", 1);
+                sink.emit(
+                    TraceEvent::new(now, &s.spec.name, kinds::LEVEL_SWITCH)
+                        .with_u64("from_level", state.prev_key as u64)
+                        .with_u64("to_level", key as u64)
+                        .with_f64("volts", point.volts)
+                        .with_f64("switch_s", switch_s),
+                );
+            }
         }
         state.prev_key = key;
 
-        let f_hz = s.exp.energy.f_nominal_hz();
-        let exec_s = s.exp.energy.time_s(trace.cycles, point);
+        // Ground truth, possibly spiked by a fault.
+        let spiked = if faults_on {
+            injector.trace_spike(stream, adm.job).map(|scale| {
+                state.note_fault(
+                    now,
+                    sink,
+                    &FaultKind::TraceSpike { cycle_scale: scale },
+                    adm.job,
+                );
+                s.traces[adm.job].scaled(scale)
+            })
+        } else {
+            None
+        };
+        let trace = spiked.as_ref().unwrap_or(&s.traces[adm.job]);
+
+        // Clock jitter shifts execution time; energy stays keyed to the
+        // operating point (the regulator's voltage doesn't move, the
+        // clock trim does).
+        let mut f_eff = f_hz * point.freq_ratio;
+        if faults_on {
+            if let Some(fscale) = injector.clock_jitter(stream, adm.job) {
+                state.note_fault(
+                    now,
+                    sink,
+                    &FaultKind::ClockJitter { freq_scale: fscale },
+                    adm.job,
+                );
+                f_eff *= fscale;
+            }
+        }
+        let exec_s = trace.cycles as f64 / f_eff;
         // The slice runs in its own always-nominal domain.
-        let slice_s = decision.slice_cycles / f_hz;
         let slice_pj = if decision.slice_cycles > 0.0 {
             let nominal = OperatingPoint {
                 volts: 1.0,
@@ -735,18 +1293,31 @@ impl ServeRuntime {
         let job_pj = s
             .exp
             .energy
-            .job_pj(trace.cycles, &trace.dp_active, point, 1.0)
-            + config.switching.transition_pj * f64::from(level_changed);
+            .job_pj(trace.cycles, &trace.dp_active, point, 1.0);
+        let transition_pj = config.switching.transition_pj * f64::from(level_changed);
 
+        state.epoch += 1;
+        let epoch = state.epoch;
+        let exec_start_s = now + slice_s + switch_s;
+        let done_s = exec_start_s + exec_s;
         state.in_flight = Some(InFlight {
             adm,
+            epoch,
             start_s: now,
+            exec_start_s,
+            done_s,
+            key,
+            f_eff_hz: f_eff,
             degraded,
+            safe_mode,
+            escalated: false,
             volts: point.volts,
-            energy_pj: job_pj + slice_pj,
-            slice_energy_pj: slice_pj,
+            job_pj,
+            slice_pj,
+            transition_pj,
             predicted_cycles: decision.predicted_cycles,
             actual_cycles: trace.cycles,
+            spiked,
         });
 
         let mut push = |time: f64, event: Event| {
@@ -758,12 +1329,21 @@ impl ServeRuntime {
             *seq += 1;
         };
         if slice_s > 0.0 {
-            push(now + slice_s, Event::SliceDone { stream });
+            push(now + slice_s, Event::SliceDone { stream, epoch });
         }
         if switch_s > 0.0 {
-            push(now + slice_s + switch_s, Event::SwitchDone { stream });
+            push(exec_start_s, Event::SwitchDone { stream, epoch });
         }
-        push(now + slice_s + switch_s + exec_s, Event::JobDone { stream });
+        push(done_s, Event::JobDone { stream, epoch });
+        if degrade.watchdog {
+            let headroom = adm.deadline_abs_s - now;
+            if headroom > 0.0 {
+                push(
+                    now + degrade.watchdog_frac * headroom,
+                    Event::Watchdog { stream, epoch },
+                );
+            }
+        }
         Ok(())
     }
 }

@@ -41,5 +41,7 @@
 mod engine;
 mod scenario;
 
-pub use engine::{ServeRecord, ServeResult, ServeRuntime, StreamResult};
-pub use scenario::{ControllerKind, DriftSpec, OverloadPolicy, Scenario, ServeError, StreamSpec};
+pub use engine::{DegradeConfig, ServeRecord, ServeResult, ServeRuntime, StreamResult};
+pub use scenario::{
+    ControllerKind, DriftSpec, FaultsSpec, OverloadPolicy, Scenario, ServeError, StreamSpec,
+};

@@ -11,15 +11,24 @@
 //! size quick               # or full
 //! stream sha  deadline_ms=16.7 period_ms=8 jobs=60 queue=4 policy=shed controller=predictive seed=42
 //! stream aes  policy=relax:1.5 controller=adaptive drift=0.5:1.6
+//!
+//! [faults]                 # inert unless --faults / chaos activates it
+//! seed=7
+//! trace_spike=0.2:1.9 switch_reject=0.25
 //! ```
 //!
 //! Every `key=val` is optional; [`StreamSpec::new`] supplies defaults.
+//! The `[faults]` section (keys documented at
+//! [`predvfs_faults::FaultConfig::set`]) declares the chaos mix a
+//! `serve --faults <seed>` or `chaos` run fires; a plain `serve` run
+//! ignores it.
 
 use std::error::Error;
 use std::fmt;
 
 use predvfs::CoreError;
 use predvfs_accel::{by_name, Benchmark, WorkloadSize};
+use predvfs_faults::FaultConfig;
 use predvfs_sim::Platform;
 
 /// What happens to an arriving job when its stream's queue is full.
@@ -121,6 +130,29 @@ impl StreamSpec {
     }
 }
 
+/// The `[faults]` section of a scenario: a default seed plus the fault
+/// mix a chaos run should fire.
+///
+/// Declaring the section does **not** perturb plain `serve` runs — it
+/// is inert until activated by `serve --faults <seed>` (the flag's seed
+/// wins over the section's) or the `chaos` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultsSpec {
+    /// Default fault-plan seed when the CLI doesn't pick one.
+    pub seed: u64,
+    /// Per-kind firing probabilities and magnitudes.
+    pub config: FaultConfig,
+}
+
+impl Default for FaultsSpec {
+    fn default() -> FaultsSpec {
+        FaultsSpec {
+            seed: 42,
+            config: FaultConfig::none(),
+        }
+    }
+}
+
 /// A full service scenario: platform, workload scale, and streams.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -130,6 +162,8 @@ pub struct Scenario {
     pub size: WorkloadSize,
     /// The concurrent job streams.
     pub streams: Vec<StreamSpec>,
+    /// Fault mix declared by a `[faults]` section, if any.
+    pub faults: Option<FaultsSpec>,
 }
 
 impl Scenario {
@@ -160,6 +194,7 @@ impl Scenario {
                 overloaded,
                 relaxed,
             ],
+            faults: None,
         }
     }
 
@@ -175,14 +210,44 @@ impl Scenario {
             platform: Platform::Asic,
             size: WorkloadSize::Quick,
             streams: Vec::new(),
+            faults: None,
         };
+        let mut in_faults = false;
         for (i, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             let err = |msg: String| ServeError::Parse { line: i + 1, msg };
+            if line == "[faults]" {
+                in_faults = true;
+                scenario.faults.get_or_insert_with(FaultsSpec::default);
+                continue;
+            }
             let mut words = line.split_whitespace();
+            let first = words.clone().next();
+            // Inside a `[faults]` section every key=val line configures
+            // the fault mix; any regular directive closes the section.
+            if in_faults && first.is_some_and(|w| w.contains('=')) {
+                let faults = scenario.faults.as_mut().expect("section opened");
+                for kv in line.split_whitespace() {
+                    let (key, val) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("expected key=val, got {kv:?}")))?;
+                    if key == "seed" {
+                        faults.seed = val
+                            .parse()
+                            .map_err(|e: std::num::ParseIntError| err(e.to_string()))?;
+                    } else {
+                        faults
+                            .config
+                            .set(key, val)
+                            .map_err(|msg| err(format!("{key}={val}: {msg}")))?;
+                    }
+                }
+                continue;
+            }
+            in_faults = false;
             match words.next() {
                 Some("platform") => {
                     scenario.platform = match words.next() {
@@ -273,8 +338,11 @@ fn parse_stream_option(spec: &mut StreamSpec, key: &str, val: &str) -> Result<()
                 OverloadPolicy::Shed
             } else if let Some(f) = val.strip_prefix("relax:") {
                 let factor = num(f)?;
-                if factor < 1.0 {
-                    return Err("relax factor must be >= 1".into());
+                // `is_finite` first: NaN fails every comparison, so a
+                // plain `factor <= 1.0` check would wave NaN (and +inf)
+                // straight through into deadline arithmetic.
+                if !factor.is_finite() || factor <= 1.0 {
+                    return Err("relax factor must be finite and > 1".into());
                 }
                 OverloadPolicy::Relax { factor }
             } else {
@@ -420,6 +488,89 @@ mod tests {
             ),
             other => panic!("{text:?} must fail to parse, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn relax_factor_rejects_nan_inf_and_at_most_one() {
+        // `factor < 1.0` would wave NaN and +inf through (NaN fails every
+        // comparison) and accept exactly 1.0, which makes Relax a no-op
+        // pretending to be backpressure relief.
+        assert_parse_err("stream sha policy=relax:nan\n", "finite");
+        assert_parse_err("stream sha policy=relax:inf\n", "finite");
+        assert_parse_err("stream sha policy=relax:-inf\n", "finite");
+        assert_parse_err("stream sha policy=relax:1.0\n", "> 1");
+        assert_parse_err("stream sha policy=relax:1\n", "> 1");
+        assert_parse_err("stream sha policy=relax:0.5\n", "> 1");
+        assert_parse_err("stream sha policy=relax:-2\n", "> 1");
+        // The boundary the validation protects: anything > 1 still parses.
+        let s = Scenario::parse("stream sha policy=relax:1.001\n").unwrap();
+        assert_eq!(s.streams[0].policy, OverloadPolicy::Relax { factor: 1.001 });
+    }
+
+    #[test]
+    fn parses_a_faults_section() {
+        let s = Scenario::parse(
+            "stream sha jobs=10\n\
+             [faults]\n\
+             seed=7\n\
+             trace_spike=0.2:1.9 switch_reject=0.25\n\
+             burst=0.1 # inline comment\n",
+        )
+        .unwrap();
+        let f = s.faults.expect("section parsed");
+        assert_eq!(f.seed, 7);
+        assert!((f.config.trace_spike_p - 0.2).abs() < 1e-12);
+        assert!((f.config.trace_spike_scale - 1.9).abs() < 1e-12);
+        assert!((f.config.switch_reject_p - 0.25).abs() < 1e-12);
+        assert!((f.config.burst_p - 0.1).abs() < 1e-12);
+        assert!(!f.config.is_empty());
+    }
+
+    #[test]
+    fn faults_section_closes_on_a_regular_directive() {
+        let s = Scenario::parse(
+            "[faults]\n\
+             burst=0.5\n\
+             stream sha jobs=5\n",
+        )
+        .unwrap();
+        assert_eq!(s.streams.len(), 1);
+        let f = s.faults.expect("section parsed");
+        assert!((f.config.burst_p - 0.5).abs() < 1e-12);
+        // Default seed when the section doesn't set one.
+        assert_eq!(f.seed, FaultsSpec::default().seed);
+    }
+
+    #[test]
+    fn faults_section_rejects_bad_values_with_line_numbers() {
+        let err = Scenario::parse(
+            "stream sha\n\
+             [faults]\n\
+             burst=1.5\n",
+        )
+        .unwrap_err();
+        match err {
+            ServeError::Parse { line, msg } => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("[0, 1]"), "got {msg:?}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(matches!(
+            Scenario::parse("stream sha\n[faults]\nwombat=1\n").unwrap_err(),
+            ServeError::Parse { line: 3, .. }
+        ));
+        assert!(matches!(
+            Scenario::parse("stream sha\n[faults]\nseed=x\n").unwrap_err(),
+            ServeError::Parse { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn scenario_without_faults_section_has_none() {
+        let s = Scenario::parse("stream sha\n").unwrap();
+        assert!(s.faults.is_none());
+        assert!(Scenario::demo().faults.is_none());
     }
 
     #[test]

@@ -141,6 +141,7 @@ fn empty_test_set_is_invalid_spec_not_a_panic() {
         platform: Platform::Asic,
         size: WorkloadSize::Quick,
         streams: vec![StreamSpec::new(bench)],
+        faults: None,
     };
     match ServeRuntime::prepare(&scenario, &TraceCache::new()) {
         Err(ServeError::InvalidSpec { stream, msg }) => {
