@@ -1,0 +1,197 @@
+//! Extension: SLO analytics over the chaos scenario.
+//!
+//! Reuses `fig_serve_chaos`'s setup — two predictive streams under a
+//! seeded fault plan, degradation disabled vs. enabled — but this
+//! figure's subject is the *analysis layer*: both runs are traced, each
+//! trace goes through the offline analyzer, and the figure reports the
+//! per-stream slack quantiles and the miss **root-cause split** in each
+//! mode (undefended misses should attribute to injected faults and
+//! switch stalls; the hardened run's remaining misses show what the
+//! degradation machinery cannot absorb).
+//!
+//! Two properties are enforced rather than eyeballed:
+//! * **conservation** — for every stream the analyzer's per-cause counts
+//!   sum exactly to the miss count the serve engine reported, i.e. every
+//!   miss is classified exactly once;
+//! * **determinism** — analyzing the same trace twice yields the same
+//!   report byte for byte.
+
+use predvfs_bench::results_dir;
+use predvfs_faults::{FaultConfig, FaultPlan};
+use predvfs_obs::{MissCause, Recorder, TraceAnalysis};
+use predvfs_serve::{DegradeConfig, Scenario, ServeResult, ServeRuntime, StreamSpec};
+use predvfs_sim::{Experiment, ExperimentConfig, Platform, Table, TraceCache};
+
+const JOBS: usize = 80;
+const SEED: u64 = 7;
+
+/// Same headroom-stream construction as `fig_serve_chaos`, so the two
+/// figures describe the same system.
+fn headroom_stream(
+    name: &str,
+    headroom: f64,
+    size: predvfs_accel::WorkloadSize,
+    cache: &TraceCache,
+) -> Result<StreamSpec, Box<dyn std::error::Error>> {
+    let bench = predvfs_accel::by_name(name).ok_or("benchmark registered")?;
+    let mut probe_cfg = ExperimentConfig::paper_default(Platform::Asic);
+    probe_cfg.size = size;
+    let probe = Experiment::prepare_cached(bench, probe_cfg, cache)?;
+    let (max_ms, _, _) = probe.exec_time_stats_ms();
+    let mut spec = StreamSpec::new(bench);
+    spec.deadline_s = headroom * max_ms * 1e-3;
+    spec.period_s = 2.0 * spec.deadline_s;
+    spec.jobs = JOBS;
+    Ok(spec)
+}
+
+/// Runs one chaos mode with a recorder and returns the engine result
+/// plus the analyzed trace.
+fn run_mode(
+    runtime: &ServeRuntime,
+    plan: &FaultPlan,
+    degrade: &DegradeConfig,
+) -> Result<(ServeResult, TraceAnalysis), Box<dyn std::error::Error>> {
+    let recorder = Recorder::new(1 << 16);
+    let result = runtime.run_chaos(None, &recorder, plan, degrade)?;
+    let jsonl = recorder.ring().to_jsonl();
+    let analysis = TraceAnalysis::from_jsonl(&jsonl)?;
+    let again = TraceAnalysis::from_jsonl(&jsonl)?;
+    assert_eq!(
+        analysis.report(),
+        again.report(),
+        "trace analysis must be deterministic"
+    );
+    Ok((result, analysis))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = if std::env::var("PREDVFS_QUICK").as_deref() == Ok("1") {
+        predvfs_accel::WorkloadSize::Quick
+    } else {
+        predvfs_accel::WorkloadSize::Full
+    };
+    let cache = TraceCache::new();
+
+    let scenario = Scenario {
+        platform: Platform::Asic,
+        size,
+        streams: vec![
+            headroom_stream("sha", 2.5, size, &cache)?,
+            headroom_stream("md", 2.5, size, &cache)?,
+        ],
+        faults: None,
+    };
+    let mut config = FaultConfig::none();
+    config.set("trace_spike", "0.35:1.5")?;
+    config.set("switch_reject", "0.25")?;
+    let plan = FaultPlan::new(SEED, config);
+
+    eprintln!(
+        "preparing SLO scenario (seed {SEED}, {} streams x {JOBS} jobs)...",
+        scenario.streams.len()
+    );
+    let runtime = ServeRuntime::prepare(&scenario, &cache)?;
+    let (baseline, base_an) = run_mode(&runtime, &plan, &DegradeConfig::disabled())?;
+    let (hardened, hard_an) = run_mode(&runtime, &plan, &DegradeConfig::enabled())?;
+
+    let mut table = Table::new(
+        &format!("serve SLO analytics — chaos seed {SEED}, miss root causes per mode"),
+        &[
+            "degradation",
+            "stream",
+            "done",
+            "missed",
+            "slack_p50_ms",
+            "slack_worst5_ms",
+            "safe_mode",
+            "inj_fault",
+            "switch",
+            "queueing",
+            "mispredict",
+            "unattrib",
+        ],
+    );
+    let runs = [
+        ("disabled", &baseline, &base_an),
+        ("enabled", &hardened, &hard_an),
+    ];
+    for (mode, result, analysis) in runs {
+        for s in &result.streams {
+            let summary = analysis
+                .streams
+                .get(&s.name)
+                .ok_or_else(|| format!("stream {} missing from the trace", s.name))?;
+            // Conservation, per stream: the analyzer saw every completion
+            // the engine reported, and classified every miss exactly once.
+            assert_eq!(
+                summary.jobs_done,
+                s.completed(),
+                "{mode}/{}: analyzer job count diverged from the engine",
+                s.name
+            );
+            assert_eq!(
+                summary.missed,
+                s.misses(),
+                "{mode}/{}: analyzer miss count diverged from the engine",
+                s.name
+            );
+            assert_eq!(
+                summary.cause_counts.iter().sum::<usize>(),
+                s.misses(),
+                "{mode}/{}: per-cause counts must sum to the misses",
+                s.name
+            );
+            let c = |cause: MissCause| {
+                summary.cause_counts[MissCause::ALL.iter().position(|&x| x == cause).unwrap()]
+                    .to_string()
+            };
+            table.row(&[
+                mode.to_owned(),
+                s.name.clone(),
+                s.completed().to_string(),
+                s.misses().to_string(),
+                format!("{:.3}", summary.slack_quantile(0.5).unwrap_or(0.0) * 1e3),
+                format!("{:.3}", summary.slack_quantile(0.05).unwrap_or(0.0) * 1e3),
+                c(MissCause::QuarantineSafeMode),
+                c(MissCause::InjectedFault),
+                c(MissCause::SwitchStall),
+                c(MissCause::QueueingDelay),
+                c(MissCause::Mispredict),
+                c(MissCause::Unattributed),
+            ]);
+        }
+    }
+    table.print();
+    let out = results_dir().join("fig_slo.csv");
+    table.write_csv(&out)?;
+    println!("wrote {}", out.display());
+
+    // The undefended run must attribute its misses to the injected
+    // chaos — that attribution working is the figure's whole point.
+    let injected = base_an
+        .streams
+        .values()
+        .map(|s| {
+            s.cause_counts[MissCause::ALL
+                .iter()
+                .position(|&x| x == MissCause::InjectedFault)
+                .unwrap()]
+                + s.cause_counts[MissCause::ALL
+                    .iter()
+                    .position(|&x| x == MissCause::SwitchStall)
+                    .unwrap()]
+        })
+        .sum::<usize>();
+    assert!(
+        injected > 0,
+        "undefended chaos misses must attribute to faults/switch stalls"
+    );
+    println!(
+        "misses {} (disabled, {} fault-attributed) -> {} (enabled)",
+        base_an.total_misses(),
+        injected,
+        hard_an.total_misses()
+    );
+    Ok(())
+}

@@ -3,6 +3,10 @@
 //! ```text
 //! predvfs export <benchmark> [out.rtl]      write a built-in design as RTL text
 //! predvfs analyze <design.rtl>              FSMs, counters, waits, features, area, WCET
+//! predvfs analyze <trace.jsonl> [--perfetto out.json]
+//!                                           serve-trace analytics: slack quantiles,
+//!                                           level residency, energy attribution,
+//!                                           miss root-cause classification
 //! predvfs simulate <design.rtl> <jobs.txt>  cycle counts per job
 //! predvfs train <design.rtl> <jobs.txt>     fit the execution-time model
 //! predvfs slice <design.rtl> <jobs.txt> [out.rtl]
@@ -71,7 +75,14 @@ fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let outcome = match cmd {
         "export" => export(args.get(1), args.get(2)),
-        "analyze" => analyze(required(args, 1, "design file")?),
+        "analyze" => {
+            let target = required(args, 1, "design file or trace .jsonl")?;
+            if target.ends_with(".jsonl") {
+                analyze_trace(target, &args[2..])
+            } else {
+                analyze(target)
+            }
+        }
         "simulate" => simulate(
             required(args, 1, "design file")?,
             required(args, 2, "jobs file")?,
@@ -174,6 +185,19 @@ fn write_observability(opts: &CliOptions) -> Result<(), Box<dyn std::error::Erro
     let Some(rec) = predvfs_obs::recorder() else {
         return Ok(());
     };
+    let dropped = rec.ring().dropped();
+    if dropped > 0 {
+        // Surface the truncation in the metrics themselves (before the
+        // export below) and loudly on stderr: a silently truncated trace
+        // corrupts every downstream analyzer statistic.
+        rec.registry()
+            .counter("predvfs_obs_trace_dropped_total")
+            .add(dropped);
+        eprintln!(
+            "warning: trace ring evicted {dropped} events; the JSONL export is \
+             truncated (a trace_truncated meta event marks it)"
+        );
+    }
     if let Some(path) = &opts.metrics_out {
         fs::write(path, rec.registry().prometheus_text())?;
         eprintln!("wrote metrics to {path}");
@@ -200,15 +224,45 @@ fn write_observability(opts: &CliOptions) -> Result<(), Box<dyn std::error::Erro
         println!("  {name:<44} {value:>14}");
     }
     if !histograms.is_empty() {
-        println!("  {:<44} {:>14} {:>16}", "histogram", "count", "mean");
-        for (name, count, sum) in &histograms {
+        let quantiles = rec.registry().histogram_quantiles();
+        println!(
+            "  {:<44} {:>10} {:>12} {:>12} {:>12}",
+            "histogram", "count", "mean", "p50", "p99"
+        );
+        for ((name, count, sum), (_, p50, _, p99)) in histograms.iter().zip(&quantiles) {
             let mean = if *count == 0 {
                 0.0
             } else {
                 sum / *count as f64
             };
-            println!("  {name:<44} {count:>14} {mean:>16.6}");
+            println!("  {name:<44} {count:>10} {mean:>12.6} {p50:>12.6} {p99:>12.6}");
         }
+    }
+    Ok(())
+}
+
+/// Analyzes a serve-runtime JSONL trace: per-stream slack quantiles,
+/// level residency, energy attribution, and miss root-cause counts, with
+/// an optional Chrome trace-event export for Perfetto.
+fn analyze_trace(path: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut perfetto: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--perfetto" {
+            let out = it.next().ok_or("`--perfetto` needs an output path")?;
+            perfetto = Some(out.clone());
+        } else if let Some(v) = a.strip_prefix("--perfetto=") {
+            perfetto = Some(v.to_owned());
+        } else {
+            return Err(format!("unexpected trace-analyze argument `{a}`").into());
+        }
+    }
+    let text = fs::read_to_string(path)?;
+    let analysis = predvfs_obs::TraceAnalysis::from_jsonl(&text)?;
+    print!("{}", analysis.report());
+    if let Some(out) = perfetto {
+        fs::write(&out, analysis.to_perfetto())?;
+        eprintln!("wrote perfetto trace to {out}");
     }
     Ok(())
 }
@@ -219,6 +273,7 @@ predvfs — execution-time prediction for energy-efficient accelerators
 USAGE:
   predvfs export <benchmark> [out.rtl]
   predvfs analyze <design.rtl>
+  predvfs analyze <trace.jsonl> [--perfetto <out.json>]
   predvfs simulate <design.rtl> <jobs.txt>
   predvfs train <design.rtl> <jobs.txt>
   predvfs slice <design.rtl> <jobs.txt> [out.rtl]
@@ -257,6 +312,14 @@ burst, spurious_done).
 `--demo` runs a built-in 4-stream scenario with drift and backpressure.
 `chaos` runs the same plan twice — degradation off, then on — and prints
 the per-stream comparison.
+
+`analyze` on a `.jsonl` file (a `--trace-out` export) reconstructs the
+per-job timelines and reports per-stream slack quantiles, level
+residency, energy attribution, and a deterministic root cause for every
+deadline miss (quarantine_safe_mode | injected_fault | switch_stall |
+queueing_delay | mispredict | unattributed). `--perfetto <out.json>`
+additionally writes the timelines as Chrome trace-event JSON for
+Perfetto / chrome://tracing.
 ";
 
 fn required<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {

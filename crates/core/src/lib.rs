@@ -74,7 +74,10 @@ pub use error::CoreError;
 pub use governors::{IntervalGovernor, WcetController};
 pub use hybrid::HybridController;
 pub use model::ExecTimeModel;
-pub use online::{AdaptState, AdaptiveController, OnlineTrainer, OnlineTrainerConfig};
+pub use online::{
+    AdaptState, AdaptiveController, CalibrationConfig, CalibrationMonitor, OnlineTrainer,
+    OnlineTrainerConfig,
+};
 pub use slicer::{SliceFlavor, SlicePredictor, SliceRun, SliceRunner};
 pub use software::{CpuModel, SoftwarePrediction, SoftwarePredictor};
 pub use train::{TrainerConfig, TrainingData};

@@ -86,6 +86,168 @@ impl Default for OnlineTrainerConfig {
     }
 }
 
+/// Configuration of a [`CalibrationMonitor`].
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationConfig {
+    /// Rolling-window capacity (prediction/actual pairs kept).
+    pub window: usize,
+    /// Slack band for the under-prediction flag: a job counts as
+    /// under-predicted only when `actual > predicted·(1 + slack)`.
+    pub underpred_slack: f64,
+    /// Coverage below this floor (with a full window) raises
+    /// [`CalibrationMonitor::alert`].
+    pub coverage_floor: f64,
+    /// EWMA smoothing factor for the residual ratio.
+    pub ewma_alpha: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        let t = OnlineTrainerConfig::default();
+        CalibrationConfig {
+            window: t.detect_window,
+            underpred_slack: t.underpred_slack,
+            coverage_floor: 1.0 - t.underpred_threshold,
+            ewma_alpha: t.ewma_alpha,
+        }
+    }
+}
+
+/// Rolling-window prediction-quality monitor over `(predicted, actual)`
+/// cycle pairs: under-prediction rate (the error direction that costs
+/// deadline misses), its complement *coverage* (the fraction of jobs the
+/// prediction covered within the slack band), mean absolute percentage
+/// error, and the EWMA residual ratio actual/predicted.
+///
+/// [`OnlineTrainer`] owns one and derives its drift decision from the
+/// same window, so the refit trigger and the exported calibration gauges
+/// can never disagree about what the recent past looked like.
+#[derive(Debug, Clone)]
+pub struct CalibrationMonitor {
+    config: CalibrationConfig,
+    /// `(predicted, actual)` pairs, oldest first.
+    pairs: VecDeque<(f64, f64)>,
+    /// EWMA of actual/predicted.
+    ratio: f64,
+}
+
+impl CalibrationMonitor {
+    /// An empty monitor.
+    pub fn new(config: CalibrationConfig) -> CalibrationMonitor {
+        CalibrationMonitor {
+            config: CalibrationConfig {
+                window: config.window.max(1),
+                ..config
+            },
+            pairs: VecDeque::new(),
+            ratio: 1.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CalibrationConfig {
+        &self.config
+    }
+
+    /// Records one completed job's raw prediction and measured cycles.
+    pub fn record(&mut self, predicted: f64, actual: f64) {
+        self.pairs.push_back((predicted, actual));
+        while self.pairs.len() > self.config.window {
+            self.pairs.pop_front();
+        }
+        if predicted > 0.0 {
+            let a = self.config.ewma_alpha;
+            self.ratio = (1.0 - a) * self.ratio + a * (actual / predicted);
+        }
+    }
+
+    /// Pairs currently in the window.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether the window has filled to capacity.
+    pub fn is_full(&self) -> bool {
+        self.pairs.len() >= self.config.window
+    }
+
+    fn is_under(&self, predicted: f64, actual: f64) -> bool {
+        actual > predicted * (1.0 + self.config.underpred_slack)
+    }
+
+    /// Fraction of windowed jobs whose actual exceeded the prediction by
+    /// more than the slack band (0 when empty).
+    pub fn under_rate(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let under = self
+            .pairs
+            .iter()
+            .filter(|&&(p, a)| self.is_under(p, a))
+            .count();
+        under as f64 / self.pairs.len() as f64
+    }
+
+    /// Fraction of windowed jobs the prediction covered: `1 − under_rate`
+    /// (1 when empty — no evidence of miscalibration).
+    pub fn coverage(&self) -> f64 {
+        1.0 - self.under_rate()
+    }
+
+    /// Mean absolute percentage error over the window (0 when empty;
+    /// pairs with a non-positive actual are skipped).
+    pub fn mape(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(p, a) in &self.pairs {
+            if a > 0.0 {
+                sum += (a - p).abs() / a;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// The EWMA residual-ratio estimate (actual / predicted).
+    pub fn residual_ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Length of the trailing run of under-predicting pairs — the
+    /// observations that are definitely post-drift.
+    pub fn trailing_under(&self) -> usize {
+        self.pairs
+            .iter()
+            .rev()
+            .take_while(|&&(p, a)| self.is_under(p, a))
+            .count()
+    }
+
+    /// Whether coverage has fallen below the configured floor over a full
+    /// window. Partial windows never alert — a single early
+    /// under-prediction is not a calibration statement.
+    pub fn alert(&self) -> bool {
+        self.is_full() && self.coverage() < self.config.coverage_floor
+    }
+
+    /// Clears the window and resets the residual ratio (after a refit:
+    /// the old pairs describe the replaced model).
+    pub fn reset(&mut self) {
+        self.pairs.clear();
+        self.ratio = 1.0;
+    }
+}
+
 /// Health of the online model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdaptState {
@@ -102,10 +264,10 @@ pub struct OnlineTrainer {
     config: OnlineTrainerConfig,
     /// `(features, actual cycles)` observations, oldest first.
     window: VecDeque<(Vec<f64>, f64)>,
-    /// Under-prediction flags of the most recent jobs.
-    recent_under: VecDeque<bool>,
-    /// EWMA of actual/predicted.
-    ratio: f64,
+    /// Prediction-quality monitor over the detect window; drift decisions
+    /// are derived from it, so exported calibration gauges and the refit
+    /// trigger always describe the same window.
+    monitor: CalibrationMonitor,
     state: AdaptState,
     refits: usize,
     samples_since_drift: usize,
@@ -117,8 +279,12 @@ impl OnlineTrainer {
         OnlineTrainer {
             config,
             window: VecDeque::new(),
-            recent_under: VecDeque::new(),
-            ratio: 1.0,
+            monitor: CalibrationMonitor::new(CalibrationConfig {
+                window: config.detect_window,
+                underpred_slack: config.underpred_slack,
+                coverage_floor: 1.0 - config.underpred_threshold,
+                ewma_alpha: config.ewma_alpha,
+            }),
             state: AdaptState::Healthy,
             refits: 0,
             samples_since_drift: 0,
@@ -137,7 +303,12 @@ impl OnlineTrainer {
 
     /// The EWMA residual-ratio estimate (actual / predicted).
     pub fn residual_ratio(&self) -> f64 {
-        self.ratio
+        self.monitor.residual_ratio()
+    }
+
+    /// The prediction-quality monitor the drift decision is derived from.
+    pub fn monitor(&self) -> &CalibrationMonitor {
+        &self.monitor
     }
 
     /// Observations currently held in the sliding window.
@@ -153,15 +324,7 @@ impl OnlineTrainer {
         while self.window.len() > self.config.window {
             self.window.pop_front();
         }
-        self.recent_under
-            .push_back(actual > predicted * (1.0 + self.config.underpred_slack));
-        while self.recent_under.len() > self.config.detect_window {
-            self.recent_under.pop_front();
-        }
-        if predicted > 0.0 {
-            let a = self.config.ewma_alpha;
-            self.ratio = (1.0 - a) * self.ratio + a * (actual / predicted);
-        }
+        self.monitor.record(predicted, actual);
         match self.state {
             AdaptState::Healthy => {
                 if self.drift_detected() {
@@ -169,13 +332,7 @@ impl OnlineTrainer {
                     // Pre-drift rows would poison the refit; keep only the
                     // trailing run of under-predicting observations — the
                     // ones that are definitely post-drift.
-                    let trailing = self
-                        .recent_under
-                        .iter()
-                        .rev()
-                        .take_while(|&&u| u)
-                        .count()
-                        .max(1);
+                    let trailing = self.monitor.trailing_under().max(1);
                     while self.window.len() > trailing {
                         self.window.pop_front();
                     }
@@ -187,12 +344,11 @@ impl OnlineTrainer {
     }
 
     fn drift_detected(&self) -> bool {
-        if self.recent_under.len() < self.config.detect_window {
+        if !self.monitor.is_full() {
             return false;
         }
-        let under = self.recent_under.iter().filter(|&&u| u).count() as f64;
-        let rate = under / self.recent_under.len() as f64;
-        rate >= self.config.underpred_threshold || self.ratio >= self.config.ratio_threshold
+        self.monitor.under_rate() >= self.config.underpred_threshold
+            || self.monitor.residual_ratio() >= self.config.ratio_threshold
     }
 
     /// Attempts a recovery refit of `model` on the post-drift window.
@@ -214,8 +370,7 @@ impl OnlineTrainer {
                 self.refits += 1;
                 predvfs_obs::global().counter_add("predvfs_online_refits_total", 1);
                 self.state = AdaptState::Healthy;
-                self.recent_under.clear();
-                self.ratio = 1.0;
+                self.monitor.reset();
                 self.samples_since_drift = 0;
                 Some(refit)
             }
@@ -487,6 +642,91 @@ mod tests {
             min_refit_samples: 6,
             ..OnlineTrainerConfig::default()
         }
+    }
+
+    #[test]
+    fn calibration_monitor_tracks_rates_and_alerts() {
+        let mut mon = CalibrationMonitor::new(CalibrationConfig {
+            window: 4,
+            underpred_slack: 0.05,
+            coverage_floor: 0.5,
+            ewma_alpha: 0.5,
+        });
+        assert!(mon.is_empty());
+        assert_eq!(mon.coverage(), 1.0, "empty window is not miscalibrated");
+        assert!(!mon.alert());
+        // Two covered, one borderline (inside the slack band), one under.
+        mon.record(100.0, 90.0);
+        mon.record(100.0, 104.0);
+        mon.record(100.0, 100.0);
+        mon.record(100.0, 200.0);
+        assert!(mon.is_full());
+        assert!((mon.under_rate() - 0.25).abs() < 1e-12);
+        assert!((mon.coverage() - 0.75).abs() < 1e-12);
+        let want_mape = ((10.0 / 90.0) + (4.0 / 104.0) + 0.0 + (100.0 / 200.0)) / 4.0;
+        assert!((mon.mape() - want_mape).abs() < 1e-12);
+        assert_eq!(mon.trailing_under(), 1);
+        assert!(!mon.alert(), "coverage 0.75 is above the 0.5 floor");
+        // Two more under-predictions roll the covered pairs out.
+        mon.record(100.0, 180.0);
+        mon.record(100.0, 190.0);
+        assert!((mon.under_rate() - 0.75).abs() < 1e-12);
+        assert!(mon.alert(), "coverage 0.25 is below the 0.5 floor");
+        assert!(mon.residual_ratio() > 1.0);
+        assert_eq!(mon.trailing_under(), 3);
+        mon.reset();
+        assert!(mon.is_empty());
+        assert_eq!(mon.residual_ratio(), 1.0);
+        assert!(!mon.alert());
+    }
+
+    #[test]
+    fn partial_window_never_alerts() {
+        let mut mon = CalibrationMonitor::new(CalibrationConfig {
+            window: 8,
+            ..CalibrationConfig::default()
+        });
+        for _ in 0..7 {
+            mon.record(100.0, 300.0);
+        }
+        assert_eq!(mon.coverage(), 0.0);
+        assert!(
+            !mon.alert(),
+            "a partial window is not a calibration statement"
+        );
+        mon.record(100.0, 300.0);
+        assert!(mon.alert());
+    }
+
+    #[test]
+    fn trainer_drift_agrees_with_its_monitor() {
+        let s = schema();
+        let (model, bias, col) = model_and_col(&s);
+        let mut tr = OnlineTrainer::new(quick_config());
+        for i in 0..30 {
+            let f = features(&s, bias, col, 10.0 + i as f64);
+            let p = model.predict_cycles(&f);
+            tr.record(&f, p, p * 2.0);
+            // The shared window guarantees the exported calibration alert
+            // and the refit trigger can never disagree: whenever the
+            // trainer has degraded, the monitor is alerting (they read the
+            // same pairs), and while the monitor stays quiet on a full
+            // window the trainer stays healthy.
+            if tr.state() == AdaptState::Degraded {
+                assert!(
+                    tr.monitor().alert(),
+                    "degraded trainer with a quiet monitor"
+                );
+                return;
+            }
+            if tr.monitor().is_full() {
+                assert!(
+                    !tr.monitor().alert() || tr.state() == AdaptState::Degraded,
+                    "alerting monitor with a healthy trainer"
+                );
+            }
+        }
+        panic!("sustained 2x under-prediction never degraded the trainer");
     }
 
     #[test]

@@ -1,0 +1,977 @@
+//! Offline analysis of serve-runtime JSONL traces.
+//!
+//! The serve engine emits one JSON object per event (see
+//! [`crate::kinds`]); this module ingests that stream, reconstructs
+//! per-job timelines, and renders a deterministic plain-text report:
+//! per-stream slack quantiles, level residency, energy attribution, and
+//! — the part a dashboard cannot do after the fact — **miss root-cause
+//! classification**: every deadline miss is assigned exactly one cause
+//! by a fixed precedence rule, so per-cause counts always sum to the
+//! total misses. [`TraceAnalysis::to_perfetto`] additionally exports the
+//! timelines as Chrome trace-event JSON for visual inspection in
+//! Perfetto or `chrome://tracing`.
+//!
+//! Everything here is derived from the trace text alone (no shared state
+//! with the engine), and every collection is keyed by `BTreeMap` or
+//! sorted explicitly, so a given trace byte-produces one report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::kinds;
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeError {
+    /// 1-based line number of the offending event.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// A decoded flat-JSON field value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+/// One parsed trace line: the ordered fields of a flat JSON object.
+#[derive(Debug, Clone, Default)]
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Value::Num(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn u64(&self, key: &str) -> Option<u64> {
+        self.num(key).map(|v| v as u64)
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> bool {
+        match self.get(key) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k":v,...}` with string / number /
+/// bool / null values — the exact shape [`crate::TraceEvent::to_json`]
+/// emits). Nested objects and arrays are rejected: the trace format is
+/// flat by construction, and a parser that guesses would misattribute.
+fn parse_flat_object(line: &str) -> Result<Fields, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && (bytes[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Result<String, String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at byte {i}", i = *i));
+        }
+        *i += 1;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = bytes.get(*i) else {
+                return Err("unterminated string".to_owned());
+            };
+            *i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = bytes.get(*i) else {
+                        return Err("unterminated escape".to_owned());
+                    };
+                    *i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = line
+                                .get(*i..*i + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            *i += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let start = *i - 1;
+                    let mut end = *i;
+                    while end < bytes.len() && (bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(&line[start..end]);
+                    *i = end;
+                }
+            }
+        }
+    };
+
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return Err("expected '{'".to_owned());
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        return Ok(Fields(fields));
+    }
+    loop {
+        skip_ws(&mut i);
+        let key = parse_string(&mut i)?;
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match bytes.get(i) {
+            Some(b'"') => Value::Str(parse_string(&mut i)?),
+            Some(b't') if line[i..].starts_with("true") => {
+                i += 4;
+                Value::Bool(true)
+            }
+            Some(b'f') if line[i..].starts_with("false") => {
+                i += 5;
+                Value::Bool(false)
+            }
+            Some(b'n') if line[i..].starts_with("null") => {
+                i += 4;
+                Value::Null
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' || *c == b'+' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                let text = &line[start..i];
+                Value::Num(
+                    text.parse::<f64>()
+                        .map_err(|_| format!("bad number {text:?}"))?,
+                )
+            }
+            _ => {
+                return Err(format!(
+                    "unsupported value for key {key:?} (flat JSON only)"
+                ))
+            }
+        };
+        fields.push((key, value));
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => break,
+            _ => return Err("expected ',' or '}'".to_owned()),
+        }
+    }
+    Ok(Fields(fields))
+}
+
+/// Why a deadline miss happened, by fixed precedence (first match wins),
+/// so every miss lands in exactly one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MissCause {
+    /// The stream was quarantined: service ran in safe mode at the
+    /// nominal level, deliberately trading misses for containment.
+    QuarantineSafeMode,
+    /// A non-switch injected fault hit this job (trace spike, slice
+    /// corruption/timeout, clock jitter, arrival burst, spurious done).
+    InjectedFault,
+    /// A level switch was rejected, stalled, retried, or abandoned while
+    /// serving this job.
+    SwitchStall,
+    /// The job waited in the admission queue long enough that service
+    /// alone would have met the deadline.
+    QueueingDelay,
+    /// The execution-time prediction under-shot (or the controller was
+    /// in its degraded fallback) and the chosen level was too slow.
+    Mispredict,
+    /// None of the above explains the miss.
+    Unattributed,
+}
+
+impl MissCause {
+    /// All causes in precedence (and report) order.
+    pub const ALL: [MissCause; 6] = [
+        MissCause::QuarantineSafeMode,
+        MissCause::InjectedFault,
+        MissCause::SwitchStall,
+        MissCause::QueueingDelay,
+        MissCause::Mispredict,
+        MissCause::Unattributed,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissCause::QuarantineSafeMode => "quarantine_safe_mode",
+            MissCause::InjectedFault => "injected_fault",
+            MissCause::SwitchStall => "switch_stall",
+            MissCause::QueueingDelay => "queueing_delay",
+            MissCause::Mispredict => "mispredict",
+            MissCause::Unattributed => "unattributed",
+        }
+    }
+
+    fn index(self) -> usize {
+        MissCause::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("listed")
+    }
+}
+
+/// One reconstructed job timeline.
+#[derive(Debug, Clone)]
+pub struct JobTimeline {
+    /// Job index within its stream.
+    pub job: u64,
+    /// Arrival (admission) time, virtual seconds.
+    pub arrival_s: f64,
+    /// Completion time, virtual seconds.
+    pub done_s: f64,
+    /// Arrival-to-completion latency, seconds.
+    pub response_s: f64,
+    /// Time spent waiting in the admission queue, seconds.
+    pub queue_s: f64,
+    /// Relative deadline the job was served under, seconds.
+    pub deadline_s: f64,
+    /// Deadline slack (negative = missed), seconds.
+    pub slack_s: f64,
+    /// Whether the deadline was missed.
+    pub missed: bool,
+    /// Whether admission stretched the deadline.
+    pub relaxed: bool,
+    /// Whether the controller was in its degraded fallback.
+    pub degraded: bool,
+    /// Whether the deadline watchdog escalated the job mid-flight.
+    pub escalated: bool,
+    /// Whether the job ran in quarantine safe mode.
+    pub safe_mode: bool,
+    /// Level ordinal the job executed at.
+    pub level: u64,
+    /// Total job energy, picojoules.
+    pub energy_pj: f64,
+    /// Feature-slice share of the energy, picojoules.
+    pub slice_pj: f64,
+    /// Raw model prediction, cycles (absent in safe mode / PID).
+    pub predicted_cycles: Option<f64>,
+    /// Ground-truth cycles as served.
+    pub actual_cycles: u64,
+    /// Names of injected faults that fired on this job.
+    pub faults: Vec<String>,
+    /// Switch retries / abandons observed while serving this job.
+    pub switch_events: u32,
+    /// Root cause, populated for missed jobs.
+    pub cause: Option<MissCause>,
+}
+
+impl JobTimeline {
+    /// Applies the fixed-precedence classification. The if-else chain is
+    /// the determinism argument: exactly one branch assigns.
+    fn classify(&self) -> MissCause {
+        let switch_fault = self
+            .faults
+            .iter()
+            .any(|f| f == "switch_reject" || f == "switch_stall");
+        let other_fault = self
+            .faults
+            .iter()
+            .any(|f| f != "switch_reject" && f != "switch_stall");
+        if self.safe_mode {
+            MissCause::QuarantineSafeMode
+        } else if other_fault {
+            MissCause::InjectedFault
+        } else if switch_fault || self.switch_events > 0 {
+            MissCause::SwitchStall
+        } else if self.queue_s > 0.0 && self.response_s - self.queue_s <= self.deadline_s {
+            MissCause::QueueingDelay
+        } else if self.degraded
+            || self
+                .predicted_cycles
+                .is_some_and(|p| (self.actual_cycles as f64) > p)
+        {
+            MissCause::Mispredict
+        } else {
+            MissCause::Unattributed
+        }
+    }
+}
+
+/// Per-stream aggregation of a trace.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSummary {
+    /// Stream name (the event scope).
+    pub name: String,
+    /// Arrivals observed.
+    pub arrivals: usize,
+    /// Jobs that completed service.
+    pub jobs_done: usize,
+    /// Completed jobs that missed their deadline.
+    pub missed: usize,
+    /// Arrivals dropped by the shed policy.
+    pub shed: usize,
+    /// Arrivals admitted with a stretched deadline.
+    pub relaxed: usize,
+    /// Injected faults that fired.
+    pub faults: usize,
+    /// Quarantine engagements.
+    pub quarantines: usize,
+    /// Total energy across completed jobs, picojoules.
+    pub energy_pj: f64,
+    /// Feature-slice share of that energy, picojoules.
+    pub slice_pj: f64,
+    /// Energy spent on jobs that went on to miss, picojoules.
+    pub missed_energy_pj: f64,
+    /// Miss counts by [`MissCause`] precedence order.
+    pub cause_counts: [usize; 6],
+    /// Completed-job timelines, job-ordered.
+    pub jobs: Vec<JobTimeline>,
+    /// `level → virtual seconds resident`, from switch events.
+    pub residency_s: BTreeMap<u64, f64>,
+    /// `level → completed jobs executed there`.
+    pub level_jobs: BTreeMap<u64, usize>,
+}
+
+impl StreamSummary {
+    /// Slack quantile over completed jobs by linear interpolation on the
+    /// sorted samples (`None` when no jobs completed).
+    pub fn slack_quantile(&self, q: f64) -> Option<f64> {
+        let mut slack: Vec<f64> = self.jobs.iter().map(|j| j.slack_s).collect();
+        if slack.is_empty() {
+            return None;
+        }
+        slack.sort_by(|a, b| a.partial_cmp(b).expect("slack is finite"));
+        let pos = q.clamp(0.0, 1.0) * (slack.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(slack[lo] + (slack[hi] - slack[lo]) * frac)
+    }
+}
+
+/// A fully ingested trace, ready to report on.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// Per-stream summaries, name-sorted.
+    pub streams: BTreeMap<String, StreamSummary>,
+    /// Events ingested (excluding the truncation meta event).
+    pub events: usize,
+    /// Events the producer's ring evicted before export, if its
+    /// `trace_truncated` meta event was present.
+    pub truncated_dropped: Option<u64>,
+    /// Latest event timestamp, virtual seconds.
+    pub horizon_s: f64,
+}
+
+/// Per-stream transient state while ingesting.
+#[derive(Debug, Default)]
+struct StreamScratch {
+    /// `job → arrival time` for jobs whose completion is pending.
+    arrivals: BTreeMap<u64, f64>,
+    /// `job → fault kind names` fired on that job.
+    faults: BTreeMap<u64, Vec<String>>,
+    /// `job → switch retry/abandon count`.
+    switches: BTreeMap<u64, u32>,
+    /// `(time, level)` change points for residency.
+    level_points: Vec<(f64, u64)>,
+    /// Level before the first recorded switch.
+    initial_level: Option<u64>,
+}
+
+impl TraceAnalysis {
+    /// Ingests a JSONL trace (one event object per line; blank lines are
+    /// skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line. Unknown event kinds are ignored
+    /// — forward compatibility — but a line that is not a flat JSON
+    /// event object is an error, not a skip: silently dropping lines
+    /// would corrupt every count downstream.
+    pub fn from_jsonl(text: &str) -> Result<TraceAnalysis, AnalyzeError> {
+        let mut out = TraceAnalysis::default();
+        let mut scratch: BTreeMap<String, StreamScratch> = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = parse_flat_object(line).map_err(|message| AnalyzeError {
+                line: lineno + 1,
+                message,
+            })?;
+            let err = |message: &str| AnalyzeError {
+                line: lineno + 1,
+                message: message.to_owned(),
+            };
+            let t_s = fields.num("t_s").ok_or_else(|| err("missing t_s"))?;
+            let scope = fields.str("scope").ok_or_else(|| err("missing scope"))?;
+            let kind = fields.str("event").ok_or_else(|| err("missing event"))?;
+            if kind == kinds::TRACE_TRUNCATED {
+                let dropped = fields.u64("dropped").unwrap_or(0);
+                out.truncated_dropped =
+                    Some(out.truncated_dropped.unwrap_or(0).saturating_add(dropped));
+                continue;
+            }
+            out.events += 1;
+            out.horizon_s = out.horizon_s.max(t_s);
+            let stream = out
+                .streams
+                .entry(scope.to_owned())
+                .or_insert_with(|| StreamSummary {
+                    name: scope.to_owned(),
+                    ..StreamSummary::default()
+                });
+            let sc = scratch.entry(scope.to_owned()).or_default();
+            match kind {
+                kinds::ARRIVAL => {
+                    stream.arrivals += 1;
+                    if let Some(job) = fields.u64("job") {
+                        sc.arrivals.insert(job, t_s);
+                    }
+                }
+                kinds::SHED => stream.shed += 1,
+                kinds::RELAX => stream.relaxed += 1,
+                kinds::FAULT => {
+                    stream.faults += 1;
+                    let fault = fields
+                        .str("kind")
+                        .ok_or_else(|| err("fault without kind"))?;
+                    let job = fields.u64("job").ok_or_else(|| err("fault without job"))?;
+                    sc.faults.entry(job).or_default().push(fault.to_owned());
+                }
+                kinds::SWITCH_RETRY | kinds::SWITCH_FAILED => {
+                    let job = fields.u64("job").ok_or_else(|| err("switch without job"))?;
+                    *sc.switches.entry(job).or_insert(0) += 1;
+                }
+                kinds::LEVEL_SWITCH | kinds::WATCHDOG_BOOST => {
+                    if let (Some(from), Some(to)) =
+                        (fields.u64("from_level"), fields.u64("to_level"))
+                    {
+                        if sc.initial_level.is_none() {
+                            sc.initial_level = Some(from);
+                        }
+                        sc.level_points.push((t_s, to));
+                    }
+                    // A watchdog escalation also changes the level; the
+                    // classification sees it through the job_done
+                    // `escalated` flag, so nothing job-specific to track.
+                }
+                kinds::QUARANTINE if fields.bool_or("engaged", false) => {
+                    stream.quarantines += 1;
+                }
+                kinds::JOB_DONE => {
+                    let job = fields
+                        .u64("job")
+                        .ok_or_else(|| err("job_done without job"))?;
+                    let response_s = fields
+                        .num("response_s")
+                        .ok_or_else(|| err("job_done without response_s"))?;
+                    let slack_s = fields
+                        .num("slack_s")
+                        .ok_or_else(|| err("job_done without slack_s"))?;
+                    // Older traces lack queue_s/deadline_s; derive what
+                    // is derivable and default the rest conservatively.
+                    let deadline_s = fields.num("deadline_s").unwrap_or(response_s + slack_s);
+                    let queue_s = fields.num("queue_s").unwrap_or(0.0);
+                    let arrival_s = sc.arrivals.remove(&job).unwrap_or(t_s - response_s);
+                    let mut timeline = JobTimeline {
+                        job,
+                        arrival_s,
+                        done_s: t_s,
+                        response_s,
+                        queue_s,
+                        deadline_s,
+                        slack_s,
+                        missed: fields.bool_or("missed", false),
+                        relaxed: fields.bool_or("relaxed", false),
+                        degraded: fields.bool_or("degraded", false),
+                        escalated: fields.bool_or("escalated", false),
+                        safe_mode: fields.bool_or("safe_mode", false),
+                        level: fields.u64("level").unwrap_or(0),
+                        energy_pj: fields.num("energy_pj").unwrap_or(0.0),
+                        slice_pj: fields.num("slice_pj").unwrap_or(0.0),
+                        predicted_cycles: fields.num("predicted_cycles"),
+                        actual_cycles: fields.u64("actual_cycles").unwrap_or(0),
+                        faults: sc.faults.remove(&job).unwrap_or_default(),
+                        switch_events: sc.switches.remove(&job).unwrap_or(0),
+                        cause: None,
+                    };
+                    stream.jobs_done += 1;
+                    stream.energy_pj += timeline.energy_pj;
+                    stream.slice_pj += timeline.slice_pj;
+                    *stream.level_jobs.entry(timeline.level).or_insert(0) += 1;
+                    if timeline.missed {
+                        stream.missed += 1;
+                        stream.missed_energy_pj += timeline.energy_pj;
+                        let cause = timeline.classify();
+                        timeline.cause = Some(cause);
+                        stream.cause_counts[cause.index()] += 1;
+                    }
+                    stream.jobs.push(timeline);
+                }
+                _ => {}
+            }
+        }
+        // Level residency: walk each stream's change points over
+        // [0, horizon].
+        for (name, sc) in scratch {
+            let stream = out.streams.get_mut(&name).expect("scratch implies stream");
+            let start_level = sc
+                .initial_level
+                .or_else(|| stream.jobs.first().map(|j| j.level));
+            let Some(start_level) = start_level else {
+                continue;
+            };
+            let mut level = start_level;
+            let mut t = 0.0f64;
+            for &(at, to) in &sc.level_points {
+                *stream.residency_s.entry(level).or_insert(0.0) += (at - t).max(0.0);
+                level = to;
+                t = at;
+            }
+            *stream.residency_s.entry(level).or_insert(0.0) += (out.horizon_s - t).max(0.0);
+        }
+        Ok(out)
+    }
+
+    /// Total deadline misses across streams.
+    pub fn total_misses(&self) -> usize {
+        self.streams.values().map(|s| s.missed).sum()
+    }
+
+    /// Renders the deterministic plain-text report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# trace analysis");
+        let _ = writeln!(
+            out,
+            "events: {}  streams: {}  horizon_s: {:.6}",
+            self.events,
+            self.streams.len(),
+            self.horizon_s
+        );
+        if let Some(dropped) = self.truncated_dropped {
+            let _ = writeln!(
+                out,
+                "WARNING: trace truncated at the source ({dropped} events evicted); \
+                 counts below undercount the full run"
+            );
+        }
+        let total_misses = self.total_misses();
+        let mut total_causes = [0usize; 6];
+        for s in self.streams.values() {
+            for (acc, c) in total_causes.iter_mut().zip(s.cause_counts.iter()) {
+                *acc += c;
+            }
+        }
+        let _ = writeln!(out, "\n## miss root causes (all streams)");
+        let _ = writeln!(out, "misses: {total_misses}");
+        for cause in MissCause::ALL {
+            let _ = writeln!(
+                out,
+                "  {:<22} {}",
+                cause.name(),
+                total_causes[cause.index()]
+            );
+        }
+        for s in self.streams.values() {
+            let _ = writeln!(out, "\n## stream {}", s.name);
+            let _ = writeln!(
+                out,
+                "arrivals: {}  done: {}  missed: {}  shed: {}  relaxed: {}  \
+                 faults: {}  quarantines: {}",
+                s.arrivals, s.jobs_done, s.missed, s.shed, s.relaxed, s.faults, s.quarantines
+            );
+            if let (Some(p50), Some(p95), Some(p99)) = (
+                s.slack_quantile(0.5),
+                s.slack_quantile(0.05),
+                s.slack_quantile(0.01),
+            ) {
+                // Slack is "good when high": the tail quantiles of
+                // interest are the *low* ones (worst 5 % / 1 %).
+                let _ = writeln!(
+                    out,
+                    "slack_s: p50={p50:.6}  worst5%={p95:.6}  worst1%={p99:.6}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "energy_pj: total={:.3}  slice={:.3} ({:.1}%)  on_missed={:.3} ({:.1}%)",
+                s.energy_pj,
+                s.slice_pj,
+                percent(s.slice_pj, s.energy_pj),
+                s.missed_energy_pj,
+                percent(s.missed_energy_pj, s.energy_pj),
+            );
+            if !s.residency_s.is_empty() {
+                let total: f64 = s.residency_s.values().sum();
+                let _ = writeln!(out, "level residency:");
+                for (level, dwell) in &s.residency_s {
+                    let _ = writeln!(
+                        out,
+                        "  level {:<3} {:>12.6}s  {:>5.1}%  jobs {}",
+                        level,
+                        dwell,
+                        percent(*dwell, total),
+                        s.level_jobs.get(level).copied().unwrap_or(0)
+                    );
+                }
+            }
+            if s.missed > 0 {
+                let _ = writeln!(out, "miss causes:");
+                for cause in MissCause::ALL {
+                    let n = s.cause_counts[cause.index()];
+                    if n > 0 {
+                        let _ = writeln!(out, "  {:<22} {n}", cause.name());
+                    }
+                }
+                let missed_jobs: Vec<String> = s
+                    .jobs
+                    .iter()
+                    .filter(|j| j.missed)
+                    .map(|j| {
+                        format!(
+                            "job {} t={:.6} cause={}",
+                            j.job,
+                            j.done_s,
+                            j.cause.map_or("?", MissCause::name)
+                        )
+                    })
+                    .collect();
+                for line in missed_jobs {
+                    let _ = writeln!(out, "    {line}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Exports the reconstructed timelines as Chrome trace-event JSON
+    /// (the format Perfetto and `chrome://tracing` load): one complete
+    /// (`ph:"X"`) slice per job on its stream's track, plus instant
+    /// events for faults and alert edges. Timestamps are microseconds of
+    /// virtual time.
+    pub fn to_perfetto(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, item: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&item);
+        };
+        for (tid, stream) in self.streams.values().enumerate() {
+            let tid = tid + 1;
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    stream.name
+                ),
+            );
+            for job in &stream.jobs {
+                let cause = job
+                    .cause
+                    .map_or(String::new(), |c| format!(",\"cause\":\"{}\"", c.name()));
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"job {}\",\"cat\":\"{}\",\"ph\":\"X\",\
+                         \"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{tid},\
+                         \"args\":{{\"missed\":{},\"level\":{},\"energy_pj\":{:.3}{cause}}}}}",
+                        job.job,
+                        if job.missed { "miss" } else { "ok" },
+                        job.arrival_s * 1e6,
+                        job.response_s * 1e6,
+                        job.missed,
+                        job.level,
+                        job.energy_pj,
+                    ),
+                );
+                for fault in &job.faults {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"name\":\"{fault}\",\"cat\":\"fault\",\"ph\":\"i\",\
+                             \"ts\":{:.3},\"pid\":0,\"tid\":{tid},\"s\":\"t\"}}",
+                            job.arrival_s * 1e6,
+                        ),
+                    );
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn percent(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        100.0 * part / whole
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceEvent;
+
+    fn done(
+        t: f64,
+        scope: &str,
+        job: u64,
+        missed: bool,
+        queue_s: f64,
+        deadline_s: f64,
+    ) -> TraceEvent {
+        let response_s = queue_s + 0.001; // queue wait plus 1 ms service
+        TraceEvent::new(t, scope, kinds::JOB_DONE)
+            .with_u64("job", job)
+            .with_f64("response_s", response_s)
+            .with_f64("queue_s", queue_s)
+            .with_f64("deadline_s", deadline_s)
+            .with_f64("slack_s", deadline_s - response_s)
+            .with_bool("missed", missed)
+            .with_bool("relaxed", false)
+            .with_bool("degraded", false)
+            .with_u64("level", 2)
+            .with_f64("volts", 0.8)
+            .with_f64("energy_pj", 10.0)
+            .with_f64("slice_pj", 1.0)
+            .with_u64("actual_cycles", 1000)
+    }
+
+    fn jsonl(events: &[TraceEvent]) -> String {
+        let mut out = String::new();
+        for e in events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn parser_round_trips_event_json() {
+        let e = TraceEvent::new(1.5, "sha", "job_done")
+            .with_u64("job", 3)
+            .with_f64("slack_s", -2.5e-3)
+            .with_bool("missed", true)
+            .with_str("note", "a\"b\\c");
+        let f = parse_flat_object(&e.to_json()).unwrap();
+        assert_eq!(f.num("t_s"), Some(1.5));
+        assert_eq!(f.str("scope"), Some("sha"));
+        assert_eq!(f.u64("job"), Some(3));
+        assert_eq!(f.num("slack_s"), Some(-2.5e-3));
+        assert!(f.bool_or("missed", false));
+        assert_eq!(f.str("note"), Some("a\"b\\c"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_flat_object("not json").is_err());
+        assert!(parse_flat_object("{\"k\":").is_err());
+        assert!(parse_flat_object("{\"k\":[1]}").is_err());
+        let analysis = TraceAnalysis::from_jsonl("{\"broken\"\n");
+        assert!(analysis.is_err());
+        assert_eq!(analysis.unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn classification_precedence_is_exhaustive_and_exclusive() {
+        let mk = |safe_mode, faults: &[&str], switches, queue_s, degraded| JobTimeline {
+            job: 0,
+            arrival_s: 0.0,
+            done_s: 0.02,
+            response_s: 0.02,
+            queue_s,
+            deadline_s: 0.0167,
+            slack_s: 0.0167 - 0.02,
+            missed: true,
+            relaxed: false,
+            degraded,
+            escalated: false,
+            safe_mode,
+            level: 0,
+            energy_pj: 0.0,
+            slice_pj: 0.0,
+            predicted_cycles: Some(100.0),
+            actual_cycles: 200,
+            faults: faults.iter().map(|s| (*s).to_owned()).collect(),
+            switch_events: switches,
+            cause: None,
+        };
+        // Safe mode beats everything, even co-occurring faults.
+        assert_eq!(
+            mk(true, &["trace_spike"], 1, 0.01, true).classify(),
+            MissCause::QuarantineSafeMode
+        );
+        assert_eq!(
+            mk(false, &["trace_spike"], 1, 0.01, true).classify(),
+            MissCause::InjectedFault
+        );
+        assert_eq!(
+            mk(false, &["switch_reject"], 0, 0.01, true).classify(),
+            MissCause::SwitchStall
+        );
+        assert_eq!(
+            mk(false, &[], 2, 0.01, true).classify(),
+            MissCause::SwitchStall
+        );
+        // Queueing: service alone (0.02 − 0.01 = 0.01) fits the 0.0167
+        // deadline, so the wait is what killed it.
+        assert_eq!(
+            mk(false, &[], 0, 0.01, false).classify(),
+            MissCause::QueueingDelay
+        );
+        // No queue, actual above predicted: the model under-shot.
+        assert_eq!(
+            mk(false, &[], 0, 0.0, false).classify(),
+            MissCause::Mispredict
+        );
+        let mut covered = mk(false, &[], 0, 0.0, false);
+        covered.predicted_cycles = Some(300.0);
+        assert_eq!(covered.classify(), MissCause::Unattributed);
+    }
+
+    #[test]
+    fn per_class_counts_sum_to_total_misses() {
+        let events = vec![
+            TraceEvent::new(0.0, "sha", kinds::ARRIVAL).with_u64("job", 0),
+            TraceEvent::new(0.001, "sha", kinds::FAULT)
+                .with_str("kind", "trace_spike")
+                .with_u64("job", 0),
+            done(0.02, "sha", 0, true, 0.0, 0.0167),
+            TraceEvent::new(0.02, "sha", kinds::ARRIVAL).with_u64("job", 1),
+            done(0.06, "sha", 1, true, 0.025, 0.0167),
+            TraceEvent::new(0.06, "sha", kinds::ARRIVAL).with_u64("job", 2),
+            done(0.08, "sha", 2, false, 0.0, 0.0167),
+            TraceEvent::new(0.0, "md", kinds::ARRIVAL).with_u64("job", 0),
+            done(0.03, "md", 0, true, 0.0, 0.0167),
+        ];
+        let a = TraceAnalysis::from_jsonl(&jsonl(&events)).unwrap();
+        assert_eq!(a.total_misses(), 3);
+        let class_sum: usize = a.streams.values().flat_map(|s| s.cause_counts.iter()).sum();
+        assert_eq!(
+            class_sum,
+            a.total_misses(),
+            "every miss has exactly one class"
+        );
+        let sha = &a.streams["sha"];
+        assert_eq!(sha.cause_counts[MissCause::InjectedFault.index()], 1);
+        assert_eq!(sha.cause_counts[MissCause::QueueingDelay.index()], 1);
+        assert_eq!(sha.jobs_done, 3);
+        assert_eq!(sha.missed, 2);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_notes_truncation() {
+        let mut events = vec![
+            TraceEvent::new(0.0, "sha", kinds::ARRIVAL).with_u64("job", 0),
+            done(0.02, "sha", 0, true, 0.0, 0.0167),
+        ];
+        events.push(
+            TraceEvent::new(0.02, "trace", kinds::TRACE_TRUNCATED)
+                .with_u64("dropped", 7)
+                .with_u64("kept", 2),
+        );
+        let text = jsonl(&events);
+        let a = TraceAnalysis::from_jsonl(&text).unwrap();
+        let b = TraceAnalysis::from_jsonl(&text).unwrap();
+        assert_eq!(a.report(), b.report());
+        assert_eq!(a.truncated_dropped, Some(7));
+        assert!(a.report().contains("WARNING: trace truncated"));
+        assert_eq!(a.events, 2, "meta event is not a real event");
+    }
+
+    #[test]
+    fn level_residency_covers_the_horizon() {
+        let events = vec![
+            TraceEvent::new(0.0, "sha", kinds::ARRIVAL).with_u64("job", 0),
+            TraceEvent::new(0.25, "sha", kinds::LEVEL_SWITCH)
+                .with_u64("from_level", 3)
+                .with_u64("to_level", 1),
+            done(0.5, "sha", 0, false, 0.0, 1.0),
+            TraceEvent::new(0.75, "sha", kinds::LEVEL_SWITCH)
+                .with_u64("from_level", 1)
+                .with_u64("to_level", 3),
+            TraceEvent::new(1.0, "sha", kinds::ARRIVAL).with_u64("job", 1),
+            done(1.0, "sha", 1, false, 0.0, 1.0),
+        ];
+        let a = TraceAnalysis::from_jsonl(&jsonl(&events)).unwrap();
+        let r = &a.streams["sha"].residency_s;
+        assert!(
+            (r[&3] - 0.5).abs() < 1e-12,
+            "0-0.25 and 0.75-1.0 at level 3"
+        );
+        assert!((r[&1] - 0.5).abs() < 1e-12, "0.25-0.75 at level 1");
+        let total: f64 = r.values().sum();
+        assert!((total - a.horizon_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfetto_export_is_json_with_one_slice_per_job() {
+        let events = vec![
+            TraceEvent::new(0.0, "sha", kinds::ARRIVAL).with_u64("job", 0),
+            done(0.02, "sha", 0, true, 0.0, 0.0167),
+        ];
+        let a = TraceAnalysis::from_jsonl(&jsonl(&events)).unwrap();
+        let p = a.to_perfetto();
+        assert!(p.starts_with("{\"traceEvents\":["));
+        assert!(p.ends_with("]}"));
+        assert_eq!(p.matches("\"ph\":\"X\"").count(), 1);
+        assert!(p.contains("\"cat\":\"miss\""));
+        assert!(p.contains("\"thread_name\""));
+    }
+}

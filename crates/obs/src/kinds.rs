@@ -33,3 +33,9 @@ pub const SWITCH_FAILED: &str = "switch_failed";
 pub const QUARANTINE: &str = "quarantine";
 /// The engine detected an inconsistent event it contained.
 pub const INTERNAL_ERROR: &str = "internal_error";
+/// Prediction-quality coverage fell below the calibration floor.
+pub const CALIBRATION_ALERT: &str = "calibration_alert";
+/// A stream's multi-window SLO burn rate engaged or cleared its alert.
+pub const SLO_BURN: &str = "slo_burn";
+/// Meta event appended at export when the trace ring evicted events.
+pub const TRACE_TRUNCATED: &str = "trace_truncated";

@@ -44,11 +44,13 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod kinds;
 mod registry;
 mod ring;
 mod sink;
 
+pub use analyze::{AnalyzeError, JobTimeline, MissCause, StreamSummary, TraceAnalysis};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use ring::{FieldValue, TraceEvent, TraceRing};
 pub use sink::{global, install, recorder, NullSink, ObsSink, PhaseTimer, Recorder};

@@ -203,11 +203,23 @@ impl TraceRing {
 
     /// Renders the buffered events as JSON lines (one event per line,
     /// each line terminated by `\n`), oldest first.
+    ///
+    /// When events were evicted, a final `trace_truncated` meta event is
+    /// appended so downstream analyzers know the head of the timeline is
+    /// missing instead of silently computing statistics over a hole.
     pub fn to_jsonl(&self) -> String {
         let inner = self.lock();
         let mut out = String::new();
         for event in &inner.events {
             out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        if inner.dropped > 0 {
+            let t_s = inner.events.back().map_or(0.0, |e| e.t_s);
+            let meta = TraceEvent::new(t_s, "trace", crate::kinds::TRACE_TRUNCATED)
+                .with_u64("dropped", inner.dropped)
+                .with_u64("kept", inner.events.len() as u64);
+            out.push_str(&meta.to_json());
             out.push('\n');
         }
         out
@@ -256,6 +268,24 @@ mod tests {
         assert_eq!(ring.dropped(), 3);
         let kept: Vec<f64> = ring.snapshot().iter().map(|e| e.t_s).collect();
         assert_eq!(kept, vec![3.0, 4.0], "oldest events are evicted first");
-        assert_eq!(ring.to_jsonl().lines().count(), 2);
+        let jsonl = ring.to_jsonl();
+        assert_eq!(
+            jsonl.lines().count(),
+            3,
+            "truncation must append a meta event"
+        );
+        let last = jsonl.lines().last().unwrap();
+        assert!(last.contains("\"event\":\"trace_truncated\""));
+        assert!(last.contains("\"dropped\":3"));
+        assert!(last.contains("\"kept\":2"));
+    }
+
+    #[test]
+    fn untruncated_export_has_no_meta_event() {
+        let ring = TraceRing::new(4);
+        ring.push(TraceEvent::new(0.0, "s", "e"));
+        let jsonl = ring.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(!jsonl.contains("trace_truncated"));
     }
 }

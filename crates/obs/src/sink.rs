@@ -32,6 +32,16 @@ pub trait ObsSink: Sync {
         let _ = (name, value);
     }
 
+    /// Adds `delta` to the counter series `name{labels}`.
+    fn counter_add_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let _ = (name, labels, delta);
+    }
+
+    /// Sets the gauge series `name{labels}`.
+    fn gauge_set_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let _ = (name, labels, value);
+    }
+
     /// Records `value` into the histogram named `name`.
     fn observe(&self, name: &str, value: f64) {
         let _ = (name, value);
@@ -92,6 +102,14 @@ impl ObsSink for Recorder {
 
     fn gauge_set(&self, name: &str, value: f64) {
         self.registry.gauge(name).set(value);
+    }
+
+    fn counter_add_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.registry.counter_with(name, labels).add(delta);
+    }
+
+    fn gauge_set_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.registry.gauge_with(name, labels).set(value);
     }
 
     fn observe(&self, name: &str, value: f64) {
@@ -179,11 +197,25 @@ mod tests {
         assert!(rec.enabled());
         rec.counter_add("jobs_total", 2);
         rec.gauge_set("objective", 0.5);
+        rec.counter_add_with("stream_jobs_total", &[("stream", "sha")], 3);
+        rec.gauge_set_with("burn", &[("stream", "sha")], 1.5);
         rec.observe("slack_seconds", 1e-3);
         rec.phase_ns("fit", 2_000_000_000);
         rec.emit(TraceEvent::new(1.0, "sha", "arrival"));
         assert_eq!(rec.registry().counter("jobs_total").get(), 2);
         assert_eq!(rec.registry().gauge("objective").get(), 0.5);
+        assert_eq!(
+            rec.registry()
+                .counter_with("stream_jobs_total", &[("stream", "sha")])
+                .get(),
+            3
+        );
+        assert_eq!(
+            rec.registry()
+                .gauge_with("burn", &[("stream", "sha")])
+                .get(),
+            1.5
+        );
         let summaries = rec.registry().histogram_summaries();
         assert!(summaries
             .iter()

@@ -1,0 +1,118 @@
+//! Property tests for histogram quantile estimation: hand-built layouts
+//! with known answers, ordering invariants, and agreement with a
+//! sorted-sample oracle to within one bucket width.
+
+use proptest::prelude::*;
+
+use predvfs_obs::Histogram;
+
+#[test]
+fn exact_on_a_uniform_layout() {
+    // 100 observations spread one per unit across (0, 100] in unit
+    // buckets: the q-quantile is (up to interpolation) 100·q.
+    let bounds: Vec<f64> = (1..=100).map(f64::from).collect();
+    let h = Histogram::new(&bounds);
+    for i in 0..100 {
+        h.observe(i as f64 + 0.5);
+    }
+    for q in [0.01, 0.1, 0.25, 0.5, 0.9, 0.99] {
+        let got = h.quantile(q).unwrap();
+        let want = 100.0 * q;
+        assert!(
+            (got - want).abs() <= 1.0 + 1e-9,
+            "q={q}: {got} vs {want} (within one bucket)"
+        );
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let h = Histogram::new(&Histogram::default_bounds());
+    for v in [1e-6, 3e-4, 0.02, 0.02, 1.5, 7.0, 7.0, 42.0, 900.0] {
+        h.observe(v);
+    }
+    let p50 = h.p50().unwrap();
+    let p90 = h.p90().unwrap();
+    let p99 = h.p99().unwrap();
+    assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+    assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = Histogram::new(&[1.0, 2.0]);
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.p50(), None);
+    assert_eq!(h.p90(), None);
+    assert_eq!(h.p99(), None);
+}
+
+/// The oracle: the order statistic at the estimator's own rank
+/// definition (rank = q·n, PromQL style). That sample provably falls in
+/// the bucket the histogram interpolates within, so the estimate must
+/// land within one bucket width of it.
+fn oracle(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = q.clamp(0.0, 1.0) * samples.len() as f64;
+    let k = (rank.ceil() as usize).max(1);
+    samples[k - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn agrees_with_sorted_sample_oracle_within_one_bucket(
+        samples in prop::collection::vec(0.0f64..100.0, 1..200),
+        q in 0.05f64..0.95,
+    ) {
+        // Unit-width buckets over the sample range, so "within one
+        // bucket width" means within 1.0.
+        let bounds: Vec<f64> = (1..=100).map(f64::from).collect();
+        let h = Histogram::new(&bounds);
+        for &v in &samples {
+            h.observe(v);
+        }
+        let got = h.quantile(q).expect("non-empty");
+        let mut samples = samples;
+        let want = oracle(&mut samples, q);
+        prop_assert!(
+            (got - want).abs() <= 1.0 + 1e-9,
+            "q={q}: histogram {got} vs oracle {want}"
+        );
+    }
+
+    #[test]
+    fn monotone_for_random_data(
+        samples in prop::collection::vec(0.0f64..1e6, 1..100),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new(&Histogram::default_bounds());
+        for &v in &samples {
+            h.observe(v);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let a = h.quantile(lo).expect("non-empty");
+        let b = h.quantile(hi).expect("non-empty");
+        prop_assert!(a <= b + 1e-9, "q={lo}->{a} vs q={hi}->{b}");
+    }
+
+    #[test]
+    fn quantile_stays_within_observed_bucket_range(
+        samples in prop::collection::vec(0.0f64..100.0, 1..50),
+        q in 0.0f64..1.0,
+    ) {
+        let bounds: Vec<f64> = (1..=100).map(f64::from).collect();
+        let h = Histogram::new(&bounds);
+        for &v in &samples {
+            h.observe(v);
+        }
+        let got = h.quantile(q).expect("non-empty");
+        let max = samples.iter().fold(0.0f64, |m, &v| m.max(v));
+        prop_assert!(got >= 0.0);
+        // The estimate can overshoot the true max only up to its
+        // bucket's upper bound.
+        prop_assert!(got <= max.ceil() + 1e-9, "{got} vs max {max}");
+    }
+}

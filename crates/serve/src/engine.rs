@@ -60,8 +60,9 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use predvfs::{
-    AdaptiveController, Decision, DvfsController, DvfsModel, HybridController, JobContext,
-    LevelChoice, OnlineTrainerConfig, PidController, PredictiveController,
+    AdaptiveController, CalibrationConfig, CalibrationMonitor, Decision, DvfsController, DvfsModel,
+    HybridController, JobContext, LevelChoice, OnlineTrainerConfig, PidController,
+    PredictiveController,
 };
 use predvfs_faults::{FaultInjector, FaultKind, NullInjector};
 use predvfs_obs::{kinds, NullSink, ObsSink, TraceEvent};
@@ -70,6 +71,7 @@ use predvfs_rtl::JobTrace;
 use predvfs_sim::{Experiment, ExperimentConfig, TraceCache};
 
 use crate::scenario::{ControllerKind, OverloadPolicy, Scenario, ServeError, StreamSpec};
+use crate::slo::{SloConfig, SloTracker};
 
 /// One stream, trained and ready to serve: the prepared experiment plus
 /// the per-arrival job sequence (with any drift already applied to the
@@ -422,6 +424,14 @@ struct StreamState<'p> {
     was_degraded: bool,
     /// Last observed refit count, for edge-triggered refit events.
     seen_refits: usize,
+    /// Prediction-quality monitor for non-adaptive controllers (the
+    /// adaptive controller's own trainer monitor is read instead, so the
+    /// exported gauges and the refit trigger share one window).
+    calib: CalibrationMonitor,
+    /// Last observed calibration-alert level, for edge-triggered events.
+    calib_alert: bool,
+    /// Deadline-miss burn-rate tracker, clocked by the virtual clock.
+    slo: SloTracker,
     result: StreamResult,
 }
 
@@ -708,6 +718,9 @@ impl ServeRuntime {
                     quarantine: None,
                     was_degraded: false,
                     seen_refits: 0,
+                    calib: CalibrationMonitor::new(CalibrationConfig::default()),
+                    calib_alert: false,
+                    slo: SloTracker::new(SloConfig::for_deadline(s.spec.deadline_s)),
                     result: StreamResult {
                         name: s.spec.name.clone(),
                         bench: s.spec.bench.name.to_owned(),
@@ -873,8 +886,18 @@ impl ServeRuntime {
                     if sink.enabled() {
                         let name = &self.streams[stream].spec.name;
                         sink.counter_add("predvfs_serve_jobs_done_total", 1);
+                        sink.counter_add_with(
+                            "predvfs_serve_stream_jobs_done_total",
+                            &[("stream", name)],
+                            1,
+                        );
                         if missed {
                             sink.counter_add("predvfs_serve_misses_total", 1);
+                            sink.counter_add_with(
+                                "predvfs_serve_stream_misses_total",
+                                &[("stream", name)],
+                                1,
+                            );
                         }
                         sink.observe("predvfs_serve_response_seconds", response);
                         sink.observe("predvfs_serve_slack_seconds", rel_deadline - response);
@@ -882,12 +905,16 @@ impl ServeRuntime {
                         let mut ev = TraceEvent::new(time, name, kinds::JOB_DONE)
                             .with_u64("job", fly.adm.job as u64)
                             .with_f64("response_s", response)
+                            .with_f64("queue_s", fly.start_s - fly.adm.arrival_s)
+                            .with_f64("deadline_s", rel_deadline)
                             .with_f64("slack_s", rel_deadline - response)
                             .with_bool("missed", missed)
                             .with_bool("relaxed", fly.adm.relaxed)
                             .with_bool("degraded", fly.degraded)
+                            .with_u64("level", fly.key as u64)
                             .with_f64("volts", fly.volts)
                             .with_f64("energy_pj", energy_pj)
+                            .with_f64("slice_pj", fly.slice_pj)
                             .with_u64("actual_cycles", fly.actual_cycles);
                         if fly.escalated {
                             ev = ev.with_bool("escalated", true);
@@ -945,6 +972,65 @@ impl ServeRuntime {
                     }
                     state.ctrl.observe(actual_cycles);
                     state.note_ctrl_transitions(time, sink);
+                    // Prediction-quality accounting. The adaptive
+                    // controller's trainer already recorded this pair
+                    // inside `observe` — read its monitor so the gauges
+                    // and the refit trigger describe the same window;
+                    // everyone else feeds the stream-local monitor.
+                    if !matches!(state.ctrl, Ctrl::Adaptive(_)) {
+                        if let Some(p) = fly.predicted_cycles {
+                            state.calib.record(p, actual_cycles as f64);
+                        }
+                    }
+                    let mon = match &state.ctrl {
+                        Ctrl::Adaptive(c) => c.trainer().monitor(),
+                        _ => &state.calib,
+                    };
+                    let calib = (
+                        mon.under_rate(),
+                        mon.coverage(),
+                        mon.mape(),
+                        mon.residual_ratio(),
+                        mon.alert(),
+                        mon.config().coverage_floor,
+                    );
+                    let slo_edge = state.slo.record(time, missed);
+                    if sink.enabled() {
+                        let name = &self.streams[stream].spec.name;
+                        let labels = [("stream", name.as_str())];
+                        let (under, coverage, mape, ratio, alert, floor) = calib;
+                        sink.gauge_set_with("predvfs_calibration_underpred_rate", &labels, under);
+                        sink.gauge_set_with("predvfs_calibration_coverage", &labels, coverage);
+                        sink.gauge_set_with("predvfs_calibration_mape", &labels, mape);
+                        sink.gauge_set_with("predvfs_calibration_residual_ratio", &labels, ratio);
+                        if alert != state.calib_alert {
+                            if alert {
+                                sink.counter_add("predvfs_serve_calibration_alerts_total", 1);
+                            }
+                            sink.emit(
+                                TraceEvent::new(time, name, kinds::CALIBRATION_ALERT)
+                                    .with_bool("engaged", alert)
+                                    .with_f64("coverage", coverage)
+                                    .with_f64("floor", floor),
+                            );
+                        }
+                        let fast = state.slo.fast_burn(time);
+                        let slow = state.slo.slow_burn(time);
+                        sink.gauge_set_with("predvfs_slo_burn_fast", &labels, fast);
+                        sink.gauge_set_with("predvfs_slo_burn_slow", &labels, slow);
+                        if let Some(engaged) = slo_edge {
+                            if engaged {
+                                sink.counter_add("predvfs_serve_slo_alerts_total", 1);
+                            }
+                            sink.emit(
+                                TraceEvent::new(time, name, kinds::SLO_BURN)
+                                    .with_bool("engaged", engaged)
+                                    .with_f64("fast_burn", fast)
+                                    .with_f64("slow_burn", slow),
+                            );
+                        }
+                    }
+                    state.calib_alert = calib.4;
                     // A spurious completion interrupt: schedule a
                     // phantom JobDone at the current epoch. If the
                     // stream idles it surfaces as an internal error; if

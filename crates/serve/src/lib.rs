@@ -40,8 +40,10 @@
 
 mod engine;
 mod scenario;
+mod slo;
 
 pub use engine::{DegradeConfig, ServeRecord, ServeResult, ServeRuntime, StreamResult};
 pub use scenario::{
     ControllerKind, DriftSpec, FaultsSpec, OverloadPolicy, Scenario, ServeError, StreamSpec,
 };
+pub use slo::{SloConfig, SloTracker};

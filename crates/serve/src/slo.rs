@@ -1,0 +1,240 @@
+//! Per-stream SLO burn-rate tracking over the virtual clock.
+//!
+//! An SLO ("at most 5 % of jobs may miss their deadline") is consumed as
+//! an *error budget*; the **burn rate** is how fast the budget is being
+//! spent — observed miss rate divided by the budgeted rate, so burn 1.0
+//! spends the budget exactly on schedule and burn 10 means the budget is
+//! gone in a tenth of the window. Following the standard multi-window
+//! alerting recipe, [`SloTracker`] evaluates the burn over a *fast* and a
+//! *slow* window simultaneously and alerts only when **both** exceed the
+//! threshold: the slow window filters out blips the fast window over-
+//! reacts to, while the fast window makes sure the alert clears promptly
+//! once the condition ends.
+//!
+//! All state is fed from the serve engine's serial event loop and clocked
+//! by the virtual clock, so tracker output is deterministic across
+//! `--threads` like every other trace artifact.
+
+use std::collections::VecDeque;
+
+/// Configuration of an [`SloTracker`].
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Fast-window span, virtual seconds.
+    pub fast_window_s: f64,
+    /// Slow-window span, virtual seconds (≥ fast).
+    pub slow_window_s: f64,
+    /// Budgeted miss rate (the SLO: e.g. 0.05 = at most 5 % of jobs may
+    /// miss).
+    pub target_miss_rate: f64,
+    /// Burn level both windows must exceed to engage the alert.
+    pub alert_burn: f64,
+}
+
+impl SloConfig {
+    /// A configuration scaled to a stream's deadline: the fast window
+    /// spans ~16 jobs' worth of deadline time and the slow window 8x
+    /// that, with a 5 % miss budget and a 2x-burn alert.
+    pub fn for_deadline(deadline_s: f64) -> SloConfig {
+        let d = if deadline_s > 0.0 { deadline_s } else { 1.0 };
+        SloConfig {
+            fast_window_s: 16.0 * d,
+            slow_window_s: 128.0 * d,
+            target_miss_rate: 0.05,
+            alert_burn: 2.0,
+        }
+    }
+}
+
+/// Multi-window deadline-miss burn-rate tracker for one stream.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    config: SloConfig,
+    /// `(completion time, missed)` per job, oldest first; pruned to the
+    /// slow window.
+    jobs: VecDeque<(f64, bool)>,
+    alerting: bool,
+    alerts: u64,
+}
+
+impl SloTracker {
+    /// An idle tracker.
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker {
+            config: SloConfig {
+                slow_window_s: config.slow_window_s.max(config.fast_window_s),
+                ..config
+            },
+            jobs: VecDeque::new(),
+            alerting: false,
+            alerts: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records a job completion at virtual time `now_s` and re-evaluates
+    /// the alert. Returns `Some(true)` when the alert engages on this
+    /// job, `Some(false)` when it clears, `None` when it is unchanged —
+    /// edge-triggered so the caller can emit one trace event per
+    /// transition.
+    pub fn record(&mut self, now_s: f64, missed: bool) -> Option<bool> {
+        self.jobs.push_back((now_s, missed));
+        let horizon = now_s - self.config.slow_window_s;
+        while self.jobs.front().is_some_and(|&(t, _)| t < horizon) {
+            self.jobs.pop_front();
+        }
+        let fast = self.burn_over(now_s, self.config.fast_window_s);
+        let slow = self.burn_over(now_s, self.config.slow_window_s);
+        let hot = fast >= self.config.alert_burn && slow >= self.config.alert_burn;
+        if hot && !self.alerting {
+            self.alerting = true;
+            self.alerts += 1;
+            Some(true)
+        } else if !hot && self.alerting {
+            self.alerting = false;
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn burn_over(&self, now_s: f64, window_s: f64) -> f64 {
+        let horizon = now_s - window_s;
+        let mut total = 0u64;
+        let mut missed = 0u64;
+        for &(t, m) in self.jobs.iter().rev() {
+            if t < horizon {
+                break;
+            }
+            total += 1;
+            missed += u64::from(m);
+        }
+        if total == 0 || self.config.target_miss_rate <= 0.0 {
+            return 0.0;
+        }
+        (missed as f64 / total as f64) / self.config.target_miss_rate
+    }
+
+    /// Burn rate over the fast window at virtual time `now_s`.
+    pub fn fast_burn(&self, now_s: f64) -> f64 {
+        self.burn_over(now_s, self.config.fast_window_s)
+    }
+
+    /// Burn rate over the slow window at virtual time `now_s`.
+    pub fn slow_burn(&self, now_s: f64) -> f64 {
+        self.burn_over(now_s, self.config.slow_window_s)
+    }
+
+    /// Whether the alert is currently engaged.
+    pub fn alerting(&self) -> bool {
+        self.alerting
+    }
+
+    /// Number of times the alert has engaged.
+    pub fn alerts(&self) -> u64 {
+        self.alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SloConfig {
+        SloConfig {
+            fast_window_s: 1.0,
+            slow_window_s: 8.0,
+            target_miss_rate: 0.1,
+            alert_burn: 2.0,
+        }
+    }
+
+    #[test]
+    fn no_misses_means_zero_burn_and_no_alert() {
+        let mut slo = SloTracker::new(config());
+        for i in 0..100 {
+            assert_eq!(slo.record(i as f64 * 0.1, false), None);
+        }
+        assert_eq!(slo.fast_burn(10.0), 0.0);
+        assert_eq!(slo.slow_burn(10.0), 0.0);
+        assert!(!slo.alerting());
+        assert_eq!(slo.alerts(), 0);
+    }
+
+    #[test]
+    fn burn_is_miss_rate_over_budget() {
+        let mut slo = SloTracker::new(config());
+        // 10 jobs in the fast window, 2 missed: rate 0.2, budget 0.1 → 2.
+        for i in 0..10 {
+            slo.record(9.0 + i as f64 * 0.1, i < 2);
+        }
+        assert!((slo.fast_burn(9.9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alert_needs_both_windows_and_is_edge_triggered() {
+        let mut slo = SloTracker::new(config());
+        // A long healthy history keeps the slow window diluted...
+        for i in 0..70 {
+            assert_eq!(slo.record(i as f64 * 0.1, false), None);
+        }
+        // ...so a short burst of misses trips the fast window only.
+        let mut engaged_at = None;
+        for i in 0..40 {
+            let t = 7.0 + i as f64 * 0.1;
+            if let Some(edge) = slo.record(t, true) {
+                assert!(edge, "first transition must be an engage");
+                engaged_at = Some(i);
+                break;
+            }
+        }
+        let engaged_at = engaged_at.expect("sustained misses must engage");
+        assert!(
+            engaged_at > 2,
+            "slow window must delay the alert past the first few misses"
+        );
+        assert!(slo.alerting());
+        assert_eq!(slo.alerts(), 1);
+        // Recovery: misses stop; the fast window drains first and the
+        // alert clears exactly once.
+        let mut cleared = false;
+        let t0 = 7.0 + 40.0 * 0.1;
+        for i in 0..200 {
+            let t = t0 + i as f64 * 0.1;
+            match slo.record(t, false) {
+                Some(false) => {
+                    cleared = true;
+                    break;
+                }
+                Some(true) => panic!("must not re-engage while recovering"),
+                None => {}
+            }
+        }
+        assert!(cleared, "alert must clear once misses stop");
+        assert!(!slo.alerting());
+        assert_eq!(slo.alerts(), 1);
+    }
+
+    #[test]
+    fn jobs_roll_out_of_the_slow_window() {
+        let mut slo = SloTracker::new(config());
+        slo.record(0.0, true);
+        // 9s later the miss has left even the slow window.
+        slo.record(9.0, false);
+        assert_eq!(slo.slow_burn(9.0), 0.0);
+        assert_eq!(slo.jobs.len(), 1);
+    }
+
+    #[test]
+    fn for_deadline_scales_windows() {
+        let c = SloConfig::for_deadline(16.7e-3);
+        assert!((c.fast_window_s - 16.0 * 16.7e-3).abs() < 1e-12);
+        assert!((c.slow_window_s - 128.0 * 16.7e-3).abs() < 1e-12);
+        let fallback = SloConfig::for_deadline(0.0);
+        assert!(fallback.fast_window_s > 0.0);
+    }
+}
