@@ -143,9 +143,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The figure's claim, enforced: under the same fault plan the
     // degradation machinery strictly lowers the miss rate.
-    let misses = |r: &ServeResult| r.streams.iter().map(|s| s.misses()).sum::<usize>();
-    let done = |r: &ServeResult| r.streams.iter().map(|s| s.completed()).sum::<usize>();
-    let miss_pct = |r: &ServeResult| 100.0 * misses(r) as f64 / done(r) as f64;
+    let misses = |r: &ServeResult| r.misses();
+    let miss_pct = |r: &ServeResult| r.miss_pct();
     assert!(
         misses(&baseline) > 0,
         "the fault plan must cause misses when undefended"

@@ -1,0 +1,307 @@
+//! Scale proof for the sharded serve tier: ≥1M streams / ≥10M jobs
+//! through `run_sharded`, sweeping the shard count and reporting
+//! throughput (jobs/sec), shed %, miss %, wall time, and peak RSS per
+//! configuration. Results land in `results/fig_serve_scale.csv` and in
+//! `BENCH_serve.json` at the repo root (the CI-printed artifact).
+//!
+//! Two invariants are asserted unconditionally, at a reduced size where
+//! full tracing is affordable:
+//!
+//! 1. the merged trace is byte-identical across 1 / 4 / 16 shards, and
+//! 2. per-stream results are identical across shard counts.
+//!
+//! The throughput expectation (> 2× at 4 shards over 1) is asserted
+//! only when the machine actually has ≥ 4 cores — shard workers are OS
+//! threads, so a 1-core box runs them sequentially by construction.
+//!
+//! `--quick` (or `PREDVFS_QUICK=1`) shrinks the sweep for CI smoke: 16k
+//! streams at 1 and 2 shards, with the 2-shard merged trace written to
+//! `results/fig_serve_scale.trace.jsonl` so the workflow can run the
+//! binary twice and `cmp` the traces byte-for-byte.
+
+use std::time::Instant;
+
+use predvfs_bench::results_dir;
+use predvfs_faults::NullInjector;
+use predvfs_obs::{NullSink, ObsSink, Recorder};
+use predvfs_serve::{ControllerKind, ServeRuntime};
+use predvfs_shard::{
+    merged_trace_jsonl, run_sharded, synth_scenario, ShardConfig, ShardedResult, SynthSpec,
+};
+use predvfs_sim::{Table, TraceCache};
+
+/// Full-scale sweep: 2^20 streams × 10 jobs = 10.49M jobs.
+const FULL_STREAMS: usize = 1 << 20;
+/// CI smoke sweep.
+const QUICK_STREAMS: usize = 1 << 14;
+const JOBS_PER_STREAM: usize = 10;
+
+/// One sweep configuration's measurements.
+struct Run {
+    shards: usize,
+    wall_s: f64,
+    jobs_per_sec: f64,
+    shed_pct: f64,
+    miss_pct: f64,
+    peak_rss_kb: u64,
+    result: ShardedResult,
+}
+
+/// `VmHWM` from `/proc/self/status` in kB — the process's peak resident
+/// set. Monotonic over the process lifetime, so per-run values reflect
+/// the high-water mark up to that run. 0 when unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn scale_config(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        // Cached per-class decision tables: the per-job controller work
+        // collapses to a table lookup, which is what lets one process
+        // push 10M jobs. Lean mode keeps memory flat (no per-job
+        // records); aggregate counters stay exact.
+        force: Some(ControllerKind::Cached),
+        lean: true,
+        ..ShardConfig::default()
+    }
+}
+
+fn run_scale(runtime: &ServeRuntime, shards: usize) -> Result<Run, Box<dyn std::error::Error>> {
+    let config = scale_config(shards);
+    let start = Instant::now();
+    let result = run_sharded(runtime, &config, &[], &NullSink, &NullInjector)?;
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok(Run {
+        shards,
+        wall_s,
+        jobs_per_sec: result.jobs_done as f64 / wall_s,
+        shed_pct: result.shed_pct(),
+        miss_pct: result.miss_pct(),
+        peak_rss_kb: peak_rss_kb(),
+        result,
+    })
+}
+
+/// The unconditional determinism gate, at a size where full tracing is
+/// affordable: merged traces and per-stream results must be identical
+/// across 1 / 4 / 16 shards.
+fn assert_identity(quick: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let streams = if quick { 256 } else { 1024 };
+    let spec = SynthSpec {
+        streams,
+        jobs_per_stream: 4,
+        ..SynthSpec::new(streams)
+    };
+    let runtime = ServeRuntime::prepare(&synth_scenario(&spec), &TraceCache::new())?;
+    let mut merged: Vec<(usize, String, ShardedResult)> = Vec::new();
+    for shards in [1usize, 4, 16] {
+        let recorders: Vec<Recorder> = (0..shards).map(|_| Recorder::new(1 << 20)).collect();
+        let sinks: Vec<&dyn ObsSink> = recorders.iter().map(|r| r as &dyn ObsSink).collect();
+        let config = ShardConfig {
+            lean: false,
+            ..scale_config(shards)
+        };
+        let result = run_sharded(&runtime, &config, &sinks, &NullSink, &NullInjector)?;
+        for r in &recorders {
+            assert_eq!(r.ring().dropped(), 0, "identity-check ring overflow");
+        }
+        let jsonl = merged_trace_jsonl(
+            &runtime,
+            recorders.iter().map(|r| r.ring().snapshot()).collect(),
+        );
+        merged.push((shards, jsonl, result));
+    }
+    let (_, ref reference, ref ref_result) = merged[0];
+    assert!(!reference.is_empty(), "identity check produced no trace");
+    for (shards, jsonl, result) in &merged[1..] {
+        assert_eq!(
+            reference, jsonl,
+            "merged trace differs between 1 and {shards} shards"
+        );
+        assert_eq!(
+            ref_result.streams.len(),
+            result.streams.len(),
+            "stream count differs at {shards} shards"
+        );
+        for (a, b) in ref_result.streams.iter().zip(&result.streams) {
+            assert!(
+                a.name == b.name
+                    && a.submitted == b.submitted
+                    && a.completed() == b.completed()
+                    && a.misses() == b.misses()
+                    && a.shed == b.shed
+                    && a.total_energy_pj().to_bits() == b.total_energy_pj().to_bits(),
+                "stream {} differs at {shards} shards",
+                a.name
+            );
+        }
+    }
+    println!(
+        "determinism gate: merged traces byte-identical across 1/4/16 shards \
+         ({} streams, {} trace bytes)",
+        streams,
+        reference.len()
+    );
+    Ok(())
+}
+
+/// Hand-rolled JSON for `BENCH_serve.json` — no serde in the tree.
+fn bench_json(streams: usize, jobs: u64, quick: bool, runs: &[Run]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"streams\": {streams},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"wall_s\": {:.3}, \"jobs_per_sec\": {:.0}, \
+             \"shed_pct\": {:.3}, \"miss_pct\": {:.3}, \"peak_rss_kb\": {}}}{}\n",
+            r.shards,
+            r.wall_s,
+            r.jobs_per_sec,
+            r.shed_pct,
+            r.miss_pct,
+            r.peak_rss_kb,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("PREDVFS_QUICK").as_deref() == Ok("1")
+        || std::env::args().any(|a| a == "--quick");
+
+    assert_identity(quick)?;
+
+    let streams = if quick { QUICK_STREAMS } else { FULL_STREAMS };
+    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 4, 16] };
+    let spec = SynthSpec {
+        streams,
+        jobs_per_stream: JOBS_PER_STREAM,
+        ..SynthSpec::new(streams)
+    };
+    eprintln!(
+        "preparing {streams} streams ({} classes, {} jobs each)...",
+        spec.classes, spec.jobs_per_stream
+    );
+    let prep_start = Instant::now();
+    let runtime = ServeRuntime::prepare(&synth_scenario(&spec), &TraceCache::new())?;
+    eprintln!("prepared in {:.1}s", prep_start.elapsed().as_secs_f64());
+
+    let mut table = Table::new(
+        "Sharded serve scale (jobs/sec vs shard count)",
+        &[
+            "shards",
+            "streams",
+            "jobs",
+            "wall_s",
+            "jobs/sec",
+            "shed%",
+            "miss%",
+            "epochs",
+            "migrations",
+            "peak_rss_mb",
+        ],
+    );
+    let mut runs: Vec<Run> = Vec::new();
+    for &shards in shard_counts {
+        eprintln!("running {shards} shard(s)...");
+        let run = run_scale(&runtime, shards)?;
+        eprintln!(
+            "  {} jobs in {:.1}s — {:.0} jobs/sec",
+            run.result.jobs_done, run.wall_s, run.jobs_per_sec
+        );
+        table.row(&[
+            shards.to_string(),
+            streams.to_string(),
+            run.result.jobs_done.to_string(),
+            format!("{:.2}", run.wall_s),
+            format!("{:.0}", run.jobs_per_sec),
+            format!("{:.2}", run.shed_pct),
+            format!("{:.2}", run.miss_pct),
+            run.result.epochs.to_string(),
+            run.result.migrations.to_string(),
+            format!("{:.0}", run.peak_rss_kb as f64 / 1024.0),
+        ]);
+        runs.push(run);
+    }
+    table.print();
+
+    let jobs = runs[0].result.jobs_done;
+    if !quick {
+        assert!(
+            streams >= 1_000_000 && jobs >= 10_000_000,
+            "scale floor not met: {streams} streams / {jobs} jobs"
+        );
+    }
+    for r in &runs[1..] {
+        assert_eq!(
+            r.result.jobs_done, jobs,
+            "jobs done must be shard-count invariant"
+        );
+    }
+
+    // Throughput expectation, gated on real parallelism being available:
+    // shard workers are OS threads, so a 1-core box runs them serially.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Some(four) = runs.iter().find(|r| r.shards == 4) {
+        let one = &runs[0];
+        let speedup = four.jobs_per_sec / one.jobs_per_sec;
+        println!("4-shard speedup over 1 shard: {speedup:.2}x ({cores} cores)");
+        if cores >= 4 {
+            assert!(
+                speedup > 2.0,
+                "expected >2x throughput at 4 shards on {cores} cores, got {speedup:.2}x"
+            );
+        } else {
+            println!("(speedup assertion skipped: {cores} core(s) < 4)");
+        }
+    }
+
+    let csv = results_dir().join("fig_serve_scale.csv");
+    table.write_csv(&csv)?;
+    println!("wrote {}", csv.display());
+
+    let json = bench_json(streams, jobs, quick, &runs);
+    std::fs::write("BENCH_serve.json", &json)?;
+    println!("wrote BENCH_serve.json");
+
+    // Quick mode doubles as the CI determinism smoke: emit the merged
+    // trace of a 2-shard traced run so the workflow can run this binary
+    // twice and `cmp` the outputs.
+    if quick {
+        let shards = 2;
+        let recorders: Vec<Recorder> = (0..shards).map(|_| Recorder::new(1 << 22)).collect();
+        let sinks: Vec<&dyn ObsSink> = recorders.iter().map(|r| r as &dyn ObsSink).collect();
+        let spec = SynthSpec {
+            streams: 2048,
+            jobs_per_stream: 4,
+            ..SynthSpec::new(2048)
+        };
+        let traced = ServeRuntime::prepare(&synth_scenario(&spec), &TraceCache::new())?;
+        let config = ShardConfig {
+            lean: false,
+            ..scale_config(shards)
+        };
+        run_sharded(&traced, &config, &sinks, &NullSink, &NullInjector)?;
+        let jsonl = merged_trace_jsonl(
+            &traced,
+            recorders.iter().map(|r| r.ring().snapshot()).collect(),
+        );
+        let trace_out = results_dir().join("fig_serve_scale.trace.jsonl");
+        std::fs::write(&trace_out, &jsonl)?;
+        println!("wrote {} ({} bytes)", trace_out.display(), jsonl.len());
+    }
+    Ok(())
+}

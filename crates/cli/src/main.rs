@@ -99,7 +99,11 @@ fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "wcet" => cmd_wcet(required(args, 1, "design file")?),
         "dot" => cmd_dot(required(args, 1, "design file")?),
         "eval" => cmd_eval(required(args, 1, "benchmark name")?, args.get(2)),
-        "serve" => cmd_serve(required(args, 1, "scenario file (or --demo)")?, opts.faults),
+        "serve" => cmd_serve(
+            required(args, 1, "scenario file (or --demo)")?,
+            opts.faults,
+            opts.shards,
+        ),
         "chaos" => cmd_chaos(required(args, 1, "scenario file (or --demo)")?, args.get(2)),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -128,6 +132,8 @@ struct CliOptions {
     trace_out: Option<String>,
     /// Fault-injection seed for `serve` (`--faults`).
     faults: Option<u64>,
+    /// Shard-engine count for `serve` (`--shards`).
+    shards: Option<usize>,
 }
 
 impl CliOptions {
@@ -138,8 +144,9 @@ impl CliOptions {
 }
 
 /// Strips the global flags (`--threads N`, `--metrics-out P`,
-/// `--trace-out P`, `--faults S`, each also in `--flag=value` form) from
-/// anywhere in the argument list, returning them and the remaining args.
+/// `--trace-out P`, `--faults S`, `--shards N`, each also in
+/// `--flag=value` form) from anywhere in the argument list, returning
+/// them and the remaining args.
 fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
     let mut opts = CliOptions::default();
     let mut rest = Vec::with_capacity(args.len());
@@ -172,6 +179,14 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
         } else if let Some(v) = take("--faults")? {
             let seed: u64 = v.parse().map_err(|_| format!("invalid fault seed `{v}`"))?;
             opts.faults = Some(seed);
+        } else if let Some(v) = take("--shards")? {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("invalid shard count `{v}`"))?;
+            if n == 0 {
+                return Err("shard count must be at least 1".to_owned());
+            }
+            opts.shards = Some(n);
         } else {
             rest.push(a.clone());
         }
@@ -295,6 +310,10 @@ OPTIONS:
                        with graceful degradation (watchdog, switch retries,
                        quarantine) enabled; the fault mix comes from the
                        scenario's [faults] section, else the standard mix
+  --shards <N>         serve: partition streams across N shard engines
+                       under the budget-owning coordinator; per-shard
+                       traces are merged back into the canonical order,
+                       so --trace-out output is shard-count invariant
 
 Built-in benchmarks: h264 cjpeg djpeg md stencil aes sha
 PREDVFS_QUICK=1 shrinks `eval` workloads for smoke runs.
@@ -303,7 +322,8 @@ Scenario files (serve) are line-oriented:
   platform asic|fpga
   size quick|full
   stream <benchmark> [deadline_ms=..] [period_ms=..] [jobs=..] [queue=..]
-         [policy=shed|relax:<f>] [controller=predictive|adaptive|pid|hybrid]
+         [policy=shed|relax:<f>]
+         [controller=predictive|adaptive|pid|hybrid|cached]
          [seed=..] [drift=<at_frac>:<cycle_scale>] [name=..]
 An optional `[faults]` section sets the chaos plan: `seed=<n>` plus
 `<fault>=<p>` or `<fault>=<p>:<magnitude>` lines (slice_corrupt,
@@ -650,10 +670,14 @@ fn print_serve_table(runtime: &ServeRuntime, result: &ServeResult, chaos: bool) 
 /// Runs a multi-stream service scenario and prints per-stream outcomes
 /// (completions, misses, backpressure, refits, energy). With a fault
 /// plan (from `--faults` or the scenario's `[faults]` section) the run
-/// goes through the chaos path with graceful degradation enabled.
+/// goes through the chaos path with graceful degradation enabled. With
+/// `--shards N` (N > 1) the run goes through the sharded tier: N shard
+/// engines under the budget-owning coordinator, with the per-shard
+/// traces merged back into the canonical global order for `--trace-out`.
 fn cmd_serve(
     scenario_arg: &str,
     faults_seed: Option<u64>,
+    shards: Option<usize>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = load_scenario(scenario_arg)?;
     let plan = resolve_plan(&scenario, faults_seed);
@@ -663,6 +687,9 @@ fn cmd_serve(
         predvfs_par::current_threads()
     );
     let runtime = ServeRuntime::prepare(&scenario, &predvfs_sim::TraceCache::new())?;
+    if let Some(shards) = shards.filter(|&n| n > 1) {
+        return serve_sharded(&runtime, shards, plan.as_ref());
+    }
     let result = match &plan {
         Some(plan) => {
             eprintln!(
@@ -678,6 +705,90 @@ fn cmd_serve(
         "{} events over {:.1} ms of virtual time",
         result.events,
         result.horizon_s * 1e3
+    );
+    Ok(())
+}
+
+/// The `serve --shards N` path: runs the scenario across `shards` shard
+/// engines under the coordinator. Each shard records into its own sink;
+/// afterwards the per-shard trace streams are merged into the global
+/// recorder's ring in the canonical `(t_s, stream)` order (so
+/// `--trace-out` emits the shard-count-invariant JSONL) and per-shard
+/// counters are summed into the global registry. Per-shard histogram
+/// observations are not merged. The coordinator's shard-labeled gauges
+/// and counters land in the global registry directly.
+fn serve_sharded(
+    runtime: &ServeRuntime,
+    shards: usize,
+    plan: Option<&FaultPlan>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use predvfs_obs::ObsSink;
+    let observing = predvfs_obs::recorder().is_some();
+    let recorders: Vec<Recorder> = if observing {
+        (0..shards).map(|_| Recorder::new(TRACE_CAPACITY)).collect()
+    } else {
+        Vec::new()
+    };
+    let sinks: Vec<&dyn ObsSink> = recorders.iter().map(|r| r as &dyn ObsSink).collect();
+    let config = predvfs_shard::ShardConfig {
+        shards,
+        degrade: if plan.is_some() {
+            DegradeConfig::enabled()
+        } else {
+            DegradeConfig::disabled()
+        },
+        ..predvfs_shard::ShardConfig::default()
+    };
+    let injector: &dyn predvfs_faults::FaultInjector = match plan {
+        Some(plan) => {
+            eprintln!(
+                "fault injection on (seed {}), graceful degradation enabled",
+                plan.seed()
+            );
+            plan
+        }
+        None => &predvfs_faults::NullInjector,
+    };
+    eprintln!(
+        "sharded serve: {shards} shards, epoch {} ms",
+        config.epoch_s * 1e3
+    );
+    let sharded =
+        predvfs_shard::run_sharded(runtime, &config, &sinks, predvfs_obs::global(), injector)?;
+    if let Some(global) = predvfs_obs::recorder() {
+        for rec in &recorders {
+            for (name, value) in rec.registry().counters() {
+                global.registry().counter(&name).add(value);
+            }
+        }
+        let merged = predvfs_shard::merged_trace(
+            runtime,
+            recorders.iter().map(|r| r.ring().snapshot()).collect(),
+        );
+        let sink: &dyn ObsSink = global.as_ref();
+        for event in merged {
+            sink.emit(event);
+        }
+    }
+    let result = ServeResult {
+        streams: sharded.streams,
+        horizon_s: sharded.horizon_s,
+        events: sharded.events,
+    };
+    print_serve_table(runtime, &result, plan.is_some());
+    println!(
+        "{} events over {:.1} ms of virtual time",
+        result.events,
+        result.horizon_s * 1e3
+    );
+    println!(
+        "{} epochs, {} migrations, boosts granted/denied/applied {}/{}/{}, jobs per shard {:?}",
+        sharded.epochs,
+        sharded.migrations,
+        sharded.boosts_granted,
+        sharded.boosts_denied,
+        sharded.boosts_applied,
+        sharded.shard_jobs_done
     );
     Ok(())
 }
@@ -719,19 +830,10 @@ fn cmd_chaos(
     print_serve_table(&runtime, &baseline, true);
     println!("\nchaos seed {seed} — graceful degradation ENABLED:");
     print_serve_table(&runtime, &hardened, true);
-    let miss_pct = |r: &ServeResult| {
-        let misses: usize = r.streams.iter().map(|s| s.misses()).sum();
-        let done: usize = r.streams.iter().map(|s| s.completed()).sum();
-        if done == 0 {
-            0.0
-        } else {
-            100.0 * misses as f64 / done as f64
-        }
-    };
     println!(
         "\noverall miss rate: {:.2}% disabled -> {:.2}% enabled",
-        miss_pct(&baseline),
-        miss_pct(&hardened)
+        baseline.miss_pct(),
+        hardened.miss_pct()
     );
     Ok(())
 }
@@ -849,6 +951,29 @@ mod tests {
         assert!(
             parse_options(&owned(&["--faults=lucky"])).is_err(),
             "non-numeric"
+        );
+    }
+
+    #[test]
+    fn shards_flag_is_stripped_and_validated() {
+        let (opts, rest) = parse_options(&owned(&["serve", "--demo", "--shards", "4"])).unwrap();
+        assert_eq!(opts.shards, Some(4));
+        assert_eq!(rest, owned(&["serve", "--demo"]));
+
+        let (opts, _) = parse_options(&owned(&["--shards=16", "serve"])).unwrap();
+        assert_eq!(opts.shards, Some(16));
+
+        assert!(
+            parse_options(&owned(&["--shards"])).is_err(),
+            "missing value"
+        );
+        assert!(
+            parse_options(&owned(&["--shards=many"])).is_err(),
+            "non-numeric"
+        );
+        assert!(
+            parse_options(&owned(&["--shards=0"])).is_err(),
+            "zero shards"
         );
     }
 

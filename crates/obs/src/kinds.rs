@@ -25,6 +25,9 @@ pub const REFIT: &str = "refit";
 pub const FAULT: &str = "fault";
 /// The deadline watchdog escalated an in-flight job.
 pub const WATCHDOG_BOOST: &str = "watchdog_boost";
+/// The deadline watchdog requested a budgeted escalation (sharded tier:
+/// the grant decision belongs to the coordinator, not the shard).
+pub const BOOST_REQUEST: &str = "boost_request";
 /// A rejected level switch was retried with backoff.
 pub const SWITCH_RETRY: &str = "switch_retry";
 /// A level switch was abandoned after exhausting its retries.

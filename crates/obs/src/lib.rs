@@ -52,5 +52,5 @@ mod sink;
 
 pub use analyze::{AnalyzeError, JobTimeline, MissCause, StreamSummary, TraceAnalysis};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use ring::{FieldValue, TraceEvent, TraceRing};
+pub use ring::{merge_events, FieldValue, TraceEvent, TraceRing};
 pub use sink::{global, install, recorder, NullSink, ObsSink, PhaseTimer, Recorder};

@@ -29,6 +29,11 @@ pub enum FieldValue {
 
 /// One structured event: a virtual-clock timestamp, the scope it belongs
 /// to (stream or component name), the event kind, and ordered fields.
+///
+/// Kinds and field keys are `&'static str`: every producer names them
+/// with literals (usually the [`crate::kinds`] constants), so the hot
+/// path allocates only for the scope and any dynamic string values —
+/// not for the event's own structure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Virtual-clock timestamp, seconds.
@@ -36,63 +41,71 @@ pub struct TraceEvent {
     /// Emitting scope (e.g. the stream name).
     pub scope: String,
     /// Event kind (e.g. `arrival`, `job_done`).
-    pub kind: String,
+    pub kind: &'static str,
     /// Ordered key/value payload.
-    pub fields: Vec<(String, FieldValue)>,
+    pub fields: Vec<(&'static str, FieldValue)>,
 }
 
 impl TraceEvent {
     /// An event with no payload fields.
-    pub fn new(t_s: f64, scope: &str, kind: &str) -> TraceEvent {
+    pub fn new(t_s: f64, scope: &str, kind: &'static str) -> TraceEvent {
         TraceEvent {
             t_s,
             scope: scope.to_owned(),
-            kind: kind.to_owned(),
+            kind,
             fields: Vec::new(),
         }
     }
 
     /// Appends an unsigned-integer field.
     #[must_use]
-    pub fn with_u64(mut self, key: &str, value: u64) -> TraceEvent {
-        self.fields.push((key.to_owned(), FieldValue::U64(value)));
+    pub fn with_u64(mut self, key: &'static str, value: u64) -> TraceEvent {
+        self.fields.push((key, FieldValue::U64(value)));
         self
     }
 
     /// Appends a float field.
     #[must_use]
-    pub fn with_f64(mut self, key: &str, value: f64) -> TraceEvent {
-        self.fields.push((key.to_owned(), FieldValue::F64(value)));
+    pub fn with_f64(mut self, key: &'static str, value: f64) -> TraceEvent {
+        self.fields.push((key, FieldValue::F64(value)));
         self
     }
 
     /// Appends a boolean field.
     #[must_use]
-    pub fn with_bool(mut self, key: &str, value: bool) -> TraceEvent {
-        self.fields.push((key.to_owned(), FieldValue::Bool(value)));
+    pub fn with_bool(mut self, key: &'static str, value: bool) -> TraceEvent {
+        self.fields.push((key, FieldValue::Bool(value)));
         self
     }
 
     /// Appends a string field.
     #[must_use]
-    pub fn with_str(mut self, key: &str, value: &str) -> TraceEvent {
-        self.fields
-            .push((key.to_owned(), FieldValue::Str(value.to_owned())));
+    pub fn with_str(mut self, key: &'static str, value: &str) -> TraceEvent {
+        self.fields.push((key, FieldValue::Str(value.to_owned())));
         self
     }
 
     /// Renders the event as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 + 16 * self.fields.len());
-        let _ = write!(
-            out,
-            "{{\"t_s\":{},\"scope\":\"{}\",\"event\":\"{}\"",
-            json_f64(self.t_s),
-            json_escape(&self.scope),
-            json_escape(&self.kind)
-        );
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Appends the event's JSON rendering to `out` — the allocation-free
+    /// path bulk exporters use so one buffer serves the whole trace.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"t_s\":");
+        write_json_f64(out, self.t_s);
+        out.push_str(",\"scope\":\"");
+        escape_into(out, &self.scope);
+        out.push_str("\",\"event\":\"");
+        escape_into(out, self.kind);
+        out.push('"');
         for (key, value) in &self.fields {
-            let _ = write!(out, ",\"{}\":", json_escape(key));
+            out.push_str(",\"");
+            escape_into(out, key);
+            out.push_str("\":");
             match value {
                 FieldValue::U64(v) => {
                     let _ = write!(out, "{v}");
@@ -100,33 +113,31 @@ impl TraceEvent {
                 FieldValue::I64(v) => {
                     let _ = write!(out, "{v}");
                 }
-                FieldValue::F64(v) => {
-                    let _ = write!(out, "{}", json_f64(*v));
-                }
+                FieldValue::F64(v) => write_json_f64(out, *v),
                 FieldValue::Bool(v) => {
                     let _ = write!(out, "{v}");
                 }
                 FieldValue::Str(v) => {
-                    let _ = write!(out, "\"{}\"", json_escape(v));
+                    out.push('"');
+                    escape_into(out, v);
+                    out.push('"');
                 }
             }
         }
         out.push('}');
-        out
     }
 }
 
 /// JSON has no non-finite numbers; render them as `null`.
-fn json_f64(v: f64) -> String {
+fn write_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
-        fmt_f64(v)
+        out.push_str(&fmt_f64(v));
     } else {
-        "null".to_owned()
+        out.push_str("null");
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -140,7 +151,30 @@ fn json_escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
+}
+
+/// Merges per-source event streams (each internally ordered) into one
+/// globally ordered stream.
+///
+/// `rank` maps an event to its merge rank — typically the global index
+/// of the stream named by its scope — or `None` to exclude the event
+/// (source-local meta events, coordinator chatter). The merge sorts
+/// **stably** by `(t_s, rank)`: events of one scope at one instant keep
+/// their source order, so as long as each scope's events at any single
+/// timestamp come from a single source, the merged order is independent
+/// of how scopes were distributed across sources. This is the property
+/// the sharded serve tier's trace-determinism contract rests on.
+pub fn merge_events<F>(sources: Vec<Vec<TraceEvent>>, mut rank: F) -> Vec<TraceEvent>
+where
+    F: FnMut(&TraceEvent) -> Option<u64>,
+{
+    let mut ranked: Vec<(u64, TraceEvent)> = sources
+        .into_iter()
+        .flatten()
+        .filter_map(|e| rank(&e).map(|r| (r, e)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.t_s.total_cmp(&b.1.t_s).then_with(|| a.0.cmp(&b.0)));
+    ranked.into_iter().map(|(_, e)| e).collect()
 }
 
 struct RingInner {
@@ -209,9 +243,9 @@ impl TraceRing {
     /// missing instead of silently computing statistics over a hole.
     pub fn to_jsonl(&self) -> String {
         let inner = self.lock();
-        let mut out = String::new();
+        let mut out = String::with_capacity(inner.events.len() * 96);
         for event in &inner.events {
-            out.push_str(&event.to_json());
+            event.write_json(&mut out);
             out.push('\n');
         }
         if inner.dropped > 0 {
@@ -219,7 +253,7 @@ impl TraceRing {
             let meta = TraceEvent::new(t_s, "trace", crate::kinds::TRACE_TRUNCATED)
                 .with_u64("dropped", inner.dropped)
                 .with_u64("kept", inner.events.len() as u64);
-            out.push_str(&meta.to_json());
+            meta.write_json(&mut out);
             out.push('\n');
         }
         out
@@ -255,7 +289,44 @@ mod tests {
 
     #[test]
     fn control_characters_are_escaped() {
-        assert_eq!(json_escape("a\nb\tc\u{1}"), "a\\nb\\tc\\u0001");
+        let mut out = String::new();
+        escape_into(&mut out, "a\nb\tc\u{1}");
+        assert_eq!(out, "a\\nb\\tc\\u0001");
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_rank_stably() {
+        let a = vec![
+            TraceEvent::new(1.0, "s0", "x").with_u64("n", 0),
+            TraceEvent::new(1.0, "s0", "x").with_u64("n", 1),
+            TraceEvent::new(2.0, "s0", "x"),
+        ];
+        let b = vec![
+            TraceEvent::new(1.0, "s1", "x"),
+            TraceEvent::new(1.5, "meta", "x"),
+            TraceEvent::new(1.5, "s1", "x"),
+        ];
+        let merged = merge_events(vec![b, a], |e| match e.scope.as_str() {
+            "s0" => Some(0),
+            "s1" => Some(1),
+            _ => None,
+        });
+        let got: Vec<(f64, &str)> = merged.iter().map(|e| (e.t_s, e.scope.as_str())).collect();
+        assert_eq!(
+            got,
+            vec![
+                (1.0, "s0"),
+                (1.0, "s0"),
+                (1.0, "s1"),
+                (1.5, "s1"),
+                (2.0, "s0")
+            ],
+            "meta scope excluded; ties ordered by rank; same-scope order kept"
+        );
+        // Stability within (t, rank): the two s0 events at t=1 keep
+        // their source order.
+        assert_eq!(merged[0].fields[0].1, FieldValue::U64(0));
+        assert_eq!(merged[1].fields[0].1, FieldValue::U64(1));
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //!
 //! [`ServeRuntime::prepare`] trains and slices each stream's accelerator
 //! (fanned out with [`predvfs_par`], trace simulation deduplicated by the
-//! shared [`TraceCache`]); [`ServeRuntime::run`] then advances a virtual
-//! clock over arrival / slice-done / level-switch / job-done events in a
-//! single serial loop. Parallelism lives entirely in the preparation
-//! phase, whose per-stream outputs are bit-identical regardless of thread
-//! count, so the whole pipeline is deterministic: same scenario, same
-//! result, any `--threads`.
+//! shared [`TraceCache`], and identical (benchmark, seed, deadline)
+//! classes trained exactly once and shared); [`ServeRuntime::run`] then
+//! advances a virtual clock over arrival / slice-done / level-switch /
+//! job-done events in a single serial loop. Parallelism lives entirely
+//! in the preparation phase, whose per-stream outputs are bit-identical
+//! regardless of thread count, so the whole pipeline is deterministic:
+//! same scenario, same result, any `--threads`.
 //!
 //! Ties on the virtual clock are broken by a monotonic sequence number,
 //! so simultaneous events (two streams arriving in the same instant)
@@ -55,9 +56,30 @@
 //! Faults are queried through pure functions of `(stream, job, attempt)`
 //! — never of event order — so chaos runs stay byte-deterministic across
 //! thread counts; the `chaos_determinism` integration suite pins this.
+//!
+//! ## Sharding
+//!
+//! [`ServeRuntime::engine`] exposes the event loop as a resumable
+//! [`ShardEngine`] over an arbitrary subset of the prepared streams:
+//! the `predvfs-shard` coordinator runs one engine per shard, advancing
+//! each to a common epoch boundary with [`ShardEngine::run_until`] and
+//! exchanging budget grants and stream migrations in between. Three
+//! properties make the sharded composition deterministic:
+//!
+//! * streams never interact inside the loop — the heap is just a merged
+//!   timeline, so a stream's evolution depends only on its own events
+//!   and on fault queries keyed by its **global** stream id;
+//! * with [`EngineConfig::defer_escalations`] the watchdog records a
+//!   [`BoostRequest`] instead of boosting in place, and the coordinator
+//!   grants requests in globally sorted `(t_s, gid)` order — so the
+//!   budget outcome is independent of how streams map to shards;
+//! * with [`EngineConfig::one_ahead_arrivals`] each arrival schedules
+//!   only its successor, so an engine's heap stays proportional to its
+//!   live streams and migrated streams carry their pending events along.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, OnceLock};
 
 use predvfs::{
     AdaptiveController, CalibrationConfig, CalibrationMonitor, Decision, DvfsController, DvfsModel,
@@ -73,16 +95,33 @@ use predvfs_sim::{Experiment, ExperimentConfig, TraceCache};
 use crate::scenario::{ControllerKind, OverloadPolicy, Scenario, ServeError, StreamSpec};
 use crate::slo::{SloConfig, SloTracker};
 
+/// One memoized slice evaluation: everything the predictive controller
+/// derives from running the hardware slice over one distinct test job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CachedEntry {
+    /// The model's (uncorrected) cycle prediction for the job.
+    predicted: f64,
+    /// Cycles the slice itself occupies.
+    slice_cycles: f64,
+    /// Slice energy at the always-nominal slice operating point.
+    slice_pj: f64,
+}
+
 /// One stream, trained and ready to serve: the prepared experiment plus
 /// the per-arrival job sequence (with any drift already applied to the
-/// traces).
+/// traces). Streams of the same (benchmark, seed, deadline) class share
+/// one [`Experiment`] (and one cached decision table) behind `Arc`s, so
+/// a million-stream scenario costs a few distinct training runs.
 struct PreparedStream {
     spec: StreamSpec,
-    exp: Experiment,
+    exp: Arc<Experiment>,
     /// Index into the experiment's test set for each arrival.
-    job_idx: Vec<usize>,
+    job_idx: Arc<Vec<usize>>,
     /// Ground-truth trace for each arrival (drift-scaled past the shift).
-    traces: Vec<JobTrace>,
+    traces: Arc<Vec<JobTrace>>,
+    /// Lazily built per-test-job decision table for
+    /// [`ControllerKind::Cached`], shared across the class.
+    table: Arc<OnceLock<Arc<Vec<CachedEntry>>>>,
 }
 
 /// A scenario with every stream prepared; reusable across runs.
@@ -150,6 +189,37 @@ impl Default for DegradeConfig {
     }
 }
 
+/// How a [`ShardEngine`] runs its slice of the event loop.
+///
+/// The default is the legacy single-engine posture: every arrival
+/// pre-scheduled, watchdog escalations applied immediately, full
+/// per-job records. The sharded tier flips all three knobs.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Force every stream onto one controller kind (baselines, scale
+    /// benches); `None` uses each spec's own controller.
+    pub force: Option<ControllerKind>,
+    /// Degradation machinery configuration.
+    pub degrade: DegradeConfig,
+    /// Skip per-job [`ServeRecord`]s and calibration/SLO tracking; keep
+    /// only the aggregate counters. Scale runs over millions of jobs
+    /// use this to stay allocation-flat; [`StreamResult::completed`],
+    /// [`StreamResult::misses`], [`StreamResult::miss_pct`] and
+    /// [`StreamResult::total_energy_pj`] stay exact either way.
+    pub lean: bool,
+    /// Watchdog records a [`BoostRequest`] instead of escalating in
+    /// place; the owner (the shard coordinator) decides grants and
+    /// applies them via [`ShardEngine::apply_boost`]. Required for a
+    /// shard-count-invariant global boost budget.
+    pub defer_escalations: bool,
+    /// Schedule each stream's next arrival while processing the current
+    /// one instead of pre-pushing the whole arrival schedule. Keeps the
+    /// heap proportional to live streams and lets migrated streams carry
+    /// their pending arrivals; the legacy single-engine path keeps the
+    /// pre-push for bit-exact compatibility with recorded traces.
+    pub one_ahead_arrivals: bool,
+}
+
 /// Per-completed-job accounting, mirroring the batch runner's fields plus
 /// the service-level ones (queueing, relaxation, fallback state).
 #[derive(Debug, Clone, PartialEq)]
@@ -196,7 +266,15 @@ pub struct StreamResult {
     pub bench: String,
     /// Jobs the stream submitted.
     pub submitted: usize,
-    /// Per-completed-job records, in completion order.
+    /// Jobs that completed service (maintained even in lean mode, where
+    /// `records` stays empty).
+    pub done: usize,
+    /// Completed jobs that exceeded their effective deadline.
+    pub missed: usize,
+    /// Total energy across completed jobs, picojoules.
+    pub energy_pj: f64,
+    /// Per-completed-job records, in completion order (empty when the
+    /// engine ran with [`EngineConfig::lean`]).
     pub records: Vec<ServeRecord>,
     /// Arrivals dropped by the shed policy.
     pub shed: usize,
@@ -217,16 +295,17 @@ pub struct StreamResult {
 impl StreamResult {
     /// Jobs that completed service.
     pub fn completed(&self) -> usize {
-        self.records.len()
+        self.done
     }
 
     /// Completed jobs that exceeded their effective deadline.
     pub fn misses(&self) -> usize {
-        self.records.iter().filter(|r| r.missed).count()
+        self.missed
     }
 
     /// Deadline misses as a percentage of **completed** jobs (0 when
-    /// none completed).
+    /// none completed — a stream that shed or never finished anything
+    /// has no service quality to report, not a 0/0).
     ///
     /// Shed arrivals never complete, so they are *not* part of this
     /// denominator — a stream can show 0% misses while dropping most of
@@ -234,10 +313,10 @@ impl StreamResult {
     /// `miss_pct` is service *quality* over the jobs that ran, `shed_pct`
     /// is the share of offered load that was refused outright.
     pub fn miss_pct(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.done == 0 {
             0.0
         } else {
-            100.0 * self.misses() as f64 / self.records.len() as f64
+            100.0 * self.missed as f64 / self.done as f64
         }
     }
 
@@ -255,7 +334,7 @@ impl StreamResult {
 
     /// Total energy across completed jobs, picojoules.
     pub fn total_energy_pj(&self) -> f64 {
-        self.records.iter().map(|r| r.energy_pj).sum()
+        self.energy_pj
     }
 }
 
@@ -270,12 +349,62 @@ pub struct ServeResult {
     pub events: usize,
 }
 
+impl ServeResult {
+    /// Jobs submitted across all streams.
+    pub fn submitted(&self) -> usize {
+        self.streams.iter().map(|s| s.submitted).sum()
+    }
+
+    /// Jobs completed across all streams.
+    pub fn completed(&self) -> usize {
+        self.streams.iter().map(|s| s.done).sum()
+    }
+
+    /// Deadline misses across all streams.
+    pub fn misses(&self) -> usize {
+        self.streams.iter().map(|s| s.missed).sum()
+    }
+
+    /// Shed arrivals across all streams.
+    pub fn shed(&self) -> usize {
+        self.streams.iter().map(|s| s.shed).sum()
+    }
+
+    /// Aggregate miss percentage over completed jobs (0 when nothing
+    /// completed).
+    pub fn miss_pct(&self) -> f64 {
+        let done = self.completed();
+        if done == 0 {
+            0.0
+        } else {
+            100.0 * self.misses() as f64 / done as f64
+        }
+    }
+
+    /// Aggregate shed percentage over submitted jobs (0 when nothing
+    /// was submitted).
+    pub fn shed_pct(&self) -> f64 {
+        let submitted = self.submitted();
+        if submitted == 0 {
+            0.0
+        } else {
+            100.0 * self.shed() as f64 / submitted as f64
+        }
+    }
+
+    /// Total energy across all completed jobs, picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.streams.iter().map(|s| s.energy_pj).sum()
+    }
+}
+
 /// What the virtual clock is waiting on.
 ///
-/// Every event tied to a service attempt carries the **epoch** of that
-/// attempt; a watchdog escalation bumps the stream's epoch, so events
-/// scheduled by a superseded attempt are recognised as stale and
-/// skipped when they surface.
+/// `stream` is the engine-local **slot** index (equal to the global
+/// stream id in the single-engine case); every event tied to a service
+/// attempt carries the **epoch** of that attempt. A watchdog escalation
+/// bumps the stream's epoch, so events scheduled by a superseded attempt
+/// are recognised as stale and skipped when they surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// Stream's `job`-th arrival enters admission.
@@ -288,6 +417,40 @@ enum Event {
     JobDone { stream: usize, epoch: u64 },
     /// Mid-job deadline check for the attempt dispatched at `epoch`.
     Watchdog { stream: usize, epoch: u64 },
+}
+
+/// The engine-local slot an event belongs to.
+fn event_slot(event: &Event) -> usize {
+    match *event {
+        Event::Arrival { stream, .. }
+        | Event::SliceDone { stream, .. }
+        | Event::SwitchDone { stream, .. }
+        | Event::JobDone { stream, .. }
+        | Event::Watchdog { stream, .. } => stream,
+    }
+}
+
+/// The same event, re-addressed to a different slot (stream migration).
+fn retarget(event: Event, slot: usize) -> Event {
+    match event {
+        Event::Arrival { job, .. } => Event::Arrival { stream: slot, job },
+        Event::SliceDone { epoch, .. } => Event::SliceDone {
+            stream: slot,
+            epoch,
+        },
+        Event::SwitchDone { epoch, .. } => Event::SwitchDone {
+            stream: slot,
+            epoch,
+        },
+        Event::JobDone { epoch, .. } => Event::JobDone {
+            stream: slot,
+            epoch,
+        },
+        Event::Watchdog { epoch, .. } => Event::Watchdog {
+            stream: slot,
+            epoch,
+        },
+    }
 }
 
 /// Heap entry: earliest time first, submission order on ties.
@@ -344,6 +507,8 @@ struct InFlight {
     degraded: bool,
     safe_mode: bool,
     escalated: bool,
+    /// A deferred-mode boost request is outstanding for this attempt.
+    boost_requested: bool,
     volts: f64,
     job_pj: f64,
     slice_pj: f64,
@@ -357,6 +522,17 @@ struct InFlight {
     spiked: Option<JobTrace>,
 }
 
+/// The memoized predictive controller: the slice run and model read-out
+/// for each distinct test job come from the shared class table, so a
+/// decision costs a ladder scan instead of an RTL simulation. Decisions
+/// are byte-identical to [`PredictiveController`]'s — this is what makes
+/// million-stream scale scenarios tractable.
+struct CachedCtrl<'p> {
+    dvfs: &'p DvfsModel,
+    f_nominal_hz: f64,
+    entries: &'p [CachedEntry],
+}
+
 /// Per-stream controller dispatch. Boxing a `dyn DvfsController` would
 /// lose access to the adaptive controller's refit counter, so the enum
 /// keeps the concrete types.
@@ -365,15 +541,39 @@ enum Ctrl<'p> {
     Adaptive(Box<AdaptiveController<'p>>),
     Pid(PidController),
     Hybrid(HybridController<'p>),
+    Cached(CachedCtrl<'p>),
 }
 
 impl Ctrl<'_> {
-    fn decide(&mut self, ctx: &JobContext<'_>) -> Result<Decision, predvfs::CoreError> {
+    /// Decides for one job (`tidx` is its index into the experiment's
+    /// test set). The second element is the cached slice-energy hint,
+    /// which saves the engine recomputing slice energy per dispatch.
+    fn decide(
+        &mut self,
+        ctx: &JobContext<'_>,
+        tidx: usize,
+    ) -> Result<(Decision, Option<f64>), predvfs::CoreError> {
         match self {
-            Ctrl::Predictive(c) => c.decide(ctx),
-            Ctrl::Adaptive(c) => c.decide(ctx),
-            Ctrl::Pid(c) => c.decide(ctx),
-            Ctrl::Hybrid(c) => c.decide(ctx),
+            Ctrl::Predictive(c) => Ok((c.decide(ctx)?, None)),
+            Ctrl::Adaptive(c) => Ok((c.decide(ctx)?, None)),
+            Ctrl::Pid(c) => Ok((c.decide(ctx)?, None)),
+            Ctrl::Hybrid(c) => Ok((c.decide(ctx)?, None)),
+            Ctrl::Cached(c) => {
+                let e = c.entries[tidx];
+                let slice_time_s = e.slice_cycles / c.f_nominal_hz;
+                let choice =
+                    c.dvfs
+                        .choose(e.predicted, c.f_nominal_hz, ctx.deadline_s, slice_time_s);
+                Ok((
+                    Decision {
+                        choice,
+                        slice_cycles: e.slice_cycles,
+                        slice_dp_active: Vec::new(),
+                        predicted_cycles: Some(e.predicted),
+                    },
+                    Some(e.slice_pj),
+                ))
+            }
         }
     }
 
@@ -383,6 +583,7 @@ impl Ctrl<'_> {
             Ctrl::Adaptive(c) => c.observe(actual),
             Ctrl::Pid(c) => c.observe(actual),
             Ctrl::Hybrid(c) => c.observe(actual),
+            Ctrl::Cached(_) => {}
         }
     }
 
@@ -532,9 +733,72 @@ fn key_choice(dvfs: &DvfsModel, key: usize) -> LevelChoice {
     }
 }
 
+/// A deferred watchdog escalation: stream `gid`'s in-flight attempt
+/// `epoch` was projected to miss at virtual time `t_s`. The coordinator
+/// sorts requests from all shards by `(t_s, gid)` and grants the global
+/// boost budget in that order — a total order independent of the
+/// stream-to-shard mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoostRequest {
+    /// Global stream id.
+    pub gid: usize,
+    /// Virtual time the watchdog fired.
+    pub t_s: f64,
+    /// The service attempt the request belongs to.
+    pub epoch: u64,
+}
+
+/// A point-in-time load summary of one [`ShardEngine`], the signal the
+/// coordinator's rebalancer reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Streams currently owned by the shard.
+    pub streams: usize,
+    /// Streams with a job in flight.
+    pub active: usize,
+    /// Jobs waiting in admission queues.
+    pub queued: usize,
+    /// Events pending in the shard's heap.
+    pub pending_events: usize,
+    /// Jobs completed by this shard so far.
+    pub jobs_done: u64,
+}
+
+/// A stream extracted from one [`ShardEngine`] for admission into
+/// another: its full service state plus its pending events (in time
+/// order). Produced by [`ShardEngine::extract_stream`], consumed by
+/// [`ShardEngine::admit_stream`].
+pub struct MigratedStream<'rt> {
+    gid: usize,
+    state: StreamState<'rt>,
+    /// Pending events in `(time, original order)`.
+    events: Vec<(f64, Event)>,
+}
+
+impl MigratedStream<'_> {
+    /// The global stream id being migrated.
+    pub fn gid(&self) -> usize {
+        self.gid
+    }
+
+    /// Pending events travelling with the stream.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// One occupied stream slot of a [`ShardEngine`].
+struct Slot<'rt> {
+    gid: usize,
+    state: StreamState<'rt>,
+}
+
 impl ServeRuntime {
     /// Trains and slices every stream, in parallel, sharing `cache` for
-    /// trace simulation.
+    /// trace simulation. Streams with identical (benchmark, seed,
+    /// deadline) are one training problem: the class is prepared once
+    /// and shared, so scenario size scales the cheap per-stream state,
+    /// not the expensive pipeline.
     ///
     /// # Errors
     ///
@@ -562,57 +826,166 @@ impl ServeRuntime {
             "predvfs_serve_streams_prepared_total",
             scenario.streams.len() as u64,
         );
-        let streams = predvfs_par::par_try_map(
-            &scenario.streams,
-            |spec| -> Result<PreparedStream, ServeError> {
-                let mut config = ExperimentConfig::paper_default(scenario.platform);
-                config.size = scenario.size;
-                config.seed = spec.seed;
-                config.deadline_s = spec.deadline_s;
-                let exp = Experiment::prepare_cached(spec.bench, config, cache)
-                    .map_err(ServeError::Core)?;
-                let n_test = exp.workloads.test.len();
-                // Guard the modulo below: a benchmark that generates no
-                // test jobs must surface as a spec error, not as a
-                // divide-by-zero panic deep in the parallel fan-out.
-                if n_test == 0 {
-                    return Err(ServeError::InvalidSpec {
-                        stream: spec.name.clone(),
-                        msg: "benchmark generated an empty test set".to_owned(),
-                    });
-                }
-                let shift_at = spec
+
+        // Deduplicate training problems across the scenario.
+        #[derive(Hash, PartialEq, Eq)]
+        struct ExpKey {
+            bench: &'static str,
+            seed: u64,
+            deadline_bits: u64,
+        }
+        let mut exp_of = Vec::with_capacity(scenario.streams.len());
+        let mut uniq: Vec<&StreamSpec> = Vec::new();
+        let mut index: HashMap<ExpKey, usize> = HashMap::new();
+        for spec in &scenario.streams {
+            let key = ExpKey {
+                bench: spec.bench.name,
+                seed: spec.seed,
+                deadline_bits: spec.deadline_s.to_bits(),
+            };
+            let idx = *index.entry(key).or_insert_with(|| {
+                uniq.push(spec);
+                uniq.len() - 1
+            });
+            exp_of.push(idx);
+        }
+        let exps: Vec<Arc<Experiment>> = predvfs_par::par_try_map(&uniq, |spec| {
+            let mut config = ExperimentConfig::paper_default(scenario.platform);
+            config.size = scenario.size;
+            config.seed = spec.seed;
+            config.deadline_s = spec.deadline_s;
+            let exp =
+                Experiment::prepare_cached(spec.bench, config, cache).map_err(ServeError::Core)?;
+            // Guard the modulo below: a benchmark that generates no
+            // test jobs must surface as a spec error, not as a
+            // divide-by-zero panic deep in the parallel fan-out.
+            if exp.workloads.test.is_empty() {
+                return Err(ServeError::InvalidSpec {
+                    stream: spec.name.clone(),
+                    msg: "benchmark generated an empty test set".to_owned(),
+                });
+            }
+            Ok(Arc::new(exp))
+        })?;
+        let tables: Vec<Arc<OnceLock<Arc<Vec<CachedEntry>>>>> =
+            exps.iter().map(|_| Arc::new(OnceLock::new())).collect();
+
+        // Arrival plans (job indices + drift-scaled traces) dedupe the
+        // same way, keyed by class, job count, and drift.
+        #[derive(Hash, PartialEq, Eq)]
+        struct PlanKey {
+            exp: usize,
+            jobs: usize,
+            drift: Option<(u64, u64)>,
+        }
+        type Plan = (Arc<Vec<usize>>, Arc<Vec<JobTrace>>);
+        let mut plans: HashMap<PlanKey, Plan> = HashMap::new();
+        let mut streams = Vec::with_capacity(scenario.streams.len());
+        for (spec, &ei) in scenario.streams.iter().zip(&exp_of) {
+            let key = PlanKey {
+                exp: ei,
+                jobs: spec.jobs,
+                drift: spec
                     .drift
-                    .map(|d| (d.at_frac * spec.jobs as f64).floor() as usize)
-                    .unwrap_or(usize::MAX);
-                // Hoisted out of the loop: `drift` is per-stream, not
-                // per-job, and `shift_at` is only finite when it is set.
-                let drift_scale = spec.drift.map(|d| d.cycle_scale);
-                let mut job_idx = Vec::with_capacity(spec.jobs);
-                let mut traces = Vec::with_capacity(spec.jobs);
-                for i in 0..spec.jobs {
-                    let idx = i % n_test;
-                    job_idx.push(idx);
-                    let base = &exp.test_traces[idx];
-                    traces.push(match drift_scale {
-                        Some(scale) if i >= shift_at => base.scaled(scale),
-                        _ => base.clone(),
-                    });
-                }
-                Ok(PreparedStream {
-                    spec: spec.clone(),
-                    exp,
-                    job_idx,
-                    traces,
+                    .map(|d| (d.at_frac.to_bits(), d.cycle_scale.to_bits())),
+            };
+            let (job_idx, traces) = plans
+                .entry(key)
+                .or_insert_with(|| {
+                    let exp = &exps[ei];
+                    let n_test = exp.workloads.test.len();
+                    let shift_at = spec
+                        .drift
+                        .map(|d| (d.at_frac * spec.jobs as f64).floor() as usize)
+                        .unwrap_or(usize::MAX);
+                    // Hoisted out of the loop: `drift` is per-stream, not
+                    // per-job, and `shift_at` is only finite when it is
+                    // set.
+                    let drift_scale = spec.drift.map(|d| d.cycle_scale);
+                    let mut job_idx = Vec::with_capacity(spec.jobs);
+                    let mut traces = Vec::with_capacity(spec.jobs);
+                    for i in 0..spec.jobs {
+                        let idx = i % n_test;
+                        job_idx.push(idx);
+                        let base = &exp.test_traces[idx];
+                        traces.push(match drift_scale {
+                            Some(scale) if i >= shift_at => base.scaled(scale),
+                            _ => base.clone(),
+                        });
+                    }
+                    (Arc::new(job_idx), Arc::new(traces))
                 })
-            },
-        )?;
+                .clone();
+            streams.push(PreparedStream {
+                spec: spec.clone(),
+                exp: Arc::clone(&exps[ei]),
+                job_idx,
+                traces,
+                table: Arc::clone(&tables[ei]),
+            });
+        }
         Ok(ServeRuntime { streams })
     }
 
     /// The prepared streams' specs, in scenario order.
     pub fn specs(&self) -> impl Iterator<Item = &StreamSpec> {
         self.streams.iter().map(|s| &s.spec)
+    }
+
+    /// Builds the memoized decision table for one class (no-op when
+    /// already built).
+    fn ensure_cached_table(s: &PreparedStream) -> Result<(), ServeError> {
+        if s.table.get().is_some() {
+            return Ok(());
+        }
+        let runner = s.exp.predictor.runner();
+        let nominal = OperatingPoint {
+            volts: 1.0,
+            freq_ratio: 1.0,
+        };
+        let mut entries = Vec::with_capacity(s.exp.workloads.test.len());
+        for job in &s.exp.workloads.test {
+            let run = runner
+                .run(job)
+                .map_err(|e| ServeError::Core(predvfs::CoreError::from(e)))?;
+            let predicted = s.exp.model.predict_cycles(&run.features);
+            let slice_pj =
+                s.exp
+                    .slice_energy
+                    .job_pj(run.cycles.round() as u64, &run.dp_active, nominal, 1.0);
+            entries.push(CachedEntry {
+                predicted,
+                slice_cycles: run.cycles,
+                slice_pj,
+            });
+        }
+        let _ = s.table.set(Arc::new(entries));
+        Ok(())
+    }
+
+    /// Pre-builds the memoized decision tables every stream that will
+    /// run under [`ControllerKind::Cached`] needs (one per class, fanned
+    /// out in parallel). [`ServeRuntime::engine`] builds missing tables
+    /// on demand; calling this first avoids redundant concurrent builds
+    /// when many shard engines are constructed from worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice-execution failures.
+    pub fn warm_cached_tables(&self, force: Option<ControllerKind>) -> Result<(), ServeError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut todo: Vec<&PreparedStream> = Vec::new();
+        for s in &self.streams {
+            let kind = force.unwrap_or(s.spec.controller);
+            if kind == ControllerKind::Cached
+                && s.table.get().is_none()
+                && seen.insert(Arc::as_ptr(&s.table))
+            {
+                todo.push(s);
+            }
+        }
+        predvfs_par::par_try_map(&todo, |s| Self::ensure_cached_table(s))?;
+        Ok(())
     }
 
     /// Runs the scenario with each stream's configured controller.
@@ -677,257 +1050,607 @@ impl ServeRuntime {
         degrade: &DegradeConfig,
     ) -> Result<ServeResult, ServeError> {
         let _run_timer = predvfs_obs::PhaseTimer::start(sink, "predvfs_serve_run");
-        let mut states: Vec<StreamState<'_>> = self
-            .streams
-            .iter()
-            .map(|s| {
-                let kind = force.unwrap_or(s.spec.controller);
-                let dvfs = s.exp.dvfs.clone();
-                let f_hz = s.exp.energy.f_nominal_hz();
-                let ctrl = match kind {
-                    ControllerKind::Predictive => Ctrl::Predictive(PredictiveController::new(
-                        dvfs.clone(),
-                        f_hz,
-                        &s.exp.predictor,
-                        &s.exp.model,
-                    )),
-                    ControllerKind::Adaptive => Ctrl::Adaptive(Box::new(AdaptiveController::new(
-                        dvfs.clone(),
-                        f_hz,
-                        &s.exp.predictor,
-                        s.exp.model.clone(),
-                        OnlineTrainerConfig::default(),
-                    ))),
-                    ControllerKind::Pid => Ctrl::Pid(PidController::tuned(dvfs.clone(), f_hz)),
-                    ControllerKind::Hybrid => Ctrl::Hybrid(HybridController::new(
-                        dvfs.clone(),
-                        f_hz,
-                        &s.exp.predictor,
-                        &s.exp.model,
-                    )),
-                };
-                StreamState {
-                    ctrl,
-                    queue: VecDeque::new(),
-                    in_flight: None,
-                    prev_key: level_key(&dvfs, dvfs.nominal()),
-                    started: 0,
-                    epoch: 0,
-                    consec_misses: 0,
-                    consec_degraded: 0,
-                    quarantine: None,
-                    was_degraded: false,
-                    seen_refits: 0,
-                    calib: CalibrationMonitor::new(CalibrationConfig::default()),
-                    calib_alert: false,
-                    slo: SloTracker::new(SloConfig::for_deadline(s.spec.deadline_s)),
-                    result: StreamResult {
-                        name: s.spec.name.clone(),
-                        bench: s.spec.bench.name.to_owned(),
-                        submitted: s.spec.jobs,
-                        records: Vec::with_capacity(s.spec.jobs),
-                        shed: 0,
-                        relaxed: 0,
-                        refits: 0,
-                        faults: 0,
-                        escalations: 0,
-                        quarantines: 0,
-                        internal_errors: 0,
-                    },
-                }
-            })
-            .collect();
-
-        let mut heap = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, time: f64, event: Event| {
-            heap.push(Scheduled {
-                time,
-                seq: *seq,
-                event,
-            });
-            *seq += 1;
+        let members: Vec<usize> = (0..self.streams.len()).collect();
+        let config = EngineConfig {
+            force,
+            degrade: degrade.clone(),
+            ..EngineConfig::default()
         };
+        let mut engine = self.engine(&members, config, sink, injector)?;
+        engine.run_until(f64::INFINITY)?;
+        let horizon_s = engine.horizon_s();
+        let events = engine.events();
+        let streams = engine.finish().into_iter().map(|(_, r)| r).collect();
+        Ok(ServeResult {
+            streams,
+            horizon_s,
+            events,
+        })
+    }
+
+    /// Builds a resumable [`ShardEngine`] over the streams named by
+    /// `members` (global stream ids into this runtime, in slot order).
+    /// The single-engine entry points are `engine` over all streams with
+    /// the default [`EngineConfig`]; the sharded tier builds one engine
+    /// per shard with deferred escalations and one-ahead arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cached-table build failures for members forced onto
+    /// [`ControllerKind::Cached`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is out of range.
+    pub fn engine<'rt>(
+        &'rt self,
+        members: &[usize],
+        config: EngineConfig,
+        sink: &'rt dyn ObsSink,
+        injector: &'rt dyn FaultInjector,
+    ) -> Result<ShardEngine<'rt>, ServeError> {
         let faults_on = injector.enabled();
-        for (k, s) in self.streams.iter().enumerate() {
-            let mut prev_arrival = 0.0f64;
-            for job in 0..s.spec.jobs {
-                // An arrival burst collapses this job onto its
-                // predecessor's arrival instant (ties resolve in job
-                // order via the sequence number). Non-burst jobs stay
-                // anchored to the nominal schedule, so a burst is a
-                // transient, not a cumulative shift.
-                let nominal = job as f64 * s.spec.period_s;
-                let t = if faults_on && job > 0 && injector.arrival_burst(k, job) {
-                    prev_arrival
-                } else {
-                    nominal
-                };
-                prev_arrival = t;
-                push(&mut heap, &mut seq, t, Event::Arrival { stream: k, job });
+        let mut engine = ShardEngine {
+            rt: self,
+            sink,
+            injector,
+            faults_on,
+            degrade: config.degrade,
+            lean: config.lean,
+            defer: config.defer_escalations,
+            one_ahead: config.one_ahead_arrivals,
+            slots: Vec::with_capacity(members.len()),
+            by_gid: HashMap::with_capacity(members.len()),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            horizon_s: 0.0,
+            events: 0,
+            jobs_done: 0,
+            boost_requests: Vec::new(),
+        };
+        for (slot_idx, &gid) in members.iter().enumerate() {
+            let s = &self.streams[gid];
+            let kind = config.force.unwrap_or(s.spec.controller);
+            if kind == ControllerKind::Cached {
+                Self::ensure_cached_table(s)?;
+            }
+            engine.slots.push(Some(Slot {
+                gid,
+                state: new_state(s, kind, config.lean),
+            }));
+            engine.by_gid.insert(gid, slot_idx);
+            if config.one_ahead_arrivals {
+                // Job 0 arrives at its nominal instant; each arrival
+                // then schedules its successor.
+                engine.push(
+                    0.0,
+                    Event::Arrival {
+                        stream: slot_idx,
+                        job: 0,
+                    },
+                );
+            } else {
+                let mut prev_arrival = 0.0f64;
+                for job in 0..s.spec.jobs {
+                    // An arrival burst collapses this job onto its
+                    // predecessor's arrival instant (ties resolve in job
+                    // order via the sequence number). Non-burst jobs stay
+                    // anchored to the nominal schedule, so a burst is a
+                    // transient, not a cumulative shift.
+                    let nominal = job as f64 * s.spec.period_s;
+                    let t = if faults_on && job > 0 && injector.arrival_burst(gid, job) {
+                        prev_arrival
+                    } else {
+                        nominal
+                    };
+                    prev_arrival = t;
+                    engine.push(
+                        t,
+                        Event::Arrival {
+                            stream: slot_idx,
+                            job,
+                        },
+                    );
+                }
             }
         }
+        Ok(engine)
+    }
+}
 
-        let mut horizon_s = 0.0f64;
-        let mut events = 0usize;
-        while let Some(Scheduled { time, event, .. }) = heap.pop() {
-            horizon_s = horizon_s.max(time);
-            events += 1;
-            match event {
-                Event::Arrival { stream, job } => {
-                    let spec = &self.streams[stream].spec;
-                    let adm = Admitted {
-                        job,
-                        arrival_s: time,
-                        deadline_abs_s: time + spec.deadline_s,
-                        relaxed: false,
+/// Fresh run-time state for one stream.
+fn new_state<'rt>(s: &'rt PreparedStream, kind: ControllerKind, lean: bool) -> StreamState<'rt> {
+    let dvfs = &s.exp.dvfs;
+    let f_hz = s.exp.energy.f_nominal_hz();
+    let ctrl = match kind {
+        ControllerKind::Predictive => Ctrl::Predictive(PredictiveController::new(
+            dvfs.clone(),
+            f_hz,
+            &s.exp.predictor,
+            &s.exp.model,
+        )),
+        ControllerKind::Adaptive => Ctrl::Adaptive(Box::new(AdaptiveController::new(
+            dvfs.clone(),
+            f_hz,
+            &s.exp.predictor,
+            s.exp.model.clone(),
+            OnlineTrainerConfig::default(),
+        ))),
+        ControllerKind::Pid => Ctrl::Pid(PidController::tuned(dvfs.clone(), f_hz)),
+        ControllerKind::Hybrid => Ctrl::Hybrid(HybridController::new(
+            dvfs.clone(),
+            f_hz,
+            &s.exp.predictor,
+            &s.exp.model,
+        )),
+        ControllerKind::Cached => Ctrl::Cached(CachedCtrl {
+            dvfs,
+            f_nominal_hz: f_hz,
+            entries: s
+                .table
+                .get()
+                .expect("cached table built before state construction")
+                .as_slice(),
+        }),
+    };
+    StreamState {
+        ctrl,
+        queue: VecDeque::new(),
+        in_flight: None,
+        prev_key: level_key(dvfs, dvfs.nominal()),
+        started: 0,
+        epoch: 0,
+        consec_misses: 0,
+        consec_degraded: 0,
+        quarantine: None,
+        was_degraded: false,
+        seen_refits: 0,
+        calib: CalibrationMonitor::new(CalibrationConfig::default()),
+        calib_alert: false,
+        slo: SloTracker::new(SloConfig::for_deadline(s.spec.deadline_s)),
+        result: StreamResult {
+            name: s.spec.name.clone(),
+            bench: s.spec.bench.name.to_owned(),
+            submitted: s.spec.jobs,
+            done: 0,
+            missed: 0,
+            energy_pj: 0.0,
+            records: if lean {
+                Vec::new()
+            } else {
+                Vec::with_capacity(s.spec.jobs)
+            },
+            shed: 0,
+            relaxed: 0,
+            refits: 0,
+            faults: 0,
+            escalations: 0,
+            quarantines: 0,
+            internal_errors: 0,
+        },
+    }
+}
+
+/// A resumable event-loop engine over a subset of a runtime's streams —
+/// one shard of the sharded serve tier (or the whole scenario, for the
+/// single-engine entry points).
+///
+/// The engine owns its members' virtual clocks, admission queues, and
+/// event heap; [`ShardEngine::run_until`] advances strictly below a time
+/// bound and returns, so a coordinator can advance many engines to a
+/// common epoch boundary, exchange [`BoostRequest`] grants and stream
+/// migrations, and resume.
+pub struct ShardEngine<'rt> {
+    rt: &'rt ServeRuntime,
+    sink: &'rt dyn ObsSink,
+    injector: &'rt dyn FaultInjector,
+    faults_on: bool,
+    degrade: DegradeConfig,
+    lean: bool,
+    defer: bool,
+    one_ahead: bool,
+    /// Slot-indexed stream states; a migrated-away stream leaves `None`
+    /// (slot indices are never reused, admissions append).
+    slots: Vec<Option<Slot<'rt>>>,
+    by_gid: HashMap<usize, usize>,
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    horizon_s: f64,
+    events: usize,
+    jobs_done: u64,
+    boost_requests: Vec<BoostRequest>,
+}
+
+impl<'rt> ShardEngine<'rt> {
+    fn push(&mut self, time: f64, event: Event) {
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Virtual time of the next pending event, if any.
+    pub fn next_time(&self) -> Option<f64> {
+        // The heap orders earliest-first, so peek is the minimum.
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Whether the engine has nothing left to do. (A job in flight
+    /// always has a pending completion event, so an empty heap means
+    /// fully drained.)
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Virtual time of the latest event processed so far.
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// Events processed so far.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done
+    }
+
+    /// Whether the engine currently owns stream `gid`.
+    pub fn owns(&self, gid: usize) -> bool {
+        self.by_gid.contains_key(&gid)
+    }
+
+    /// Takes the boost requests accumulated since the last drain.
+    pub fn drain_boost_requests(&mut self) -> Vec<BoostRequest> {
+        std::mem::take(&mut self.boost_requests)
+    }
+
+    /// Processes every event strictly before `t_end` (pass
+    /// `f64::INFINITY` to drain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (e.g. a hung slice).
+    pub fn run_until(&mut self, t_end: f64) -> Result<(), ServeError> {
+        while let Some(top) = self.heap.peek() {
+            if top.time >= t_end {
+                break;
+            }
+            let Scheduled { time, event, .. } = self.heap.pop().expect("peeked above");
+            self.horizon_s = self.horizon_s.max(time);
+            self.events += 1;
+            self.step(time, event)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one granted [`BoostRequest`] at virtual time `now` (the
+    /// epoch boundary): re-runs the escalation math as of `now` and
+    /// boosts the attempt if it still helps. Returns whether the boost
+    /// was applied (a request can go stale if its attempt completed or
+    /// was superseded within the epoch).
+    pub fn apply_boost(&mut self, req: BoostRequest, now: f64) -> bool {
+        let Some(&slot_idx) = self.by_gid.get(&req.gid) else {
+            return false;
+        };
+        let rt = self.rt;
+        let s = &rt.streams[req.gid];
+        let mut cx = Loop {
+            sink: self.sink,
+            injector: self.injector,
+            faults_on: self.faults_on,
+            degrade: &self.degrade,
+            lean: self.lean,
+            defer: self.defer,
+            one_ahead: self.one_ahead,
+            heap: &mut self.heap,
+            seq: &mut self.seq,
+            boosts: &mut self.boost_requests,
+        };
+        let slot = self.slots[slot_idx].as_mut().expect("by_gid maps to slot");
+        let state = &mut slot.state;
+        {
+            let Some(fly) = state.in_flight.as_ref() else {
+                return false;
+            };
+            if fly.epoch != req.epoch || fly.escalated {
+                return false;
+            }
+        }
+        cx.escalate(s, slot_idx, state, now)
+    }
+
+    /// Removes stream `gid` (state + pending events) for migration to
+    /// another engine; `None` when this engine does not own it.
+    pub fn extract_stream(&mut self, gid: usize) -> Option<MigratedStream<'rt>> {
+        let slot_idx = self.by_gid.remove(&gid)?;
+        let slot = self.slots[slot_idx].take().expect("by_gid maps to slot");
+        let drained = std::mem::take(&mut self.heap).into_vec();
+        let (mut mine, rest): (Vec<Scheduled>, Vec<Scheduled>) = drained
+            .into_iter()
+            .partition(|e| event_slot(&e.event) == slot_idx);
+        self.heap = BinaryHeap::from(rest);
+        mine.sort_by(|a, b| a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        Some(MigratedStream {
+            gid,
+            state: slot.state,
+            events: mine.into_iter().map(|e| (e.time, e.event)).collect(),
+        })
+    }
+
+    /// Admits a migrated stream: allocates a fresh slot and re-schedules
+    /// its pending events (in their original time order, under fresh
+    /// sequence numbers).
+    pub fn admit_stream(&mut self, migrated: MigratedStream<'rt>) {
+        let slot_idx = self.slots.len();
+        self.by_gid.insert(migrated.gid, slot_idx);
+        self.slots.push(Some(Slot {
+            gid: migrated.gid,
+            state: migrated.state,
+        }));
+        for (time, event) in migrated.events {
+            let event = retarget(event, slot_idx);
+            self.push(time, event);
+        }
+    }
+
+    /// Current load summary (the rebalancer's input).
+    pub fn load(&self) -> ShardLoad {
+        let mut load = ShardLoad {
+            pending_events: self.heap.len(),
+            jobs_done: self.jobs_done,
+            ..ShardLoad::default()
+        };
+        for slot in self.slots.iter().flatten() {
+            load.streams += 1;
+            if slot.state.in_flight.is_some() {
+                load.active += 1;
+            }
+            load.queued += slot.state.queue.len();
+        }
+        load
+    }
+
+    /// The busiest streams this engine owns (global ids, busiest first,
+    /// gid ascending on ties), capped at `limit` — the coordinator's
+    /// migration shortlist. Busyness weighs queued jobs double, plus the
+    /// in-flight job and the quarantine flag; idle streams never appear.
+    pub fn migration_candidates(&self, limit: usize) -> Vec<usize> {
+        let mut busy: Vec<(usize, usize)> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter_map(|slot| {
+                let b = slot.state.queue.len() * 2
+                    + usize::from(slot.state.in_flight.is_some())
+                    + usize::from(slot.state.quarantine.is_some());
+                (b > 0).then_some((b, slot.gid))
+            })
+            .collect();
+        busy.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        busy.into_iter().take(limit).map(|(_, gid)| gid).collect()
+    }
+
+    /// Consumes the engine and returns each owned stream's result,
+    /// keyed by global stream id, gid-ascending.
+    pub fn finish(self) -> Vec<(usize, StreamResult)> {
+        let mut out: Vec<(usize, StreamResult)> = self
+            .slots
+            .into_iter()
+            .flatten()
+            .map(|slot| {
+                let mut state = slot.state;
+                state.result.refits = state.ctrl.refits();
+                (slot.gid, state.result)
+            })
+            .collect();
+        out.sort_by_key(|&(gid, _)| gid);
+        out
+    }
+
+    /// Processes one event. Stream slots, the heap, and the counters are
+    /// disjoint fields, so the borrow splits cleanly between the slot
+    /// being served and the scheduling context.
+    fn step(&mut self, time: f64, event: Event) -> Result<(), ServeError> {
+        let rt = self.rt;
+        let mut cx = Loop {
+            sink: self.sink,
+            injector: self.injector,
+            faults_on: self.faults_on,
+            degrade: &self.degrade,
+            lean: self.lean,
+            defer: self.defer,
+            one_ahead: self.one_ahead,
+            heap: &mut self.heap,
+            seq: &mut self.seq,
+            boosts: &mut self.boost_requests,
+        };
+        match event {
+            Event::Arrival { stream, job } => {
+                let slot = self.slots[stream].as_mut().expect("event for vacated slot");
+                let gid = slot.gid;
+                let s = &rt.streams[gid];
+                let spec = &s.spec;
+                // One-ahead mode: schedule the successor before anything
+                // this handler schedules, so on a burst tie the next
+                // arrival outranks this job's service events.
+                if cx.one_ahead && job + 1 < spec.jobs {
+                    let next = job + 1;
+                    let t = if cx.faults_on && cx.injector.arrival_burst(gid, next) {
+                        time
+                    } else {
+                        next as f64 * spec.period_s
                     };
-                    let state = &mut states[stream];
-                    // Stateless re-query: same coordinates, same answer
-                    // as at schedule time — the burst is traced from the
-                    // serial loop to keep emission order deterministic.
-                    if faults_on && job > 0 && injector.arrival_burst(stream, job) {
-                        state.note_fault(time, sink, &FaultKind::ArrivalBurst, job);
+                    cx.push(t, Event::Arrival { stream, job: next });
+                }
+                let adm = Admitted {
+                    job,
+                    arrival_s: time,
+                    deadline_abs_s: time + spec.deadline_s,
+                    relaxed: false,
+                };
+                let state = &mut slot.state;
+                // Stateless re-query: same coordinates, same answer
+                // as at schedule time — the burst is traced from the
+                // serial loop to keep emission order deterministic.
+                if cx.faults_on && job > 0 && cx.injector.arrival_burst(gid, job) {
+                    state.note_fault(time, cx.sink, &FaultKind::ArrivalBurst, job);
+                }
+                if cx.sink.enabled() {
+                    cx.sink.counter_add("predvfs_serve_arrivals_total", 1);
+                    cx.sink.emit(
+                        TraceEvent::new(time, &spec.name, kinds::ARRIVAL)
+                            .with_u64("job", job as u64),
+                    );
+                }
+                if state.in_flight.is_none() {
+                    cx.start_service(s, gid, stream, state, adm, time)?;
+                } else if state.queue.len() < spec.queue_bound {
+                    state.queue.push_back(adm);
+                } else {
+                    match spec.policy {
+                        OverloadPolicy::Shed => {
+                            state.result.shed += 1;
+                            if cx.sink.enabled() {
+                                cx.sink.counter_add("predvfs_serve_shed_total", 1);
+                                cx.sink.emit(
+                                    TraceEvent::new(time, &spec.name, kinds::SHED)
+                                        .with_u64("job", job as u64),
+                                );
+                            }
+                        }
+                        OverloadPolicy::Relax { factor } => {
+                            state.result.relaxed += 1;
+                            let stretched = spec.deadline_s * factor;
+                            if cx.sink.enabled() {
+                                cx.sink.counter_add("predvfs_serve_relaxed_total", 1);
+                                cx.sink.emit(
+                                    TraceEvent::new(time, &spec.name, kinds::RELAX)
+                                        .with_u64("job", job as u64)
+                                        .with_f64("deadline_s", stretched),
+                                );
+                            }
+                            state.queue.push_back(Admitted {
+                                deadline_abs_s: time + stretched,
+                                relaxed: true,
+                                ..adm
+                            });
+                        }
                     }
-                    if sink.enabled() {
-                        sink.counter_add("predvfs_serve_arrivals_total", 1);
-                        sink.emit(
-                            TraceEvent::new(time, &spec.name, kinds::ARRIVAL)
-                                .with_u64("job", job as u64),
+                }
+                if cx.sink.enabled() {
+                    cx.sink
+                        .observe("predvfs_serve_queue_depth", state.queue.len() as f64);
+                }
+            }
+            // Clock markers: the accelerator's phase changes but no
+            // scheduling decision hangs off them. SliceDone is still
+            // traced — slice latency is an overhead observable.
+            Event::SliceDone { stream, epoch } => {
+                let slot = self.slots[stream].as_ref().expect("event for vacated slot");
+                if slot.state.epoch == epoch && cx.sink.enabled() {
+                    cx.sink.emit(TraceEvent::new(
+                        time,
+                        &rt.streams[slot.gid].spec.name,
+                        kinds::SLICE_DONE,
+                    ));
+                }
+            }
+            Event::SwitchDone { .. } => {}
+            Event::JobDone { stream, epoch } => {
+                let slot = self.slots[stream].as_mut().expect("event for vacated slot");
+                let gid = slot.gid;
+                let s = &rt.streams[gid];
+                let state = &mut slot.state;
+                let stale = match &state.in_flight {
+                    Some(fly) => fly.epoch != epoch,
+                    None => epoch != state.epoch,
+                };
+                if stale {
+                    // A completion superseded by a watchdog
+                    // escalation (its epoch was bumped past this
+                    // event's): drop it.
+                    return Ok(());
+                }
+                if state.in_flight.is_none() {
+                    // A current-epoch completion with no job in
+                    // flight: the accelerator signalled "done" out
+                    // of thin air. Contain it — count, trace, and
+                    // quarantine the stream — instead of panicking.
+                    state.result.internal_errors += 1;
+                    if cx.sink.enabled() {
+                        cx.sink
+                            .counter_add("predvfs_serve_internal_errors_total", 1);
+                        cx.sink.emit(
+                            TraceEvent::new(time, &state.result.name, kinds::INTERNAL_ERROR)
+                                .with_str("cause", "job_done_without_job"),
                         );
                     }
-                    if state.in_flight.is_none() {
-                        self.start_service(
-                            stream, state, adm, time, &mut heap, &mut seq, sink, injector, degrade,
-                        )?;
-                    } else if state.queue.len() < spec.queue_bound {
-                        state.queue.push_back(adm);
-                    } else {
-                        match spec.policy {
-                            OverloadPolicy::Shed => {
-                                state.result.shed += 1;
-                                if sink.enabled() {
-                                    sink.counter_add("predvfs_serve_shed_total", 1);
-                                    sink.emit(
-                                        TraceEvent::new(time, &spec.name, kinds::SHED)
-                                            .with_u64("job", job as u64),
-                                    );
-                                }
-                            }
-                            OverloadPolicy::Relax { factor } => {
-                                state.result.relaxed += 1;
-                                let stretched = spec.deadline_s * factor;
-                                if sink.enabled() {
-                                    sink.counter_add("predvfs_serve_relaxed_total", 1);
-                                    sink.emit(
-                                        TraceEvent::new(time, &spec.name, kinds::RELAX)
-                                            .with_u64("job", job as u64)
-                                            .with_f64("deadline_s", stretched),
-                                    );
-                                }
-                                state.queue.push_back(Admitted {
-                                    deadline_abs_s: time + stretched,
-                                    relaxed: true,
-                                    ..adm
-                                });
-                            }
-                        }
-                    }
-                    if sink.enabled() {
-                        sink.observe("predvfs_serve_queue_depth", state.queue.len() as f64);
-                    }
+                    state.enter_quarantine(time, cx.sink, kinds::INTERNAL_ERROR);
+                    return Ok(());
                 }
-                // Clock markers: the accelerator's phase changes but no
-                // scheduling decision hangs off them. SliceDone is still
-                // traced — slice latency is an overhead observable.
-                Event::SliceDone { stream, epoch } => {
-                    if states[stream].epoch == epoch && sink.enabled() {
-                        sink.emit(TraceEvent::new(
-                            time,
-                            &self.streams[stream].spec.name,
-                            kinds::SLICE_DONE,
-                        ));
-                    }
-                }
-                Event::SwitchDone { .. } => {}
-                Event::JobDone { stream, epoch } => {
-                    let state = &mut states[stream];
-                    let stale = match &state.in_flight {
-                        Some(fly) => fly.epoch != epoch,
-                        None => epoch != state.epoch,
-                    };
-                    if stale {
-                        // A completion superseded by a watchdog
-                        // escalation (its epoch was bumped past this
-                        // event's): drop it.
-                        continue;
-                    }
-                    if state.in_flight.is_none() {
-                        // A current-epoch completion with no job in
-                        // flight: the accelerator signalled "done" out
-                        // of thin air. Contain it — count, trace, and
-                        // quarantine the stream — instead of panicking.
-                        state.result.internal_errors += 1;
-                        if sink.enabled() {
-                            sink.counter_add("predvfs_serve_internal_errors_total", 1);
-                            sink.emit(
-                                TraceEvent::new(time, &state.result.name, kinds::INTERNAL_ERROR)
-                                    .with_str("cause", "job_done_without_job"),
-                            );
-                        }
-                        state.enter_quarantine(time, sink, kinds::INTERNAL_ERROR);
-                        continue;
-                    }
-                    let fly = state.in_flight.take().expect("checked above");
-                    let rel_deadline = fly.adm.deadline_abs_s - fly.adm.arrival_s;
-                    let response = time - fly.adm.arrival_s;
-                    let missed = response > rel_deadline * (1.0 + 1e-9);
-                    let energy_pj = fly.job_pj + fly.slice_pj + fly.transition_pj;
-                    if sink.enabled() {
-                        let name = &self.streams[stream].spec.name;
-                        sink.counter_add("predvfs_serve_jobs_done_total", 1);
-                        sink.counter_add_with(
-                            "predvfs_serve_stream_jobs_done_total",
+                let fly = state.in_flight.take().expect("checked above");
+                self.jobs_done += 1;
+                let rel_deadline = fly.adm.deadline_abs_s - fly.adm.arrival_s;
+                let response = time - fly.adm.arrival_s;
+                let missed = response > rel_deadline * (1.0 + 1e-9);
+                let energy_pj = fly.job_pj + fly.slice_pj + fly.transition_pj;
+                if cx.sink.enabled() {
+                    let name = &s.spec.name;
+                    cx.sink.counter_add("predvfs_serve_jobs_done_total", 1);
+                    cx.sink.counter_add_with(
+                        "predvfs_serve_stream_jobs_done_total",
+                        &[("stream", name)],
+                        1,
+                    );
+                    if missed {
+                        cx.sink.counter_add("predvfs_serve_misses_total", 1);
+                        cx.sink.counter_add_with(
+                            "predvfs_serve_stream_misses_total",
                             &[("stream", name)],
                             1,
                         );
-                        if missed {
-                            sink.counter_add("predvfs_serve_misses_total", 1);
-                            sink.counter_add_with(
-                                "predvfs_serve_stream_misses_total",
-                                &[("stream", name)],
-                                1,
-                            );
-                        }
-                        sink.observe("predvfs_serve_response_seconds", response);
-                        sink.observe("predvfs_serve_slack_seconds", rel_deadline - response);
-                        sink.observe("predvfs_serve_energy_pj", energy_pj);
-                        let mut ev = TraceEvent::new(time, name, kinds::JOB_DONE)
-                            .with_u64("job", fly.adm.job as u64)
-                            .with_f64("response_s", response)
-                            .with_f64("queue_s", fly.start_s - fly.adm.arrival_s)
-                            .with_f64("deadline_s", rel_deadline)
-                            .with_f64("slack_s", rel_deadline - response)
-                            .with_bool("missed", missed)
-                            .with_bool("relaxed", fly.adm.relaxed)
-                            .with_bool("degraded", fly.degraded)
-                            .with_u64("level", fly.key as u64)
-                            .with_f64("volts", fly.volts)
-                            .with_f64("energy_pj", energy_pj)
-                            .with_f64("slice_pj", fly.slice_pj)
-                            .with_u64("actual_cycles", fly.actual_cycles);
-                        if fly.escalated {
-                            ev = ev.with_bool("escalated", true);
-                        }
-                        if fly.safe_mode {
-                            ev = ev.with_bool("safe_mode", true);
-                        }
-                        if let Some(p) = fly.predicted_cycles {
-                            ev = ev.with_f64("predicted_cycles", p);
-                        }
-                        sink.emit(ev);
                     }
-                    let actual_cycles = fly.actual_cycles;
+                    cx.sink.observe("predvfs_serve_response_seconds", response);
+                    cx.sink
+                        .observe("predvfs_serve_slack_seconds", rel_deadline - response);
+                    cx.sink.observe("predvfs_serve_energy_pj", energy_pj);
+                    let mut ev = TraceEvent::new(time, name, kinds::JOB_DONE)
+                        .with_u64("job", fly.adm.job as u64)
+                        .with_f64("response_s", response)
+                        .with_f64("queue_s", fly.start_s - fly.adm.arrival_s)
+                        .with_f64("deadline_s", rel_deadline)
+                        .with_f64("slack_s", rel_deadline - response)
+                        .with_bool("missed", missed)
+                        .with_bool("relaxed", fly.adm.relaxed)
+                        .with_bool("degraded", fly.degraded)
+                        .with_u64("level", fly.key as u64)
+                        .with_f64("volts", fly.volts)
+                        .with_f64("energy_pj", energy_pj)
+                        .with_f64("slice_pj", fly.slice_pj)
+                        .with_u64("actual_cycles", fly.actual_cycles);
+                    if fly.escalated {
+                        ev = ev.with_bool("escalated", true);
+                    }
+                    if fly.safe_mode {
+                        ev = ev.with_bool("safe_mode", true);
+                    }
+                    if let Some(p) = fly.predicted_cycles {
+                        ev = ev.with_f64("predicted_cycles", p);
+                    }
+                    cx.sink.emit(ev);
+                }
+                let actual_cycles = fly.actual_cycles;
+                state.result.done += 1;
+                if missed {
+                    state.result.missed += 1;
+                }
+                state.result.energy_pj += energy_pj;
+                if !cx.lean {
                     state.result.records.push(ServeRecord {
                         job: fly.adm.job,
                         arrival_s: fly.adm.arrival_s,
@@ -945,38 +1668,38 @@ impl ServeRuntime {
                         predicted_cycles: fly.predicted_cycles,
                         actual_cycles,
                     });
-                    // Quarantine bookkeeping: consecutive misses trip
-                    // it, probe completions recover from it.
-                    if missed {
-                        state.consec_misses += 1;
-                    } else {
-                        state.consec_misses = 0;
-                    }
-                    match state.quarantine {
-                        None => {
-                            if degrade.quarantine_misses > 0
-                                && state.consec_misses >= degrade.quarantine_misses
-                            {
-                                state.enter_quarantine(time, sink, "consecutive_misses");
-                            }
-                        }
-                        Some(clean) => {
-                            if missed {
-                                state.quarantine = Some(0);
-                            } else if clean + 1 >= degrade.probe_jobs {
-                                state.exit_quarantine(time, sink);
-                            } else {
-                                state.quarantine = Some(clean + 1);
-                            }
+                }
+                // Quarantine bookkeeping: consecutive misses trip
+                // it, probe completions recover from it.
+                if missed {
+                    state.consec_misses += 1;
+                } else {
+                    state.consec_misses = 0;
+                }
+                match state.quarantine {
+                    None => {
+                        if cx.degrade.quarantine_misses > 0
+                            && state.consec_misses >= cx.degrade.quarantine_misses
+                        {
+                            state.enter_quarantine(time, cx.sink, "consecutive_misses");
                         }
                     }
-                    state.ctrl.observe(actual_cycles);
-                    state.note_ctrl_transitions(time, sink);
-                    // Prediction-quality accounting. The adaptive
-                    // controller's trainer already recorded this pair
-                    // inside `observe` — read its monitor so the gauges
-                    // and the refit trigger describe the same window;
-                    // everyone else feeds the stream-local monitor.
+                    Some(clean) => {
+                        if missed {
+                            state.quarantine = Some(0);
+                        } else if clean + 1 >= cx.degrade.probe_jobs {
+                            state.exit_quarantine(time, cx.sink);
+                        } else {
+                            state.quarantine = Some(clean + 1);
+                        }
+                    }
+                }
+                state.ctrl.observe(actual_cycles);
+                state.note_ctrl_transitions(time, cx.sink);
+                // Prediction-quality and burn-rate accounting. Lean mode
+                // skips it: these trackers only feed gauges and
+                // edge-triggered alert events, never the results.
+                if !cx.lean {
                     if !matches!(state.ctrl, Ctrl::Adaptive(_)) {
                         if let Some(p) = fly.predicted_cycles {
                             state.calib.record(p, actual_cycles as f64);
@@ -995,19 +1718,30 @@ impl ServeRuntime {
                         mon.config().coverage_floor,
                     );
                     let slo_edge = state.slo.record(time, missed);
-                    if sink.enabled() {
-                        let name = &self.streams[stream].spec.name;
+                    if cx.sink.enabled() {
+                        let name = &s.spec.name;
                         let labels = [("stream", name.as_str())];
                         let (under, coverage, mape, ratio, alert, floor) = calib;
-                        sink.gauge_set_with("predvfs_calibration_underpred_rate", &labels, under);
-                        sink.gauge_set_with("predvfs_calibration_coverage", &labels, coverage);
-                        sink.gauge_set_with("predvfs_calibration_mape", &labels, mape);
-                        sink.gauge_set_with("predvfs_calibration_residual_ratio", &labels, ratio);
+                        cx.sink.gauge_set_with(
+                            "predvfs_calibration_underpred_rate",
+                            &labels,
+                            under,
+                        );
+                        cx.sink
+                            .gauge_set_with("predvfs_calibration_coverage", &labels, coverage);
+                        cx.sink
+                            .gauge_set_with("predvfs_calibration_mape", &labels, mape);
+                        cx.sink.gauge_set_with(
+                            "predvfs_calibration_residual_ratio",
+                            &labels,
+                            ratio,
+                        );
                         if alert != state.calib_alert {
                             if alert {
-                                sink.counter_add("predvfs_serve_calibration_alerts_total", 1);
+                                cx.sink
+                                    .counter_add("predvfs_serve_calibration_alerts_total", 1);
                             }
-                            sink.emit(
+                            cx.sink.emit(
                                 TraceEvent::new(time, name, kinds::CALIBRATION_ALERT)
                                     .with_bool("engaged", alert)
                                     .with_f64("coverage", coverage)
@@ -1016,13 +1750,15 @@ impl ServeRuntime {
                         }
                         let fast = state.slo.fast_burn(time);
                         let slow = state.slo.slow_burn(time);
-                        sink.gauge_set_with("predvfs_slo_burn_fast", &labels, fast);
-                        sink.gauge_set_with("predvfs_slo_burn_slow", &labels, slow);
+                        cx.sink
+                            .gauge_set_with("predvfs_slo_burn_fast", &labels, fast);
+                        cx.sink
+                            .gauge_set_with("predvfs_slo_burn_slow", &labels, slow);
                         if let Some(engaged) = slo_edge {
                             if engaged {
-                                sink.counter_add("predvfs_serve_slo_alerts_total", 1);
+                                cx.sink.counter_add("predvfs_serve_slo_alerts_total", 1);
                             }
-                            sink.emit(
+                            cx.sink.emit(
                                 TraceEvent::new(time, name, kinds::SLO_BURN)
                                     .with_bool("engaged", engaged)
                                     .with_f64("fast_burn", fast)
@@ -1031,89 +1767,140 @@ impl ServeRuntime {
                         }
                     }
                     state.calib_alert = calib.4;
-                    // A spurious completion interrupt: schedule a
-                    // phantom JobDone at the current epoch. If the
-                    // stream idles it surfaces as an internal error; if
-                    // another job dispatches first the epoch moves on
-                    // and the phantom is dropped as stale.
-                    if faults_on && injector.spurious_done(stream, fly.adm.job) {
-                        state.note_fault(time, sink, &FaultKind::SpuriousDone, fly.adm.job);
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            time,
-                            Event::JobDone {
-                                stream,
-                                epoch: state.epoch,
-                            },
-                        );
-                    }
-                    if let Some(next) = state.queue.pop_front() {
-                        self.start_service(
-                            stream, state, next, time, &mut heap, &mut seq, sink, injector, degrade,
-                        )?;
-                    }
                 }
-                Event::Watchdog { stream, epoch } => {
-                    self.check_watchdog(
-                        stream,
-                        &mut states[stream],
-                        epoch,
+                // A spurious completion interrupt: schedule a
+                // phantom JobDone at the current epoch. If the
+                // stream idles it surfaces as an internal error; if
+                // another job dispatches first the epoch moves on
+                // and the phantom is dropped as stale.
+                if cx.faults_on && cx.injector.spurious_done(gid, fly.adm.job) {
+                    state.note_fault(time, cx.sink, &FaultKind::SpuriousDone, fly.adm.job);
+                    cx.push(
                         time,
-                        &mut heap,
-                        &mut seq,
-                        sink,
+                        Event::JobDone {
+                            stream,
+                            epoch: state.epoch,
+                        },
                     );
                 }
+                if let Some(next) = state.queue.pop_front() {
+                    cx.start_service(s, gid, stream, state, next, time)?;
+                }
+            }
+            Event::Watchdog { stream, epoch } => {
+                let slot = self.slots[stream].as_mut().expect("event for vacated slot");
+                let gid = slot.gid;
+                let s = &rt.streams[gid];
+                cx.check_watchdog(s, gid, stream, &mut slot.state, epoch, time);
             }
         }
+        Ok(())
+    }
+}
 
-        let streams = states
-            .into_iter()
-            .map(|mut s| {
-                s.result.refits = s.ctrl.refits();
-                s.result
-            })
-            .collect();
-        Ok(ServeResult {
-            streams,
-            horizon_s,
-            events,
-        })
+/// The scheduling context of one event dispatch: everything the service
+/// helpers need except the slot being served, so one stream's state and
+/// the engine's shared machinery can be borrowed simultaneously.
+struct Loop<'a, 'rt> {
+    sink: &'rt dyn ObsSink,
+    injector: &'rt dyn FaultInjector,
+    faults_on: bool,
+    degrade: &'a DegradeConfig,
+    lean: bool,
+    defer: bool,
+    one_ahead: bool,
+    heap: &'a mut BinaryHeap<Scheduled>,
+    seq: &'a mut u64,
+    boosts: &'a mut Vec<BoostRequest>,
+}
+
+impl Loop<'_, '_> {
+    fn push(&mut self, time: f64, event: Event) {
+        self.heap.push(Scheduled {
+            time,
+            seq: *self.seq,
+            event,
+        });
+        *self.seq += 1;
     }
 
     /// Mid-job deadline check: if the in-flight attempt `epoch` is
-    /// projected to miss, switch the remaining work to the escalation
-    /// level (boost), bump the epoch so the superseded completion goes
-    /// stale, and schedule the new completion.
-    #[allow(clippy::too_many_arguments)]
+    /// projected to miss, either escalate in place (legacy mode) or
+    /// record a [`BoostRequest`] for the coordinator (deferred mode).
     fn check_watchdog(
-        &self,
-        stream: usize,
+        &mut self,
+        s: &PreparedStream,
+        gid: usize,
+        slot: usize,
         state: &mut StreamState<'_>,
         epoch: u64,
         now: f64,
-        heap: &mut BinaryHeap<Scheduled>,
-        seq: &mut u64,
-        sink: &dyn ObsSink,
     ) {
-        let s = &self.streams[stream];
-        let Some(fly) = state.in_flight.as_mut() else {
-            return; // attempt already completed
-        };
-        if fly.epoch != epoch || fly.escalated {
+        {
+            let Some(fly) = state.in_flight.as_ref() else {
+                return; // attempt already completed
+            };
+            if fly.epoch != epoch || fly.escalated {
+                return;
+            }
+            if fly.done_s <= fly.adm.deadline_abs_s {
+                return; // on track
+            }
+            let esc_point = s.exp.dvfs.point(s.exp.dvfs.escalation());
+            let cur_point = s.exp.dvfs.point(key_choice(&s.exp.dvfs, fly.key));
+            if esc_point.freq_ratio <= cur_point.freq_ratio {
+                return; // nowhere faster to go
+            }
+            if self.defer && fly.boost_requested {
+                return;
+            }
+        }
+        if self.defer {
+            // The grant decision belongs to the coordinator: record the
+            // request (and trace it) with no in-epoch behavioral effect.
+            let fly = state.in_flight.as_mut().expect("checked above");
+            fly.boost_requested = true;
+            let (job, done_s, deadline) = (fly.adm.job, fly.done_s, fly.adm.deadline_abs_s);
+            self.boosts.push(BoostRequest {
+                gid,
+                t_s: now,
+                epoch,
+            });
+            if self.sink.enabled() {
+                self.sink
+                    .counter_add("predvfs_serve_boost_requests_total", 1);
+                self.sink.emit(
+                    TraceEvent::new(now, &state.result.name, kinds::BOOST_REQUEST)
+                        .with_u64("job", job as u64)
+                        .with_f64("projected_done_s", done_s)
+                        .with_f64("deadline_s", deadline),
+                );
+            }
             return;
         }
-        if fly.done_s <= fly.adm.deadline_abs_s {
-            return; // on track
-        }
+        self.escalate(s, slot, state, now);
+    }
+
+    /// Switches the remaining work of the in-flight job to the
+    /// escalation level (boost), bumps the epoch so the superseded
+    /// completion goes stale, and schedules the new completion. The
+    /// caller has verified the attempt is current, un-escalated, and
+    /// projected to miss; the time-dependent checks (work remains,
+    /// switching still pays) re-run here against `now`.
+    fn escalate(
+        &mut self,
+        s: &PreparedStream,
+        slot: usize,
+        state: &mut StreamState<'_>,
+        now: f64,
+    ) -> bool {
+        let Some(fly) = state.in_flight.as_mut() else {
+            return false;
+        };
         let esc_choice = s.exp.dvfs.escalation();
         let esc_key = level_key(&s.exp.dvfs, esc_choice);
         let esc_point = s.exp.dvfs.point(esc_choice);
         let cur_point = s.exp.dvfs.point(key_choice(&s.exp.dvfs, fly.key));
-        if esc_point.freq_ratio <= cur_point.freq_ratio {
-            return; // nowhere faster to go
-        }
         let trace = fly.spiked.as_ref().unwrap_or(&s.traces[fly.adm.job]);
         let total = trace.cycles as f64;
         // Cycles retired so far at the effective (possibly jittered)
@@ -1121,7 +1908,7 @@ impl ServeRuntime {
         let done_cycles = ((now - fly.exec_start_s).max(0.0) * fly.f_eff_hz).min(total);
         let remaining = total - done_cycles;
         if remaining <= 0.0 {
-            return;
+            return false;
         }
         let config = s.exp.config();
         let switch_s = config.switching.time_s(fly.key, esc_key);
@@ -1131,7 +1918,7 @@ impl ServeRuntime {
         let f_esc = s.exp.energy.f_nominal_hz() * esc_point.freq_ratio;
         let new_done = now + switch_s + remaining / f_esc;
         if new_done >= fly.done_s {
-            return; // switching overhead would make things worse
+            return false; // switching overhead would make things worse
         }
         // Energy: pro-rate the job between the two operating points and
         // charge the extra transition.
@@ -1157,9 +1944,9 @@ impl ServeRuntime {
         let job = fly.adm.job;
         state.prev_key = esc_key;
         state.result.escalations += 1;
-        if sink.enabled() {
-            sink.counter_add("predvfs_serve_escalations_total", 1);
-            sink.emit(
+        if self.sink.enabled() {
+            self.sink.counter_add("predvfs_serve_escalations_total", 1);
+            self.sink.emit(
                 TraceEvent::new(now, &state.result.name, kinds::WATCHDOG_BOOST)
                     .with_u64("job", job as u64)
                     .with_u64("from_level", from_key as u64)
@@ -1168,37 +1955,32 @@ impl ServeRuntime {
                     .with_f64("done_s", new_done),
             );
         }
-        heap.push(Scheduled {
-            time: new_done,
-            seq: *seq,
-            event: Event::JobDone {
-                stream,
+        self.push(
+            new_done,
+            Event::JobDone {
+                stream: slot,
                 epoch: state.epoch,
             },
-        });
-        *seq += 1;
+        );
+        true
     }
 
     /// Makes the DVFS decision for one admitted job, charges time and
     /// energy exactly as the batch runner does, applies any injected
     /// faults, and schedules the job's slice-done / switch-done /
     /// job-done (and watchdog) events.
-    #[allow(clippy::too_many_arguments)]
     fn start_service(
-        &self,
-        stream: usize,
+        &mut self,
+        s: &PreparedStream,
+        gid: usize,
+        slot: usize,
         state: &mut StreamState<'_>,
         adm: Admitted,
         now: f64,
-        heap: &mut BinaryHeap<Scheduled>,
-        seq: &mut u64,
-        sink: &dyn ObsSink,
-        injector: &dyn FaultInjector,
-        degrade: &DegradeConfig,
     ) -> Result<(), ServeError> {
-        let s = &self.streams[stream];
-        let job = &s.exp.workloads.test[s.job_idx[adm.job]];
-        let faults_on = injector.enabled();
+        let tidx = s.job_idx[adm.job];
+        let job = &s.exp.workloads.test[tidx];
+        let faults_on = self.faults_on;
         // Whatever budget queueing left is what the controller gets.
         let ctx = JobContext {
             job,
@@ -1214,31 +1996,34 @@ impl ServeRuntime {
             state.consec_degraded = 0;
         }
         if state.quarantine.is_none()
-            && degrade.quarantine_degraded > 0
-            && state.consec_degraded >= degrade.quarantine_degraded
+            && self.degrade.quarantine_degraded > 0
+            && state.consec_degraded >= self.degrade.quarantine_degraded
         {
-            state.enter_quarantine(now, sink, "sustained_degradation");
+            state.enter_quarantine(now, self.sink, "sustained_degradation");
         }
         let safe_mode = state.quarantine.is_some();
         // In quarantine the controller is bypassed entirely: no slice,
         // no prediction, nominal level. The stream trades energy for a
         // deterministic return to deadline safety while probing.
-        let mut decision = if safe_mode {
-            Decision {
-                choice: s.exp.dvfs.nominal(),
-                slice_cycles: 0.0,
-                slice_dp_active: Vec::new(),
-                predicted_cycles: None,
-            }
+        let (mut decision, slice_pj_hint) = if safe_mode {
+            (
+                Decision {
+                    choice: s.exp.dvfs.nominal(),
+                    slice_cycles: 0.0,
+                    slice_dp_active: Vec::new(),
+                    predicted_cycles: None,
+                },
+                None,
+            )
         } else {
-            state.ctrl.decide(&ctx)?
+            state.ctrl.decide(&ctx, tidx)?
         };
-        state.note_ctrl_transitions(now, sink);
+        state.note_ctrl_transitions(now, self.sink);
 
         let f_hz = s.exp.energy.f_nominal_hz();
         let mut slice_s = decision.slice_cycles / f_hz;
         if faults_on && !safe_mode {
-            match injector.slice_fault(stream, adm.job) {
+            match self.injector.slice_fault(gid, adm.job) {
                 // A corrupted prediction only matters on the predictive
                 // path; the PID fallback never reads the slice output.
                 Some(kind @ FaultKind::SliceCorrupt { predict_scale }) if !degraded => {
@@ -1247,14 +2032,14 @@ impl ServeRuntime {
                         decision.choice =
                             s.exp.dvfs.choose(corrupted, f_hz, ctx.deadline_s, slice_s);
                         decision.predicted_cycles = Some(corrupted);
-                        state.note_fault(now, sink, &kind, adm.job);
+                        state.note_fault(now, self.sink, &kind, adm.job);
                     }
                 }
                 // A hung slice costs time after the decision was read
                 // out; the controller never learns it happened.
                 Some(kind @ FaultKind::SliceTimeout { time_stretch }) => {
                     slice_s *= time_stretch;
-                    state.note_fault(now, sink, &kind, adm.job);
+                    state.note_fault(now, self.sink, &kind, adm.job);
                 }
                 _ => {}
             }
@@ -1271,22 +2056,22 @@ impl ServeRuntime {
             let base_s = config.switching.time_s(state.prev_key, target_key);
             let mut attempt = 0u32;
             loop {
-                if faults_on && injector.switch_rejected(stream, adm.job, attempt) {
-                    state.note_fault(now, sink, &FaultKind::SwitchReject, adm.job);
-                    if attempt >= degrade.max_switch_retries {
+                if faults_on && self.injector.switch_rejected(gid, adm.job, attempt) {
+                    state.note_fault(now, self.sink, &FaultKind::SwitchReject, adm.job);
+                    if attempt >= self.degrade.max_switch_retries {
                         switch_failed = true;
                         break;
                     }
-                    switch_s += degrade.retry_backoff_s * f64::from(1u32 << attempt.min(10));
+                    switch_s += self.degrade.retry_backoff_s * f64::from(1u32 << attempt.min(10));
                     attempt += 1;
                     retries += 1;
                     continue;
                 }
                 if let Some(stretch) = faults_on
-                    .then(|| injector.switch_stall(stream, adm.job))
+                    .then(|| self.injector.switch_stall(gid, adm.job))
                     .flatten()
                 {
-                    state.note_fault(now, sink, &FaultKind::SwitchStall { stretch }, adm.job);
+                    state.note_fault(now, self.sink, &FaultKind::SwitchStall { stretch }, adm.job);
                     switch_s += base_s * stretch;
                 } else {
                     switch_s += base_s;
@@ -1298,18 +2083,20 @@ impl ServeRuntime {
         let level_changed = key != state.prev_key;
         let choice = key_choice(&s.exp.dvfs, key);
         let point = s.exp.dvfs.point(choice);
-        if sink.enabled() {
+        if self.sink.enabled() {
             if retries > 0 {
-                sink.counter_add("predvfs_serve_switch_retries_total", u64::from(retries));
-                sink.emit(
+                self.sink
+                    .counter_add("predvfs_serve_switch_retries_total", u64::from(retries));
+                self.sink.emit(
                     TraceEvent::new(now, &s.spec.name, kinds::SWITCH_RETRY)
                         .with_u64("job", adm.job as u64)
                         .with_u64("retries", u64::from(retries)),
                 );
             }
             if switch_failed {
-                sink.counter_add("predvfs_serve_switch_failed_total", 1);
-                sink.emit(
+                self.sink
+                    .counter_add("predvfs_serve_switch_failed_total", 1);
+                self.sink.emit(
                     TraceEvent::new(now, &s.spec.name, kinds::SWITCH_FAILED)
                         .with_u64("job", adm.job as u64)
                         .with_u64("stuck_level", key as u64)
@@ -1317,8 +2104,9 @@ impl ServeRuntime {
                 );
             }
             if level_changed {
-                sink.counter_add("predvfs_serve_level_switches_total", 1);
-                sink.emit(
+                self.sink
+                    .counter_add("predvfs_serve_level_switches_total", 1);
+                self.sink.emit(
                     TraceEvent::new(now, &s.spec.name, kinds::LEVEL_SWITCH)
                         .with_u64("from_level", state.prev_key as u64)
                         .with_u64("to_level", key as u64)
@@ -1331,10 +2119,10 @@ impl ServeRuntime {
 
         // Ground truth, possibly spiked by a fault.
         let spiked = if faults_on {
-            injector.trace_spike(stream, adm.job).map(|scale| {
+            self.injector.trace_spike(gid, adm.job).map(|scale| {
                 state.note_fault(
                     now,
-                    sink,
+                    self.sink,
                     &FaultKind::TraceSpike { cycle_scale: scale },
                     adm.job,
                 );
@@ -1350,10 +2138,10 @@ impl ServeRuntime {
         // clock trim does).
         let mut f_eff = f_hz * point.freq_ratio;
         if faults_on {
-            if let Some(fscale) = injector.clock_jitter(stream, adm.job) {
+            if let Some(fscale) = self.injector.clock_jitter(gid, adm.job) {
                 state.note_fault(
                     now,
-                    sink,
+                    self.sink,
                     &FaultKind::ClockJitter { freq_scale: fscale },
                     adm.job,
                 );
@@ -1361,18 +2149,25 @@ impl ServeRuntime {
             }
         }
         let exec_s = trace.cycles as f64 / f_eff;
-        // The slice runs in its own always-nominal domain.
+        // The slice runs in its own always-nominal domain. The cached
+        // controller ships the slice energy precomputed with its class
+        // table; everyone else pays the per-dispatch evaluation.
         let slice_pj = if decision.slice_cycles > 0.0 {
-            let nominal = OperatingPoint {
-                volts: 1.0,
-                freq_ratio: 1.0,
-            };
-            s.exp.slice_energy.job_pj(
-                decision.slice_cycles.round() as u64,
-                &decision.slice_dp_active,
-                nominal,
-                1.0,
-            )
+            match slice_pj_hint {
+                Some(pj) => pj,
+                None => {
+                    let nominal = OperatingPoint {
+                        volts: 1.0,
+                        freq_ratio: 1.0,
+                    };
+                    s.exp.slice_energy.job_pj(
+                        decision.slice_cycles.round() as u64,
+                        &decision.slice_dp_active,
+                        nominal,
+                        1.0,
+                    )
+                }
+            }
         } else {
             0.0
         };
@@ -1397,6 +2192,7 @@ impl ServeRuntime {
             degraded,
             safe_mode,
             escalated: false,
+            boost_requested: false,
             volts: point.volts,
             job_pj,
             slice_pj,
@@ -1406,27 +2202,40 @@ impl ServeRuntime {
             spiked,
         });
 
-        let mut push = |time: f64, event: Event| {
-            heap.push(Scheduled {
-                time,
-                seq: *seq,
-                event,
-            });
-            *seq += 1;
-        };
         if slice_s > 0.0 {
-            push(now + slice_s, Event::SliceDone { stream, epoch });
+            self.push(
+                now + slice_s,
+                Event::SliceDone {
+                    stream: slot,
+                    epoch,
+                },
+            );
         }
         if switch_s > 0.0 {
-            push(exec_start_s, Event::SwitchDone { stream, epoch });
+            self.push(
+                exec_start_s,
+                Event::SwitchDone {
+                    stream: slot,
+                    epoch,
+                },
+            );
         }
-        push(done_s, Event::JobDone { stream, epoch });
-        if degrade.watchdog {
+        self.push(
+            done_s,
+            Event::JobDone {
+                stream: slot,
+                epoch,
+            },
+        );
+        if self.degrade.watchdog {
             let headroom = adm.deadline_abs_s - now;
             if headroom > 0.0 {
-                push(
-                    now + degrade.watchdog_frac * headroom,
-                    Event::Watchdog { stream, epoch },
+                self.push(
+                    now + self.degrade.watchdog_frac * headroom,
+                    Event::Watchdog {
+                        stream: slot,
+                        epoch,
+                    },
                 );
             }
         }

@@ -42,7 +42,10 @@ mod engine;
 mod scenario;
 mod slo;
 
-pub use engine::{DegradeConfig, ServeRecord, ServeResult, ServeRuntime, StreamResult};
+pub use engine::{
+    BoostRequest, DegradeConfig, EngineConfig, MigratedStream, ServeRecord, ServeResult,
+    ServeRuntime, ShardEngine, ShardLoad, StreamResult,
+};
 pub use scenario::{
     ControllerKind, DriftSpec, FaultsSpec, OverloadPolicy, Scenario, ServeError, StreamSpec,
 };

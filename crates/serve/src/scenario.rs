@@ -57,6 +57,15 @@ pub enum ControllerKind {
     /// Predictive with EWMA residual correction
     /// ([`predvfs::HybridController`]).
     Hybrid,
+    /// Predictive with the slice run memoized per distinct test job.
+    ///
+    /// Decisions are identical to [`ControllerKind::Predictive`] — the
+    /// slice simulation for each of the (cyclically reused) test jobs is
+    /// executed once per prepared experiment and its prediction, slice
+    /// cycles, and slice energy are cached — but the per-job cost drops
+    /// from an RTL simulation to a ladder scan, which is what makes
+    /// million-stream scale scenarios tractable.
+    Cached,
 }
 
 impl ControllerKind {
@@ -67,6 +76,7 @@ impl ControllerKind {
             ControllerKind::Adaptive => "adaptive",
             ControllerKind::Pid => "pid",
             ControllerKind::Hybrid => "hybrid",
+            ControllerKind::Cached => "cached",
         }
     }
 }
@@ -355,7 +365,8 @@ fn parse_stream_option(spec: &mut StreamSpec, key: &str, val: &str) -> Result<()
                 "adaptive" => ControllerKind::Adaptive,
                 "pid" => ControllerKind::Pid,
                 "hybrid" => ControllerKind::Hybrid,
-                _ => return Err("expected predictive|adaptive|pid|hybrid".into()),
+                "cached" => ControllerKind::Cached,
+                _ => return Err("expected predictive|adaptive|pid|hybrid|cached".into()),
             };
         }
         "drift" => {

@@ -1,0 +1,304 @@
+//! The sharded tier's determinism contract, pinned:
+//!
+//! 1. the merged trace is byte-identical across 1 / 4 / 16 shards,
+//!    chaos off and chaos on;
+//! 2. each shard's own trace is byte-identical run to run;
+//! 3. rebalancing conserves work — every migrated stream's jobs appear
+//!    exactly once, and per-stream results match an unsharded run;
+//! 4. the boost budget is shard-count invariant, and a one-shard
+//!    sharded run with no boost activity reproduces the legacy serial
+//!    engine's per-stream counters.
+
+use std::collections::HashMap;
+
+use predvfs_accel::{by_name, WorkloadSize};
+use predvfs_faults::{FaultConfig, FaultInjector, FaultPlan, NullInjector};
+use predvfs_obs::{kinds, FieldValue, NullSink, ObsSink, Recorder};
+use predvfs_serve::{DegradeConfig, Scenario, ServeRuntime, StreamResult, StreamSpec};
+use predvfs_shard::{
+    merged_trace, merged_trace_jsonl, run_sharded, synth_scenario, MigrationConfig, ShardConfig,
+    ShardedResult, SynthSpec,
+};
+use predvfs_sim::{Experiment, ExperimentConfig, Platform, TraceCache};
+
+const RING: usize = 1 << 20;
+
+fn run_at(
+    rt: &ServeRuntime,
+    base: &ShardConfig,
+    shards: usize,
+    injector: &dyn FaultInjector,
+) -> (ShardedResult, String, Vec<String>) {
+    let recorders: Vec<Recorder> = (0..shards).map(|_| Recorder::new(RING)).collect();
+    let sinks: Vec<&dyn ObsSink> = recorders.iter().map(|r| r as &dyn ObsSink).collect();
+    let config = ShardConfig {
+        shards,
+        ..base.clone()
+    };
+    let result = run_sharded(rt, &config, &sinks, &NullSink, injector).expect("sharded run");
+    let per_shard: Vec<String> = recorders.iter().map(|r| r.ring().to_jsonl()).collect();
+    let merged = merged_trace_jsonl(rt, recorders.iter().map(|r| r.ring().snapshot()).collect());
+    for r in &recorders {
+        assert_eq!(r.ring().dropped(), 0, "ring too small for the test");
+    }
+    (result, merged, per_shard)
+}
+
+fn assert_same_streams(a: &[StreamResult], b: &[StreamResult]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.submitted, y.submitted, "{}", x.name);
+        assert_eq!(x.completed(), y.completed(), "{}", x.name);
+        assert_eq!(x.misses(), y.misses(), "{}", x.name);
+        assert_eq!(x.shed, y.shed, "{}", x.name);
+        assert_eq!(
+            x.total_energy_pj().to_bits(),
+            y.total_energy_pj().to_bits(),
+            "{}",
+            x.name
+        );
+    }
+}
+
+fn small_runtime() -> ServeRuntime {
+    let spec = SynthSpec {
+        streams: 24,
+        classes: 3,
+        jobs_per_stream: 6,
+        ..SynthSpec::new(24)
+    };
+    ServeRuntime::prepare(&synth_scenario(&spec), &TraceCache::new()).expect("prepare")
+}
+
+fn base_config() -> ShardConfig {
+    ShardConfig {
+        epoch_s: 2e-3,
+        degrade: DegradeConfig::enabled(),
+        ..ShardConfig::default()
+    }
+}
+
+#[test]
+fn merged_trace_identical_across_shard_counts() {
+    let rt = small_runtime();
+    let base = base_config();
+    let (r1, m1, _) = run_at(&rt, &base, 1, &NullInjector);
+    let (r4, m4, _) = run_at(&rt, &base, 4, &NullInjector);
+    let (r16, m16, _) = run_at(&rt, &base, 16, &NullInjector);
+    assert!(!m1.is_empty());
+    assert_eq!(m1, m4, "merged trace differs between 1 and 4 shards");
+    assert_eq!(m1, m16, "merged trace differs between 1 and 16 shards");
+    assert_same_streams(&r1.streams, &r4.streams);
+    assert_same_streams(&r1.streams, &r16.streams);
+    assert_eq!(r1.jobs_done, r4.jobs_done);
+    assert_eq!(r1.jobs_done, r16.jobs_done);
+}
+
+#[test]
+fn merged_trace_identical_across_shard_counts_under_chaos() {
+    let rt = small_runtime();
+    let base = base_config();
+    let plan = FaultPlan::new(7, FaultConfig::standard());
+    let (r1, m1, _) = run_at(&rt, &base, 1, &plan);
+    let (r4, m4, _) = run_at(&rt, &base, 4, &plan);
+    let (r16, m16, _) = run_at(&rt, &base, 16, &plan);
+    assert!(!m1.is_empty());
+    assert_eq!(m1, m4, "chaos merged trace differs between 1 and 4 shards");
+    assert_eq!(
+        m1, m16,
+        "chaos merged trace differs between 1 and 16 shards"
+    );
+    assert_same_streams(&r1.streams, &r4.streams);
+    assert_same_streams(&r1.streams, &r16.streams);
+}
+
+#[test]
+fn per_shard_traces_identical_run_to_run() {
+    let rt = small_runtime();
+    let base = base_config();
+    let plan = FaultPlan::new(7, FaultConfig::standard());
+    let (_, m_a, per_a) = run_at(&rt, &base, 4, &plan);
+    let (_, m_b, per_b) = run_at(&rt, &base, 4, &plan);
+    assert_eq!(m_a, m_b);
+    assert_eq!(per_a.len(), per_b.len());
+    for (i, (a, b)) in per_a.iter().zip(&per_b).enumerate() {
+        assert!(!a.is_empty(), "shard {i} emitted nothing");
+        assert_eq!(a, b, "shard {i} trace differs run to run");
+    }
+}
+
+/// A two-class scenario engineered so that `gid % 2` puts every
+/// overloaded stream on shard 0: class 0 (even gids) floods its queue,
+/// class 1 (odd gids) is nearly idle. Under two shards the imbalance is
+/// structural and sustained, so the coordinator must migrate.
+fn imbalanced_runtime() -> ServeRuntime {
+    let spec = SynthSpec {
+        streams: 12,
+        classes: 2,
+        jobs_per_stream: 8,
+        ..SynthSpec::new(12)
+    };
+    let mut scenario = synth_scenario(&spec);
+    for (gid, s) in scenario.streams.iter_mut().enumerate() {
+        if gid % 2 == 0 {
+            s.period_s = 0.05e-3; // far faster than service
+            s.queue_bound = 8;
+            s.jobs = 40;
+        }
+    }
+    ServeRuntime::prepare(&scenario, &TraceCache::new()).expect("prepare")
+}
+
+#[test]
+fn rebalance_conserves_every_stream_and_job() {
+    let rt = imbalanced_runtime();
+    let base = ShardConfig {
+        epoch_s: 0.5e-3,
+        migration: MigrationConfig {
+            enabled: true,
+            imbalance_ratio: 2.0,
+            sustain_epochs: 2,
+            max_moves_per_epoch: 2,
+        },
+        ..ShardConfig::default()
+    };
+
+    let recorders: Vec<Recorder> = (0..2).map(|_| Recorder::new(RING)).collect();
+    let sinks: Vec<&dyn ObsSink> = recorders.iter().map(|r| r as &dyn ObsSink).collect();
+    let config = ShardConfig {
+        shards: 2,
+        ..base.clone()
+    };
+    let sharded = run_sharded(&rt, &config, &sinks, &NullSink, &NullInjector).expect("sharded");
+    assert!(
+        sharded.migrations > 0,
+        "structural imbalance must trigger migration"
+    );
+
+    // Every stream is accounted for exactly once, with its full job set.
+    assert_eq!(sharded.streams.len(), 12);
+    for s in &sharded.streams {
+        assert_eq!(
+            s.completed() + s.shed,
+            s.submitted,
+            "{}: done + shed != submitted",
+            s.name
+        );
+    }
+
+    // Migration must not change any stream's outcome: an unsharded run
+    // is the reference.
+    let (reference, _, _) = run_at(&rt, &base, 1, &NullInjector);
+    assert_same_streams(&reference.streams, &sharded.streams);
+
+    // In the merged trace, each stream's arrivals match its submissions
+    // and each completed job appears exactly once — nothing is lost or
+    // duplicated by the extract/admit handoff.
+    let merged = merged_trace(&rt, recorders.iter().map(|r| r.ring().snapshot()).collect());
+    let mut arrivals: HashMap<String, usize> = HashMap::new();
+    let mut done_jobs: HashMap<(String, u64), usize> = HashMap::new();
+    for e in &merged {
+        if e.kind == kinds::ARRIVAL {
+            *arrivals.entry(e.scope.clone()).or_default() += 1;
+        } else if e.kind == kinds::JOB_DONE {
+            let job = e
+                .fields
+                .iter()
+                .find_map(|(k, v)| match (k, v) {
+                    (&"job", &FieldValue::U64(j)) => Some(j),
+                    _ => None,
+                })
+                .expect("job_done carries a job id");
+            *done_jobs.entry((e.scope.clone(), job)).or_default() += 1;
+        }
+    }
+    for s in &sharded.streams {
+        assert_eq!(
+            arrivals.get(&s.name).copied().unwrap_or(0),
+            s.submitted,
+            "{}: merged arrivals",
+            s.name
+        );
+        let done = done_jobs.keys().filter(|(name, _)| name == &s.name).count();
+        assert_eq!(done, s.completed(), "{}: merged job_done count", s.name);
+    }
+    for ((name, job), count) in &done_jobs {
+        assert_eq!(*count, 1, "{name} job {job} completed {count} times");
+    }
+}
+
+/// Streams with deadlines sized to `headroom ×` their benchmark's
+/// largest nominal job (names kept unique for the merged-trace rank
+/// map) — tight enough that transient spikes project misses and the
+/// watchdog raises escalation requests.
+fn tight_runtime() -> ServeRuntime {
+    let cache = TraceCache::new();
+    let mut streams = Vec::new();
+    for (i, bench_name) in ["sha", "md", "sha", "md", "sha", "md"].iter().enumerate() {
+        let bench = by_name(bench_name).expect("benchmark registered");
+        let mut probe_cfg = ExperimentConfig::paper_default(Platform::Asic);
+        probe_cfg.size = WorkloadSize::Quick;
+        let probe = Experiment::prepare_cached(bench, probe_cfg, &cache).expect("probe prepares");
+        let (max_ms, _, _) = probe.exec_time_stats_ms();
+        let mut spec = StreamSpec::new(bench);
+        spec.name = format!("t{i}_{bench_name}");
+        spec.deadline_s = 2.5 * max_ms * 1e-3;
+        spec.period_s = 2.0 * spec.deadline_s;
+        spec.jobs = 40;
+        streams.push(spec);
+    }
+    let scenario = Scenario {
+        platform: Platform::Asic,
+        size: WorkloadSize::Quick,
+        streams,
+        faults: None,
+    };
+    ServeRuntime::prepare(&scenario, &cache).expect("prepare")
+}
+
+#[test]
+fn boost_budget_is_shard_count_invariant() {
+    let rt = tight_runtime();
+    // Transient spikes that undefended levels cannot absorb force
+    // watchdog escalation requests; one token per epoch makes the
+    // budget bind.
+    let mut chaos = FaultConfig::none();
+    chaos.set("trace_spike", "0.35:1.5").unwrap();
+    chaos.set("switch_reject", "0.25").unwrap();
+    let plan = FaultPlan::new(7, chaos);
+    let base = ShardConfig {
+        epoch_s: 2e-3,
+        boost_tokens_per_epoch: Some(1),
+        degrade: DegradeConfig::enabled(),
+        ..ShardConfig::default()
+    };
+    let (r1, m1, _) = run_at(&rt, &base, 1, &plan);
+    let (r4, m4, _) = run_at(&rt, &base, 4, &plan);
+    assert!(
+        r1.boosts_granted > 0,
+        "scenario must exercise the boost budget"
+    );
+    assert!(r1.boosts_granted as u64 <= r1.epochs, "one token per epoch");
+    assert_eq!(r1.boosts_granted, r4.boosts_granted);
+    assert_eq!(r1.boosts_denied, r4.boosts_denied);
+    assert_eq!(r1.boosts_applied, r4.boosts_applied);
+    assert_eq!(m1, m4, "budgeted merged trace differs across shard counts");
+    assert_same_streams(&r1.streams, &r4.streams);
+}
+
+#[test]
+fn one_shard_matches_legacy_serial_engine_without_boosts() {
+    let rt = small_runtime();
+    // Degradation off: no watchdog, so deferral has nothing to defer
+    // and the sharded run must reproduce the legacy serial counters.
+    let base = ShardConfig {
+        epoch_s: 2e-3,
+        degrade: DegradeConfig::disabled(),
+        ..ShardConfig::default()
+    };
+    let (sharded, _, _) = run_at(&rt, &base, 1, &NullInjector);
+    assert_eq!(sharded.boosts_granted, 0);
+    let legacy = rt.run().expect("legacy run");
+    assert_same_streams(&legacy.streams, &sharded.streams);
+}
