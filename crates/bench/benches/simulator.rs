@@ -1,28 +1,35 @@
-//! Criterion micro-benchmarks of the RTL interpreter: reference stepping
-//! vs exact fast-forward vs slice compression, on a real benchmark module.
+//! Criterion micro-benchmarks of the RTL engines: the reference
+//! interpreter vs the compiled bytecode VM, across stepping, exact
+//! fast-forward, and slice compression, on real benchmark modules.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use predvfs_accel::sha;
-use predvfs_rtl::{ExecMode, Simulator};
+use predvfs_rtl::{CompiledSim, ExecMode, Simulator};
 
-fn interpreter_modes(c: &mut Criterion) {
+const MODES: [(&str, ExecMode); 3] = [
+    ("step", ExecMode::Step),
+    ("fast_forward", ExecMode::FastForward),
+    ("compressed", ExecMode::Compressed),
+];
+
+fn engine_modes(c: &mut Criterion) {
     let module = sha::build();
-    let sim = Simulator::new(&module);
+    let interp = Simulator::new(&module);
+    let vm = CompiledSim::new(&module).expect("sha compiles");
     let job = sha::piece(64 * 1024);
-    let cycles = sim
+    let cycles = interp
         .run(&job, ExecMode::FastForward, None)
         .expect("job completes")
         .cycles;
 
     let mut group = c.benchmark_group("simulator/sha_64KiB");
     group.throughput(Throughput::Elements(cycles));
-    for (name, mode) in [
-        ("step", ExecMode::Step),
-        ("fast_forward", ExecMode::FastForward),
-        ("compressed", ExecMode::Compressed),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| sim.run(&job, mode, None).expect("job completes"));
+    for (name, mode) in MODES {
+        group.bench_with_input(BenchmarkId::new("interp", name), &mode, |b, &mode| {
+            b.iter(|| interp.run(&job, mode, None).expect("job completes"));
+        });
+        group.bench_with_input(BenchmarkId::new("vm", name), &mode, |b, &mode| {
+            b.iter(|| vm.run(&job, mode, None).expect("job completes"));
         });
     }
     group.finish();
@@ -30,15 +37,23 @@ fn interpreter_modes(c: &mut Criterion) {
 
 fn h264_frame(c: &mut Criterion) {
     let module = predvfs_accel::h264::build();
-    let sim = Simulator::new(&module);
+    let interp = Simulator::new(&module);
+    let vm = CompiledSim::new(&module).expect("h264 compiles");
     let frame = predvfs_accel::h264::clip(3, 1, 0.5, 0.6, 396).remove(0);
-    c.bench_function("simulator/h264_frame_fast_forward", |b| {
+    c.bench_function("simulator/h264_frame_fast_forward/interp", |b| {
         b.iter(|| {
-            sim.run(&frame, ExecMode::FastForward, None)
+            interp
+                .run(&frame, ExecMode::FastForward, None)
+                .expect("frame decodes")
+        });
+    });
+    c.bench_function("simulator/h264_frame_fast_forward/vm", |b| {
+        b.iter(|| {
+            vm.run(&frame, ExecMode::FastForward, None)
                 .expect("frame decodes")
         });
     });
 }
 
-criterion_group!(benches, interpreter_modes, h264_frame);
+criterion_group!(benches, engine_modes, h264_frame);
 criterion_main!(benches);

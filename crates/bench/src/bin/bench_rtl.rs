@@ -1,0 +1,259 @@
+//! Compiled-VM vs interpreter benchmark and differential gate.
+//!
+//! For every paper benchmark this binary first asserts the differential
+//! contract — byte-identical `JobTrace`s (including the floating-point
+//! feature stream) and final register files between the bytecode VM and
+//! the reference interpreter, probed, in all three execution modes — and
+//! then times both engines on the same job set, reporting cycles/sec and
+//! the VM speedup per `(benchmark, mode)` plus a per-mode geometric mean.
+//!
+//! The equality gate is unconditional: any divergence exits non-zero, so
+//! CI fails if the compiler ever drifts from the oracle. The ≥10× speedup
+//! target is *reported*, not asserted — the measured ratio lands in
+//! `BENCH_rtl.json` at the repo root either way.
+//!
+//! `--quick` (or `PREDVFS_QUICK=1`) shrinks the job set for CI smoke.
+
+use std::time::Instant;
+
+use predvfs_accel::{all, WorkloadSize};
+use predvfs_bench::results_dir;
+use predvfs_rtl::{
+    Analysis, CompiledSim, ExecMode, FeatureSchema, JobInput, ProbeProgram, Simulator,
+};
+use predvfs_sim::Table;
+
+/// One `(benchmark, mode)` measurement.
+struct Run {
+    bench: &'static str,
+    mode: &'static str,
+    jobs: usize,
+    /// Total simulated cycles across the job set (identical for both
+    /// engines — the gate already proved it).
+    cycles: u64,
+    interp_s: f64,
+    vm_s: f64,
+}
+
+impl Run {
+    fn speedup(&self) -> f64 {
+        self.interp_s / self.vm_s
+    }
+    fn interp_cps(&self) -> f64 {
+        self.cycles as f64 / self.interp_s
+    }
+    fn vm_cps(&self) -> f64 {
+        self.cycles as f64 / self.vm_s
+    }
+}
+
+const MODES: [(&str, ExecMode); 3] = [
+    ("step", ExecMode::Step),
+    ("fast_forward", ExecMode::FastForward),
+    ("compressed", ExecMode::Compressed),
+];
+
+/// Asserts byte-identity of traces and final state on `jobs` in every
+/// mode, probed and unprobed. Exits the process on divergence.
+fn differential_gate(
+    bench: &str,
+    interp: &Simulator,
+    vm: &CompiledSim,
+    probes: &ProbeProgram,
+    jobs: &[JobInput],
+) {
+    for (mode_name, mode) in MODES {
+        for (ji, job) in jobs.iter().enumerate() {
+            for p in [None, Some(probes)] {
+                let want = interp
+                    .run_with_state(job, mode, p)
+                    .unwrap_or_else(|e| panic!("{bench}: interpreter failed: {e}"));
+                let got = vm
+                    .run_with_state(job, mode, p)
+                    .unwrap_or_else(|e| panic!("{bench}: VM failed: {e}"));
+                if want != got {
+                    eprintln!(
+                        "DIFFERENTIAL FAILURE: {bench} job {ji} mode {mode_name} \
+                         probed={}: VM diverged from the interpreter oracle",
+                        p.is_some()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+/// Wall time of the fastest of `reps` passes over `jobs`.
+fn time_engine<F: Fn(&JobInput)>(jobs: &[JobInput], reps: usize, run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for job in jobs {
+            run(job);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = xs.fold((0.0, 0usize), |(s, n), x| (s + x.ln(), n + 1));
+    if n == 0 {
+        return 0.0;
+    }
+    (sum / n as f64).exp()
+}
+
+/// Hand-rolled JSON for `BENCH_rtl.json` — no serde in the tree.
+fn bench_json(quick: bool, runs: &[Run], geo: &[(&str, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"target_speedup\": 10.0,\n");
+    out.push_str(
+        "  \"notes\": \"Step is the reference per-cycle mode and is where the \
+         compiled pipeline pays off: state-specialized bytecode plus batch \
+         retirement of analysis-proven wait cycles. The skip modes land at \
+         ~2-3x because both engines already fast-forward wait cycles there; \
+         the remaining wall time is the shared skip-plan arithmetic and the \
+         few genuinely stepped control cycles, so the VM's per-cycle edge \
+         has little left to accelerate (Amdahl). All ratios are recorded \
+         per (benchmark, mode) below.\",\n",
+    );
+    out.push_str("  \"geomean\": {\n");
+    for (i, (mode, g)) in geo.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{mode}\": {g:.2}{}\n",
+            if i + 1 == geo.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"jobs\": {}, \"cycles\": {}, \
+             \"interp_s\": {:.4}, \"vm_s\": {:.4}, \"interp_cps\": {:.0}, \
+             \"vm_cps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.bench,
+            r.mode,
+            r.jobs,
+            r.cycles,
+            r.interp_s,
+            r.vm_s,
+            r.interp_cps(),
+            r.vm_cps(),
+            r.speedup(),
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("PREDVFS_QUICK").as_deref() == Ok("1")
+        || std::env::args().any(|a| a == "--quick");
+    // Step mode replays every cycle, so it gets the smallest job prefix;
+    // the skip modes can afford more.
+    let (step_jobs, skip_jobs, reps) = if quick { (1, 2, 1) } else { (2, 8, 3) };
+
+    let mut runs: Vec<Run> = Vec::new();
+    for bench in all() {
+        let module = (bench.build)();
+        let analysis = Analysis::run(&module);
+        let schema = FeatureSchema::from_analysis(&module, &analysis);
+        let probes = schema.probe_program(&analysis);
+        let interp = Simulator::with_analysis(&module, &analysis);
+        let vm = CompiledSim::with_analysis(&module, &analysis)?;
+        let mut jobs = (bench.workloads)(11, WorkloadSize::Quick).test;
+        jobs.truncate(skip_jobs.max(step_jobs));
+
+        eprintln!("{}: differential gate...", bench.name);
+        differential_gate(bench.name, &interp, &vm, &probes, &jobs);
+
+        for (mode_name, mode) in MODES {
+            let n = if mode == ExecMode::Step {
+                step_jobs
+            } else {
+                skip_jobs
+            };
+            let subset = &jobs[..n.min(jobs.len())];
+            let cycles: u64 = subset
+                .iter()
+                .map(|j| interp.run(j, mode, None).unwrap().cycles)
+                .sum();
+            let interp_s = time_engine(subset, reps, |j| {
+                interp.run(j, mode, None).unwrap();
+            });
+            let vm_s = time_engine(subset, reps, |j| {
+                vm.run(j, mode, None).unwrap();
+            });
+            runs.push(Run {
+                bench: bench.name,
+                mode: mode_name,
+                jobs: subset.len(),
+                cycles,
+                interp_s,
+                vm_s,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "RTL engines: interpreter vs compiled VM (cycles/sec)",
+        &[
+            "bench",
+            "mode",
+            "jobs",
+            "cycles",
+            "interp_s",
+            "vm_s",
+            "interp_c/s",
+            "vm_c/s",
+            "speedup",
+        ],
+    );
+    for r in &runs {
+        table.row(&[
+            r.bench.to_owned(),
+            r.mode.to_owned(),
+            r.jobs.to_string(),
+            r.cycles.to_string(),
+            format!("{:.4}", r.interp_s),
+            format!("{:.4}", r.vm_s),
+            format!("{:.2e}", r.interp_cps()),
+            format!("{:.2e}", r.vm_cps()),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    table.print();
+
+    let geo: Vec<(&str, f64)> = MODES
+        .iter()
+        .map(|&(mode, _)| {
+            (
+                mode,
+                geomean(runs.iter().filter(|r| r.mode == mode).map(Run::speedup)),
+            )
+        })
+        .collect();
+    for (mode, g) in &geo {
+        let verdict = if *g >= 10.0 {
+            "meets the 10x target"
+        } else {
+            "below the 10x target (measured ratio recorded)"
+        };
+        println!("geomean speedup [{mode}]: {g:.2}x — {verdict}");
+    }
+    println!("differential gate: all benchmarks byte-identical across engines and modes");
+
+    let csv = results_dir().join("bench_rtl.csv");
+    table.write_csv(&csv)?;
+    println!("wrote {}", csv.display());
+
+    let json = bench_json(quick, &runs, &geo);
+    std::fs::write("BENCH_rtl.json", &json)?;
+    println!("wrote BENCH_rtl.json");
+    Ok(())
+}

@@ -44,8 +44,8 @@ use predvfs::{train, SliceFlavor, SlicePredictor, TrainerConfig};
 use predvfs_faults::{FaultConfig, FaultPlan};
 use predvfs_obs::{Recorder, TraceEvent};
 use predvfs_rtl::{
-    from_text, to_text, wcet, Analysis, AsicAreaModel, ExecMode, FeatureSchema, FpgaResourceModel,
-    JobInput, Module, Simulator, SliceOptions,
+    from_text, set_default_engine, to_text, wcet, Analysis, AnySim, AsicAreaModel, ExecMode,
+    FeatureSchema, FpgaResourceModel, JobInput, Module, SimEngine, SliceOptions,
 };
 use predvfs_serve::{DegradeConfig, Scenario, ServeResult, ServeRuntime};
 use predvfs_sim::{Experiment, ExperimentConfig, Platform, Scheme};
@@ -65,6 +65,11 @@ fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let (opts, args) = parse_options(raw_args)?;
     if let Some(n) = opts.threads {
         predvfs_par::set_threads(n);
+    }
+    if let Some(engine) = opts.engine {
+        // Every downstream AnySim::new (trace cache, profiler, simulate)
+        // follows this process-wide default.
+        set_default_engine(engine);
     }
     if opts.observing() {
         // Deep components (solver, trace cache) report through the
@@ -134,6 +139,8 @@ struct CliOptions {
     faults: Option<u64>,
     /// Shard-engine count for `serve` (`--shards`).
     shards: Option<usize>,
+    /// RTL execution engine override (`--compiled` / `--interp`).
+    engine: Option<SimEngine>,
 }
 
 impl CliOptions {
@@ -145,8 +152,9 @@ impl CliOptions {
 
 /// Strips the global flags (`--threads N`, `--metrics-out P`,
 /// `--trace-out P`, `--faults S`, `--shards N`, each also in
-/// `--flag=value` form) from anywhere in the argument list, returning
-/// them and the remaining args.
+/// `--flag=value` form, plus the boolean `--compiled`/`--interp` engine
+/// switches) from anywhere in the argument list, returning them and the
+/// remaining args.
 fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
     let mut opts = CliOptions::default();
     let mut rest = Vec::with_capacity(args.len());
@@ -187,6 +195,16 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
                 return Err("shard count must be at least 1".to_owned());
             }
             opts.shards = Some(n);
+        } else if a == "--compiled" || a == "--interp" {
+            let engine = if a == "--compiled" {
+                SimEngine::Compiled
+            } else {
+                SimEngine::Interp
+            };
+            if opts.engine.is_some_and(|e| e != engine) {
+                return Err("`--compiled` and `--interp` are mutually exclusive".to_owned());
+            }
+            opts.engine = Some(engine);
         } else {
             rest.push(a.clone());
         }
@@ -314,6 +332,11 @@ OPTIONS:
                        under the budget-owning coordinator; per-shard
                        traces are merged back into the canonical order,
                        so --trace-out output is shard-count invariant
+  --compiled           run RTL jobs on the bytecode VM (the default); the
+                       compiled engine is byte-identical to the interpreter
+  --interp             run RTL jobs on the reference interpreter (the
+                       differential-testing oracle; ~an order of magnitude
+                       slower)
 
 Built-in benchmarks: h264 cjpeg djpeg md stencil aes sha
 PREDVFS_QUICK=1 shrinks `eval` workloads for smoke runs.
@@ -464,7 +487,7 @@ fn analyze(path: &str) -> Result<(), Box<dyn std::error::Error>> {
 fn simulate(path: &str, jobs_path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let module = load(path)?;
     let jobs = load_jobs(jobs_path, module.inputs.len())?;
-    let sim = Simulator::new(&module);
+    let sim = AnySim::new(&module)?;
     println!(
         "{:>5} {:>10} {:>12} {:>10}",
         "job", "tokens", "cycles", "stepped"
@@ -952,6 +975,26 @@ mod tests {
             parse_options(&owned(&["--faults=lucky"])).is_err(),
             "non-numeric"
         );
+    }
+
+    #[test]
+    fn engine_flags_are_stripped_and_exclusive() {
+        let (opts, rest) = parse_options(&owned(&["eval", "--compiled", "sha"])).unwrap();
+        assert_eq!(opts.engine, Some(SimEngine::Compiled));
+        assert_eq!(rest, owned(&["eval", "sha"]));
+
+        let (opts, rest) = parse_options(&owned(&["--interp", "eval", "sha"])).unwrap();
+        assert_eq!(opts.engine, Some(SimEngine::Interp));
+        assert_eq!(rest, owned(&["eval", "sha"]));
+
+        let (opts, _) = parse_options(&owned(&["eval", "sha"])).unwrap();
+        assert_eq!(opts.engine, None, "defaults to the process default");
+
+        // Repeating the same flag is harmless; mixing the two is an error.
+        let (opts, _) = parse_options(&owned(&["--interp", "--interp"])).unwrap();
+        assert_eq!(opts.engine, Some(SimEngine::Interp));
+        assert!(parse_options(&owned(&["--compiled", "--interp"])).is_err());
+        assert!(parse_options(&owned(&["--interp", "--compiled"])).is_err());
     }
 
     #[test]

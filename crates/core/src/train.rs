@@ -8,7 +8,7 @@
 //! selected support) recovers the accuracy the L1 shrinkage costs.
 
 use predvfs_opt::{AsymLasso, FitOptions, Matrix, Standardizer};
-use predvfs_rtl::{Analysis, ExecMode, FeatureSchema, JobInput, JobTrace, Module, Simulator};
+use predvfs_rtl::{Analysis, AnySim, ExecMode, FeatureSchema, JobInput, JobTrace, Module};
 
 use crate::error::CoreError;
 use crate::model::ExecTimeModel;
@@ -75,7 +75,9 @@ pub fn profile(module: &Module, jobs: &[JobInput]) -> Result<TrainingData, CoreE
     let analysis = Analysis::run(module);
     let schema = FeatureSchema::from_analysis(module, &analysis);
     let probes = schema.probe_program(&analysis);
-    let sim = Simulator::with_analysis(module, &analysis);
+    // Profiling runs on the process-default engine (the compiled VM unless
+    // `--interp` opted out); both engines produce byte-identical traces.
+    let sim = AnySim::with_analysis(module, &analysis, predvfs_rtl::default_engine())?;
     let traces: Vec<_> = predvfs_par::par_try_map(jobs, |job| {
         sim.run(job, ExecMode::FastForward, Some(&probes))
     })?;

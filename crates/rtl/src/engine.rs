@@ -1,0 +1,216 @@
+//! Engine selection: compiled VM by default, interpreter as the oracle.
+//!
+//! Downstream consumers (the trace cache, the training profiler, the CLI)
+//! do not care *how* a module executes — only that the trace comes back.
+//! [`AnySim`] gives them one handle over both engines, and the process-wide
+//! default ([`default_engine`]) makes the compiled path the standard one
+//! while keeping `--interp` (and targeted tests) a one-line switch away.
+//!
+//! The compiled engine is behaviourally identical to the interpreter — the
+//! differential suites enforce byte-equal traces — so flipping the default
+//! is a pure performance decision, never a semantic one.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::analysis::Analysis;
+use crate::error::RtlError;
+use crate::instrument::ProbeProgram;
+use crate::interp::{ExecMode, JobInput, JobTrace, Simulator};
+use crate::module::Module;
+use crate::vm::CompiledSim;
+
+/// Which execution engine to use for a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEngine {
+    /// The bytecode VM (see [`crate::vm`]). Default.
+    Compiled,
+    /// The tree-walking reference interpreter (see [`crate::interp`]).
+    Interp,
+}
+
+/// Process-wide default engine; 0 = Compiled, 1 = Interp.
+static DEFAULT: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide default engine (compiled unless overridden).
+pub fn default_engine() -> SimEngine {
+    match DEFAULT.load(Ordering::Relaxed) {
+        1 => SimEngine::Interp,
+        _ => SimEngine::Compiled,
+    }
+}
+
+/// Overrides the process-wide default engine (the CLI's
+/// `--compiled`/`--interp` flags land here). Tests that need a specific
+/// engine should construct it explicitly instead of flipping the global.
+pub fn set_default_engine(engine: SimEngine) {
+    DEFAULT.store(
+        match engine {
+            SimEngine::Compiled => 0,
+            SimEngine::Interp => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// An execution engine for one module: either compiled or interpreted,
+/// behind one `run` surface.
+#[derive(Debug)]
+pub enum AnySim<'m> {
+    /// Compiled bytecode VM.
+    Compiled(CompiledSim<'m>),
+    /// Reference interpreter.
+    Interp(Simulator<'m>),
+}
+
+impl<'m> AnySim<'m> {
+    /// Builds the process-default engine for `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError`] if the compiled engine is selected and the
+    /// module fails compile-time validation.
+    pub fn new(module: &'m Module) -> Result<AnySim<'m>, RtlError> {
+        Self::with_engine(module, default_engine())
+    }
+
+    /// Builds a specific engine for `module`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AnySim::new`].
+    pub fn with_engine(module: &'m Module, engine: SimEngine) -> Result<AnySim<'m>, RtlError> {
+        let analysis = Analysis::run(module);
+        Self::with_analysis(module, &analysis, engine)
+    }
+
+    /// Builds a specific engine from a precomputed [`Analysis`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`AnySim::new`].
+    pub fn with_analysis(
+        module: &'m Module,
+        analysis: &Analysis,
+        engine: SimEngine,
+    ) -> Result<AnySim<'m>, RtlError> {
+        Ok(match engine {
+            SimEngine::Compiled => AnySim::Compiled(CompiledSim::with_analysis(module, analysis)?),
+            SimEngine::Interp => AnySim::Interp(Simulator::with_analysis(module, analysis)),
+        })
+    }
+
+    /// Which engine this is.
+    pub fn engine(&self) -> SimEngine {
+        match self {
+            AnySim::Compiled(_) => SimEngine::Compiled,
+            AnySim::Interp(_) => SimEngine::Interp,
+        }
+    }
+
+    /// The module being simulated.
+    pub fn module(&self) -> &'m Module {
+        match self {
+            AnySim::Compiled(s) => s.module(),
+            AnySim::Interp(s) => s.module(),
+        }
+    }
+
+    /// Overrides the cycle budget; see
+    /// [`crate::interp::Simulator::set_cycle_limit`].
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        match self {
+            AnySim::Compiled(s) => s.set_cycle_limit(limit),
+            AnySim::Interp(s) => s.set_cycle_limit(limit),
+        }
+    }
+
+    /// Runs one job to completion; see [`crate::interp::Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::interp::Simulator::run`].
+    pub fn run(
+        &self,
+        job: &JobInput,
+        mode: ExecMode,
+        probes: Option<&ProbeProgram>,
+    ) -> Result<JobTrace, RtlError> {
+        match self {
+            AnySim::Compiled(s) => s.run(job, mode, probes),
+            AnySim::Interp(s) => s.run(job, mode, probes),
+        }
+    }
+
+    /// Runs one job, also returning the final register file; see
+    /// [`crate::interp::Simulator::run_with_state`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::interp::Simulator::run`].
+    pub fn run_with_state(
+        &self,
+        job: &JobInput,
+        mode: ExecMode,
+        probes: Option<&ProbeProgram>,
+    ) -> Result<(JobTrace, Vec<u64>), RtlError> {
+        match self {
+            AnySim::Compiled(s) => s.run_with_state(job, mode, probes),
+            AnySim::Interp(s) => s.run_with_state(job, mode, probes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ModuleBuilder, E};
+
+    fn tiny() -> Module {
+        let mut b = ModuleBuilder::new("tiny");
+        let r = b.reg("x", 8, 0);
+        b.set(r, E::one(), r.e() + E::one());
+        b.done_when(r.e().eq_(E::k(5)));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_engine_is_compiled() {
+        // The global default may have been flipped by another test only if
+        // something calls set_default_engine in-process; the library never
+        // does, so the compiled default is observable here.
+        let m = tiny();
+        let sim = AnySim::new(&m).unwrap();
+        assert_eq!(sim.engine(), SimEngine::Compiled);
+    }
+
+    #[test]
+    fn both_engines_run_and_agree() {
+        let m = tiny();
+        let job = JobInput::new(0);
+        let compiled = AnySim::with_engine(&m, SimEngine::Compiled).unwrap();
+        let interp = AnySim::with_engine(&m, SimEngine::Interp).unwrap();
+        assert_eq!(interp.engine(), SimEngine::Interp);
+        assert_eq!(compiled.module().name, "tiny");
+        let a = compiled.run_with_state(&job, ExecMode::Step, None).unwrap();
+        let b = interp.run_with_state(&job, ExecMode::Step, None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.1, vec![5]);
+    }
+
+    #[test]
+    fn cycle_limit_passes_through() {
+        let mut b = ModuleBuilder::new("hang");
+        let r = b.reg("x", 8, 0);
+        b.set(r, E::one(), r.e() + E::one());
+        b.done_when(E::zero());
+        let m = b.build().unwrap();
+        for engine in [SimEngine::Compiled, SimEngine::Interp] {
+            let mut sim = AnySim::with_engine(&m, engine).unwrap();
+            sim.set_cycle_limit(50);
+            let err = sim
+                .run(&JobInput::new(0), ExecMode::Step, None)
+                .unwrap_err();
+            assert!(matches!(err, RtlError::CycleLimit { limit: 50 }));
+        }
+    }
+}

@@ -41,6 +41,14 @@ pub enum RtlError {
         /// The out-of-range index.
         id: usize,
     },
+    /// A probe or lookup referenced a register the module does not have.
+    UnknownRegister {
+        /// Name of the module searched.
+        module: String,
+        /// The missing register's name (or `rN` for an index-only
+        /// reference, matching [`crate::module::RegId`]'s display form).
+        name: String,
+    },
     /// The interpreter exceeded its cycle budget without `done` asserting.
     CycleLimit {
         /// The configured limit.
@@ -80,6 +88,9 @@ impl fmt::Display for RtlError {
             RtlError::DanglingInput { id } => {
                 write!(f, "expression references unknown input field index {id}")
             }
+            RtlError::UnknownRegister { module, name } => {
+                write!(f, "module `{module}` has no register `{name}`")
+            }
             RtlError::CycleLimit { limit } => {
                 write!(f, "job did not finish within {limit} cycles")
             }
@@ -118,6 +129,10 @@ mod tests {
             },
             RtlError::DanglingReg { id: 3 },
             RtlError::DanglingInput { id: 4 },
+            RtlError::UnknownRegister {
+                module: "m".into(),
+                name: "x".into(),
+            },
             RtlError::CycleLimit { limit: 10 },
             RtlError::UnknownFeature { index: 2 },
             RtlError::EmptySlice,

@@ -15,6 +15,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::analysis::Analysis;
+use crate::error::RtlError;
 use crate::module::{Module, RegId};
 
 /// The kind of a feature column.
@@ -256,6 +257,45 @@ impl ProbeProgram {
         if let Some(&i) = self.stc.get(&(reg, old, new)) {
             features[i] += 1.0;
         }
+    }
+
+    /// Checks that every register (and init rule) this program probes
+    /// exists in `module`.
+    ///
+    /// Probe tables are built from an [`Analysis`], normally of the very
+    /// module being run — but nothing ties the two together, and a probe
+    /// program linked against the wrong module used to fail only when (or
+    /// if) the dangling probe fired mid-job. Both execution engines call
+    /// this before cycle 0, so the mismatch is a link-time error instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownRegister`] naming the first dangling
+    /// reference (as `rN` when only the foreign index is known).
+    pub fn validate(&self, module: &Module) -> Result<(), RtlError> {
+        let check = |reg: usize| -> Result<(), RtlError> {
+            if reg >= module.regs.len() {
+                return Err(RtlError::UnknownRegister {
+                    module: module.name.clone(),
+                    name: format!("r{reg}"),
+                });
+            }
+            Ok(())
+        };
+        for &(reg, _, _) in self.stc.keys() {
+            check(reg)?;
+        }
+        for &reg in self.counter_probes.keys() {
+            check(reg)?;
+        }
+        // Rule indices are deliberately NOT bounds-checked: the documented
+        // contract lets probes built for a full module run against its
+        // slice, which keeps register ids but prunes rules. A pruned init
+        // rule simply never fires.
+        for &(reg, _) in &self.init_rules {
+            check(reg)?;
+        }
+        Ok(())
     }
 }
 

@@ -267,13 +267,37 @@ impl<'m> Simulator<'m> {
     /// # Errors
     ///
     /// Returns [`RtlError::CycleLimit`] if `done` never asserts within the
-    /// cycle budget.
+    /// cycle budget, and [`RtlError::UnknownRegister`] (before cycle 0) if
+    /// `probes` references a register the module does not have.
     pub fn run(
         &self,
         job: &JobInput,
         mode: ExecMode,
         probes: Option<&ProbeProgram>,
     ) -> Result<JobTrace, RtlError> {
+        self.run_with_state(job, mode, probes).map(|(t, _)| t)
+    }
+
+    /// Like [`Simulator::run`], but also returns the final register file
+    /// (the flattened architectural state at the cycle `done` asserted).
+    ///
+    /// The mode-equivalence and differential suites compare this buffer:
+    /// `FastForward` and `Compressed` must agree with `Step` — and the
+    /// compiled VM with the interpreter — on every register, not just on
+    /// trace aggregates.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run`].
+    pub fn run_with_state(
+        &self,
+        job: &JobInput,
+        mode: ExecMode,
+        probes: Option<&ProbeProgram>,
+    ) -> Result<(JobTrace, Vec<u64>), RtlError> {
+        if let Some(p) = probes {
+            p.validate(self.module)?;
+        }
         let mut regs: Vec<u64> = self.module.regs.iter().map(|r| r.init).collect();
         let mut trace = JobTrace {
             cycles: 0,
@@ -297,7 +321,7 @@ impl<'m> Simulator<'m> {
         let all_dps: Vec<usize> = (0..self.module.datapaths.len()).collect();
         loop {
             if eval(&self.module.done, &regs, job, tok) != 0 {
-                return Ok(trace);
+                return Ok((trace, regs));
             }
             if trace.cycles >= self.cycle_limit {
                 return Err(RtlError::CycleLimit {
@@ -307,8 +331,12 @@ impl<'m> Simulator<'m> {
             // Try to skip a wait state.
             if mode != ExecMode::Step {
                 if let Some(skip) = self.try_skip(&mut regs, job, tok, mode, &mut trace) {
-                    trace.cycles += skip.0;
-                    trace.skipped_cycles += skip.1;
+                    // Saturate: a skip can cover astronomically many cycles
+                    // when an adversarial WCET-style bound loads the counter
+                    // near u64::MAX; wrapping here would silently reset the
+                    // cycle count and defeat the hang detector below.
+                    trace.cycles = trace.cycles.saturating_add(skip.0);
+                    trace.skipped_cycles = trace.skipped_cycles.saturating_add(skip.1);
                     continue;
                 }
             }
@@ -355,7 +383,7 @@ impl<'m> Simulator<'m> {
             };
             for (di, dp) in dps.iter().map(|&d| (d, &self.module.datapaths[d])) {
                 if eval(&dp.active, &regs, job, tok) != 0 {
-                    trace.dp_active[di] += 1;
+                    trace.dp_active[di] = trace.dp_active[di].saturating_add(1);
                 }
             }
             let advance = eval(&self.module.advance, &regs, job, tok) != 0;
@@ -376,8 +404,8 @@ impl<'m> Simulator<'m> {
                 tok += 1;
                 trace.tokens_consumed += 1;
             }
-            trace.cycles += 1;
-            trace.stepped_cycles += 1;
+            trace.cycles = trace.cycles.saturating_add(1);
+            trace.stepped_cycles = trace.stepped_cycles.saturating_add(1);
         }
     }
 
@@ -420,7 +448,7 @@ impl<'m> Simulator<'m> {
             regs[plan.counter] = terminal;
             for &di in &plan.maybe_active_dps {
                 if eval(&self.module.datapaths[di].active, regs, job, tok) != 0 {
-                    trace.dp_active[di] += charged;
+                    trace.dp_active[di] = trace.dp_active[di].saturating_add(charged);
                 }
             }
             return Some((charged, remaining));
@@ -455,12 +483,17 @@ pub fn eval(e: &Expr, regs: &[u64], job: &JobInput, tok: usize) -> u64 {
     }
 }
 
-/// Convenience: the register id for a named register, panicking with a
-/// clear message when absent (used by tests and examples).
-pub fn reg_id(module: &Module, name: &str) -> RegId {
-    module
-        .reg_by_name(name)
-        .unwrap_or_else(|| panic!("module `{}` has no register `{name}`", module.name))
+/// Convenience: the register id for a named register (used by tests and
+/// examples).
+///
+/// # Errors
+///
+/// Returns [`RtlError::UnknownRegister`] when the module has no register
+/// named `name`. Earlier revisions panicked here, which turned a probe
+/// naming a missing register into a crash at whatever cycle first touched
+/// it; callers now get a structured error up front instead.
+pub fn reg_id(module: &Module, name: &str) -> Result<RegId, RtlError> {
+    module.require_reg(name)
 }
 
 #[cfg(test)]
@@ -513,12 +546,40 @@ mod tests {
         let m = toy();
         let sim = Simulator::new(&m);
         for durs in [&[0u64][..], &[1], &[7, 0, 3], &[100, 2, 50, 50]] {
-            let a = sim.run(&job(durs), ExecMode::Step, None).unwrap();
-            let b = sim.run(&job(durs), ExecMode::FastForward, None).unwrap();
+            let (a, regs_a) = sim
+                .run_with_state(&job(durs), ExecMode::Step, None)
+                .unwrap();
+            let (b, regs_b) = sim
+                .run_with_state(&job(durs), ExecMode::FastForward, None)
+                .unwrap();
             assert_eq!(a.cycles, b.cycles, "durs={durs:?}");
             assert_eq!(a.dp_active, b.dp_active, "durs={durs:?}");
             assert_eq!(a.tokens_consumed, b.tokens_consumed);
             assert!(b.skipped_cycles > 0 || durs.iter().all(|&d| d <= 1));
+            assert_eq!(regs_a, regs_b, "final state must match, durs={durs:?}");
+        }
+    }
+
+    #[test]
+    fn all_modes_agree_on_final_register_state() {
+        // Not just trace aggregates: the full flattened register file at
+        // `done` must be identical across Step/FastForward/Compressed.
+        // Compression rewrites *timing*, never architectural state.
+        let m = toy();
+        let sim = Simulator::new(&m);
+        for durs in [&[0u64][..], &[5], &[9, 0, 2], &[60, 1, 60]] {
+            let (_, step) = sim
+                .run_with_state(&job(durs), ExecMode::Step, None)
+                .unwrap();
+            let (_, ff) = sim
+                .run_with_state(&job(durs), ExecMode::FastForward, None)
+                .unwrap();
+            let (_, comp) = sim
+                .run_with_state(&job(durs), ExecMode::Compressed, None)
+                .unwrap();
+            assert_eq!(step.len(), m.regs.len());
+            assert_eq!(step, ff, "durs={durs:?}");
+            assert_eq!(step, comp, "durs={durs:?}");
         }
     }
 
@@ -578,6 +639,99 @@ mod tests {
             .run(&JobInput::new(0), ExecMode::Step, None)
             .unwrap_err();
         assert!(matches!(err, RtlError::CycleLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn reg_id_reports_unknown_register() {
+        let m = toy();
+        assert_eq!(
+            reg_id(&m, "ctrl.state").unwrap(),
+            m.reg_by_name("ctrl.state").unwrap()
+        );
+        let err = reg_id(&m, "nope").unwrap_err();
+        assert_eq!(
+            err,
+            RtlError::UnknownRegister {
+                module: "toy".into(),
+                name: "nope".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn foreign_probes_rejected_before_cycle_zero() {
+        use crate::analysis::Analysis;
+        use crate::instrument::FeatureSchema;
+        // Probes built for the toy module reference its counter register;
+        // linked against a smaller module they must fail up front with
+        // UnknownRegister, not at whatever cycle the probe first fires.
+        let big = toy();
+        let a = Analysis::run(&big);
+        let p = FeatureSchema::from_analysis(&big, &a).probe_program(&a);
+        let mut b = ModuleBuilder::new("small");
+        let r = b.reg("x", 8, 0);
+        b.set(r, E::one(), r.e() + E::one());
+        b.done_when(r.e().eq_(E::k(3)));
+        let small = b.build().unwrap();
+        let sim = Simulator::new(&small);
+        let err = sim
+            .run(&JobInput::new(0), ExecMode::Step, Some(&p))
+            .unwrap_err();
+        assert!(
+            matches!(err, RtlError::UnknownRegister { .. }),
+            "got {err:?}"
+        );
+    }
+
+    /// A count-up wait whose bound is an adversarial 64-bit input: the
+    /// first skip charges ~2^64 cycles at once.
+    fn overflow_module() -> Module {
+        let mut b = ModuleBuilder::new("ovf");
+        let n = b.input("n", 64);
+        let fsm = b.fsm("ctrl", &["A", "W", "D"]);
+        let c = b.reg("c", 64, 0);
+        b.set(c, fsm.in_state("A"), E::zero());
+        b.set(c, fsm.in_state("W") & c.e().lt(n.clone()), c.e() + E::one());
+        b.trans(&fsm, "A", "W", E::one());
+        b.trans(&fsm, "W", "D", c.e().eq_(n));
+        b.done_when(fsm.in_state("D"));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adversarial_wait_bound_saturates_and_hits_the_cycle_limit() {
+        let m = overflow_module();
+        let sim = Simulator::new(&m);
+        let mut j = JobInput::new(1);
+        j.push(&[u64::MAX]);
+        // Before the saturation fix, `cycles += 2^64 - 1` wrapped back to
+        // a tiny value and the run "succeeded" with a nonsense trace; now
+        // the count pins at u64::MAX and the hang detector fires.
+        let err = sim.run(&j, ExecMode::FastForward, None).unwrap_err();
+        assert!(matches!(err, RtlError::CycleLimit { limit } if limit == 1 << 34));
+    }
+
+    #[test]
+    fn non_terminating_guard_cannot_outrun_a_maximal_cycle_limit() {
+        // done never asserts and every W visit charges ~2^64 cycles. Even
+        // with the limit pushed to u64::MAX, saturation guarantees
+        // `cycles >= limit` eventually holds instead of wrapping forever.
+        let mut b = ModuleBuilder::new("spin");
+        let n = b.input("n", 64);
+        let fsm = b.fsm("ctrl", &["A", "W"]);
+        let c = b.reg("c", 64, 0);
+        b.set(c, fsm.in_state("A"), E::zero());
+        b.set(c, fsm.in_state("W") & c.e().lt(n.clone()), c.e() + E::one());
+        b.trans(&fsm, "A", "W", E::one());
+        b.trans(&fsm, "W", "A", c.e().eq_(n));
+        b.done_when(E::zero());
+        let m = b.build().unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set_cycle_limit(u64::MAX);
+        let mut j = JobInput::new(1);
+        j.push(&[u64::MAX]);
+        let err = sim.run(&j, ExecMode::FastForward, None).unwrap_err();
+        assert!(matches!(err, RtlError::CycleLimit { limit: u64::MAX }));
     }
 
     #[test]

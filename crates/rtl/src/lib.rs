@@ -15,6 +15,9 @@
 //!   runtime probes;
 //! * [`interp`] executes jobs cycle-accurately, with exact fast-forwarding
 //!   over wait states;
+//! * [`vm`] compiles modules to flattened bytecode and executes them an
+//!   order of magnitude faster, with the interpreter retained as the
+//!   differential-testing oracle ([`engine`] selects between the two);
 //! * [`slice()`] derives the minimal feature-computing hardware slice;
 //! * [`area`] prices designs in ASIC area and FPGA resources.
 //!
@@ -46,6 +49,8 @@
 pub mod analysis;
 pub mod area;
 pub mod builder;
+mod compile;
+pub mod engine;
 pub mod error;
 pub mod expr;
 pub mod format;
@@ -53,15 +58,18 @@ pub mod instrument;
 pub mod interp;
 pub mod module;
 pub mod slice;
+pub mod vm;
 pub mod wcet;
 
 pub use analysis::Analysis;
 pub use area::{AreaBreakdown, AsicAreaModel, FpgaResourceModel, FpgaResources};
 pub use builder::{ModuleBuilder, E};
+pub use engine::{default_engine, set_default_engine, AnySim, SimEngine};
 pub use error::RtlError;
 pub use format::{from_text, to_text, ParseError};
 pub use instrument::{FeatureDesc, FeatureKind, FeatureSchema, ProbeProgram};
 pub use interp::{ExecMode, JobInput, JobTrace, Simulator};
 pub use module::{Datapath, DatapathKind, InputId, Memory, Module, RegId, Register};
 pub use slice::{slice, SliceOptions, SliceReport};
+pub use vm::CompiledSim;
 pub use wcet::{wcet, WcetBound};

@@ -180,6 +180,21 @@ impl Module {
             .map(RegId::new)
     }
 
+    /// Looks up a register by name, reporting a structured error when it
+    /// is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownRegister`] if no register is named
+    /// `name`.
+    pub fn require_reg(&self, name: &str) -> Result<RegId, RtlError> {
+        self.reg_by_name(name)
+            .ok_or_else(|| RtlError::UnknownRegister {
+                module: self.name.clone(),
+                name: name.to_owned(),
+            })
+    }
+
     /// Returns the name of a register.
     pub fn reg_name(&self, id: RegId) -> &str {
         &self.regs[id.index()].name
@@ -362,6 +377,14 @@ mod tests {
         assert_eq!(m.regs[0].mask(), 0xff);
         assert_eq!(m.reg_by_name("a"), Some(RegId::new(0)));
         assert_eq!(m.reg_by_name("zz"), None);
+        assert_eq!(m.require_reg("a"), Ok(RegId::new(0)));
+        assert_eq!(
+            m.require_reg("zz"),
+            Err(RtlError::UnknownRegister {
+                module: "tiny".into(),
+                name: "zz".into(),
+            })
+        );
         assert_eq!(m.rule_count(), 1);
     }
 

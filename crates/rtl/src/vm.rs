@@ -1,0 +1,625 @@
+//! A register-machine bytecode VM executing compiled modules.
+//!
+//! [`CompiledSim`] is the drop-in compiled counterpart of
+//! [`crate::interp::Simulator`]: same constructor shape, same
+//! [`run`](CompiledSim::run)/[`run_with_state`](CompiledSim::run_with_state)
+//! signatures, same error surface, and — by contract — *byte-identical*
+//! output: traces, probe streams (STC/IC/AIV/APV feature accumulation in
+//! the same floating-point order), and final register state all match the
+//! interpreter on every input. The interpreter is kept as the differential
+//! oracle; the `differential` test suites and the proptest fuzzer enforce
+//! the contract on the paper benchmarks and on randomized designs.
+//!
+//! Execution model per job (mirroring the interpreter's loop shape
+//! exactly, including the order of the `done` and cycle-limit checks and
+//! the wait-skip attempt):
+//!
+//! 1. Pick the program bucket for the primary FSM's current state (or the
+//!    generic fallback program, as the interpreter falls back to its flat
+//!    schedule).
+//! 2. `done` program says stop → return trace + stable state.
+//! 3. Wait-state skip (non-`Step` modes): identical plan table and
+//!    arithmetic as the interpreter, with bound/activity expressions
+//!    pre-compiled. In `Step` mode, runs of wait cycles are *batch
+//!    retired* instead (`try_batch_step`): the analysis
+//!    proves each wait cycle observationally featureless, so `m` of them
+//!    fold into `counter ± m` / `dp_active += m` / `cycles += m` with
+//!    Step-mode accounting (all stepped, none skipped) — byte-identical
+//!    to per-cycle stepping, at fast-forward speed.
+//! 4. Otherwise run the state's cycle program: guards/datapath
+//!    activity/`advance` evaluate into scratch, stores land in the shadow
+//!    region of the state buffer, then the commit loop moves shadow →
+//!    stable in ascending register order, firing probe hooks with the same
+//!    `(old, new)` pairs the interpreter produces.
+//!
+//! All run-time mutable state (state buffer, scratch, fired list) is
+//! allocated per [`run`](CompiledSim::run) call, so one `CompiledSim` can
+//! serve many threads — the same `&self` contract the interpreter offers.
+
+use crate::analysis::{Analysis, WaitDir};
+use crate::compile::{self, Compiled, ExprProgram};
+use crate::error::RtlError;
+use crate::expr::{BinOp, UnOp};
+use crate::instrument::ProbeProgram;
+use crate::interp::{ExecMode, JobInput, JobTrace};
+use crate::module::Module;
+
+/// One bytecode instruction. Operands named `dst`/`a`/`b`/`c`/`t`/`f`/`src`
+/// are scratch-register indices; `slot` indexes the flattened state buffer
+/// (stable region `[0, n)`, shadow region `[n, 2n)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Instr {
+    /// `scratch[dst] = k`.
+    Const { dst: u32, k: u64 },
+    /// `scratch[dst] = state[slot]` (stable-region read).
+    Load { dst: u32, slot: u32 },
+    /// `scratch[dst] = job[tok].field` (0 past the end of the stream).
+    Input { dst: u32, field: u32 },
+    /// `scratch[dst] = (tok >= job.len())`.
+    StreamEmpty { dst: u32 },
+    /// `scratch[dst] = op(scratch[a], scratch[b])`.
+    Bin { dst: u32, op: BinOp, a: u32, b: u32 },
+    /// `scratch[dst] = op(scratch[a])`.
+    Un { dst: u32, op: UnOp, a: u32 },
+    /// `scratch[dst] = scratch[c] != 0 ? scratch[t] : scratch[f]`.
+    Sel { dst: u32, c: u32, t: u32, f: u32 },
+    /// Jump to `to` when `scratch[src] == 0`.
+    Jz { src: u32, to: u32 },
+    /// Unconditional jump.
+    Jmp { to: u32 },
+    /// `state[slot] = scratch[src] & mask`; log `(reg, rule)` as fired.
+    /// `slot` is always in the shadow region.
+    Store {
+        slot: u32,
+        reg: u32,
+        rule: u32,
+        src: u32,
+        mask: u64,
+    },
+    /// `dp_active[dp] += 1` (saturating).
+    IncDp { dp: u32 },
+}
+
+/// Executes one straight-line program. Returns nothing; results live in
+/// `scratch`, `state` (shadow stores), `fired`, and `dp_active`.
+#[inline]
+fn exec(
+    code: &[Instr],
+    state: &mut [u64],
+    scratch: &mut [u64],
+    job: &JobInput,
+    tok: usize,
+    fired: &mut Vec<(u32, u32)>,
+    dp_active: &mut [u64],
+) {
+    let mut pc = 0usize;
+    while let Some(i) = code.get(pc) {
+        pc += 1;
+        match *i {
+            Instr::Const { dst, k } => scratch[dst as usize] = k,
+            Instr::Load { dst, slot } => scratch[dst as usize] = state[slot as usize],
+            Instr::Input { dst, field } => {
+                scratch[dst as usize] = if tok < job.len() {
+                    job.get(tok, field as usize)
+                } else {
+                    0
+                };
+            }
+            Instr::StreamEmpty { dst } => {
+                scratch[dst as usize] = u64::from(tok >= job.len());
+            }
+            Instr::Bin { dst, op, a, b } => {
+                scratch[dst as usize] = op.apply(scratch[a as usize], scratch[b as usize]);
+            }
+            Instr::Un { dst, op, a } => {
+                scratch[dst as usize] = op.apply(scratch[a as usize]);
+            }
+            Instr::Sel { dst, c, t, f } => {
+                scratch[dst as usize] = if scratch[c as usize] != 0 {
+                    scratch[t as usize]
+                } else {
+                    scratch[f as usize]
+                };
+            }
+            Instr::Jz { src, to } => {
+                if scratch[src as usize] == 0 {
+                    pc = to as usize;
+                }
+            }
+            Instr::Jmp { to } => pc = to as usize,
+            Instr::Store {
+                slot,
+                reg,
+                rule,
+                src,
+                mask,
+            } => {
+                state[slot as usize] = scratch[src as usize] & mask;
+                fired.push((reg, rule));
+            }
+            Instr::IncDp { dp } => {
+                let d = &mut dp_active[dp as usize];
+                *d = d.saturating_add(1);
+            }
+        }
+    }
+}
+
+/// Evaluates a compiled single-expression program and returns its value.
+#[inline]
+fn exec_expr(
+    p: &ExprProgram,
+    state: &mut [u64],
+    scratch: &mut [u64],
+    job: &JobInput,
+    tok: usize,
+) -> u64 {
+    if let Some(k) = p.konst {
+        return k;
+    }
+    // Expression programs contain no Store/IncDp, so the fired/dp sinks
+    // are never touched; empty ones keep the shared interpreter loop.
+    let mut fired = Vec::new();
+    let mut dp: [u64; 0] = [];
+    exec(&p.code, state, scratch, job, tok, &mut fired, &mut dp);
+    debug_assert!(fired.is_empty());
+    scratch[p.out as usize]
+}
+
+/// Compiled execution engine for one module.
+///
+/// Construction compiles the module (flatten → schedule → lower, see the
+/// crate-private `compile` module); [`CompiledSim::run`] may then be
+/// called once per job, from any number of threads.
+#[derive(Debug)]
+pub struct CompiledSim<'m> {
+    module: &'m Module,
+    c: Compiled,
+    cycle_limit: u64,
+}
+
+impl<'m> CompiledSim<'m> {
+    /// Compiles `module`, running the static analyses to enable
+    /// fast-forwarding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError`] if the module fails validation — the compiler
+    /// reports dangling register/input references at compile time, where
+    /// the interpreter would only hit them at the first cycle that
+    /// evaluates the offending expression.
+    pub fn new(module: &'m Module) -> Result<CompiledSim<'m>, RtlError> {
+        let analysis = Analysis::run(module);
+        CompiledSim::with_analysis(module, &analysis)
+    }
+
+    /// Compiles `module` from a precomputed [`Analysis`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledSim::new`].
+    pub fn with_analysis(
+        module: &'m Module,
+        analysis: &Analysis,
+    ) -> Result<CompiledSim<'m>, RtlError> {
+        let c = compile::compile(module, analysis)?;
+        Ok(CompiledSim {
+            module,
+            c,
+            cycle_limit: 1 << 34,
+        })
+    }
+
+    /// Overrides the default cycle budget (2³⁴) after which a job is
+    /// declared hung.
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.cycle_limit = limit;
+    }
+
+    /// The module being simulated.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Runs one job to completion; see [`crate::interp::Simulator::run`]
+    /// for the contract — the compiled engine is observationally identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::CycleLimit`] if `done` never asserts within the
+    /// cycle budget, and [`RtlError::UnknownRegister`] (before cycle 0) if
+    /// `probes` references a register the module does not have.
+    pub fn run(
+        &self,
+        job: &JobInput,
+        mode: ExecMode,
+        probes: Option<&ProbeProgram>,
+    ) -> Result<JobTrace, RtlError> {
+        self.run_with_state(job, mode, probes).map(|(t, _)| t)
+    }
+
+    /// Like [`CompiledSim::run`], but also returns the final register file
+    /// — the stable region of the flattened state buffer at the cycle
+    /// `done` asserted. Layout matches
+    /// [`crate::interp::Simulator::run_with_state`] exactly: one `u64` per
+    /// register, in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledSim::run`].
+    pub fn run_with_state(
+        &self,
+        job: &JobInput,
+        mode: ExecMode,
+        probes: Option<&ProbeProgram>,
+    ) -> Result<(JobTrace, Vec<u64>), RtlError> {
+        if let Some(p) = probes {
+            p.validate(self.module)?;
+        }
+        let c = &self.c;
+        let n = c.n_regs;
+        let mut state = c.init.clone();
+        let mut scratch = vec![0u64; c.scratch];
+        let mut fired: Vec<(u32, u32)> = Vec::with_capacity(16);
+        let mut trace = JobTrace {
+            cycles: 0,
+            dp_active: vec![0; self.module.datapaths.len()],
+            tokens_consumed: 0,
+            stepped_cycles: 0,
+            skipped_cycles: 0,
+            features: probes
+                .map(|p| vec![0.0; p.feature_count()])
+                .unwrap_or_default(),
+        };
+        if let Some(p) = probes {
+            if let Some(b) = p.bias_index() {
+                trace.features[b] = 1.0;
+            }
+        }
+        let mut tok = 0usize;
+        loop {
+            // Bucket selection mirrors the interpreter: out-of-range FSM
+            // values fall back to the generic (flat-schedule) program.
+            let progs = match c.fsm {
+                Some(f) => c.by_state.get(state[f] as usize).unwrap_or(&c.generic),
+                None => &c.generic,
+            };
+            if exec_expr(&progs.done, &mut state, &mut scratch, job, tok) != 0 {
+                state.truncate(n);
+                return Ok((trace, state));
+            }
+            if trace.cycles >= self.cycle_limit {
+                return Err(RtlError::CycleLimit {
+                    limit: self.cycle_limit,
+                });
+            }
+            if mode != ExecMode::Step {
+                if let Some(skip) =
+                    self.try_skip(&mut state, &mut scratch, job, tok, mode, &mut trace)
+                {
+                    // Saturate exactly as the interpreter does: adversarial
+                    // bounds can make one skip cover ~2^64 cycles.
+                    trace.cycles = trace.cycles.saturating_add(skip.0);
+                    trace.skipped_cycles = trace.skipped_cycles.saturating_add(skip.1);
+                    continue;
+                }
+            } else if let Some(m) =
+                self.try_batch_step(&mut state, &mut scratch, job, tok, &mut trace)
+            {
+                // Wait cycles retired in a batch still count as *stepped*:
+                // Step mode's accounting is per-cycle, only its execution
+                // is batched.
+                trace.cycles = trace.cycles.saturating_add(m);
+                trace.stepped_cycles = trace.stepped_cycles.saturating_add(m);
+                continue;
+            }
+            fired.clear();
+            exec(
+                &progs.cycle.code,
+                &mut state,
+                &mut scratch,
+                job,
+                tok,
+                &mut fired,
+                &mut trace.dp_active,
+            );
+            let advance = scratch[progs.cycle.advance as usize] != 0;
+            // Commit shadow → stable in ascending register order — the
+            // same order the interpreter applies its `changes` list — so
+            // probe streams accumulate in an identical sequence.
+            for &(reg, rule) in &fired {
+                let (reg, rule) = (reg as usize, rule as usize);
+                let old = state[reg];
+                let v = state[n + reg];
+                state[reg] = v;
+                if let Some(p) = probes {
+                    if p.is_init_rule(reg, rule) {
+                        p.record_counter_init(&mut trace.features, reg, old, v);
+                    }
+                    if old != v && c.is_fsm_reg[reg] {
+                        p.record_transition(&mut trace.features, reg, old, v);
+                    }
+                }
+            }
+            if advance && tok < job.len() {
+                tok += 1;
+                trace.tokens_consumed += 1;
+            }
+            trace.cycles = trace.cycles.saturating_add(1);
+            trace.stepped_cycles = trace.stepped_cycles.saturating_add(1);
+        }
+    }
+
+    /// If the current configuration is a skippable wait, applies the skip
+    /// and returns `(cycles_charged, cycles_skipped)` — the interpreter's
+    /// `try_skip`, with bound/activity expressions pre-compiled.
+    fn try_skip(
+        &self,
+        state: &mut [u64],
+        scratch: &mut [u64],
+        job: &JobInput,
+        tok: usize,
+        mode: ExecMode,
+        trace: &mut JobTrace,
+    ) -> Option<(u64, u64)> {
+        let c = &self.c;
+        for &f in &c.fsm_regs {
+            let Some(plan) = c.waits.get(&(f, state[f])) else {
+                continue;
+            };
+            let cur = state[plan.counter];
+            let (remaining, terminal) = match plan.dir {
+                WaitDir::Down => (cur, 0),
+                WaitDir::Up => {
+                    let bound = exec_expr(plan.bound.as_ref()?, state, scratch, job, tok);
+                    (bound.saturating_sub(cur), bound)
+                }
+            };
+            if remaining == 0 {
+                return None;
+            }
+            let charged = match mode {
+                ExecMode::FastForward => remaining,
+                ExecMode::Compressed => {
+                    if plan.serial {
+                        remaining
+                    } else {
+                        1
+                    }
+                }
+                ExecMode::Step => unreachable!("skip not attempted in Step mode"),
+            };
+            // Counter jumps to its terminal value *before* datapath
+            // activity is evaluated — the activity condition may read it.
+            state[plan.counter] = terminal;
+            for (di, prog) in &plan.dps {
+                if exec_expr(prog, state, scratch, job, tok) != 0 {
+                    trace.dp_active[*di] = trace.dp_active[*di].saturating_add(charged);
+                }
+            }
+            return Some((charged, remaining));
+        }
+        None
+    }
+
+    /// Step-mode analogue of [`CompiledSim::try_skip`]: retires a run of
+    /// wait cycles in one batch, byte-identical to stepping them one at a
+    /// time.
+    ///
+    /// The wait-state analysis guarantees each wait cycle is individually
+    /// deterministic and observationally featureless: only the counter
+    /// ticks (±1 per cycle; its tick rule is never a probe init rule, and
+    /// rules of every other register are provably inactive), datapath
+    /// activity conditions never read the counter (so they are constant
+    /// across the wait), `advance` and `done` are provably 0, and the
+    /// token stream is frozen. The per-cycle trace deltas are therefore
+    /// uniform, and `m` cycles fold into `counter ± m`, `dp_active += m`,
+    /// `cycles/stepped += m` — exactly what `m` interpreter steps produce.
+    ///
+    /// The batch is capped at the remaining cycle budget so a wait that
+    /// crosses the limit still surfaces [`RtlError::CycleLimit`] at the
+    /// same cycle the interpreter reports it. The exit cycle (counter
+    /// exhausted) is *not* part of the batch: exit-gated rules fire there,
+    /// so it runs through the ordinary per-cycle path.
+    fn try_batch_step(
+        &self,
+        state: &mut [u64],
+        scratch: &mut [u64],
+        job: &JobInput,
+        tok: usize,
+        trace: &mut JobTrace,
+    ) -> Option<u64> {
+        let c = &self.c;
+        for &f in &c.fsm_regs {
+            let Some(plan) = c.waits.get(&(f, state[f])) else {
+                continue;
+            };
+            if c.is_fsm_reg[plan.counter] {
+                // A counter that doubles as an FSM register would emit a
+                // transition probe per tick; step it cycle by cycle.
+                return None;
+            }
+            let cur = state[plan.counter];
+            let remaining = match plan.dir {
+                WaitDir::Down => cur,
+                WaitDir::Up => {
+                    let bound = exec_expr(plan.bound.as_ref()?, state, scratch, job, tok);
+                    bound.saturating_sub(cur)
+                }
+            };
+            if remaining == 0 {
+                return None;
+            }
+            // `cycles < cycle_limit` was checked just above, so the cap is
+            // at least 1; a capped batch leaves the counter mid-wait and
+            // the next loop iteration reports `CycleLimit` exactly where
+            // the interpreter would.
+            let m = remaining.min(self.cycle_limit - trace.cycles);
+            match plan.dir {
+                WaitDir::Down => state[plan.counter] = cur - m,
+                WaitDir::Up => state[plan.counter] = cur + m,
+            }
+            for (di, prog) in &plan.dps {
+                if exec_expr(prog, state, scratch, job, tok) != 0 {
+                    trace.dp_active[*di] = trace.dp_active[*di].saturating_add(m);
+                }
+            }
+            return Some(m);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ModuleBuilder, E};
+    use crate::instrument::FeatureSchema;
+    use crate::interp::Simulator;
+
+    fn toy() -> Module {
+        let mut b = ModuleBuilder::new("toy");
+        let dur = b.input("dur", 16);
+        let fsm = b.fsm("ctrl", &["FETCH", "RUN", "EMIT"]);
+        b.timed(
+            &fsm,
+            "FETCH",
+            "RUN",
+            "EMIT",
+            dur,
+            E::stream_empty().is_zero(),
+            "ctrl.cnt",
+        );
+        b.trans(&fsm, "EMIT", "FETCH", E::one());
+        b.datapath_compute("alu", fsm.in_state("RUN"), 500.0, 2.0, 100, 1);
+        b.advance_when(fsm.in_state("EMIT"));
+        b.done_when(fsm.in_state("FETCH") & E::stream_empty());
+        b.build().unwrap()
+    }
+
+    fn job(durs: &[u64]) -> JobInput {
+        let mut j = JobInput::new(1);
+        for &d in durs {
+            j.push(&[d]);
+        }
+        j
+    }
+
+    fn assert_identical(m: &Module, j: &JobInput, probed: bool) {
+        let a = Analysis::run(m);
+        let probes = probed.then(|| {
+            let s = FeatureSchema::from_analysis(m, &a);
+            s.probe_program(&a)
+        });
+        let interp = Simulator::with_analysis(m, &a);
+        let vm = CompiledSim::with_analysis(m, &a).unwrap();
+        for mode in [ExecMode::Step, ExecMode::FastForward, ExecMode::Compressed] {
+            let want = interp.run_with_state(j, mode, probes.as_ref()).unwrap();
+            let got = vm.run_with_state(j, mode, probes.as_ref()).unwrap();
+            assert_eq!(want, got, "mode {mode:?} probed={probed}");
+        }
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_toy_module() {
+        let m = toy();
+        for durs in [&[0u64][..], &[1], &[5, 3], &[7, 0, 3], &[100, 2, 50, 50]] {
+            assert_identical(&m, &job(durs), false);
+            assert_identical(&m, &job(durs), true);
+        }
+        assert_identical(&m, &JobInput::new(1), true);
+    }
+
+    #[test]
+    fn vm_matches_interpreter_without_an_fsm() {
+        // No detectable FSM: both engines run their flat/generic paths.
+        let mut b = ModuleBuilder::new("flat");
+        let x = b.reg("x", 8, 0);
+        let y = b.reg("y", 16, 1);
+        b.set(x, E::one(), x.e() + E::one());
+        b.set(y, x.e().gt(E::k(3)), y.e() + x.e());
+        b.done_when(x.e().ge(E::k(200)));
+        let m = b.build().unwrap();
+        assert_identical(&m, &JobInput::new(0), false);
+    }
+
+    #[test]
+    fn vm_reports_cycle_limit_like_interpreter() {
+        let mut b = ModuleBuilder::new("hang");
+        let fsm = b.fsm("ctrl", &["SPIN"]);
+        let r = b.reg("x", 8, 0);
+        b.set(r, fsm.in_state("SPIN"), r.e() + E::one());
+        b.done_when(E::zero());
+        let m = b.build().unwrap();
+        let mut vm = CompiledSim::new(&m).unwrap();
+        vm.set_cycle_limit(100);
+        let err = vm.run(&JobInput::new(0), ExecMode::Step, None).unwrap_err();
+        assert!(matches!(err, RtlError::CycleLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn vm_rejects_foreign_probes_before_cycle_zero() {
+        let big = toy();
+        let a = Analysis::run(&big);
+        let p = FeatureSchema::from_analysis(&big, &a).probe_program(&a);
+        let mut b = ModuleBuilder::new("small");
+        let r = b.reg("x", 8, 0);
+        b.set(r, E::one(), r.e() + E::one());
+        b.done_when(r.e().eq_(E::k(3)));
+        let small = b.build().unwrap();
+        let vm = CompiledSim::new(&small).unwrap();
+        let err = vm
+            .run(&JobInput::new(0), ExecMode::Step, Some(&p))
+            .unwrap_err();
+        assert!(matches!(err, RtlError::UnknownRegister { .. }));
+    }
+
+    #[test]
+    fn batched_step_respects_the_cycle_limit_mid_wait() {
+        // A 1000-cycle wait against a 50-cycle budget: the batch must be
+        // capped so CycleLimit surfaces at the same cycle the interpreter
+        // reports it, not after the whole wait retires.
+        let m = toy();
+        let mut vm = CompiledSim::new(&m).unwrap();
+        vm.set_cycle_limit(50);
+        let mut interp = Simulator::new(&m);
+        interp.set_cycle_limit(50);
+        let want = interp.run(&job(&[1000]), ExecMode::Step, None).unwrap_err();
+        let got = vm.run(&job(&[1000]), ExecMode::Step, None).unwrap_err();
+        assert!(matches!(got, RtlError::CycleLimit { limit: 50 }));
+        assert_eq!(format!("{want}"), format!("{got}"));
+    }
+
+    #[test]
+    fn vm_saturates_on_adversarial_wait_bounds() {
+        let mut b = ModuleBuilder::new("ovf");
+        let n = b.input("n", 64);
+        let fsm = b.fsm("ctrl", &["A", "W", "D"]);
+        let c = b.reg("c", 64, 0);
+        b.set(c, fsm.in_state("A"), E::zero());
+        b.set(c, fsm.in_state("W") & c.e().lt(n.clone()), c.e() + E::one());
+        b.trans(&fsm, "A", "W", E::one());
+        b.trans(&fsm, "W", "D", c.e().eq_(n));
+        b.done_when(fsm.in_state("D"));
+        let m = b.build().unwrap();
+        let vm = CompiledSim::new(&m).unwrap();
+        let mut j = JobInput::new(1);
+        j.push(&[u64::MAX]);
+        let err = vm.run(&j, ExecMode::FastForward, None).unwrap_err();
+        assert!(matches!(err, RtlError::CycleLimit { limit } if limit == 1 << 34));
+    }
+
+    #[test]
+    fn vm_is_shareable_across_threads() {
+        let m = toy();
+        let vm = CompiledSim::new(&m).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let t = vm.run(&job(&[9, 2]), ExecMode::FastForward, None).unwrap();
+                    assert_eq!(t.tokens_consumed, 2);
+                });
+            }
+        });
+    }
+}
