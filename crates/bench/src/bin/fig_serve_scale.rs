@@ -22,7 +22,7 @@
 use std::time::Instant;
 
 use predvfs_bench::results_dir;
-use predvfs_faults::NullInjector;
+use predvfs_faults::{FaultConfig, FaultInjector, FaultPlan, NullInjector};
 use predvfs_obs::{NullSink, ObsSink, Recorder};
 use predvfs_serve::{ControllerKind, ServeRuntime};
 use predvfs_shard::{
@@ -153,8 +153,25 @@ fn assert_identity(quick: bool) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// The checkpoint-overhead measurement: the sweep's largest shard count
+/// re-run with a snapshot cadence, against the matching baseline run.
+struct CheckpointRun {
+    every: u64,
+    shards: usize,
+    checkpoints: usize,
+    jobs_per_sec: f64,
+    baseline_jobs_per_sec: f64,
+    overhead_pct: f64,
+}
+
 /// Hand-rolled JSON for `BENCH_serve.json` — no serde in the tree.
-fn bench_json(streams: usize, jobs: u64, quick: bool, runs: &[Run]) -> String {
+fn bench_json(
+    streams: usize,
+    jobs: u64,
+    quick: bool,
+    runs: &[Run],
+    checkpoint: Option<&CheckpointRun>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"streams\": {streams},\n"));
@@ -174,13 +191,28 @@ fn bench_json(streams: usize, jobs: u64, quick: bool, runs: &[Run]) -> String {
             if i + 1 == runs.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(c) = checkpoint {
+        out.push_str(&format!(
+            ",\n  \"checkpoint\": {{\"every\": {}, \"shards\": {}, \"checkpoints\": {}, \
+             \"jobs_per_sec\": {:.0}, \"baseline_jobs_per_sec\": {:.0}, \
+             \"overhead_pct\": {:.2}}}",
+            c.every,
+            c.shards,
+            c.checkpoints,
+            c.jobs_per_sec,
+            c.baseline_jobs_per_sec,
+            c.overhead_pct
+        ));
+    }
+    out.push_str("\n}\n");
     out
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::var("PREDVFS_QUICK").as_deref() == Ok("1")
         || std::env::args().any(|a| a == "--quick");
+    let crash = std::env::args().any(|a| a == "--crash");
 
     assert_identity(quick)?;
 
@@ -269,17 +301,74 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // Checkpoint overhead: the sweep's largest shard count re-run with a
+    // snapshot every 8 epochs. Snapshots clone every stream's service
+    // state, so this is the honest worst case for the cadence the docs
+    // recommend; the expectation is < 5% of baseline jobs/sec. Sweeps
+    // shorter than 8 epochs fall back to a half-length cadence so the
+    // measured path stays non-trivial.
+    let base = runs.last().expect("sweep ran");
+    let checkpoint_every: u64 = if base.result.epochs >= 8 {
+        8
+    } else {
+        (base.result.epochs / 2).max(1)
+    };
+    let base_shards = base.shards;
+    let baseline_jobs_per_sec = base.jobs_per_sec;
+    eprintln!("running {base_shards} shard(s) with --checkpoint-every {checkpoint_every}...");
+    let ck_config = ShardConfig {
+        checkpoint_every: Some(checkpoint_every),
+        ..scale_config(base_shards)
+    };
+    let ck_start = Instant::now();
+    let ck_result = run_sharded(&runtime, &ck_config, &[], &NullSink, &NullInjector)?;
+    let ck_wall = ck_start.elapsed().as_secs_f64();
+    let ck = CheckpointRun {
+        every: checkpoint_every,
+        shards: base_shards,
+        checkpoints: ck_result.checkpoints,
+        jobs_per_sec: ck_result.jobs_done as f64 / ck_wall,
+        baseline_jobs_per_sec,
+        overhead_pct: 100.0
+            * (1.0 - (ck_result.jobs_done as f64 / ck_wall) / baseline_jobs_per_sec),
+    };
+    assert_eq!(ck_result.jobs_done, jobs, "checkpointing changed the run");
+    assert!(
+        ck_result.checkpoints > 0,
+        "cadence {checkpoint_every} over {} epochs captured no snapshot",
+        ck_result.epochs
+    );
+    println!(
+        "checkpoint overhead at every={checkpoint_every}: {} snapshots, \
+         {:.0} vs {:.0} jobs/sec baseline ({:+.2}%)",
+        ck.checkpoints, ck.jobs_per_sec, ck.baseline_jobs_per_sec, ck.overhead_pct
+    );
+    // Like the speedup expectation above, the budget assumes real
+    // parallelism: snapshots run concurrently on the shard threads, so a
+    // serial 1-core box charges every shard's snapshot to wall time.
+    if !quick && cores >= 4 {
+        assert!(
+            ck.overhead_pct < 5.0,
+            "checkpoint overhead {:.2}% exceeds the 5% budget",
+            ck.overhead_pct
+        );
+    } else if !quick {
+        println!("(checkpoint overhead assertion skipped: {cores} core(s) < 4)");
+    }
+
     let csv = results_dir().join("fig_serve_scale.csv");
     table.write_csv(&csv)?;
     println!("wrote {}", csv.display());
 
-    let json = bench_json(streams, jobs, quick, &runs);
+    let json = bench_json(streams, jobs, quick, &runs, Some(&ck));
     std::fs::write("BENCH_serve.json", &json)?;
     println!("wrote BENCH_serve.json");
 
     // Quick mode doubles as the CI determinism smoke: emit the merged
     // trace of a 2-shard traced run so the workflow can run this binary
-    // twice and `cmp` the outputs.
+    // twice (and with `--crash` on and off) and `cmp` the outputs —
+    // recovery meta-events are shard-scoped, so the merged trace of a
+    // crash-recovery run is byte-identical to the fault-free one.
     if quick {
         let shards = 2;
         let recorders: Vec<Recorder> = (0..shards).map(|_| Recorder::new(1 << 22)).collect();
@@ -292,9 +381,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let traced = ServeRuntime::prepare(&synth_scenario(&spec), &TraceCache::new())?;
         let config = ShardConfig {
             lean: false,
+            // Every epoch, so the smoke exercises snapshot restore (not
+            // just genesis replay) even over a handful of epochs.
+            checkpoint_every: crash.then_some(1),
             ..scale_config(shards)
         };
-        run_sharded(&traced, &config, &sinks, &NullSink, &NullInjector)?;
+        // A coordinator-only fault mix (job-level sites off) with the
+        // crash probability turned up so short smoke runs still crash.
+        let mut mix = FaultConfig::coordinator();
+        mix.shard_crash_p = 0.25;
+        let plan = FaultPlan::new(7, mix);
+        let injector: &dyn FaultInjector = if crash { &plan } else { &NullInjector };
+        let result = run_sharded(&traced, &config, &sinks, &NullSink, injector)?;
+        if crash {
+            assert!(
+                result.crashes > 0,
+                "crash smoke fired no crashes over {} epochs",
+                result.epochs
+            );
+            assert_eq!(result.crashes, result.recoveries);
+            println!(
+                "crash smoke: {} crashes recovered ({} epochs replayed, \
+                 {} checkpoints) over {} epochs",
+                result.crashes, result.replayed_epochs, result.checkpoints, result.epochs
+            );
+        }
         let jsonl = merged_trace_jsonl(
             &traced,
             recorders.iter().map(|r| r.ring().snapshot()).collect(),

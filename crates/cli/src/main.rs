@@ -108,6 +108,8 @@ fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             required(args, 1, "scenario file (or --demo)")?,
             opts.faults,
             opts.shards,
+            opts.checkpoint_every,
+            opts.crash,
         ),
         "chaos" => cmd_chaos(required(args, 1, "scenario file (or --demo)")?, args.get(2)),
         "help" | "--help" | "-h" => {
@@ -139,6 +141,10 @@ struct CliOptions {
     faults: Option<u64>,
     /// Shard-engine count for `serve` (`--shards`).
     shards: Option<usize>,
+    /// Shard checkpoint cadence in epochs (`--checkpoint-every`).
+    checkpoint_every: Option<u64>,
+    /// Coordinator-fault seed for `serve --shards` (`--crash`).
+    crash: Option<u64>,
     /// RTL execution engine override (`--compiled` / `--interp`).
     engine: Option<SimEngine>,
 }
@@ -195,6 +201,17 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
                 return Err("shard count must be at least 1".to_owned());
             }
             opts.shards = Some(n);
+        } else if let Some(v) = take("--checkpoint-every")? {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("invalid checkpoint cadence `{v}`"))?;
+            if n == 0 {
+                return Err("checkpoint cadence must be at least 1 epoch".to_owned());
+            }
+            opts.checkpoint_every = Some(n);
+        } else if let Some(v) = take("--crash")? {
+            let seed: u64 = v.parse().map_err(|_| format!("invalid crash seed `{v}`"))?;
+            opts.crash = Some(seed);
         } else if a == "--compiled" || a == "--interp" {
             let engine = if a == "--compiled" {
                 SimEngine::Compiled
@@ -332,6 +349,16 @@ OPTIONS:
                        under the budget-owning coordinator; per-shard
                        traces are merged back into the canonical order,
                        so --trace-out output is shard-count invariant
+  --checkpoint-every <E>
+                       serve --shards: capture a full shard snapshot
+                       every E epochs, bounding crash-recovery replay
+                       to at most E epochs of journal
+  --crash <seed>       serve --shards: inject deterministic coordinator
+                       faults (shard crashes, epoch stalls, transfer
+                       drops) from this seed; crashed shards rebuild
+                       from their last checkpoint plus journal replay,
+                       and the merged trace stays byte-identical to the
+                       fault-free run
   --compiled           run RTL jobs on the bytecode VM (the default); the
                        compiled engine is byte-identical to the interpreter
   --interp             run RTL jobs on the reference interpreter (the
@@ -701,6 +728,8 @@ fn cmd_serve(
     scenario_arg: &str,
     faults_seed: Option<u64>,
     shards: Option<usize>,
+    checkpoint_every: Option<u64>,
+    crash: Option<u64>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = load_scenario(scenario_arg)?;
     let plan = resolve_plan(&scenario, faults_seed);
@@ -711,7 +740,13 @@ fn cmd_serve(
     );
     let runtime = ServeRuntime::prepare(&scenario, &predvfs_sim::TraceCache::new())?;
     if let Some(shards) = shards.filter(|&n| n > 1) {
-        return serve_sharded(&runtime, shards, plan.as_ref());
+        return serve_sharded(&runtime, shards, plan.as_ref(), checkpoint_every, crash);
+    }
+    if checkpoint_every.is_some() || crash.is_some() {
+        return Err(
+            "`--checkpoint-every` and `--crash` need the sharded tier; add `--shards <N>` (N > 1)"
+                .into(),
+        );
     }
     let result = match &plan {
         Some(plan) => {
@@ -744,6 +779,8 @@ fn serve_sharded(
     runtime: &ServeRuntime,
     shards: usize,
     plan: Option<&FaultPlan>,
+    checkpoint_every: Option<u64>,
+    crash: Option<u64>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use predvfs_obs::ObsSink;
     let observing = predvfs_obs::recorder().is_some();
@@ -755,26 +792,50 @@ fn serve_sharded(
     let sinks: Vec<&dyn ObsSink> = recorders.iter().map(|r| r as &dyn ObsSink).collect();
     let config = predvfs_shard::ShardConfig {
         shards,
-        degrade: if plan.is_some() {
+        degrade: if plan.is_some() || crash.is_some() {
             DegradeConfig::enabled()
         } else {
             DegradeConfig::disabled()
         },
+        checkpoint_every,
         ..predvfs_shard::ShardConfig::default()
     };
-    let injector: &dyn predvfs_faults::FaultInjector = match plan {
-        Some(plan) => {
+    // `--crash <seed>` layers the coordinator fault mix (shard crashes,
+    // epoch stalls, transfer drops) on top of whatever job-level mix is
+    // active; with both flags the combined mix runs under the crash
+    // seed, so the run stays a single deterministic plan.
+    let crash_plan: Option<FaultPlan> = crash.map(|seed| {
+        let mut config = plan.map_or_else(predvfs_faults::FaultConfig::none, |p| *p.config());
+        let coord = predvfs_faults::FaultConfig::coordinator();
+        config.shard_crash_p = coord.shard_crash_p;
+        config.epoch_stall_p = coord.epoch_stall_p;
+        config.transfer_drop_p = coord.transfer_drop_p;
+        FaultPlan::new(seed, config)
+    });
+    let injector: &dyn predvfs_faults::FaultInjector = match (&crash_plan, plan) {
+        (Some(crash_plan), _) => {
+            eprintln!(
+                "coordinator fault injection on (seed {}), graceful degradation enabled",
+                crash_plan.seed()
+            );
+            crash_plan
+        }
+        (None, Some(plan)) => {
             eprintln!(
                 "fault injection on (seed {}), graceful degradation enabled",
                 plan.seed()
             );
             plan
         }
-        None => &predvfs_faults::NullInjector,
+        (None, None) => &predvfs_faults::NullInjector,
     };
     eprintln!(
-        "sharded serve: {shards} shards, epoch {} ms",
-        config.epoch_s * 1e3
+        "sharded serve: {shards} shards, epoch {} ms{}",
+        config.epoch_s * 1e3,
+        match checkpoint_every {
+            Some(n) => format!(", checkpoint every {n} epoch(s)"),
+            None => String::new(),
+        }
     );
     let sharded =
         predvfs_shard::run_sharded(runtime, &config, &sinks, predvfs_obs::global(), injector)?;
@@ -813,6 +874,18 @@ fn serve_sharded(
         sharded.boosts_applied,
         sharded.shard_jobs_done
     );
+    if sharded.checkpoints > 0 || sharded.crashes > 0 || sharded.epoch_stalls > 0 {
+        println!(
+            "{} checkpoints, {} crashes ({} recovered, {} epochs replayed), \
+             {} epoch stalls, {} transfer retransmits",
+            sharded.checkpoints,
+            sharded.crashes,
+            sharded.recoveries,
+            sharded.replayed_epochs,
+            sharded.epoch_stalls,
+            sharded.transfer_retransmits
+        );
+    }
     Ok(())
 }
 
@@ -1017,6 +1090,42 @@ mod tests {
         assert!(
             parse_options(&owned(&["--shards=0"])).is_err(),
             "zero shards"
+        );
+    }
+
+    #[test]
+    fn crash_and_checkpoint_flags_parse_and_validate() {
+        let (opts, rest) = parse_options(&owned(&[
+            "serve",
+            "--demo",
+            "--shards",
+            "4",
+            "--checkpoint-every",
+            "8",
+            "--crash",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(opts.shards, Some(4));
+        assert_eq!(opts.checkpoint_every, Some(8));
+        assert_eq!(opts.crash, Some(7));
+        assert_eq!(rest, owned(&["serve", "--demo"]));
+
+        let (opts, _) = parse_options(&owned(&["--checkpoint-every=2", "--crash=0"])).unwrap();
+        assert_eq!(opts.checkpoint_every, Some(2));
+        assert_eq!(opts.crash, Some(0));
+
+        assert!(
+            parse_options(&owned(&["--checkpoint-every=0"])).is_err(),
+            "zero cadence"
+        );
+        assert!(
+            parse_options(&owned(&["--checkpoint-every"])).is_err(),
+            "missing value"
+        );
+        assert!(
+            parse_options(&owned(&["--crash=nope"])).is_err(),
+            "non-numeric seed"
         );
     }
 

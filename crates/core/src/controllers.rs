@@ -182,7 +182,7 @@ impl DvfsController for TableController {
 /// over-predictions decay slowly. This is the "balance deadline miss rate
 /// and energy savings" tuning the paper describes — it trades energy
 /// (levels linger high after every spike) for fewer misses.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PidController {
     dvfs: DvfsModel,
     f_nominal_hz: f64,
@@ -274,7 +274,7 @@ impl DvfsController for PidController {
 }
 
 /// The paper's predictive controller: slice → model → minimal level.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PredictiveController<'p> {
     dvfs: DvfsModel,
     f_nominal_hz: f64,

@@ -18,7 +18,7 @@ use crate::model::ExecTimeModel;
 use crate::slicer::{SlicePredictor, SliceRunner};
 
 /// Predictive controller with EWMA residual correction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HybridController<'p> {
     dvfs: DvfsModel,
     f_nominal_hz: f64,

@@ -496,7 +496,7 @@ impl OnlineTrainer {
 /// degraded — the trainer needs its features to refit — so slice overheads
 /// are always charged; the reactive fallback's 10 % margin absorbs the
 /// slice time its level choice does not account for.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveController<'p> {
     dvfs: DvfsModel,
     f_nominal_hz: f64,

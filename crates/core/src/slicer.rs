@@ -134,6 +134,15 @@ pub struct SliceRunner<'p> {
     predictor: &'p SlicePredictor,
 }
 
+impl<'p> Clone for SliceRunner<'p> {
+    fn clone(&self) -> SliceRunner<'p> {
+        // The simulator holds only construction-time state (wait plans,
+        // FSM register map, schedule), so a rebuilt runner is
+        // behaviourally identical to the original.
+        self.predictor.runner()
+    }
+}
+
 impl SliceRunner<'_> {
     /// Runs the slice over one job's input.
     ///

@@ -155,6 +155,30 @@ pub trait FaultInjector: Sync {
     fn spurious_done(&self, _stream: usize, _job: usize) -> bool {
         false
     }
+
+    /// Coordinator-level site: does `shard` crash during `epoch` (losing
+    /// all in-memory state, to be rebuilt from its last checkpoint plus
+    /// the epoch journal)? Queried once per (shard, epoch) at the epoch
+    /// barrier.
+    fn shard_crash(&self, _shard: usize, _epoch: u64) -> bool {
+        false
+    }
+
+    /// Coordinator-level site: is `shard` slow reaching the `epoch`
+    /// barrier? Purely observational — the barrier protocol already
+    /// tolerates arbitrarily slow workers, so a stall is counted and
+    /// traced but changes no scheduling decision.
+    fn epoch_stall(&self, _shard: usize, _epoch: u64) -> bool {
+        false
+    }
+
+    /// Coordinator-level site: is the migration transfer of stream `gid`
+    /// at `epoch`'s boundary dropped in flight? The coordinator
+    /// retransmits from the retained copy, so the admission still
+    /// happens — the drop is counted and traced.
+    fn transfer_drop(&self, _gid: usize, _epoch: u64) -> bool {
+        false
+    }
 }
 
 /// The default injector: no faults, `enabled() == false`.
@@ -194,6 +218,15 @@ pub struct FaultConfig {
     pub burst_p: f64,
     /// Probability of a spurious completion after a job.
     pub spurious_done_p: f64,
+    /// Probability a shard crashes during an epoch (coordinator site;
+    /// drawn once per (shard, epoch)).
+    pub shard_crash_p: f64,
+    /// Probability a shard stalls reaching an epoch barrier
+    /// (coordinator site; observational only).
+    pub epoch_stall_p: f64,
+    /// Probability a migration transfer is dropped and retransmitted
+    /// (coordinator site; drawn per (gid, epoch)).
+    pub transfer_drop_p: f64,
 }
 
 impl Default for FaultConfig {
@@ -212,6 +245,9 @@ impl Default for FaultConfig {
             trace_spike_scale: 2.0,
             burst_p: 0.0,
             spurious_done_p: 0.0,
+            shard_crash_p: 0.0,
+            epoch_stall_p: 0.0,
+            transfer_drop_p: 0.0,
         }
     }
 }
@@ -238,6 +274,19 @@ impl FaultConfig {
         }
     }
 
+    /// The coordinator-level chaos mix used by `serve --crash` and the
+    /// crash-recovery CI smoke: shard crashes, barrier stalls, and
+    /// transfer drops only — job-level sites stay off so recovery runs
+    /// compare cleanly against the fault-free reference.
+    pub fn coordinator() -> FaultConfig {
+        FaultConfig {
+            shard_crash_p: 0.08,
+            epoch_stall_p: 0.05,
+            transfer_drop_p: 0.2,
+            ..FaultConfig::default()
+        }
+    }
+
     /// True when every kind is disabled.
     pub fn is_empty(&self) -> bool {
         [
@@ -249,6 +298,9 @@ impl FaultConfig {
             self.trace_spike_p,
             self.burst_p,
             self.spurious_done_p,
+            self.shard_crash_p,
+            self.epoch_stall_p,
+            self.transfer_drop_p,
         ]
         .iter()
         .all(|&p| p == 0.0)
@@ -268,6 +320,9 @@ impl FaultConfig {
     /// | `trace_spike` | `p:scale` | trace cycles × scale |
     /// | `burst` | `p` | back-to-back arrival |
     /// | `spurious_done` | `p` | phantom completion |
+    /// | `shard_crash` | `p` | shard loses state during an epoch |
+    /// | `epoch_stall` | `p` | shard slow reaching the barrier |
+    /// | `transfer_drop` | `p` | migration transfer retransmitted |
     ///
     /// # Errors
     ///
@@ -331,6 +386,9 @@ impl FaultConfig {
             }
             "burst" => self.burst_p = prob(val)?,
             "spurious_done" => self.spurious_done_p = prob(val)?,
+            "shard_crash" => self.shard_crash_p = prob(val)?,
+            "epoch_stall" => self.epoch_stall_p = prob(val)?,
+            "transfer_drop" => self.transfer_drop_p = prob(val)?,
             _ => return Err(format!("unknown fault option {key:?}")),
         }
         Ok(())
@@ -348,6 +406,9 @@ enum Site {
     Jitter = 5,
     Spike = 6,
     Spurious = 7,
+    ShardCrash = 8,
+    EpochStall = 9,
+    TransferDrop = 10,
 }
 
 /// A seeded, deterministic fault plan.
@@ -467,6 +528,27 @@ impl FaultInjector for FaultPlan {
             && self
                 .rng(Site::Spurious, stream, job, 0)
                 .gen_bool(self.config.spurious_done_p)
+    }
+
+    fn shard_crash(&self, shard: usize, epoch: u64) -> bool {
+        self.config.shard_crash_p > 0.0
+            && self
+                .rng(Site::ShardCrash, shard, epoch as usize, 0)
+                .gen_bool(self.config.shard_crash_p)
+    }
+
+    fn epoch_stall(&self, shard: usize, epoch: u64) -> bool {
+        self.config.epoch_stall_p > 0.0
+            && self
+                .rng(Site::EpochStall, shard, epoch as usize, 0)
+                .gen_bool(self.config.epoch_stall_p)
+    }
+
+    fn transfer_drop(&self, gid: usize, epoch: u64) -> bool {
+        self.config.transfer_drop_p > 0.0
+            && self
+                .rng(Site::TransferDrop, gid, epoch as usize, 0)
+                .gen_bool(self.config.transfer_drop_p)
     }
 }
 
@@ -622,5 +704,89 @@ mod tests {
         assert!(!n.enabled());
         assert!(n.slice_fault(0, 0).is_none());
         assert!(!n.switch_rejected(0, 0, 0));
+        assert!(!n.shard_crash(0, 0));
+        assert!(!n.epoch_stall(0, 0));
+        assert!(!n.transfer_drop(0, 0));
+    }
+
+    /// Every coordinator site's answer for one (shard-ish, epoch) pair.
+    fn coord_snapshot(plan: &FaultPlan, shard: usize, epoch: u64) -> String {
+        format!(
+            "{:?}|{:?}|{:?}",
+            plan.shard_crash(shard, epoch),
+            plan.epoch_stall(shard, epoch),
+            plan.transfer_drop(shard, epoch),
+        )
+    }
+
+    #[test]
+    fn coordinator_sites_are_deterministic_and_independent() {
+        let plan = FaultPlan::new(7, FaultConfig::coordinator());
+        assert!(plan.enabled());
+        for shard in 0..4 {
+            for epoch in 0..64 {
+                assert_eq!(
+                    coord_snapshot(&plan, shard, epoch),
+                    coord_snapshot(&plan, shard, epoch),
+                    "shard {shard} epoch {epoch}"
+                );
+            }
+        }
+        // The three sites must not mirror each other at shared
+        // coordinates: with all probabilities forced to 1 vs a fair mix,
+        // per-site draws come from distinct streams.
+        let crashes: Vec<bool> = (0..200).map(|e| plan.shard_crash(1, e)).collect();
+        let stalls: Vec<bool> = (0..200).map(|e| plan.epoch_stall(1, e)).collect();
+        let drops: Vec<bool> = (0..200).map(|e| plan.transfer_drop(1, e)).collect();
+        assert_ne!(crashes, stalls);
+        assert_ne!(crashes, drops);
+    }
+
+    #[test]
+    fn coordinator_sites_stay_out_of_job_level_presets() {
+        // `standard()` predates the coordinator sites; adding them there
+        // would silently change every existing chaos trace.
+        let std = FaultConfig::standard();
+        assert_eq!(std.shard_crash_p, 0.0);
+        assert_eq!(std.epoch_stall_p, 0.0);
+        assert_eq!(std.transfer_drop_p, 0.0);
+        // And `coordinator()` keeps job-level sites off so crash runs
+        // compare against a clean reference.
+        let coord = FaultConfig::coordinator();
+        assert!(coord.shard_crash_p > 0.0);
+        assert_eq!(coord.trace_spike_p, 0.0);
+        assert_eq!(coord.burst_p, 0.0);
+        assert!(!coord.is_empty());
+        let plan = FaultPlan::new(3, coord);
+        for j in 0..50 {
+            assert!(plan.slice_fault(0, j).is_none());
+            assert!(!plan.arrival_burst(0, j));
+        }
+    }
+
+    #[test]
+    fn coordinator_probabilities_are_roughly_honored() {
+        let mut c = FaultConfig::none();
+        c.shard_crash_p = 0.25;
+        let plan = FaultPlan::new(5, c);
+        let fired = (0..2000u64).filter(|&e| plan.shard_crash(0, e)).count();
+        assert!(
+            (350..650).contains(&fired),
+            "expected ~500 of 2000 crashes, got {fired}"
+        );
+    }
+
+    #[test]
+    fn config_parsing_accepts_coordinator_keys() {
+        let mut c = FaultConfig::none();
+        c.set("shard_crash", "0.1").unwrap();
+        c.set("epoch_stall", "0.2").unwrap();
+        c.set("transfer_drop", "0.3").unwrap();
+        assert!((c.shard_crash_p - 0.1).abs() < 1e-12);
+        assert!((c.epoch_stall_p - 0.2).abs() < 1e-12);
+        assert!((c.transfer_drop_p - 0.3).abs() < 1e-12);
+        assert!(c.set("shard_crash", "1.5").is_err());
+        assert!(c.set("epoch_stall", "nan").is_err());
+        assert!(c.set("transfer_drop", "-0.1").is_err());
     }
 }

@@ -42,3 +42,13 @@ pub const CALIBRATION_ALERT: &str = "calibration_alert";
 pub const SLO_BURN: &str = "slo_burn";
 /// Meta event appended at export when the trace ring evicted events.
 pub const TRACE_TRUNCATED: &str = "trace_truncated";
+/// A shard persisted an epoch-boundary checkpoint of its full state.
+pub const CHECKPOINT: &str = "checkpoint";
+/// A shard lost its in-memory state during an epoch (injected crash).
+pub const SHARD_CRASH: &str = "shard_crash";
+/// A crashed shard finished rebuilding from checkpoint + journal replay.
+pub const RECOVER: &str = "recover";
+/// A shard was slow reaching an epoch barrier (observational fault).
+pub const EPOCH_STALL: &str = "epoch_stall";
+/// A dropped migration transfer was retransmitted from the retained copy.
+pub const TRANSFER_RETRANSMIT: &str = "transfer_retransmit";

@@ -78,7 +78,7 @@
 //!   live streams and migrated streams carry their pending events along.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
 
 use predvfs::{
@@ -491,6 +491,7 @@ struct Admitted {
 }
 
 /// The in-service job and its precomputed accounting.
+#[derive(Debug, Clone)]
 struct InFlight {
     adm: Admitted,
     /// The service attempt this job was dispatched (or escalated) under.
@@ -527,6 +528,7 @@ struct InFlight {
 /// decision costs a ladder scan instead of an RTL simulation. Decisions
 /// are byte-identical to [`PredictiveController`]'s — this is what makes
 /// million-stream scale scenarios tractable.
+#[derive(Clone)]
 struct CachedCtrl<'p> {
     dvfs: &'p DvfsModel,
     f_nominal_hz: f64,
@@ -536,6 +538,7 @@ struct CachedCtrl<'p> {
 /// Per-stream controller dispatch. Boxing a `dyn DvfsController` would
 /// lose access to the adaptive controller's refit counter, so the enum
 /// keeps the concrete types.
+#[derive(Clone)]
 enum Ctrl<'p> {
     Predictive(PredictiveController<'p>),
     Adaptive(Box<AdaptiveController<'p>>),
@@ -602,7 +605,12 @@ impl Ctrl<'_> {
     }
 }
 
-/// Mutable service state of one stream during a run.
+/// Mutable service state of one stream during a run. `Clone` produces a
+/// behaviourally identical copy (the shard tier's checkpoint and journal
+/// payloads rely on this): every field is plain data except the
+/// controller, whose slice runner clones by reconstruction from the
+/// shared immutable predictor.
+#[derive(Clone)]
 struct StreamState<'p> {
     ctrl: Ctrl<'p>,
     queue: VecDeque<Admitted>,
@@ -639,32 +647,37 @@ struct StreamState<'p> {
 impl StreamState<'_> {
     /// Emits edge-triggered controller-transition events (drift fallback
     /// engaged/cleared, refit installed) after a controller interaction.
+    ///
+    /// The `was_degraded` / `seen_refits` edge state advances even when
+    /// the sink is disabled: crash-recovery replay runs against a
+    /// [`NullSink`](predvfs_obs::NullSink) and then swaps the real sink
+    /// back in, and a tracker frozen during replay would re-emit (or
+    /// mistime) transitions the lost engine already reported.
     fn note_ctrl_transitions(&mut self, now: f64, sink: &dyn ObsSink) {
-        if !sink.enabled() {
-            return;
-        }
         let degraded = self.ctrl.is_degraded();
         if degraded != self.was_degraded {
-            sink.emit(
-                TraceEvent::new(now, &self.result.name, kinds::DRIFT_FALLBACK)
-                    .with_bool("engaged", degraded),
-            );
-            if degraded {
-                sink.counter_add("predvfs_serve_drift_fallbacks_total", 1);
-            }
             self.was_degraded = degraded;
+            if sink.enabled() {
+                sink.emit(
+                    TraceEvent::new(now, &self.result.name, kinds::DRIFT_FALLBACK)
+                        .with_bool("engaged", degraded),
+                );
+                if degraded {
+                    sink.counter_add("predvfs_serve_drift_fallbacks_total", 1);
+                }
+            }
         }
         let refits = self.ctrl.refits();
         if refits > self.seen_refits {
-            sink.emit(
-                TraceEvent::new(now, &self.result.name, kinds::REFIT)
-                    .with_u64("refits", refits as u64),
-            );
-            sink.counter_add(
-                "predvfs_serve_refits_total",
-                (refits - self.seen_refits) as u64,
-            );
+            let delta = (refits - self.seen_refits) as u64;
             self.seen_refits = refits;
+            if sink.enabled() {
+                sink.emit(
+                    TraceEvent::new(now, &self.result.name, kinds::REFIT)
+                        .with_u64("refits", refits as u64),
+                );
+                sink.counter_add("predvfs_serve_refits_total", delta);
+            }
         }
     }
 
@@ -767,7 +780,10 @@ pub struct ShardLoad {
 /// A stream extracted from one [`ShardEngine`] for admission into
 /// another: its full service state plus its pending events (in time
 /// order). Produced by [`ShardEngine::extract_stream`], consumed by
-/// [`ShardEngine::admit_stream`].
+/// [`ShardEngine::admit_stream`]. `Clone` copies the full service state,
+/// which is what lets the shard tier checkpoint engines and journal
+/// in-flight transfers.
+#[derive(Clone)]
 pub struct MigratedStream<'rt> {
     gid: usize,
     state: StreamState<'rt>,
@@ -785,12 +801,152 @@ impl MigratedStream<'_> {
     pub fn pending_events(&self) -> usize {
         self.events.len()
     }
+
+    /// The quarantine probe countdown travelling with the stream:
+    /// `Some(clean)` when quarantined with `clean` consecutive clean
+    /// completions so far, `None` when healthy. Conservation tests use
+    /// this to pin that probe-recovery state survives migration and
+    /// checkpoint round-trips.
+    pub fn quarantine_probe(&self) -> Option<usize> {
+        self.state.quarantine
+    }
+
+    /// The stream's accumulated result counters (read-only view).
+    pub fn result(&self) -> &StreamResult {
+        &self.state.result
+    }
+
+    /// Appends a canonical, byte-deterministic rendering of the full
+    /// service state to `out` — every scalar exactly (floats as bit
+    /// patterns), the admission queue, the in-flight job, and the
+    /// pending events in time order. Two engines in the same logical
+    /// state render identically, so checkpoint digests and the
+    /// snapshot-stability regression test compare these bytes directly.
+    pub fn write_summary(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let st = &self.state;
+        let r = &st.result;
+        let _ = write!(
+            out,
+            "gid={} started={} epoch={} prev_key={} misses={} degraded={} quar={:?} \
+             was_deg={} refits={} alert={}",
+            self.gid,
+            st.started,
+            st.epoch,
+            st.prev_key,
+            st.consec_misses,
+            st.consec_degraded,
+            st.quarantine,
+            st.was_degraded,
+            st.seen_refits,
+            st.calib_alert,
+        );
+        let _ = write!(
+            out,
+            " r=({},{},{},{},{},{},{},{},{:016x})",
+            r.done,
+            r.missed,
+            r.shed,
+            r.relaxed,
+            r.faults,
+            r.escalations,
+            r.quarantines,
+            r.internal_errors,
+            r.energy_pj.to_bits(),
+        );
+        for adm in &st.queue {
+            let _ = write!(
+                out,
+                " q=({},{:016x},{:016x},{})",
+                adm.job,
+                adm.arrival_s.to_bits(),
+                adm.deadline_abs_s.to_bits(),
+                adm.relaxed,
+            );
+        }
+        if let Some(fly) = &st.in_flight {
+            let _ = write!(
+                out,
+                " fly=({},{},{},{:016x},{:016x},{:016x},{},{},{},{},{:016x},{:016x},{:016x},{})",
+                fly.adm.job,
+                fly.epoch,
+                fly.key,
+                fly.done_s.to_bits(),
+                fly.exec_start_s.to_bits(),
+                fly.f_eff_hz.to_bits(),
+                fly.degraded,
+                fly.safe_mode,
+                fly.escalated,
+                fly.boost_requested,
+                fly.job_pj.to_bits(),
+                fly.slice_pj.to_bits(),
+                fly.transition_pj.to_bits(),
+                fly.actual_cycles,
+            );
+        }
+        for (t, e) in &self.events {
+            let _ = write!(out, " ev=({:016x},{:?})", t.to_bits(), e);
+        }
+        out.push('\n');
+    }
 }
 
 /// One occupied stream slot of a [`ShardEngine`].
 struct Slot<'rt> {
     gid: usize,
     state: StreamState<'rt>,
+}
+
+/// A complete logical snapshot of a [`ShardEngine`], produced by
+/// [`ShardEngine::checkpoint`]: the run counters plus every owned
+/// stream's [`MigratedStream`] (gid-ascending). Restore by admitting
+/// each stream into a freshly built empty engine and then calling
+/// [`ShardEngine::restore_counters`]; the shard tier does exactly this
+/// when rebuilding a crashed shard.
+#[derive(Clone)]
+pub struct EngineCheckpoint<'rt> {
+    /// Virtual time of the latest event processed at capture.
+    pub horizon_s: f64,
+    /// Events processed at capture.
+    pub events: usize,
+    /// Jobs completed at capture.
+    pub jobs_done: u64,
+    /// Every owned stream's state + pending events, gid-ascending.
+    pub streams: Vec<MigratedStream<'rt>>,
+}
+
+impl EngineCheckpoint<'_> {
+    /// Canonical byte rendering of the whole checkpoint: the counters
+    /// line followed by one [`MigratedStream::write_summary`] line per
+    /// stream. Byte-identical across runs of the same scenario — the
+    /// snapshot-stability regression test pins this.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "horizon={:016x} events={} jobs_done={} streams={}",
+            self.horizon_s.to_bits(),
+            self.events,
+            self.jobs_done,
+            self.streams.len(),
+        );
+        for s in &self.streams {
+            s.write_summary(&mut out);
+        }
+        out
+    }
+
+    /// A stable 64-bit FNV-1a digest of [`EngineCheckpoint::render`],
+    /// cheap enough to stamp into every checkpoint trace event.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.render().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
 }
 
 impl ServeRuntime {
@@ -1100,7 +1256,7 @@ impl ServeRuntime {
             defer: config.defer_escalations,
             one_ahead: config.one_ahead_arrivals,
             slots: Vec::with_capacity(members.len()),
-            by_gid: HashMap::with_capacity(members.len()),
+            by_gid: BTreeMap::new(),
             heap: BinaryHeap::new(),
             seq: 0,
             horizon_s: 0.0,
@@ -1252,7 +1408,10 @@ pub struct ShardEngine<'rt> {
     /// Slot-indexed stream states; a migrated-away stream leaves `None`
     /// (slot indices are never reused, admissions append).
     slots: Vec<Option<Slot<'rt>>>,
-    by_gid: HashMap<usize, usize>,
+    /// Ordered so every iteration that reaches snapshots, checkpoints,
+    /// or traces walks streams gid-ascending (a `HashMap` here would
+    /// make checkpoint bytes depend on hasher seeding).
+    by_gid: BTreeMap<usize, usize>,
     heap: BinaryHeap<Scheduled>,
     seq: u64,
     horizon_s: f64,
@@ -1307,6 +1466,56 @@ impl<'rt> ShardEngine<'rt> {
     /// Takes the boost requests accumulated since the last drain.
     pub fn drain_boost_requests(&mut self) -> Vec<BoostRequest> {
         std::mem::take(&mut self.boost_requests)
+    }
+
+    /// Redirects subsequent trace/metric emission to `sink`. The shard
+    /// tier's crash recovery replays a rebuilt engine against a
+    /// [`NullSink`] (the lost engine already emitted those events before
+    /// the crash) and then swaps the real sink back in here.
+    pub fn set_sink(&mut self, sink: &'rt dyn ObsSink) {
+        self.sink = sink;
+    }
+
+    /// Captures the engine's complete logical state as of now: every
+    /// owned stream's service state and pending events (gid-ascending,
+    /// events time-ordered) plus the run counters. Restoring the
+    /// checkpoint into a fresh engine (admit each stream, then
+    /// [`ShardEngine::restore_counters`]) yields an engine that evolves
+    /// identically — pending-event relative order is preserved per
+    /// stream, and streams never interact inside the loop.
+    pub fn checkpoint(&self) -> EngineCheckpoint<'rt> {
+        let mut per_slot: BTreeMap<usize, Vec<(f64, u64, Event)>> = BTreeMap::new();
+        for sch in self.heap.iter() {
+            per_slot
+                .entry(event_slot(&sch.event))
+                .or_default()
+                .push((sch.time, sch.seq, sch.event));
+        }
+        let mut streams = Vec::with_capacity(self.by_gid.len());
+        for (&gid, &slot_idx) in &self.by_gid {
+            let slot = self.slots[slot_idx].as_ref().expect("by_gid maps to slot");
+            let mut evs = per_slot.remove(&slot_idx).unwrap_or_default();
+            evs.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            streams.push(MigratedStream {
+                gid,
+                state: slot.state.clone(),
+                events: evs.into_iter().map(|(t, _, e)| (t, e)).collect(),
+            });
+        }
+        EngineCheckpoint {
+            horizon_s: self.horizon_s,
+            events: self.events,
+            jobs_done: self.jobs_done,
+            streams,
+        }
+    }
+
+    /// Overwrites the run counters with checkpointed values — the last
+    /// step of restoring an [`EngineCheckpoint`] into a fresh engine.
+    pub fn restore_counters(&mut self, horizon_s: f64, events: usize, jobs_done: u64) {
+        self.horizon_s = horizon_s;
+        self.events = events;
+        self.jobs_done = jobs_done;
     }
 
     /// Processes every event strictly before `t_end` (pass

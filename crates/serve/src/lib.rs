@@ -43,8 +43,8 @@ mod scenario;
 mod slo;
 
 pub use engine::{
-    BoostRequest, DegradeConfig, EngineConfig, MigratedStream, ServeRecord, ServeResult,
-    ServeRuntime, ShardEngine, ShardLoad, StreamResult,
+    BoostRequest, DegradeConfig, EngineCheckpoint, EngineConfig, MigratedStream, ServeRecord,
+    ServeResult, ServeRuntime, ShardEngine, ShardLoad, StreamResult,
 };
 pub use scenario::{
     ControllerKind, DriftSpec, FaultsSpec, OverloadPolicy, Scenario, ServeError, StreamSpec,

@@ -25,6 +25,35 @@
 //! merged trace (see [`merged_trace_jsonl`]) is byte-identical across
 //! shard counts — the `shard_determinism` integration suite pins this.
 //!
+//! ## Crash recovery
+//!
+//! The tier survives injected shard crashes
+//! ([`predvfs_faults::FaultInjector::shard_crash`]) with *provably
+//! deterministic* failover. Each worker keeps two recovery artifacts:
+//!
+//! * a [`ShardSnapshot`] — the engine's complete logical state
+//!   (virtual clock, heap, admission queues, SLO/quarantine/controller
+//!   state, one-ahead arrivals), captured at epoch boundaries every
+//!   [`ShardConfig::checkpoint_every`] epochs via the same
+//!   [`MigratedStream`] extraction path migration uses; and
+//! * an **epoch journal** of the externally visible boundary decisions
+//!   it applied — the global boost-grant list, streams moved out, and
+//!   clones of streams admitted in.
+//!
+//! When a crash fires, the worker rebuilds an engine from the last
+//! snapshot (or from scratch when none exists — checkpointing is an
+//! optimization, not a correctness requirement), replays the journal
+//! quietly up to the crash epoch against a [`NullSink`] (the lost
+//! engine already emitted those trace events), swaps the real sink
+//! back, and resumes the barrier protocol — the other shards never see
+//! anything but a slow epoch. Because streams never interact inside
+//! the loop and every boundary decision is re-applied in its original
+//! order, the recovered run's merged trace is **byte-identical** to
+//! the fault-free run's once the shard-scoped checkpoint/crash/recover
+//! meta-events are filtered out (which [`merged_trace`] does by
+//! construction) — the `crash_recovery` suite pins this over
+//! proptest-chosen (crash epoch, shard, shard count) triples.
+//!
 //! ```no_run
 //! use predvfs_serve::ServeRuntime;
 //! use predvfs_shard::{run_sharded, synth_scenario, ShardConfig, SynthSpec};
@@ -49,14 +78,14 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Barrier, Mutex};
 
 use predvfs_faults::FaultInjector;
-use predvfs_obs::{NullSink, ObsSink, TraceEvent};
+use predvfs_obs::{kinds, NullSink, ObsSink, TraceEvent};
 use predvfs_serve::{
-    BoostRequest, ControllerKind, DegradeConfig, EngineConfig, MigratedStream, ServeError,
-    ServeRuntime, ShardEngine, ShardLoad, StreamResult,
+    BoostRequest, ControllerKind, DegradeConfig, EngineCheckpoint, EngineConfig, MigratedStream,
+    ServeError, ServeRuntime, ShardEngine, ShardLoad, StreamResult,
 };
 
 mod synth;
@@ -112,6 +141,11 @@ pub struct ShardConfig {
     /// hold memory flat at millions of streams. Aggregate counters
     /// (done, missed, shed, energy) stay exact.
     pub lean: bool,
+    /// Capture a [`ShardSnapshot`] every this-many epochs (`None`
+    /// disables checkpointing). Crash recovery works either way — with
+    /// no snapshot the worker rebuilds from scratch and replays the
+    /// full journal — so this knob only bounds replay cost.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for ShardConfig {
@@ -124,6 +158,7 @@ impl Default for ShardConfig {
             force: None,
             degrade: DegradeConfig::disabled(),
             lean: false,
+            checkpoint_every: None,
         }
     }
 }
@@ -153,6 +188,20 @@ pub struct ShardedResult {
     /// Granted escalations that still applied at the epoch boundary
     /// (a grant goes stale if its attempt completed within the epoch).
     pub boosts_applied: usize,
+    /// Epoch-boundary snapshots captured across shards.
+    pub checkpoints: usize,
+    /// Injected shard crashes that fired.
+    pub crashes: usize,
+    /// Crashes recovered (always equals `crashes` unless the run
+    /// errored mid-recovery).
+    pub recoveries: usize,
+    /// Epochs re-executed during journal replay, summed over recoveries.
+    pub replayed_epochs: u64,
+    /// Injected barrier stalls observed (no behavioral effect).
+    pub epoch_stalls: usize,
+    /// Migration transfers dropped in flight and retransmitted from the
+    /// retained copy (no behavioral effect).
+    pub transfer_retransmits: usize,
 }
 
 impl ShardedResult {
@@ -204,6 +253,51 @@ impl ShardedResult {
     }
 }
 
+/// A shard's epoch-boundary checkpoint: the engine's complete logical
+/// state — virtual clock, per-stream service state (admission queues,
+/// in-flight jobs, SLO/quarantine/controller state), and pending events
+/// including one-ahead arrivals — captured right after boundary
+/// `epoch`'s decisions were applied, via the same [`MigratedStream`]
+/// extraction path migration uses. [`ShardSnapshot::render`] is the
+/// canonical byte serialization; the `snapshot_stability` regression
+/// test pins that it is run-to-run identical.
+pub struct ShardSnapshot<'rt> {
+    /// The boundary this snapshot was captured at: the state equals the
+    /// start of epoch `epoch + 1`.
+    pub epoch: u64,
+    /// The engine's full logical state.
+    pub checkpoint: EngineCheckpoint<'rt>,
+}
+
+impl ShardSnapshot<'_> {
+    /// Canonical byte rendering: an epoch header plus
+    /// [`EngineCheckpoint::render`].
+    pub fn render(&self) -> String {
+        format!("epoch={}\n{}", self.epoch, self.checkpoint.render())
+    }
+
+    /// Stable digest of [`ShardSnapshot::render`].
+    pub fn digest(&self) -> u64 {
+        self.checkpoint.digest() ^ self.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// One epoch's externally visible boundary decisions, as this shard
+/// applied them — everything replay needs to re-derive the post-boundary
+/// state from the pre-boundary state. Inbound migrations are stored as
+/// clones because the donor shard has advanced past the boundary and
+/// cannot re-extract them.
+struct JournalEntry<'rt> {
+    /// The full global grant list (replay re-filters by ownership, just
+    /// like the live boundary did).
+    grants: Vec<BoostRequest>,
+    /// Streams extracted off this shard at the boundary.
+    moves_out: Vec<usize>,
+    /// Streams admitted into this shard at the boundary, in admission
+    /// order.
+    inbound: Vec<MigratedStream<'rt>>,
+}
+
 /// One shard's end-of-epoch report to the coordinator.
 struct Report {
     idle: bool,
@@ -235,15 +329,24 @@ struct CoordStats {
     boosts_granted: usize,
     boosts_denied: usize,
     boosts_applied: usize,
+    checkpoints: usize,
+    crashes: usize,
+    recoveries: usize,
+    replayed_epochs: u64,
+    epoch_stalls: usize,
+    transfer_retransmits: usize,
 }
 
 /// Coordinator state shared by the shard workers. A single mutex
 /// suffices: each field is only touched in its own barrier-delimited
 /// phase, so contention is bounded by the report/transfer writes.
+/// `transfer` is ordered (gid-ascending) so no iteration over it can
+/// ever depend on hasher seeding — part of the snapshot-determinism
+/// audit alongside `ShardEngine`'s gid map.
 struct Coord<'rt> {
     reports: Vec<Option<Report>>,
     plan: Plan,
-    transfer: HashMap<usize, MigratedStream<'rt>>,
+    transfer: BTreeMap<usize, MigratedStream<'rt>>,
     error: Option<ServeError>,
     streak: usize,
     stats: CoordStats,
@@ -320,7 +423,7 @@ pub fn run_sharded<'rt>(
         coord: Mutex::new(Coord {
             reports: (0..config.shards).map(|_| None).collect(),
             plan: Plan::default(),
-            transfer: HashMap::new(),
+            transfer: BTreeMap::new(),
             error: None,
             streak: 0,
             stats: CoordStats::default(),
@@ -390,6 +493,12 @@ pub fn run_sharded<'rt>(
         boosts_granted: coord.stats.boosts_granted,
         boosts_denied: coord.stats.boosts_denied,
         boosts_applied: coord.stats.boosts_applied,
+        checkpoints: coord.stats.checkpoints,
+        crashes: coord.stats.crashes,
+        recoveries: coord.stats.recoveries,
+        replayed_epochs: coord.stats.replayed_epochs,
+        epoch_stalls: coord.stats.epoch_stalls,
+        transfer_retransmits: coord.stats.transfer_retransmits,
     })
 }
 
@@ -416,8 +525,15 @@ fn run_worker<'rt>(
         defer_escalations: true,
         one_ahead_arrivals: true,
     };
+    let faults_on = injector.enabled();
+    // Meta events (checkpoint/crash/recover/stall/retransmit) are
+    // scoped to the shard, not to a stream, so `merged_trace` filters
+    // them out by construction and merged byte-identity vs the
+    // fault-free run holds.
+    let scope = format!("shard{shard}");
+    let label = [("shard", shard_labels[shard].as_str())];
     let mut engine: Option<ShardEngine<'rt>> =
-        match runtime.engine(members, engine_config, sink, injector) {
+        match runtime.engine(members, engine_config.clone(), sink, injector) {
             Ok(e) => Some(e),
             Err(e) => {
                 let mut c = shared.coord.lock().expect("coordinator lock");
@@ -425,6 +541,13 @@ fn run_worker<'rt>(
                 None
             }
         };
+
+    // Crash-recovery artifacts. The journal is only maintained while
+    // faults can fire (a crash cannot fire otherwise), so fault-free
+    // runs pay nothing; checkpoints are taken whenever configured so
+    // their overhead is measurable in isolation.
+    let mut snapshot: Option<ShardSnapshot<'rt>> = None;
+    let mut journal: BTreeMap<u64, JournalEntry<'rt>> = BTreeMap::new();
 
     let mut epoch: u64 = 0;
     loop {
@@ -436,6 +559,85 @@ fn run_worker<'rt>(
                 let mut c = shared.coord.lock().expect("coordinator lock");
                 c.error.get_or_insert(e);
                 engine = None;
+            }
+        }
+
+        // Coordinator fault sites fire at the boundary, before the
+        // report, so recovery completes entirely inside this worker —
+        // the other shards just see a slow epoch at the barrier.
+        if faults_on && engine.is_some() {
+            if injector.epoch_stall(shard, epoch) {
+                shared
+                    .coord
+                    .lock()
+                    .expect("coordinator lock")
+                    .stats
+                    .epoch_stalls += 1;
+                if coord_sink.enabled() {
+                    coord_sink.counter_add_with("predvfs_shard_epoch_stalls_total", &label, 1);
+                }
+                if sink.enabled() {
+                    sink.emit(
+                        TraceEvent::new(t_end, &scope, kinds::EPOCH_STALL).with_u64("epoch", epoch),
+                    );
+                }
+            }
+            if injector.shard_crash(shard, epoch) {
+                // The shard's in-memory state is gone: drop the engine
+                // and rebuild it from the last snapshot plus a quiet
+                // journal replay up to (and including) this epoch.
+                drop(engine.take());
+                match recover_engine(
+                    runtime,
+                    members,
+                    &engine_config,
+                    sink,
+                    injector,
+                    &snapshot,
+                    &journal,
+                    epoch,
+                    config.epoch_s,
+                ) {
+                    Ok((eng, from_epoch, replayed)) => {
+                        {
+                            let mut c = shared.coord.lock().expect("coordinator lock");
+                            c.stats.crashes += 1;
+                            c.stats.recoveries += 1;
+                            c.stats.replayed_epochs += replayed;
+                        }
+                        if coord_sink.enabled() {
+                            coord_sink.counter_add_with("predvfs_shard_crashes_total", &label, 1);
+                            coord_sink.counter_add_with(
+                                "predvfs_shard_recoveries_total",
+                                &label,
+                                1,
+                            );
+                            coord_sink.counter_add_with(
+                                "predvfs_shard_replayed_epochs_total",
+                                &label,
+                                replayed,
+                            );
+                        }
+                        if sink.enabled() {
+                            sink.emit(
+                                TraceEvent::new(t_end, &scope, kinds::SHARD_CRASH)
+                                    .with_u64("epoch", epoch),
+                            );
+                            sink.emit(
+                                TraceEvent::new(t_end, &scope, kinds::RECOVER)
+                                    .with_u64("epoch", epoch)
+                                    .with_u64("from_epoch", from_epoch)
+                                    .with_u64("replayed_epochs", replayed),
+                            );
+                        }
+                        engine = Some(eng);
+                    }
+                    Err(e) => {
+                        let mut c = shared.coord.lock().expect("coordinator lock");
+                        c.stats.crashes += 1;
+                        c.error.get_or_insert(e);
+                    }
+                }
             }
         }
         {
@@ -478,9 +680,11 @@ fn run_worker<'rt>(
         }
 
         // Phase 3: extract outbound streams into the transfer map.
+        let mut moves_out: Vec<usize> = Vec::new();
         if let Some(eng) = engine.as_mut() {
             for mv in moves.iter().filter(|mv| mv.from == shard) {
                 if let Some(migrated) = eng.extract_stream(mv.gid) {
+                    moves_out.push(mv.gid);
                     let mut c = shared.coord.lock().expect("coordinator lock");
                     c.transfer.insert(mv.gid, migrated);
                 }
@@ -492,6 +696,7 @@ fn run_worker<'rt>(
         // the streams this shard now owns — admission first, so every
         // grant lands on its post-migration owner and each stream's
         // boundary events come from exactly one shard.
+        let mut inbound: Vec<MigratedStream<'rt>> = Vec::new();
         if let Some(eng) = engine.as_mut() {
             for mv in moves.iter().filter(|mv| mv.to == shard) {
                 let migrated = {
@@ -499,6 +704,38 @@ fn run_worker<'rt>(
                     c.transfer.remove(&mv.gid)
                 };
                 if let Some(migrated) = migrated {
+                    if faults_on && injector.transfer_drop(mv.gid, epoch) {
+                        // The in-flight transfer was dropped; the
+                        // coordinator retransmits from the retained
+                        // copy, so the admission happens regardless —
+                        // the fault is counted and traced, never
+                        // behavioral.
+                        shared
+                            .coord
+                            .lock()
+                            .expect("coordinator lock")
+                            .stats
+                            .transfer_retransmits += 1;
+                        if coord_sink.enabled() {
+                            coord_sink.counter_add_with(
+                                "predvfs_shard_transfer_retransmits_total",
+                                &label,
+                                1,
+                            );
+                        }
+                        if sink.enabled() {
+                            sink.emit(
+                                TraceEvent::new(t_end, &scope, kinds::TRANSFER_RETRANSMIT)
+                                    .with_u64("epoch", epoch)
+                                    .with_u64("gid", mv.gid as u64),
+                            );
+                        }
+                    }
+                    if faults_on {
+                        // Journal a clone: if this shard crashes later,
+                        // the donor has moved on and cannot re-extract.
+                        inbound.push(migrated.clone());
+                    }
                     eng.admit_stream(migrated);
                 }
             }
@@ -511,6 +748,49 @@ fn run_worker<'rt>(
             if applied > 0 {
                 let mut c = shared.coord.lock().expect("coordinator lock");
                 c.stats.boosts_applied += applied;
+            }
+        }
+
+        // Journal this boundary's decisions, then checkpoint on the
+        // configured cadence (pruning journal entries the new snapshot
+        // subsumes, which is what bounds replay cost and memory).
+        if faults_on {
+            journal.insert(
+                epoch,
+                JournalEntry {
+                    grants,
+                    moves_out,
+                    inbound,
+                },
+            );
+        }
+        if let Some(every) = config.checkpoint_every {
+            if every > 0 && (epoch + 1).is_multiple_of(every) {
+                if let Some(eng) = engine.as_ref() {
+                    let snap = ShardSnapshot {
+                        epoch,
+                        checkpoint: eng.checkpoint(),
+                    };
+                    shared
+                        .coord
+                        .lock()
+                        .expect("coordinator lock")
+                        .stats
+                        .checkpoints += 1;
+                    if coord_sink.enabled() {
+                        coord_sink.counter_add_with("predvfs_shard_checkpoints_total", &label, 1);
+                    }
+                    if sink.enabled() {
+                        sink.emit(
+                            TraceEvent::new(t_end, &scope, kinds::CHECKPOINT)
+                                .with_u64("epoch", epoch)
+                                .with_u64("streams", snap.checkpoint.streams.len() as u64)
+                                .with_u64("jobs_done", snap.checkpoint.jobs_done),
+                        );
+                    }
+                    journal = journal.split_off(&(epoch + 1));
+                    snapshot = Some(snap);
+                }
             }
         }
 
@@ -536,6 +816,83 @@ fn run_worker<'rt>(
             jobs_done: 0,
         },
     }
+}
+
+/// Rebuild a crashed shard's engine deterministically: restore the last
+/// [`ShardSnapshot`] (or re-prepare the shard's initial engine when none
+/// was taken yet — checkpointing is purely an optimization that bounds
+/// replay depth), then quietly replay the journal through the crash
+/// epoch. Replay runs against a [`NullSink`] because the lost engine
+/// already emitted every pre-crash trace event and metric; re-emitting
+/// them would break merged-trace byte-identity with the fault-free run.
+///
+/// Each replayed boundary `b < crash_epoch` re-derives exactly what the
+/// live loop did: run to the boundary, drain (and discard) boost
+/// requests, extract the journaled outbound streams, admit the journaled
+/// inbound clones, and apply the journaled global grant list filtered by
+/// ownership. The crash epoch itself only replays the `run_until` — its
+/// boundary processing happens live, right after recovery returns.
+///
+/// Returns `(engine, from_epoch, replayed_epochs)`.
+#[allow(clippy::too_many_arguments)]
+fn recover_engine<'rt>(
+    runtime: &'rt ServeRuntime,
+    members: &[usize],
+    engine_config: &EngineConfig,
+    sink: &'rt dyn ObsSink,
+    injector: &'rt dyn FaultInjector,
+    snapshot: &Option<ShardSnapshot<'rt>>,
+    journal: &BTreeMap<u64, JournalEntry<'rt>>,
+    crash_epoch: u64,
+    epoch_s: f64,
+) -> Result<(ShardEngine<'rt>, u64, u64), ServeError> {
+    let (mut eng, from_epoch) = match snapshot {
+        Some(snap) => {
+            // Empty shell, then re-admit every checkpointed stream
+            // through the same path migration uses; the snapshot is the
+            // state at the start of epoch `snap.epoch + 1`.
+            let mut eng = runtime.engine(&[], engine_config.clone(), &NullSink, injector)?;
+            for stream in &snap.checkpoint.streams {
+                eng.admit_stream(stream.clone());
+            }
+            eng.restore_counters(
+                snap.checkpoint.horizon_s,
+                snap.checkpoint.events,
+                snap.checkpoint.jobs_done,
+            );
+            (eng, snap.epoch + 1)
+        }
+        None => (
+            runtime.engine(members, engine_config.clone(), &NullSink, injector)?,
+            0,
+        ),
+    };
+    for b in from_epoch..=crash_epoch {
+        let t_b = (b + 1) as f64 * epoch_s;
+        eng.run_until(t_b)?;
+        if b == crash_epoch {
+            // The live loop reports (and drains requests) next.
+            break;
+        }
+        // Requests were consumed by the lost engine's epoch-b report;
+        // the grant decisions they produced are in the journal.
+        drop(eng.drain_boost_requests());
+        if let Some(entry) = journal.get(&b) {
+            for &gid in &entry.moves_out {
+                drop(eng.extract_stream(gid));
+            }
+            for stream in &entry.inbound {
+                eng.admit_stream(stream.clone());
+            }
+            for grant in &entry.grants {
+                if eng.owns(grant.gid) {
+                    eng.apply_boost(*grant, t_b);
+                }
+            }
+        }
+    }
+    eng.set_sink(sink);
+    Ok((eng, from_epoch, crash_epoch + 1 - from_epoch))
 }
 
 /// The per-epoch coordination step, run by shard 0 between barriers:

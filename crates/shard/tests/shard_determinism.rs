@@ -14,7 +14,9 @@ use std::collections::HashMap;
 use predvfs_accel::{by_name, WorkloadSize};
 use predvfs_faults::{FaultConfig, FaultInjector, FaultPlan, NullInjector};
 use predvfs_obs::{kinds, FieldValue, NullSink, ObsSink, Recorder};
-use predvfs_serve::{DegradeConfig, Scenario, ServeRuntime, StreamResult, StreamSpec};
+use predvfs_serve::{
+    DegradeConfig, EngineConfig, Scenario, ServeRuntime, StreamResult, StreamSpec,
+};
 use predvfs_shard::{
     merged_trace, merged_trace_jsonl, run_sharded, synth_scenario, MigrationConfig, ShardConfig,
     ShardedResult, SynthSpec,
@@ -52,6 +54,19 @@ fn assert_same_streams(a: &[StreamResult], b: &[StreamResult]) {
         assert_eq!(x.completed(), y.completed(), "{}", x.name);
         assert_eq!(x.misses(), y.misses(), "{}", x.name);
         assert_eq!(x.shed, y.shed, "{}", x.name);
+        // The degradation-machinery counters travel with the stream, so
+        // migration (and crash recovery) must conserve every one of
+        // them, not just the job accounting.
+        assert_eq!(x.relaxed, y.relaxed, "{}: relaxed", x.name);
+        assert_eq!(x.refits, y.refits, "{}: refits", x.name);
+        assert_eq!(x.faults, y.faults, "{}: faults", x.name);
+        assert_eq!(x.escalations, y.escalations, "{}: escalations", x.name);
+        assert_eq!(x.quarantines, y.quarantines, "{}: quarantines", x.name);
+        assert_eq!(
+            x.internal_errors, y.internal_errors,
+            "{}: internal_errors",
+            x.name
+        );
         assert_eq!(
             x.total_energy_pj().to_bits(),
             y.total_energy_pj().to_bits(),
@@ -285,6 +300,120 @@ fn boost_budget_is_shard_count_invariant() {
     assert_eq!(r1.boosts_applied, r4.boosts_applied);
     assert_eq!(m1, m4, "budgeted merged trace differs across shard counts");
     assert_same_streams(&r1.streams, &r4.streams);
+}
+
+/// Streams with deadlines barely above their benchmark's nominal
+/// worst-case job, plus trace spikes the controller cannot absorb:
+/// quarantine trips on consecutive misses, and quarantine's pinned
+/// nominal level serves un-spiked jobs cleanly — so streams spend real
+/// time *mid-probe*, with a partial clean-completion countdown.
+fn quarantine_runtime() -> ServeRuntime {
+    let cache = TraceCache::new();
+    let mut streams = Vec::new();
+    for (i, bench_name) in ["sha", "md", "sha", "md", "sha", "md"].iter().enumerate() {
+        let bench = by_name(bench_name).expect("benchmark registered");
+        let mut probe_cfg = ExperimentConfig::paper_default(Platform::Asic);
+        probe_cfg.size = WorkloadSize::Quick;
+        let probe = Experiment::prepare_cached(bench, probe_cfg, &cache).expect("probe prepares");
+        let (max_ms, _, _) = probe.exec_time_stats_ms();
+        let mut spec = StreamSpec::new(bench);
+        spec.name = format!("q{i}_{bench_name}");
+        spec.deadline_s = 1.05 * max_ms * 1e-3;
+        spec.period_s = 2.0 * spec.deadline_s;
+        spec.jobs = 40;
+        streams.push(spec);
+    }
+    let scenario = Scenario {
+        platform: Platform::Asic,
+        size: WorkloadSize::Quick,
+        streams,
+        faults: None,
+    };
+    ServeRuntime::prepare(&scenario, &cache).expect("prepare")
+}
+
+/// The quarantine probe countdown is the one piece of degradation state
+/// that earlier conservation tests never pinned across migration. Here
+/// every live stream is forcibly extracted and re-admitted into a fresh
+/// engine at *every* epoch boundary — the worst-case migration schedule
+/// — and the run must still reproduce the unmigrated reference exactly,
+/// including each stream's quarantine count. The test also requires
+/// that at least one extraction caught a stream mid-probe, so the
+/// countdown demonstrably round-tripped through [`MigratedStream`].
+#[test]
+fn quarantine_probe_state_survives_forced_migration() {
+    let rt = quarantine_runtime();
+    let mut chaos = FaultConfig::none();
+    chaos.set("trace_spike", "0.4:1.6").unwrap();
+    let plan = FaultPlan::new(11, chaos);
+    let cfg = EngineConfig {
+        force: None,
+        degrade: DegradeConfig::enabled(),
+        lean: false,
+        defer_escalations: true,
+        one_ahead_arrivals: true,
+    };
+    let gids: Vec<usize> = (0..6).collect();
+
+    // Reference: one engine, never migrated.
+    let mut reference = rt
+        .engine(&gids, cfg.clone(), &NullSink, &plan)
+        .expect("reference engine");
+    let epoch_s = 2e-3;
+    let mut t = 0.0;
+    while !reference.is_idle() {
+        t += epoch_s;
+        reference.run_until(t).expect("reference epoch");
+        assert!(t < 10.0, "reference run did not converge");
+    }
+    let mut expected: Vec<(usize, StreamResult)> = reference.finish();
+    expected.sort_by_key(|(gid, _)| *gid);
+    assert!(
+        expected.iter().any(|(_, s)| s.quarantines > 0),
+        "scenario must actually quarantine streams"
+    );
+
+    // Ping-pong: extract every live stream at every boundary, admit it
+    // into a brand-new engine, and continue there.
+    let mut eng = rt
+        .engine(&gids, cfg.clone(), &NullSink, &plan)
+        .expect("engine");
+    let mut finished: Vec<(usize, StreamResult)> = Vec::new();
+    let mut observed_mid_probe = false;
+    let mut t = 0.0;
+    while !eng.is_idle() {
+        t += epoch_s;
+        eng.run_until(t).expect("epoch");
+        let mut next = rt
+            .engine(&[], cfg.clone(), &NullSink, &plan)
+            .expect("successor engine");
+        for &gid in &gids {
+            if let Some(migrated) = eng.extract_stream(gid) {
+                if migrated.quarantine_probe().is_some() {
+                    observed_mid_probe = true;
+                }
+                next.admit_stream(migrated);
+            }
+        }
+        // Streams that already finished stay behind; collect them once.
+        for (gid, s) in eng.finish() {
+            if finished.iter().all(|(g, _)| *g != gid) {
+                finished.push((gid, s));
+            }
+        }
+        eng = next;
+        assert!(t < 10.0, "migrated run did not converge");
+    }
+    finished.extend(eng.finish());
+    finished.sort_by_key(|(gid, _)| *gid);
+
+    assert!(
+        observed_mid_probe,
+        "no extraction caught a stream mid-probe; the round-trip was never exercised"
+    );
+    let expected_streams: Vec<StreamResult> = expected.into_iter().map(|(_, s)| s).collect();
+    let finished_streams: Vec<StreamResult> = finished.into_iter().map(|(_, s)| s).collect();
+    assert_same_streams(&expected_streams, &finished_streams);
 }
 
 #[test]
