@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the trace analyzer's streaming path and
+//! the span-guard fast paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use predvfs_faults::NullInjector;
+use predvfs_obs::{NullSink, ObsSink, Recorder, TraceAnalysis};
+use predvfs_serve::{ControllerKind, ServeRuntime};
+use predvfs_shard::{merged_trace_jsonl, run_sharded, synth_scenario, ShardConfig, SynthSpec};
+use predvfs_sim::TraceCache;
+
+/// A real merged trace from a small traced serve run (one-time setup).
+fn trace_fixture() -> String {
+    let spec = SynthSpec {
+        streams: 512,
+        jobs_per_stream: 4,
+        ..SynthSpec::new(512)
+    };
+    let runtime =
+        ServeRuntime::prepare(&synth_scenario(&spec), &TraceCache::new()).expect("prepare");
+    let recorders: Vec<Recorder> = (0..2).map(|_| Recorder::new(1 << 22)).collect();
+    let sinks: Vec<&dyn ObsSink> = recorders.iter().map(|r| r as &dyn ObsSink).collect();
+    let config = ShardConfig {
+        shards: 2,
+        force: Some(ControllerKind::Cached),
+        lean: false,
+        ..ShardConfig::default()
+    };
+    run_sharded(&runtime, &config, &sinks, &NullSink, &NullInjector).expect("run");
+    merged_trace_jsonl(
+        &runtime,
+        recorders.iter().map(|r| r.ring().snapshot()).collect(),
+    )
+}
+
+fn analyze_stream(c: &mut Criterion) {
+    let jsonl = trace_fixture();
+    let mut group = c.benchmark_group("analyzer");
+    group.throughput(Throughput::Bytes(jsonl.len() as u64));
+    group.bench_function("from_reader", |b| {
+        b.iter(|| TraceAnalysis::from_reader(jsonl.as_bytes()).expect("analyze"));
+    });
+    group.finish();
+}
+
+fn span_guards(c: &mut Criterion) {
+    // Disabled: the hot-path cost every callsite pays unconditionally.
+    predvfs_obs::set_profiling(false);
+    c.bench_function("span/enter_disabled", |b| {
+        b.iter(|| predvfs_obs::span("bench.criterion.noop"));
+    });
+    // Enabled: thread-local tree walk + one clock read per enter/drop.
+    predvfs_obs::set_profiling(true);
+    c.bench_function("span/enter_enabled", |b| {
+        b.iter(|| predvfs_obs::span("bench.criterion.noop"));
+    });
+    predvfs_obs::set_profiling(false);
+    predvfs_obs::self_profile().reset();
+}
+
+criterion_group!(benches, analyze_stream, span_guards);
+criterion_main!(benches);

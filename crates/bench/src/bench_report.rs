@@ -1,0 +1,577 @@
+//! The versioned BENCH schema (v1) every bench binary emits.
+//!
+//! One-off emitters with incompatible layouts made `BENCH_*.json`
+//! unrelatable: nothing recorded *where* a number was measured, so a
+//! 23.74% checkpoint overhead measured on 1 core could be misread as a
+//! gated result. Schema v1 fixes both problems:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "area": "rtl",
+//!   "env": { "cores": 4, "quick": true, "git_rev": "09ccb73" },
+//!   "metrics": { "geomean_speedup_step": 227.39 },
+//!   "notes": "free-form context",
+//!   "unasserted": ["speedup assert skipped: ran on 1 cores (needs >= 4)"]
+//! }
+//! ```
+//!
+//! * `area` names the subsystem (`rtl`, `serve`, `obs`, …); the file is
+//!   `BENCH_<area>.json` at the repo root, with committed baselines under
+//!   `results/bench_baselines/`.
+//! * `env` records cores, quick mode, and the git revision, so every
+//!   number carries its measurement conditions.
+//! * `metrics` is a flat `name → f64` map. Direction (higher/lower is
+//!   better) is inferred from naming conventions by the gate (see
+//!   [`crate::gate`]); names with no recognized convention are recorded
+//!   but never gated.
+//! * `unasserted` lists asserts that were *skipped* in this environment;
+//!   [`BenchReport::unassert`] also prints them as loud warnings.
+//!
+//! Serialization is hand-rolled (no serde in the tree); parsing uses the
+//! minimal JSON reader in this module, which accepts any valid JSON and
+//! extracts the schema fields.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::Command;
+
+/// Current schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Measurement environment, recorded in every report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEnv {
+    /// Logical CPU cores available to the process.
+    pub cores: usize,
+    /// Whether the run used the reduced quick/smoke workload.
+    pub quick: bool,
+    /// Short git revision of the working tree (`"unknown"` when git is
+    /// unavailable).
+    pub git_rev: String,
+}
+
+impl BenchEnv {
+    /// Captures the current environment.
+    pub fn capture(quick: bool) -> BenchEnv {
+        BenchEnv {
+            cores: std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            quick,
+            git_rev: git_short_rev(),
+        }
+    }
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"`.
+fn git_short_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// One bench area's results in schema v1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Subsystem name (`rtl`, `serve`, `obs`, `opt`, `analyze`, …).
+    pub area: String,
+    /// Where the numbers were measured.
+    pub env: BenchEnv,
+    /// Flat metric map; the gate infers comparison direction from names.
+    pub metrics: BTreeMap<String, f64>,
+    /// Free-form context for readers of the raw file.
+    pub notes: String,
+    /// Asserts that were skipped in this environment, with the reason.
+    pub unasserted: Vec<String>,
+}
+
+impl BenchReport {
+    /// A new report for `area`, capturing the environment.
+    pub fn new(area: &str, quick: bool) -> BenchReport {
+        BenchReport {
+            area: area.to_owned(),
+            env: BenchEnv::capture(quick),
+            metrics: BTreeMap::new(),
+            notes: String::new(),
+            unasserted: Vec::new(),
+        }
+    }
+
+    /// Records one metric (non-finite values are recorded as 0 so the
+    /// file stays valid JSON).
+    pub fn metric(&mut self, name: &str, value: f64) -> &mut Self {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.metrics.insert(name.to_owned(), v);
+        self
+    }
+
+    /// Sets the free-form notes.
+    pub fn notes(&mut self, notes: &str) -> &mut Self {
+        self.notes = notes.to_owned();
+        self
+    }
+
+    /// Records a skipped assert and prints the mandatory loud warning, so
+    /// a number measured outside its gating environment can't be misread
+    /// as a gated result.
+    pub fn unassert(&mut self, reason: &str) -> &mut Self {
+        eprintln!("unasserted: {reason}");
+        self.unasserted.push(reason.to_owned());
+        self
+    }
+
+    /// Convenience for the common skip: an assert gated on a minimum core
+    /// count, on a machine below it. Returns whether the assert should
+    /// run (true = enough cores; caller asserts).
+    pub fn gate_on_cores(&mut self, what: &str, min_cores: usize) -> bool {
+        if self.env.cores >= min_cores {
+            true
+        } else {
+            self.unassert(&format!(
+                "{what} skipped: ran on {} cores (needs >= {min_cores})",
+                self.env.cores
+            ));
+            false
+        }
+    }
+
+    /// Renders the report as schema-v1 JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"area\": {},", json_string(&self.area));
+        let _ = writeln!(
+            out,
+            "  \"env\": {{ \"cores\": {}, \"quick\": {}, \"git_rev\": {} }},",
+            self.env.cores,
+            self.env.quick,
+            json_string(&self.env.git_rev)
+        );
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {}: {}{}",
+                json_string(name),
+                json_number(*value),
+                if i + 1 == self.metrics.len() { "" } else { "," }
+            );
+        }
+        out.push_str("  },\n");
+        let _ = writeln!(out, "  \"notes\": {},", json_string(&self.notes));
+        out.push_str("  \"unasserted\": [");
+        for (i, u) in self.unasserted.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(u));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<area>.json` into `dir` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem write.
+    pub fn write_into(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.area));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Parses a schema-v1 report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, a missing/mismatched schema
+    /// version, or missing required fields.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let schema = get(obj, "schema")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema version")?;
+        if schema != SCHEMA_VERSION as f64 {
+            return Err(format!("unsupported schema version {schema}"));
+        }
+        let area = get(obj, "area")
+            .and_then(Json::as_str)
+            .ok_or("missing area")?
+            .to_owned();
+        let env_obj = get(obj, "env")
+            .and_then(Json::as_object)
+            .ok_or("missing env object")?;
+        let env = BenchEnv {
+            cores: get(env_obj, "cores").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+            quick: get(env_obj, "quick")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            git_rev: get(env_obj, "git_rev")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_owned(),
+        };
+        let metrics_obj = get(obj, "metrics")
+            .and_then(Json::as_object)
+            .ok_or("missing metrics object")?;
+        let mut metrics = BTreeMap::new();
+        for (k, v) in metrics_obj {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("metric `{k}` is not a number"))?;
+            metrics.insert(k.clone(), v);
+        }
+        let notes = get(obj, "notes")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned();
+        let unasserted = match get(obj, "unasserted") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(BenchReport {
+            area,
+            env,
+            metrics,
+            notes,
+            unasserted,
+        })
+    }
+
+    /// Reads and parses `path`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BenchReport::parse`], plus the filesystem read.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchReport::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A minimal JSON value (objects keep insertion order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, nothing
+    /// else after the value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message pointing at the first malformed byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from &str, so
+                // boundaries are valid).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8".to_owned())?;
+                let ch = rest.chars().next().expect("non-empty checked above");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = BenchReport::new("rtl", true);
+        report
+            .metric("geomean_speedup_step", 227.39)
+            .metric("vm_cps", 1.25e8)
+            .notes("line one\nline \"two\"")
+            .unassert("speedup assert skipped: ran on 1 cores (needs >= 4)");
+        let json = report.to_json();
+        let back = BenchReport::parse(&json).expect("parses");
+        assert_eq!(back.area, "rtl");
+        assert_eq!(back.env, report.env);
+        assert_eq!(back.metrics, report.metrics);
+        assert_eq!(back.notes, report.notes);
+        assert_eq!(back.unasserted, report.unasserted);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        assert!(BenchReport::parse("{\"schema\": 2, \"area\": \"x\"}").is_err());
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{\"area\": \"x\"}").is_err());
+        // Trailing garbage after a valid document is an error, not a skip.
+        assert!(Json::parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn env_capture_records_at_least_one_core() {
+        let env = BenchEnv::capture(false);
+        assert!(env.cores >= 1);
+        assert!(!env.quick);
+        assert!(!env.git_rev.is_empty());
+    }
+
+    #[test]
+    fn gate_on_cores_records_the_skip() {
+        let mut report = BenchReport::new("serve", true);
+        report.env.cores = 1;
+        assert!(!report.gate_on_cores("checkpoint overhead", 4));
+        assert_eq!(report.unasserted.len(), 1);
+        assert!(report.unasserted[0].contains("ran on 1 cores"));
+        report.env.cores = 8;
+        assert!(report.gate_on_cores("checkpoint overhead", 4));
+        assert_eq!(report.unasserted.len(), 1);
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v = Json::parse(r#"{"a": [1, 2.5, {"b": "x\ny"}], "c": null}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 2);
+        let Json::Array(items) = &obj[0].1 else {
+            panic!("expected array");
+        };
+        assert_eq!(items[0].as_f64(), Some(1.0));
+        assert_eq!(items[2].as_object().unwrap()[0].1.as_str(), Some("x\ny"));
+        assert_eq!(obj[1].1, Json::Null);
+    }
+}

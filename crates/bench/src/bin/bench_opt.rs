@@ -1,0 +1,96 @@
+//! FISTA solver benchmark: wall time of one asymmetric-Lasso fit on the
+//! standard synthetic problem (the same 600×86 design the criterion
+//! solver bench uses — sparse true support, unpenalized bias, mild
+//! noise).
+//!
+//! Results land in `BENCH_opt.json` (schema v1); `fista_fit_ms` is the
+//! gated metric. Iteration count is recorded informationally — the solver
+//! is deterministic, so a *change* in iterations flags an algorithmic
+//! drift even when wall time stays inside tolerance.
+
+use std::time::Instant;
+
+use predvfs_bench::bench_report::BenchReport;
+use predvfs_opt::{AsymLasso, FitOptions, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The criterion solver bench's synthetic problem: sparse support (every
+/// 7th column), bias in column 0, noise ±0.05.
+fn synthetic_problem(rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
+    let mut r = StdRng::seed_from_u64(17);
+    let mut x = Matrix::zeros(rows, cols);
+    let beta: Vec<f64> = (0..cols)
+        .map(|j| {
+            if j % 7 == 0 {
+                r.gen_range(0.5..2.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut y = vec![0.0; rows];
+    for (i, yi) in y.iter_mut().enumerate() {
+        *x.get_mut(i, 0) = 1.0;
+        for j in 1..cols {
+            *x.get_mut(i, j) = r.gen_range(-1.0..1.0);
+        }
+        *yi = (0..cols).map(|j| x.get(i, j) * beta[j]).sum::<f64>() + r.gen_range(-0.05..0.05);
+    }
+    (x, y)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("PREDVFS_QUICK").as_deref() == Ok("1")
+        || std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 10 };
+
+    let (x, y) = synthetic_problem(600, 86);
+    let problem = AsymLasso {
+        x: &x,
+        y: &y,
+        alpha: 8.0,
+        gamma: 0.1,
+        unpenalized: {
+            let mut u = vec![false; x.cols()];
+            u[0] = true;
+            u
+        },
+    };
+    let options = FitOptions {
+        max_iter: 500,
+        tol: 1e-7,
+    };
+
+    let mut best = f64::INFINITY;
+    let mut fit = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let f = problem.fit(options);
+        best = best.min(start.elapsed().as_secs_f64());
+        fit = Some(f);
+    }
+    let fit = fit.expect("reps >= 1");
+    let fit_ms = best * 1e3;
+    println!(
+        "fista 600x86: {fit_ms:.2} ms (best of {reps}), {} iterations, \
+         {} restarts, converged={}, objective {:.6}",
+        fit.iterations, fit.restarts, fit.converged, fit.objective
+    );
+
+    let mut report = BenchReport::new("opt", quick);
+    report
+        .metric("fista_fit_ms", fit_ms)
+        .metric("fista_iterations_info", fit.iterations as f64)
+        .metric("fista_restarts_info", fit.restarts as f64)
+        .metric("fista_objective_info", fit.objective)
+        .notes(
+            "One AsymLasso::fit on the standard 600x86 synthetic problem \
+             (alpha 8.0, gamma 0.1, max_iter 500, tol 1e-7); best of \
+             several reps. Iterations/restarts/objective are deterministic \
+             and recorded informationally to flag algorithmic drift.",
+        );
+    let path = report.write_into(std::path::Path::new("."))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

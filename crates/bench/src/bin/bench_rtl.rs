@@ -17,6 +17,7 @@
 use std::time::Instant;
 
 use predvfs_accel::{all, WorkloadSize};
+use predvfs_bench::bench_report::BenchReport;
 use predvfs_bench::results_dir;
 use predvfs_rtl::{
     Analysis, CompiledSim, ExecMode, FeatureSchema, JobInput, ProbeProgram, Simulator,
@@ -103,52 +104,6 @@ fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
         return 0.0;
     }
     (sum / n as f64).exp()
-}
-
-/// Hand-rolled JSON for `BENCH_rtl.json` — no serde in the tree.
-fn bench_json(quick: bool, runs: &[Run], geo: &[(&str, f64)]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str("  \"target_speedup\": 10.0,\n");
-    out.push_str(
-        "  \"notes\": \"Step is the reference per-cycle mode and is where the \
-         compiled pipeline pays off: state-specialized bytecode plus batch \
-         retirement of analysis-proven wait cycles. The skip modes land at \
-         ~2-3x because both engines already fast-forward wait cycles there; \
-         the remaining wall time is the shared skip-plan arithmetic and the \
-         few genuinely stepped control cycles, so the VM's per-cycle edge \
-         has little left to accelerate (Amdahl). All ratios are recorded \
-         per (benchmark, mode) below.\",\n",
-    );
-    out.push_str("  \"geomean\": {\n");
-    for (i, (mode, g)) in geo.iter().enumerate() {
-        out.push_str(&format!(
-            "    \"{mode}\": {g:.2}{}\n",
-            if i + 1 == geo.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  },\n");
-    out.push_str("  \"runs\": [\n");
-    for (i, r) in runs.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"jobs\": {}, \"cycles\": {}, \
-             \"interp_s\": {:.4}, \"vm_s\": {:.4}, \"interp_cps\": {:.0}, \
-             \"vm_cps\": {:.0}, \"speedup\": {:.2}}}{}\n",
-            r.bench,
-            r.mode,
-            r.jobs,
-            r.cycles,
-            r.interp_s,
-            r.vm_s,
-            r.interp_cps(),
-            r.vm_cps(),
-            r.speedup(),
-            if i + 1 == runs.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -252,8 +207,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     table.write_csv(&csv)?;
     println!("wrote {}", csv.display());
 
-    let json = bench_json(quick, &runs, &geo);
-    std::fs::write("BENCH_rtl.json", &json)?;
-    println!("wrote BENCH_rtl.json");
+    // Schema-v1 report: per-mode geomean speedups (gated, higher-better)
+    // plus the step-mode VM throughput. Per-(benchmark, mode) detail lives
+    // in the CSV.
+    let mut report = BenchReport::new("rtl", quick);
+    for (mode, g) in &geo {
+        report.metric(&format!("geomean_speedup_{mode}"), *g);
+    }
+    report.metric(
+        "step_vm_cps",
+        geomean(runs.iter().filter(|r| r.mode == "step").map(Run::vm_cps)),
+    );
+    report.notes(
+        "Target speedup: 10x (reported, not asserted). Step is the \
+         reference per-cycle mode and is where the compiled pipeline pays \
+         off: state-specialized bytecode plus batch retirement of \
+         analysis-proven wait cycles. The skip modes land at ~2-3x because \
+         both engines already fast-forward wait cycles there (Amdahl). \
+         Per-(benchmark, mode) detail is in results/bench_rtl.csv.",
+    );
+    let path = report.write_into(std::path::Path::new("."))?;
+    println!("wrote {}", path.display());
     Ok(())
 }

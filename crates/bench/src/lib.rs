@@ -15,6 +15,9 @@ use std::path::PathBuf;
 use predvfs_accel::{all, Benchmark};
 use predvfs_sim::{Experiment, ExperimentConfig, Platform, TraceCache};
 
+pub mod bench_report;
+pub mod gate;
+
 /// Paper reference values used for side-by-side reporting.
 pub mod paper {
     /// Table 4: `(name, area_um2, freq_mhz, max_ms, avg_ms, min_ms)`.
@@ -117,6 +120,12 @@ pub fn standard_config(platform: Platform) -> ExperimentConfig {
 /// Directory where experiment CSVs are written.
 pub fn results_dir() -> PathBuf {
     PathBuf::from("results")
+}
+
+/// Directory holding the committed BENCH baselines the gate compares
+/// against.
+pub fn baselines_dir() -> PathBuf {
+    results_dir().join("bench_baselines")
 }
 
 #[cfg(test)]

@@ -76,6 +76,9 @@ fn run(raw_args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         // process-global sink; install it before any work starts.
         predvfs_obs::install(std::sync::Arc::new(Recorder::new(TRACE_CAPACITY)));
     }
+    if opts.profile_out.is_some() {
+        predvfs_obs::set_profiling(true);
+    }
     let args = &args;
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let outcome = match cmd {
@@ -147,12 +150,17 @@ struct CliOptions {
     crash: Option<u64>,
     /// RTL execution engine override (`--compiled` / `--interp`).
     engine: Option<SimEngine>,
+    /// Collapsed-stack span profile output path (`--profile-out`).
+    profile_out: Option<String>,
 }
 
 impl CliOptions {
     /// True when any observability output was requested.
     fn observing(&self) -> bool {
-        self.metrics_out.is_some() || self.trace_out.is_some()
+        // Profiling implies a recorder: virtual spans are gated on the
+        // sink so replay paths stay silent, and a flamegraph without the
+        // engine's deterministic events would be misleading anyway.
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.profile_out.is_some()
     }
 }
 
@@ -190,6 +198,8 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>), String> {
             opts.metrics_out = Some(path);
         } else if let Some(path) = take("--trace-out")? {
             opts.trace_out = Some(path);
+        } else if let Some(path) = take("--profile-out")? {
+            opts.profile_out = Some(path);
         } else if let Some(v) = take("--faults")? {
             let seed: u64 = v.parse().map_err(|_| format!("invalid fault seed `{v}`"))?;
             opts.faults = Some(seed);
@@ -263,6 +273,29 @@ fn write_observability(opts: &CliOptions) -> Result<(), Box<dyn std::error::Erro
             }
         );
     }
+    if let Some(path) = &opts.profile_out {
+        // Both domains in one collapsed-stack file, distinguished by a
+        // top-level frame. Feed straight into inferno / flamegraph.pl;
+        // the `virtual;` subtree is byte-identical across --threads and
+        // --shards for deterministic workloads.
+        let profile = predvfs_obs::self_profile();
+        let mut folded = String::new();
+        for (prefix, domain) in [
+            ("wall;", predvfs_obs::SpanDomain::Wall),
+            ("virtual;", predvfs_obs::SpanDomain::Virtual),
+        ] {
+            for line in profile.collapsed(domain).lines() {
+                folded.push_str(prefix);
+                folded.push_str(line);
+                folded.push('\n');
+            }
+        }
+        fs::write(path, &folded)?;
+        eprintln!(
+            "wrote span profile ({} stacks) to {path}",
+            folded.lines().count()
+        );
+    }
     let counters = rec.registry().counters();
     let histograms = rec.registry().histogram_summaries();
     if counters.is_empty() && histograms.is_empty() {
@@ -307,8 +340,10 @@ fn analyze_trace(path: &str, rest: &[String]) -> Result<(), Box<dyn std::error::
             return Err(format!("unexpected trace-analyze argument `{a}`").into());
         }
     }
-    let text = fs::read_to_string(path)?;
-    let analysis = predvfs_obs::TraceAnalysis::from_jsonl(&text)?;
+    // Stream the trace: resident memory tracks analysis state, not file
+    // size, so million-event traces don't spike RSS.
+    let reader = std::io::BufReader::new(fs::File::open(path)?);
+    let analysis = predvfs_obs::TraceAnalysis::from_reader(reader)?;
     print!("{}", analysis.report());
     if let Some(out) = perfetto {
         fs::write(&out, analysis.to_perfetto())?;
@@ -341,6 +376,10 @@ OPTIONS:
   --trace-out <path>   write the structured event trace as JSON lines
                        (virtual-clock stamped; byte-identical across
                        --threads for `serve`)
+  --profile-out <path> enable span profiling and write the collapsed-stack
+                       flamegraph text (wall; and virtual; subtrees; the
+                       virtual subtree is byte-identical across --threads
+                       and --shards)
   --faults <seed>      serve: inject deterministic faults from this seed
                        with graceful degradation (watchdog, switch retries,
                        quarantine) enabled; the fault mix comes from the

@@ -18,8 +18,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use crate::kinds;
+use crate::span;
 
 /// A malformed trace line.
 #[derive(Debug, Clone, PartialEq)]
@@ -434,18 +436,59 @@ impl TraceAnalysis {
     /// event object is an error, not a skip: silently dropping lines
     /// would corrupt every count downstream.
     pub fn from_jsonl(text: &str) -> Result<TraceAnalysis, AnalyzeError> {
+        Self::from_reader(text.as_bytes())
+    }
+
+    /// Streaming variant of [`TraceAnalysis::from_jsonl`]: reads the
+    /// trace line by line through one reused buffer, so resident memory
+    /// tracks the analysis state (streams × jobs), not the file size —
+    /// million-event traces ingest without ever holding the whole file.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TraceAnalysis::from_jsonl`]; an I/O failure is
+    /// reported against the line at which the read stopped.
+    pub fn from_reader<R: BufRead>(mut reader: R) -> Result<TraceAnalysis, AnalyzeError> {
+        let ingest = span::span("analyze.ingest");
         let mut out = TraceAnalysis::default();
         let mut scratch: BTreeMap<String, StreamScratch> = BTreeMap::new();
-        for (lineno, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        loop {
+            line.clear();
+            lineno += 1;
+            let n = reader.read_line(&mut line).map_err(|e| AnalyzeError {
+                line: lineno,
+                message: format!("read error: {e}"),
+            })?;
+            if n == 0 {
+                break;
             }
+            out.ingest_line(&mut scratch, lineno, line.trim_end_matches(['\r', '\n']))?;
+        }
+        drop(ingest);
+        let _residency = span::span("analyze.residency");
+        out.finish_residency(scratch);
+        Ok(out)
+    }
+
+    /// Ingests one trace line (`lineno` is 1-based, for errors).
+    fn ingest_line(
+        &mut self,
+        scratch: &mut BTreeMap<String, StreamScratch>,
+        lineno: usize,
+        line: &str,
+    ) -> Result<(), AnalyzeError> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        {
             let fields = parse_flat_object(line).map_err(|message| AnalyzeError {
-                line: lineno + 1,
+                line: lineno,
                 message,
             })?;
             let err = |message: &str| AnalyzeError {
-                line: lineno + 1,
+                line: lineno,
                 message: message.to_owned(),
             };
             let t_s = fields.num("t_s").ok_or_else(|| err("missing t_s"))?;
@@ -453,13 +496,13 @@ impl TraceAnalysis {
             let kind = fields.str("event").ok_or_else(|| err("missing event"))?;
             if kind == kinds::TRACE_TRUNCATED {
                 let dropped = fields.u64("dropped").unwrap_or(0);
-                out.truncated_dropped =
-                    Some(out.truncated_dropped.unwrap_or(0).saturating_add(dropped));
-                continue;
+                self.truncated_dropped =
+                    Some(self.truncated_dropped.unwrap_or(0).saturating_add(dropped));
+                return Ok(());
             }
-            out.events += 1;
-            out.horizon_s = out.horizon_s.max(t_s);
-            let stream = out
+            self.events += 1;
+            self.horizon_s = self.horizon_s.max(t_s);
+            let stream = self
                 .streams
                 .entry(scope.to_owned())
                 .or_insert_with(|| StreamSummary {
@@ -557,10 +600,14 @@ impl TraceAnalysis {
                 _ => {}
             }
         }
-        // Level residency: walk each stream's change points over
-        // [0, horizon].
+        Ok(())
+    }
+
+    /// Level residency: walks each stream's change points over
+    /// `[0, horizon]` once ingestion is complete.
+    fn finish_residency(&mut self, scratch: BTreeMap<String, StreamScratch>) {
         for (name, sc) in scratch {
-            let stream = out.streams.get_mut(&name).expect("scratch implies stream");
+            let stream = self.streams.get_mut(&name).expect("scratch implies stream");
             let start_level = sc
                 .initial_level
                 .or_else(|| stream.jobs.first().map(|j| j.level));
@@ -574,9 +621,8 @@ impl TraceAnalysis {
                 level = to;
                 t = at;
             }
-            *stream.residency_s.entry(level).or_insert(0.0) += (out.horizon_s - t).max(0.0);
+            *stream.residency_s.entry(level).or_insert(0.0) += (self.horizon_s - t).max(0.0);
         }
-        Ok(out)
     }
 
     /// Total deadline misses across streams.
@@ -586,6 +632,7 @@ impl TraceAnalysis {
 
     /// Renders the deterministic plain-text report.
     pub fn report(&self) -> String {
+        let _span = span::span("analyze.report");
         let mut out = String::new();
         let _ = writeln!(out, "# trace analysis");
         let _ = writeln!(
@@ -697,6 +744,7 @@ impl TraceAnalysis {
     /// events for faults and alert edges. Timestamps are microseconds of
     /// virtual time.
     pub fn to_perfetto(&self) -> String {
+        let _span = span::span("analyze.perfetto");
         let mut out = String::from("{\"traceEvents\":[");
         let mut first = true;
         let push = |out: &mut String, first: &mut bool, item: String| {

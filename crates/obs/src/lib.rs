@@ -49,8 +49,17 @@ pub mod kinds;
 mod registry;
 mod ring;
 mod sink;
+pub mod span;
 
 pub use analyze::{AnalyzeError, JobTimeline, MissCause, StreamSummary, TraceAnalysis};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use ring::{merge_events, FieldValue, TraceEvent, TraceRing};
 pub use sink::{global, install, recorder, NullSink, ObsSink, PhaseTimer, Recorder};
+pub use span::{
+    profiling_enabled, record_virtual, set_profiling, span, SelfProfile, SpanDomain, SpanGuard,
+};
+
+/// The process-wide [`SelfProfile`] (re-export of [`span::profile`]).
+pub fn self_profile() -> &'static SelfProfile {
+    span::profile()
+}

@@ -129,28 +129,39 @@ impl ObsSink for Recorder {
 
 /// Measures wall-clock time from construction to drop and reports it to
 /// the sink as a phase duration.
+///
+/// Follows the span layer's zero-cost-when-off rule: when the sink is
+/// disabled the timer holds no state at all — the clock is never read
+/// and `Drop` emits nothing, so the disabled path is one `enabled()`
+/// branch at construction.
 pub struct PhaseTimer<'a> {
+    inner: Option<PhaseTimerInner<'a>>,
+}
+
+struct PhaseTimerInner<'a> {
     sink: &'a dyn ObsSink,
     name: &'a str,
-    start: Option<Instant>,
+    start: Instant,
 }
 
 impl<'a> PhaseTimer<'a> {
     /// Starts timing `name` against `sink` (free when the sink is off).
     pub fn start(sink: &'a dyn ObsSink, name: &'a str) -> PhaseTimer<'a> {
         PhaseTimer {
-            sink,
-            name,
-            start: sink.enabled().then(Instant::now),
+            inner: sink.enabled().then(|| PhaseTimerInner {
+                sink,
+                name,
+                start: Instant::now(),
+            }),
         }
     }
 }
 
 impl Drop for PhaseTimer<'_> {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
-            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            self.sink.phase_ns(self.name, ns);
+        if let Some(inner) = self.inner.take() {
+            let ns = u64::try_from(inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            inner.sink.phase_ns(inner.name, ns);
         }
     }
 }
@@ -240,6 +251,17 @@ mod tests {
         {
             let _t = PhaseTimer::start(&NullSink, "phase");
         } // no-op; nothing observable, but must not panic
+    }
+
+    #[test]
+    fn phase_timer_holds_no_state_when_disabled() {
+        // The zero-cost-when-off contract: a disabled timer never read
+        // the clock and has nothing to emit on drop.
+        let t = PhaseTimer::start(&NullSink, "phase");
+        assert!(t.inner.is_none());
+        let rec = Recorder::new(1);
+        let t = PhaseTimer::start(&rec, "phase");
+        assert!(t.inner.is_some());
     }
 
     #[test]

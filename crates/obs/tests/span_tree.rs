@@ -1,0 +1,143 @@
+//! Integration tests of the span subsystem's contracts: hierarchical
+//! nesting, panic-unwind safety, the disabled fast path recording
+//! nothing, and virtual-domain determinism across thread counts.
+//!
+//! The profile is process-global, so every test takes `GATE` first.
+
+use std::sync::Mutex;
+
+use predvfs_obs::{self as obs, SpanDomain};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fresh() -> std::sync::MutexGuard<'static, ()> {
+    let guard = locked();
+    obs::set_profiling(false);
+    obs::self_profile().reset();
+    guard
+}
+
+/// Collapsed paths only (values are host timings and nondeterministic).
+fn wall_paths() -> Vec<String> {
+    obs::self_profile()
+        .collapsed(SpanDomain::Wall)
+        .lines()
+        .filter_map(|l| l.rsplit_once(' ').map(|(p, _)| p.to_owned()))
+        .collect()
+}
+
+#[test]
+fn nested_guards_build_a_hierarchy_across_call_frames() {
+    let _g = fresh();
+    obs::set_profiling(true);
+    fn leaf() {
+        let _s = obs::span("leaf");
+    }
+    fn middle() {
+        let _s = obs::span("middle");
+        leaf();
+        leaf();
+    }
+    {
+        let _root = obs::span("root");
+        middle();
+        middle();
+        middle();
+    }
+    obs::set_profiling(false);
+    assert_eq!(
+        wall_paths(),
+        ["root", "root;middle", "root;middle;leaf"],
+        "collapsed:\n{}",
+        obs::self_profile().collapsed(SpanDomain::Wall)
+    );
+    let report = obs::self_profile().report(SpanDomain::Wall);
+    assert!(report.contains("leaf"), "report:\n{report}");
+    assert_eq!(obs::self_profile().total_calls(SpanDomain::Wall), 1 + 3 + 6);
+}
+
+#[test]
+fn panicking_span_unwinds_without_corrupting_the_tree() {
+    let _g = fresh();
+    obs::set_profiling(true);
+    let caught = std::panic::catch_unwind(|| {
+        let _outer = obs::span("unwind_outer");
+        let _inner = obs::span("unwind_inner");
+        panic!("die with spans open");
+    });
+    assert!(caught.is_err());
+    // The tree must still accept new spans, and the next root-pop must
+    // flush a coherent hierarchy including the unwound frames.
+    {
+        let _after = obs::span("after_panic");
+    }
+    obs::set_profiling(false);
+    let paths = wall_paths();
+    assert!(
+        paths.iter().any(|p| p == "after_panic"),
+        "post-panic span missing: {paths:?}"
+    );
+    assert!(
+        paths.iter().any(|p| p.starts_with("unwind_outer")),
+        "unwound spans lost: {paths:?}"
+    );
+}
+
+#[test]
+fn disabled_spans_leave_profile_empty_like_a_null_sink() {
+    let _g = fresh();
+    // Overhead smoke: with profiling off, a workload full of span
+    // callsites must behave exactly like uninstrumented code — the
+    // profile stays empty in both domains (the NullSink analogue: no
+    // state, no clock reads, nothing to flush).
+    for _ in 0..10_000 {
+        let _a = obs::span("disabled_outer");
+        let _b = obs::span("disabled_inner");
+        obs::record_virtual(&["disabled", "virtual"], 1.0);
+    }
+    assert_eq!(obs::self_profile().collapsed(SpanDomain::Wall), "");
+    assert_eq!(obs::self_profile().collapsed(SpanDomain::Virtual), "");
+    assert_eq!(obs::self_profile().total_calls(SpanDomain::Wall), 0);
+    assert_eq!(obs::self_profile().total_calls(SpanDomain::Virtual), 0);
+    assert_eq!(obs::self_profile().perfetto(), "[]\n");
+}
+
+#[test]
+fn virtual_collapsed_output_is_identical_across_thread_counts() {
+    let _g = fresh();
+    // The same logical work split over 1, 2, and 4 threads must produce
+    // byte-identical virtual flamegraphs: explicit paths + commutative
+    // sums make the tree independent of interleaving.
+    const PATHS: [&[&str]; 3] = [
+        &["serve", "job", "response"],
+        &["serve", "dispatch", "arrival"],
+        &["shard", "epoch"],
+    ];
+    let work: Vec<(usize, f64)> = (0..240)
+        .map(|i| (i % PATHS.len(), (i + 1) as f64 * 1e-6))
+        .collect();
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 4] {
+        obs::self_profile().reset();
+        obs::set_profiling(true);
+        std::thread::scope(|s| {
+            for chunk in work.chunks(work.len().div_ceil(threads)) {
+                s.spawn(move || {
+                    for &(which, seconds) in chunk {
+                        obs::record_virtual(PATHS[which], seconds);
+                    }
+                });
+            }
+        });
+        obs::set_profiling(false);
+        outputs.push(obs::self_profile().collapsed(SpanDomain::Virtual));
+    }
+    assert!(!outputs[0].is_empty());
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 threads diverged");
+    assert_eq!(outputs[0], outputs[2], "1 vs 4 threads diverged");
+    obs::self_profile().reset();
+}

@@ -133,6 +133,7 @@ impl AsymLasso<'_> {
     /// Panics if `beta0` or `y` length mismatches `x`, `alpha < 1`, or
     /// `gamma < 0`.
     pub fn fit_from(&self, beta0: &[f64], options: FitOptions) -> FitResult {
+        let _span = predvfs_obs::span("opt.fista_fit");
         assert_eq!(self.y.len(), self.x.rows(), "target length mismatch");
         assert_eq!(self.unpenalized.len(), self.x.cols());
         assert_eq!(beta0.len(), self.x.cols(), "warm-start width mismatch");
@@ -154,6 +155,9 @@ impl AsymLasso<'_> {
         let mut converged = false;
 
         for it in 0..options.max_iter {
+            // Per-iteration span: one relaxed load when profiling is off;
+            // when on, it prices the gradient + prox + momentum body.
+            let _iter_span = predvfs_obs::span("opt.fista_fit.iteration");
             iterations = it + 1;
             self.smooth_grad(&theta, &mut resid, &mut grad);
             beta_prev.copy_from_slice(&beta);

@@ -295,6 +295,7 @@ impl<'m> Simulator<'m> {
         mode: ExecMode,
         probes: Option<&ProbeProgram>,
     ) -> Result<(JobTrace, Vec<u64>), RtlError> {
+        let _span = predvfs_obs::span("rtl.interp.run");
         if let Some(p) = probes {
             p.validate(self.module)?;
         }

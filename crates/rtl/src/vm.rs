@@ -202,6 +202,7 @@ impl<'m> CompiledSim<'m> {
         module: &'m Module,
         analysis: &Analysis,
     ) -> Result<CompiledSim<'m>, RtlError> {
+        let _span = predvfs_obs::span("rtl.compile");
         let c = compile::compile(module, analysis)?;
         Ok(CompiledSim {
             module,
@@ -253,6 +254,9 @@ impl<'m> CompiledSim<'m> {
         mode: ExecMode,
         probes: Option<&ProbeProgram>,
     ) -> Result<(JobTrace, Vec<u64>), RtlError> {
+        // One span per job, never per cycle: the inner loop stays free of
+        // profiling branches beyond the wait-batch retirement below.
+        let _span = predvfs_obs::span("rtl.vm.run");
         if let Some(p) = probes {
             p.validate(self.module)?;
         }
@@ -450,6 +454,9 @@ impl<'m> CompiledSim<'m> {
             if remaining == 0 {
                 return None;
             }
+            // The span opens only once a batch is certain to retire, so
+            // non-wait Step cycles pay nothing for it.
+            let _span = predvfs_obs::span("rtl.vm.wait_batch");
             // `cycles < cycle_limit` was checked just above, so the cap is
             // at least 1; a capped batch leaves the counter mid-wait and
             // the next loop iteration reports `CycleLimit` exactly where

@@ -977,6 +977,7 @@ impl ServeRuntime {
             }
         }
         let sink = predvfs_obs::global();
+        let _prepare_span = predvfs_obs::span("serve.prepare");
         let _prepare_timer = predvfs_obs::PhaseTimer::start(sink, "predvfs_serve_prepare");
         sink.counter_add(
             "predvfs_serve_streams_prepared_total",
@@ -1205,6 +1206,7 @@ impl ServeRuntime {
         injector: &dyn FaultInjector,
         degrade: &DegradeConfig,
     ) -> Result<ServeResult, ServeError> {
+        let _run_span = predvfs_obs::span("serve.run");
         let _run_timer = predvfs_obs::PhaseTimer::start(sink, "predvfs_serve_run");
         let members: Vec<usize> = (0..self.streams.len()).collect();
         let config = EngineConfig {
@@ -1665,6 +1667,28 @@ impl<'rt> ShardEngine<'rt> {
     /// disjoint fields, so the borrow splits cleanly between the slot
     /// being served and the scheduling context.
     fn step(&mut self, time: f64, event: Event) -> Result<(), ServeError> {
+        // Dispatch spans, keyed by event kind. The wall span measures
+        // host time in this handler; the virtual record counts the
+        // dispatch on the deterministic clock (and is additionally gated
+        // on the sink so NullSink replay — crash recovery — stays
+        // invisible to the profile). Everything, including the name
+        // match, sits behind one enabled check: this runs per event, and
+        // the disabled hot path must stay a single load-and-branch.
+        let _dispatch = if predvfs_obs::profiling_enabled() {
+            let (wall_name, kind_name): (&'static str, &'static str) = match &event {
+                Event::Arrival { .. } => ("serve.dispatch.arrival", "arrival"),
+                Event::SliceDone { .. } => ("serve.dispatch.slice_done", "slice_done"),
+                Event::SwitchDone { .. } => ("serve.dispatch.switch_done", "switch_done"),
+                Event::JobDone { .. } => ("serve.dispatch.job_done", "job_done"),
+                Event::Watchdog { .. } => ("serve.dispatch.watchdog", "watchdog"),
+            };
+            if self.sink.enabled() {
+                predvfs_obs::record_virtual(&["serve", "dispatch", kind_name], 0.0);
+            }
+            predvfs_obs::SpanGuard::enter(wall_name)
+        } else {
+            predvfs_obs::SpanGuard::inert()
+        };
         let rt = self.rt;
         let mut cx = Loop {
             sink: self.sink,
@@ -1808,6 +1832,11 @@ impl<'rt> ShardEngine<'rt> {
                 let response = time - fly.adm.arrival_s;
                 let missed = response > rel_deadline * (1.0 + 1e-9);
                 let energy_pj = fly.job_pj + fly.slice_pj + fly.transition_pj;
+                if predvfs_obs::profiling_enabled() && cx.sink.enabled() {
+                    // Virtual-clock span: response time is deterministic,
+                    // so this sum is byte-identical across shard counts.
+                    predvfs_obs::record_virtual(&["serve", "job", "response"], response);
+                }
                 if cx.sink.enabled() {
                     let name = &s.spec.name;
                     cx.sink.counter_add("predvfs_serve_jobs_done_total", 1);

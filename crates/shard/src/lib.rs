@@ -552,6 +552,11 @@ fn run_worker<'rt>(
     let mut epoch: u64 = 0;
     loop {
         let t_end = (epoch + 1) as f64 * config.epoch_s;
+        // One wall span per epoch, with one child per barrier phase (the
+        // child includes the barrier wait: phase latency as other shards
+        // observe it). Inert unless span profiling is on.
+        let _epoch_span = predvfs_obs::span("shard.epoch");
+        let phase_span = predvfs_obs::span("shard.epoch.report");
 
         // Phase 1: run to the boundary, then report.
         if let Some(eng) = engine.as_mut() {
@@ -663,6 +668,8 @@ fn run_worker<'rt>(
             c.reports[shard] = Some(report);
         }
         shared.barrier.wait();
+        drop(phase_span);
+        let phase_span = predvfs_obs::span("shard.epoch.coordinate");
 
         // Phase 2: shard 0 coordinates — budget grants, migration,
         // termination — and publishes the plan.
@@ -678,6 +685,8 @@ fn run_worker<'rt>(
         if done {
             break;
         }
+        drop(phase_span);
+        let phase_span = predvfs_obs::span("shard.epoch.transfer");
 
         // Phase 3: extract outbound streams into the transfer map.
         let mut moves_out: Vec<usize> = Vec::new();
@@ -691,6 +700,8 @@ fn run_worker<'rt>(
             }
         }
         shared.barrier.wait();
+        drop(phase_span);
+        let _phase_span = predvfs_obs::span("shard.epoch.admit_boost");
 
         // Phase 4: admit inbound streams, then apply granted boosts for
         // the streams this shard now owns — admission first, so every
@@ -755,6 +766,7 @@ fn run_worker<'rt>(
         // configured cadence (pruning journal entries the new snapshot
         // subsumes, which is what bounds replay cost and memory).
         if faults_on {
+            let _journal_span = predvfs_obs::span("shard.journal");
             journal.insert(
                 epoch,
                 JournalEntry {
@@ -767,6 +779,7 @@ fn run_worker<'rt>(
         if let Some(every) = config.checkpoint_every {
             if every > 0 && (epoch + 1).is_multiple_of(every) {
                 if let Some(eng) = engine.as_ref() {
+                    let _checkpoint_span = predvfs_obs::span("shard.checkpoint");
                     let snap = ShardSnapshot {
                         epoch,
                         checkpoint: eng.checkpoint(),
@@ -846,6 +859,7 @@ fn recover_engine<'rt>(
     crash_epoch: u64,
     epoch_s: f64,
 ) -> Result<(ShardEngine<'rt>, u64, u64), ServeError> {
+    let _recover_span = predvfs_obs::span("shard.recover");
     let (mut eng, from_epoch) = match snapshot {
         Some(snap) => {
             // Empty shell, then re-admit every checkpointed stream

@@ -116,10 +116,14 @@ impl TraceCache {
     ) -> Result<Arc<TraceBundle>, predvfs::CoreError> {
         let key = (bench.name.to_owned(), seed, size);
         if let Some(bundle) = self.lock_map().get(&key) {
+            let _span = predvfs_obs::span("cache.hit");
             self.hits.fetch_add(1, Ordering::Relaxed);
             predvfs_obs::global().counter_add("predvfs_trace_cache_hits_total", 1);
             return Ok(Arc::clone(bundle));
         }
+        // The miss span prices the whole simulate-and-insert path, so a
+        // hit/miss flame split shows where preparation time actually goes.
+        let _span = predvfs_obs::span("cache.miss");
         self.misses.fetch_add(1, Ordering::Relaxed);
         predvfs_obs::global().counter_add("predvfs_trace_cache_misses_total", 1);
         // Simulate outside the lock so a long pass never blocks lookups
